@@ -1,0 +1,96 @@
+// FIG-A1 (VLDB'94 "time vs minimum support"): execution time of the four
+// frequent-itemset miners on the T5.I2, T10.I4, and T20.I6 workloads
+// (D = 10K here) as the support threshold drops from 2% to 0.25%.
+//
+// Expected shape: every curve grows as minsup falls; Apriori degrades
+// fastest (candidate explosion), FP-Growth/Eclat stay flattest, AprioriTid
+// sits between (its per-transaction candidate lists shrink in later
+// passes but balloon in pass 2 at low support).
+#include <benchmark/benchmark.h>
+
+#include "assoc/apriori.h"
+#include "assoc/eclat.h"
+#include "assoc/fp_growth.h"
+#include "bench_util.h"
+
+namespace {
+
+using dmt::bench::QuestWorkload;
+
+constexpr size_t kTransactions = 10000;
+
+// Support thresholds in basis points (100 = 1%).
+constexpr int64_t kMinsupBp[] = {200, 150, 100, 75, 50, 33, 25};
+
+struct Workload {
+  const char* name;
+  double t;
+  double i;
+};
+constexpr Workload kWorkloads[] = {
+    {"T5.I2.D10K", 5, 2}, {"T10.I4.D10K", 10, 4}, {"T20.I6.D10K", 20, 6}};
+
+dmt::assoc::MiningParams ParamsFor(int64_t minsup_bp) {
+  dmt::assoc::MiningParams params;
+  params.min_support = static_cast<double>(minsup_bp) / 10000.0;
+  return params;
+}
+
+template <typename Runner>
+void RunCase(benchmark::State& state, const Runner& runner) {
+  const Workload& workload = kWorkloads[state.range(0)];
+  const auto& db = QuestWorkload(workload.t, workload.i, kTransactions);
+  auto params = ParamsFor(state.range(1));
+  size_t itemsets = 0;
+  for (auto _ : state) {
+    auto result = runner(db, params);
+    DMT_CHECK(result.ok());
+    itemsets = result->itemsets.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["itemsets"] = static_cast<double>(itemsets);
+  state.SetLabel(std::string(workload.name) + " minsup=" +
+                 std::to_string(state.range(1)) + "bp");
+}
+
+void BM_Apriori(benchmark::State& state) {
+  RunCase(state, [](const auto& db, const auto& params) {
+    return dmt::assoc::MineApriori(db, params);
+  });
+}
+
+void BM_AprioriTid(benchmark::State& state) {
+  RunCase(state, [](const auto& db, const auto& params) {
+    return dmt::assoc::MineAprioriTid(db, params);
+  });
+}
+
+void BM_FpGrowth(benchmark::State& state) {
+  RunCase(state, [](const auto& db, const auto& params) {
+    return dmt::assoc::MineFpGrowth(db, params);
+  });
+}
+
+void BM_Eclat(benchmark::State& state) {
+  RunCase(state, [](const auto& db, const auto& params) {
+    return dmt::assoc::MineEclat(db, params);
+  });
+}
+
+void AllCases(benchmark::internal::Benchmark* bench) {
+  for (int64_t workload = 0; workload < 3; ++workload) {
+    for (int64_t minsup : kMinsupBp) {
+      bench->Args({workload, minsup});
+    }
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(2);
+}
+
+BENCHMARK(BM_Apriori)->Apply(AllCases);
+BENCHMARK(BM_AprioriTid)->Apply(AllCases);
+BENCHMARK(BM_FpGrowth)->Apply(AllCases);
+BENCHMARK(BM_Eclat)->Apply(AllCases);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// FIG-A2 (VLDB'94 scale-up with the number of transactions): time vs |D|
+// from 5K to 80K on T10.I4 at a fixed 0.75% support threshold.
+//
+// Expected shape: all four miners scale linearly in |D|; the ranking
+// (FP-Growth < Eclat ~ AprioriTid < Apriori) is preserved at every size.
+#include <benchmark/benchmark.h>
+
+#include "assoc/apriori.h"
+#include "assoc/eclat.h"
+#include "assoc/fp_growth.h"
+#include "bench_util.h"
+
+namespace {
+
+using dmt::bench::QuestWorkload;
+
+dmt::assoc::MiningParams Params() {
+  dmt::assoc::MiningParams params;
+  params.min_support = 0.0075;
+  return params;
+}
+
+template <typename Runner>
+void RunCase(benchmark::State& state, const Runner& runner) {
+  const auto& db = QuestWorkload(10, 4, static_cast<size_t>(state.range(0)));
+  auto params = Params();
+  for (auto _ : state) {
+    auto result = runner(db, params);
+    DMT_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["transactions"] = static_cast<double>(state.range(0));
+}
+
+void BM_Apriori(benchmark::State& state) {
+  RunCase(state, [](const auto& db, const auto& params) {
+    return dmt::assoc::MineApriori(db, params);
+  });
+}
+void BM_AprioriTid(benchmark::State& state) {
+  RunCase(state, [](const auto& db, const auto& params) {
+    return dmt::assoc::MineAprioriTid(db, params);
+  });
+}
+void BM_FpGrowth(benchmark::State& state) {
+  RunCase(state, [](const auto& db, const auto& params) {
+    return dmt::assoc::MineFpGrowth(db, params);
+  });
+}
+void BM_Eclat(benchmark::State& state) {
+  RunCase(state, [](const auto& db, const auto& params) {
+    return dmt::assoc::MineEclat(db, params);
+  });
+}
+
+void Sizes(benchmark::internal::Benchmark* bench) {
+  for (int64_t d : {5000, 10000, 20000, 40000, 80000}) bench->Arg(d);
+  bench->Unit(benchmark::kMillisecond)->Iterations(2);
+}
+
+BENCHMARK(BM_Apriori)->Apply(Sizes);
+BENCHMARK(BM_AprioriTid)->Apply(Sizes);
+BENCHMARK(BM_FpGrowth)->Apply(Sizes);
+BENCHMARK(BM_Eclat)->Apply(Sizes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// FIG-A3 (VLDB'94 scale-up with transaction size): average transaction
+// size T grows from 5 to 25 while D shrinks so that |D| * T (total item
+// occurrences) stays constant; fixed absolute support threshold.
+//
+// Expected shape: time rises super-linearly in T for Apriori (longer
+// transactions hit many more hash-tree branches) and mildly for the
+// pattern-growth/vertical miners.
+#include <benchmark/benchmark.h>
+
+#include "assoc/apriori.h"
+#include "assoc/eclat.h"
+#include "assoc/fp_growth.h"
+#include "bench_util.h"
+
+namespace {
+
+using dmt::bench::QuestWorkload;
+
+constexpr size_t kTotalItems = 200000;  // |D| * T held constant
+
+dmt::assoc::MiningParams ParamsFor(size_t num_transactions) {
+  dmt::assoc::MiningParams params;
+  // Fixed absolute support of 75 transactions, expressed as a fraction.
+  params.min_support = 75.0 / static_cast<double>(num_transactions);
+  return params;
+}
+
+template <typename Runner>
+void RunCase(benchmark::State& state, const Runner& runner) {
+  const auto t = static_cast<double>(state.range(0));
+  const size_t d = kTotalItems / static_cast<size_t>(state.range(0));
+  const auto& db = QuestWorkload(t, 4, d);
+  auto params = ParamsFor(d);
+  for (auto _ : state) {
+    auto result = runner(db, params);
+    DMT_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["avg_t"] = t;
+  state.counters["transactions"] = static_cast<double>(d);
+}
+
+void BM_Apriori(benchmark::State& state) {
+  RunCase(state, [](const auto& db, const auto& params) {
+    return dmt::assoc::MineApriori(db, params);
+  });
+}
+void BM_AprioriTid(benchmark::State& state) {
+  RunCase(state, [](const auto& db, const auto& params) {
+    return dmt::assoc::MineAprioriTid(db, params);
+  });
+}
+void BM_FpGrowth(benchmark::State& state) {
+  RunCase(state, [](const auto& db, const auto& params) {
+    return dmt::assoc::MineFpGrowth(db, params);
+  });
+}
+void BM_Eclat(benchmark::State& state) {
+  RunCase(state, [](const auto& db, const auto& params) {
+    return dmt::assoc::MineEclat(db, params);
+  });
+}
+
+void Sizes(benchmark::internal::Benchmark* bench) {
+  for (int64_t t : {5, 10, 15, 20, 25}) bench->Arg(t);
+  bench->Unit(benchmark::kMillisecond)->Iterations(2);
+}
+
+BENCHMARK(BM_Apriori)->Apply(Sizes);
+BENCHMARK(BM_AprioriTid)->Apply(Sizes);
+BENCHMARK(BM_FpGrowth)->Apply(Sizes);
+BENCHMARK(BM_Eclat)->Apply(Sizes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

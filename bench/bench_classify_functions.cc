@@ -1,0 +1,157 @@
+// TAB-C1 (TKDE'93 accuracy table): hold-out accuracy of every classifier
+// in the library on the ten Agrawal functions (5% attribute perturbation).
+//
+// Expected shape: trees dominate (the predicates are axis-aligned
+// rectangles and linear cuts); F1-F3 are easy (> 95%), the income
+// predicates F6-F10 are harder for the distance/Bayes models; naive Bayes
+// suffers on disjunctive predicates; kNN suffers from the irrelevant
+// attributes. The timed section covers one representative train per model.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "classify/knn.h"
+#include "classify/naive_bayes.h"
+#include "classify/one_r.h"
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "tree/builder.h"
+#include "tree/discretize.h"
+#include "tree/pruning.h"
+
+namespace {
+
+using dmt::bench::AgrawalWorkload;
+using dmt::core::Dataset;
+
+constexpr size_t kRecords = 8000;
+
+struct SplitData {
+  Dataset train;
+  Dataset test;
+  std::vector<uint32_t> truth;
+};
+
+SplitData MakeSplit(int function) {
+  const Dataset& data = AgrawalWorkload(function, kRecords);
+  auto split = dmt::eval::StratifiedTrainTestSplit(data.labels(), 0.3,
+                                                   /*seed=*/29);
+  DMT_CHECK(split.ok());
+  SplitData out;
+  dmt::eval::MaterializeSplit(data, *split, &out.train, &out.test);
+  out.truth.assign(out.test.labels().begin(), out.test.labels().end());
+  return out;
+}
+
+double Score(const SplitData& data, const std::vector<uint32_t>& predicted) {
+  auto accuracy = dmt::eval::Accuracy(data.truth, predicted);
+  DMT_CHECK(accuracy.ok());
+  return *accuracy;
+}
+
+double RunId3(const SplitData& data) {
+  auto train = dmt::tree::EqualWidthDiscretize(data.train, 8);
+  auto test = dmt::tree::EqualWidthDiscretize(data.test, 8);
+  DMT_CHECK(train.ok());
+  DMT_CHECK(test.ok());
+  auto tree = dmt::tree::BuildId3(*train);
+  DMT_CHECK(tree.ok());
+  return Score(data, tree->PredictAll(*test));
+}
+
+double RunC45(const SplitData& data) {
+  auto tree = dmt::tree::BuildC45(data.train);
+  DMT_CHECK(tree.ok());
+  DMT_CHECK(dmt::tree::PessimisticPrune(&*tree).ok());
+  return Score(data, tree->PredictAll(data.test));
+}
+
+double RunCart(const SplitData& data) {
+  auto tree = dmt::tree::BuildCart(data.train);
+  DMT_CHECK(tree.ok());
+  dmt::tree::CostComplexityPrune(&*tree, 0.0005);
+  return Score(data, tree->PredictAll(data.test));
+}
+
+double RunNaiveBayes(const SplitData& data) {
+  dmt::classify::NaiveBayesClassifier nb;
+  DMT_CHECK(nb.Fit(data.train).ok());
+  auto predicted = nb.PredictAll(data.test);
+  DMT_CHECK(predicted.ok());
+  return Score(data, *predicted);
+}
+
+double RunOneR(const SplitData& data) {
+  dmt::classify::OneRClassifier one_r;
+  DMT_CHECK(one_r.Fit(data.train).ok());
+  auto predicted = one_r.PredictAll(data.test);
+  DMT_CHECK(predicted.ok());
+  return Score(data, *predicted);
+}
+
+double RunKnn(const SplitData& data) {
+  dmt::classify::KnnOptions options;
+  options.k = 9;
+  dmt::classify::KnnClassifier knn(options);
+  DMT_CHECK(knn.Fit(data.train).ok());
+  auto predicted = knn.PredictAll(data.test);
+  DMT_CHECK(predicted.ok());
+  return Score(data, *predicted);
+}
+
+void PrintAccuracyTable() {
+  std::printf("# TAB-C1: hold-out accuracy on Agrawal functions "
+              "(%zu records, 5%% perturbation)\n",
+              kRecords);
+  std::printf("# function, one_r, id3, c45_pruned, cart_pruned, "
+              "naive_bayes, knn9\n");
+  for (int function = 1; function <= 10; ++function) {
+    SplitData data = MakeSplit(function);
+    std::printf("accuracy,F%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n", function,
+                RunOneR(data), RunId3(data), RunC45(data), RunCart(data),
+                RunNaiveBayes(data), RunKnn(data));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+void BM_TrainC45(benchmark::State& state) {
+  SplitData data = MakeSplit(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto tree = dmt::tree::BuildC45(data.train);
+    DMT_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree);
+  }
+}
+
+void BM_TrainCart(benchmark::State& state) {
+  SplitData data = MakeSplit(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto tree = dmt::tree::BuildCart(data.train);
+    DMT_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree);
+  }
+}
+
+void BM_TrainNaiveBayes(benchmark::State& state) {
+  SplitData data = MakeSplit(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    dmt::classify::NaiveBayesClassifier nb;
+    DMT_CHECK(nb.Fit(data.train).ok());
+    benchmark::DoNotOptimize(nb);
+  }
+}
+
+BENCHMARK(BM_TrainC45)->Arg(2)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_TrainCart)->Arg(2)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_TrainNaiveBayes)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  PrintAccuracyTable();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

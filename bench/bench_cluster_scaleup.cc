@@ -1,0 +1,66 @@
+// FIG-B2 (BIRCH scale-up): time vs dataset size (10K to 200K points,
+// k = 100 grid clusters) for BIRCH and direct k-means++.
+//
+// Expected shape: BIRCH grows linearly with a small constant (single scan
+// into bounded CF summaries, then clustering the summaries); direct
+// k-means grows linearly with a much larger constant (k distance
+// computations per point per Lloyd iteration), so the gap widens with n.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cluster/birch.h"
+#include "cluster/kmeans.h"
+
+namespace {
+
+using dmt::bench::GridWorkload;
+
+constexpr size_t kClusters = 100;
+
+void BM_KMeans(benchmark::State& state) {
+  const auto& data =
+      GridWorkload(kClusters, static_cast<size_t>(state.range(0)));
+  dmt::cluster::KMeansOptions options;
+  options.k = kClusters;
+  options.seed = 3;
+  options.max_iterations = 20;
+  for (auto _ : state) {
+    auto result = dmt::cluster::KMeans(data.points, options);
+    DMT_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["points"] =
+      static_cast<double>(data.points.size());
+}
+
+void BM_Birch(benchmark::State& state) {
+  const auto& data =
+      GridWorkload(kClusters, static_cast<size_t>(state.range(0)));
+  dmt::cluster::BirchOptions options;
+  options.global_clusters = kClusters;
+  options.threshold = 1.5;
+  options.max_leaf_entries_total = 4096;
+  options.seed = 3;
+  for (auto _ : state) {
+    auto result = dmt::cluster::Birch(data.points, options);
+    DMT_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["points"] =
+      static_cast<double>(data.points.size());
+}
+
+void Sizes(benchmark::internal::Benchmark* bench) {
+  // points per cluster: total = 100 * arg.
+  for (int64_t per_cluster : {100, 200, 500, 1000, 2000}) {
+    bench->Arg(per_cluster);
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_KMeans)->Apply(Sizes);
+BENCHMARK(BM_Birch)->Apply(Sizes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

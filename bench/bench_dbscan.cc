@@ -1,0 +1,129 @@
+// FIG-B3 (KDD'96 DBSCAN): quality on noisy mixtures vs k-means, and
+// region-query ablation (design choice 4: kd-tree vs brute-force) as n
+// grows.
+//
+// Expected shape: with 10% uniform background noise DBSCAN isolates the
+// noise and scores a higher ARI than k-means (which must absorb noise
+// into clusters); kd-tree region queries give near-linear total runtime
+// vs the brute-force quadratic.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cluster/dbscan.h"
+#include "cluster/kmeans.h"
+#include "core/check.h"
+#include "core/timer.h"
+#include "eval/clustering_metrics.h"
+#include "gen/mixture.h"
+
+namespace {
+
+const dmt::gen::LabeledPoints& NoisyWorkload(size_t per_cluster) {
+  static std::map<size_t, dmt::gen::LabeledPoints> cache;
+  auto it = cache.find(per_cluster);
+  if (it == cache.end()) {
+    dmt::gen::GaussianMixtureParams params;
+    params.num_clusters = 10;
+    params.points_per_cluster = per_cluster;
+    params.cluster_stddev = 0.7;
+    params.placement = dmt::gen::CenterPlacement::kGrid;
+    params.spread = 12.0;
+    params.noise_fraction = 0.10;
+    auto data = dmt::gen::GenerateGaussianMixture(params, /*seed=*/1996);
+    DMT_CHECK(data.ok());
+    it = cache.emplace(per_cluster, std::move(data).value()).first;
+  }
+  return it->second;
+}
+
+void PrintQualitySeries() {
+  const auto& data = NoisyWorkload(400);
+  // Ground truth with noise as its own class.
+  std::vector<uint32_t> truth(data.labels.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = data.labels[i] == dmt::gen::kNoiseLabel
+                   ? 10u
+                   : data.labels[i];
+  }
+  std::printf("# FIG-B3: 10 clusters + 10%% uniform noise, %zu points\n",
+              data.points.size());
+  std::printf("# method, time_ms, ari, noise_flagged\n");
+  {
+    dmt::cluster::DbscanOptions options;
+    options.eps = 1.4;
+    options.min_points = 8;
+    dmt::core::WallTimer timer;
+    auto result = dmt::cluster::Dbscan(data.points, options);
+    DMT_CHECK(result.ok());
+    std::vector<uint32_t> predicted(result->labels.size());
+    size_t noise = 0;
+    for (size_t i = 0; i < result->labels.size(); ++i) {
+      if (result->labels[i] == dmt::cluster::DbscanResult::kNoise) {
+        predicted[i] = 1000;
+        ++noise;
+      } else {
+        predicted[i] = static_cast<uint32_t>(result->labels[i]);
+      }
+    }
+    auto ari = dmt::eval::AdjustedRandIndex(truth, predicted);
+    DMT_CHECK(ari.ok());
+    std::printf("dbscan,%.1f,%.4f,%zu\n", timer.ElapsedMillis(), *ari,
+                noise);
+  }
+  {
+    dmt::cluster::KMeansOptions options;
+    options.k = 10;
+    options.seed = 9;
+    dmt::core::WallTimer timer;
+    auto result = dmt::cluster::KMeans(data.points, options);
+    DMT_CHECK(result.ok());
+    auto ari = dmt::eval::AdjustedRandIndex(truth, result->assignments);
+    DMT_CHECK(ari.ok());
+    std::printf("kmeans,%.1f,%.4f,0\n\n", timer.ElapsedMillis(), *ari);
+  }
+}
+
+template <dmt::cluster::DbscanOptions::Neighbors neighbors>
+void RunDbscan(benchmark::State& state) {
+  const auto& data = NoisyWorkload(static_cast<size_t>(state.range(0)));
+  dmt::cluster::DbscanOptions options;
+  options.eps = 1.4;
+  options.min_points = 8;
+  options.neighbors = neighbors;
+  size_t clusters = 0;
+  for (auto _ : state) {
+    auto result = dmt::cluster::Dbscan(data.points, options);
+    DMT_CHECK(result.ok());
+    clusters = result->num_clusters;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["points"] = static_cast<double>(data.points.size());
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+
+void BM_DbscanKdTree(benchmark::State& state) {
+  RunDbscan<dmt::cluster::DbscanOptions::Neighbors::kKdTree>(state);
+}
+void BM_DbscanBrute(benchmark::State& state) {
+  RunDbscan<dmt::cluster::DbscanOptions::Neighbors::kBruteForce>(state);
+}
+
+void Sizes(benchmark::internal::Benchmark* bench) {
+  for (int64_t per_cluster : {200, 400, 800, 1600}) {
+    bench->Arg(per_cluster);
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_DbscanKdTree)->Apply(Sizes);
+BENCHMARK(BM_DbscanBrute)->Apply(Sizes);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  PrintQualitySeries();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

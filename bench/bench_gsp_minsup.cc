@@ -1,0 +1,41 @@
+// FIG-S1 (ICDE'95 Fig. 4, "time vs minimum support"): GSP-style mining on
+// the C10.T2.5.S4.I1.25 customer-sequence workload (5K customers) as
+// minimum support falls from 1% to 0.25%.
+//
+// Expected shape: time and pattern count grow sharply as the threshold
+// drops — pass 2's candidate set is quadratic in the frequent items, and
+// lower thresholds push the frequent frontier to longer sequences.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "seq/gsp.h"
+
+namespace {
+
+using dmt::bench::SequenceWorkload;
+
+void BM_Gsp(benchmark::State& state) {
+  const auto& db = SequenceWorkload(5000);
+  dmt::seq::SeqMiningParams params;
+  params.min_support = static_cast<double>(state.range(0)) / 10000.0;
+  size_t patterns = 0;
+  for (auto _ : state) {
+    auto result = dmt::seq::MineGsp(db, params);
+    DMT_CHECK(result.ok());
+    patterns = result->patterns.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["patterns"] = static_cast<double>(patterns);
+}
+
+BENCHMARK(BM_Gsp)
+    ->Arg(100)
+    ->Arg(75)
+    ->Arg(50)
+    ->Arg(33)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// FIG-S2 (ICDE'95 scale-up): GSP time as the customer count grows from
+// 2.5K to 20K at a fixed 0.75% support threshold.
+//
+// Expected shape: near-linear growth in the number of customers — the
+// candidate space stays roughly constant (same relative threshold), so
+// counting dominates.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "seq/gsp.h"
+
+namespace {
+
+using dmt::bench::SequenceWorkload;
+
+void BM_Gsp(benchmark::State& state) {
+  const auto& db = SequenceWorkload(static_cast<size_t>(state.range(0)));
+  dmt::seq::SeqMiningParams params;
+  params.min_support = 0.0075;
+  for (auto _ : state) {
+    auto result = dmt::seq::MineGsp(db, params);
+    DMT_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["customers"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_Gsp)
+    ->Arg(2500)
+    ->Arg(5000)
+    ->Arg(10000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// FIG-K1 (kNN ablation, design choice 5): accuracy vs k on Agrawal F1,
+// and kd-tree vs brute-force query time as the training set grows.
+//
+// Expected shape: accuracy is fairly flat in k with a mild peak at
+// moderate k (noise averaging) and decays for very large k; kd-tree
+// queries beat brute force with a widening gap in n (the feature space
+// is lowish-dimensional after standardization).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "classify/knn.h"
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+
+namespace {
+
+using dmt::bench::AgrawalWorkload;
+using dmt::core::Dataset;
+
+void PrintAccuracySeries() {
+  const Dataset& data = AgrawalWorkload(1, 6000);
+  auto split =
+      dmt::eval::StratifiedTrainTestSplit(data.labels(), 0.3, /*seed=*/13);
+  DMT_CHECK(split.ok());
+  Dataset train, test;
+  dmt::eval::MaterializeSplit(data, *split, &train, &test);
+  std::vector<uint32_t> truth(test.labels().begin(), test.labels().end());
+  std::printf("# FIG-K1: kNN accuracy vs k on Agrawal F1\n");
+  std::printf("# k, accuracy\n");
+  for (size_t k : {1u, 3u, 5u, 9u, 17u, 33u, 49u}) {
+    dmt::classify::KnnOptions options;
+    options.k = k;
+    dmt::classify::KnnClassifier knn(options);
+    DMT_CHECK(knn.Fit(train).ok());
+    auto predicted = knn.PredictAll(test);
+    DMT_CHECK(predicted.ok());
+    auto accuracy = dmt::eval::Accuracy(truth, *predicted);
+    DMT_CHECK(accuracy.ok());
+    std::printf("knn_accuracy,%zu,%.4f\n", k, *accuracy);
+  }
+  std::printf("\n");
+}
+
+template <dmt::classify::KnnOptions::Search search>
+void RunQueryBench(benchmark::State& state) {
+  const Dataset& data =
+      AgrawalWorkload(1, static_cast<size_t>(state.range(0)));
+  auto split =
+      dmt::eval::StratifiedTrainTestSplit(data.labels(), 0.1, /*seed=*/13);
+  DMT_CHECK(split.ok());
+  Dataset train, test;
+  dmt::eval::MaterializeSplit(data, *split, &train, &test);
+  dmt::classify::KnnOptions options;
+  options.k = 9;
+  options.search = search;
+  dmt::classify::KnnClassifier knn(options);
+  DMT_CHECK(knn.Fit(train).ok());
+  for (auto _ : state) {
+    auto predicted = knn.PredictAll(test);
+    DMT_CHECK(predicted.ok());
+    benchmark::DoNotOptimize(predicted);
+  }
+  state.counters["train_rows"] =
+      static_cast<double>(train.num_rows());
+  state.counters["queries"] = static_cast<double>(test.num_rows());
+}
+
+void BM_KnnKdTree(benchmark::State& state) {
+  RunQueryBench<dmt::classify::KnnOptions::Search::kKdTree>(state);
+}
+void BM_KnnBrute(benchmark::State& state) {
+  RunQueryBench<dmt::classify::KnnOptions::Search::kBruteForce>(state);
+}
+
+void Sizes(benchmark::internal::Benchmark* bench) {
+  for (int64_t n : {2000, 8000, 32000}) bench->Arg(n);
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_KnnKdTree)->Apply(Sizes);
+BENCHMARK(BM_KnnBrute)->Apply(Sizes);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  PrintAccuracySeries();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// FIG-C2 (TKDE'93 scale-up): tree-induction time vs training-set size
+// (1K to 50K records of Agrawal F2).
+//
+// Expected shape: O(n log n)-ish growth for both C4.5 and CART (sorting
+// for numeric thresholds dominates); CART's binary categorical scan adds
+// a constant factor over C4.5's multiway scan. SLIQ (EDBT'96) presorts
+// each attribute once and grows breadth-first, so it pulls ahead of the
+// sort-per-node CART as n (and tree depth) grows — the paper's central
+// scalability claim.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "tree/builder.h"
+#include "tree/sliq.h"
+
+namespace {
+
+using dmt::bench::AgrawalWorkload;
+
+void BM_C45(benchmark::State& state) {
+  const auto& data =
+      AgrawalWorkload(2, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto tree = dmt::tree::BuildC45(data);
+    DMT_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["records"] = static_cast<double>(state.range(0));
+}
+
+void BM_Cart(benchmark::State& state) {
+  const auto& data =
+      AgrawalWorkload(2, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto tree = dmt::tree::BuildCart(data);
+    DMT_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["records"] = static_cast<double>(state.range(0));
+}
+
+void BM_Sliq(benchmark::State& state) {
+  const auto& data =
+      AgrawalWorkload(2, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto tree = dmt::tree::BuildSliq(data);
+    DMT_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["records"] = static_cast<double>(state.range(0));
+}
+
+void Sizes(benchmark::internal::Benchmark* bench) {
+  for (int64_t n : {1000, 2000, 5000, 10000, 20000, 50000}) bench->Arg(n);
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_C45)->Apply(Sizes);
+BENCHMARK(BM_Cart)->Apply(Sizes);
+BENCHMARK(BM_Sliq)->Apply(Sizes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// EXT-2 (Agrawal, Faloutsos & Swami FODO'93 / Faloutsos et al. SIGMOD'94):
+// feature-filtered subsequence similarity search on random walks — filter
+// selectivity and query time vs the number of DFT coefficients, against a
+// brute-force scan.
+//
+// Expected shape: random-walk energy concentrates in the first few
+// coefficients, so 2-3 of them already eliminate almost all windows
+// (the papers' "optimal f is small" result); more coefficients keep
+// shrinking the candidate set with diminishing returns while the feature
+// index gets slower per node, giving the characteristic U-shaped query
+// cost with a shallow minimum around f = 2-4.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/check.h"
+#include "core/timer.h"
+#include "gen/timeseries.h"
+#include "tseries/similarity.h"
+
+namespace {
+
+constexpr size_t kWindow = 128;
+constexpr double kEpsilon = 4.0;
+
+const std::vector<std::vector<double>>& Walks() {
+  static const std::vector<std::vector<double>> walks = [] {
+    dmt::gen::RandomWalkParams params;
+    params.num_series = 100;
+    params.length = 1024;
+    params.step_stddev = 1.0;
+    auto result = dmt::gen::GenerateRandomWalks(params, /*seed=*/1993);
+    DMT_CHECK(result.ok());
+    return std::move(result).value();
+  }();
+  return walks;
+}
+
+void PrintSelectivityTable() {
+  const auto& walks = Walks();
+  std::printf("# EXT-2: DFT-filtered subsequence search, 100 walks x 1024, "
+              "window %zu, eps %.1f\n",
+              kWindow, kEpsilon);
+  std::printf(
+      "# coefficients, build_ms, query_ms, candidates, matches, windows\n");
+  // Query: a real window from the data (guarantees at least one match).
+  std::span<const double> query(walks[42].data() + 500, kWindow);
+  for (size_t coefficients : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    dmt::tseries::SubsequenceIndexOptions options;
+    options.window = kWindow;
+    options.num_coefficients = coefficients;
+    dmt::core::WallTimer build_timer;
+    auto index = dmt::tseries::SubsequenceIndex::Build(walks, options);
+    DMT_CHECK(index.ok());
+    double build_ms = build_timer.ElapsedMillis();
+    dmt::tseries::QueryStats stats;
+    dmt::core::WallTimer query_timer;
+    auto matches = index->RangeQuery(query, kEpsilon, &stats);
+    DMT_CHECK(matches.ok());
+    std::printf("selectivity,%zu,%.1f,%.3f,%zu,%zu,%zu\n", coefficients,
+                build_ms, query_timer.ElapsedMillis(), stats.candidates,
+                stats.matches, stats.windows_indexed);
+  }
+  // Brute-force reference.
+  dmt::tseries::SubsequenceIndexOptions options;
+  options.window = kWindow;
+  auto index = dmt::tseries::SubsequenceIndex::Build(walks, options);
+  DMT_CHECK(index.ok());
+  dmt::tseries::QueryStats stats;
+  dmt::core::WallTimer timer;
+  auto matches = index->RangeQueryBruteForce(query, kEpsilon, &stats);
+  DMT_CHECK(matches.ok());
+  std::printf("selectivity,brute,n/a,%.3f,%zu,%zu,%zu\n\n",
+              timer.ElapsedMillis(), stats.candidates, stats.matches,
+              stats.windows_indexed);
+}
+
+void BM_IndexedQuery(benchmark::State& state) {
+  const auto& walks = Walks();
+  dmt::tseries::SubsequenceIndexOptions options;
+  options.window = kWindow;
+  options.num_coefficients = static_cast<size_t>(state.range(0));
+  auto index = dmt::tseries::SubsequenceIndex::Build(walks, options);
+  DMT_CHECK(index.ok());
+  std::span<const double> query(walks[42].data() + 500, kWindow);
+  for (auto _ : state) {
+    auto matches = index->RangeQuery(query, kEpsilon);
+    DMT_CHECK(matches.ok());
+    benchmark::DoNotOptimize(matches);
+  }
+}
+
+void BM_BruteForceQuery(benchmark::State& state) {
+  const auto& walks = Walks();
+  dmt::tseries::SubsequenceIndexOptions options;
+  options.window = kWindow;
+  auto index = dmt::tseries::SubsequenceIndex::Build(walks, options);
+  DMT_CHECK(index.ok());
+  std::span<const double> query(walks[42].data() + 500, kWindow);
+  for (auto _ : state) {
+    auto matches = index->RangeQueryBruteForce(query, kEpsilon);
+    DMT_CHECK(matches.ok());
+    benchmark::DoNotOptimize(matches);
+  }
+}
+
+BENCHMARK(BM_IndexedQuery)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BruteForceQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  PrintSelectivityTable();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Shared helpers for the benchmark harness: cached synthetic workloads so
+// repeated benchmark cases do not regenerate data inside the timing loop.
+#ifndef DMT_BENCH_BENCH_UTIL_H_
+#define DMT_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "core/check.h"
+#include "core/dataset.h"
+#include "core/sequence.h"
+#include "core/transaction.h"
+#include "gen/agrawal.h"
+#include "gen/mixture.h"
+#include "gen/quest.h"
+#include "gen/seqgen.h"
+
+namespace dmt::bench {
+
+/// Cached Quest transaction workload (keyed by T, I, D).
+inline const core::TransactionDatabase& QuestWorkload(double t, double i,
+                                                      size_t d) {
+  static std::map<std::tuple<double, double, size_t>,
+                  core::TransactionDatabase>
+      cache;
+  auto key = std::make_tuple(t, i, d);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    gen::QuestParams params;
+    params.avg_transaction_size = t;
+    params.avg_pattern_size = i;
+    params.num_transactions = d;
+    params.num_items = 1000;
+    params.num_patterns = 2000;
+    auto db = gen::GenerateQuestTransactions(params, /*seed=*/1996);
+    DMT_CHECK(db.ok());
+    it = cache.emplace(key, std::move(db).value()).first;
+  }
+  return it->second;
+}
+
+/// Cached Quest sequence workload (keyed by customer count).
+inline const core::SequenceDatabase& SequenceWorkload(size_t customers) {
+  static std::map<size_t, core::SequenceDatabase> cache;
+  auto it = cache.find(customers);
+  if (it == cache.end()) {
+    gen::SequenceGenParams params;
+    params.num_customers = customers;
+    params.avg_transactions_per_customer = 10.0;
+    params.avg_items_per_transaction = 2.5;
+    params.avg_pattern_elements = 4.0;
+    params.avg_pattern_itemset_size = 1.25;
+    params.num_items = 1000;
+    auto db = gen::GenerateSequences(params, /*seed=*/1995);
+    DMT_CHECK(db.ok());
+    it = cache.emplace(customers, std::move(db).value()).first;
+  }
+  return it->second;
+}
+
+/// Cached Agrawal classification workload (keyed by function and size).
+inline const core::Dataset& AgrawalWorkload(int function, size_t records,
+                                            double perturbation = 0.05) {
+  static std::map<std::tuple<int, size_t, double>, core::Dataset> cache;
+  auto key = std::make_tuple(function, records, perturbation);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    gen::AgrawalParams params;
+    params.function = function;
+    params.num_records = records;
+    params.perturbation = perturbation;
+    auto data = gen::GenerateAgrawal(params, /*seed=*/1993);
+    DMT_CHECK(data.ok());
+    it = cache.emplace(key, std::move(data).value()).first;
+  }
+  return it->second;
+}
+
+/// Cached BIRCH-style grid mixture (keyed by clusters and points/cluster).
+inline const gen::LabeledPoints& GridWorkload(size_t clusters,
+                                              size_t per_cluster,
+                                              double stddev = 1.0) {
+  static std::map<std::tuple<size_t, size_t, double>, gen::LabeledPoints>
+      cache;
+  auto key = std::make_tuple(clusters, per_cluster, stddev);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto data = gen::GenerateBirchGrid(clusters, per_cluster,
+                                       /*spacing=*/10.0, stddev,
+                                       /*seed=*/1996);
+    DMT_CHECK(data.ok());
+    it = cache.emplace(key, std::move(data).value()).first;
+  }
+  return it->second;
+}
+
+}  // namespace dmt::bench
+
+#endif  // DMT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,132 @@
+// Clustering walkthrough: segments a synthetic 2-d customer population
+// with k-means, BIRCH, DBSCAN, and Ward agglomerative clustering, scoring
+// each against the generator's ground truth.
+//
+//   $ ./build/examples/customer_segmentation [clusters] [points_per_cluster]
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/agglomerative.h"
+#include "cluster/birch.h"
+#include "cluster/clarans.h"
+#include "cluster/dbscan.h"
+#include "cluster/kmeans.h"
+#include "core/timer.h"
+#include "eval/clustering_metrics.h"
+#include "gen/mixture.h"
+
+namespace {
+
+void Score(const char* name, double millis,
+           const std::vector<uint32_t>& truth,
+           const std::vector<uint32_t>& predicted) {
+  auto ari = dmt::eval::AdjustedRandIndex(truth, predicted);
+  auto nmi = dmt::eval::NormalizedMutualInformation(truth, predicted);
+  auto purity = dmt::eval::Purity(truth, predicted);
+  if (!ari.ok() || !nmi.ok() || !purity.ok()) {
+    std::fprintf(stderr, "%s: scoring failed\n", name);
+    return;
+  }
+  std::printf("%-18s ARI %.4f  NMI %.4f  purity %.4f  (%.1f ms)\n", name,
+              *ari, *nmi, *purity, millis);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t clusters = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 9;
+  size_t per_cluster = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 300;
+
+  auto data = dmt::gen::GenerateBirchGrid(clusters, per_cluster,
+                                          /*spacing=*/20.0, /*stddev=*/1.2,
+                                          /*seed=*/11);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu customers in %zu planted segments (2-d grid layout)\n\n",
+              data->points.size(), clusters);
+  const std::vector<uint32_t>& truth = data->labels;
+
+  {
+    dmt::cluster::KMeansOptions options;
+    options.k = clusters;
+    options.seed = 5;
+    dmt::core::WallTimer timer;
+    auto result = dmt::cluster::KMeans(data->points, options);
+    if (result.ok()) {
+      Score("k-means++", timer.ElapsedMillis(), truth,
+            result->assignments);
+      std::printf("  SSE %.1f in %zu iterations\n", result->sse,
+                  result->iterations);
+    }
+  }
+  {
+    dmt::cluster::BirchOptions options;
+    options.global_clusters = clusters;
+    options.threshold = 2.5;
+    options.seed = 5;
+    dmt::core::WallTimer timer;
+    auto result = dmt::cluster::Birch(data->points, options);
+    if (result.ok()) {
+      Score("BIRCH", timer.ElapsedMillis(), truth,
+            result->clustering.assignments);
+      std::printf("  %zu CF leaf entries summarize %zu points "
+                  "(threshold %.2f, %zu rebuilds)\n",
+                  result->num_leaf_entries, data->points.size(),
+                  result->final_threshold, result->rebuilds);
+    }
+  }
+  {
+    dmt::cluster::DbscanOptions options;
+    options.eps = 3.0;
+    options.min_points = 8;
+    dmt::core::WallTimer timer;
+    auto result = dmt::cluster::Dbscan(data->points, options);
+    if (result.ok()) {
+      // Map noise to its own label for scoring.
+      std::vector<uint32_t> predicted(result->labels.size());
+      size_t noise = 0;
+      for (size_t i = 0; i < result->labels.size(); ++i) {
+        if (result->labels[i] == dmt::cluster::DbscanResult::kNoise) {
+          predicted[i] = static_cast<uint32_t>(result->num_clusters);
+          ++noise;
+        } else {
+          predicted[i] = static_cast<uint32_t>(result->labels[i]);
+        }
+      }
+      Score("DBSCAN", timer.ElapsedMillis(), truth, predicted);
+      std::printf("  %zu clusters found, %zu points flagged as noise\n",
+                  result->num_clusters, noise);
+    }
+  }
+  {
+    dmt::cluster::ClaransOptions options;
+    options.k = clusters;
+    options.num_local = 2;
+    options.max_neighbors = 1000;
+    options.seed = 5;
+    dmt::core::WallTimer timer;
+    auto result = dmt::cluster::Clarans(data->points, options);
+    if (result.ok()) {
+      Score("CLARANS", timer.ElapsedMillis(), truth, result->assignments);
+      std::printf("  medoid cost %.1f after %zu accepted swaps\n",
+                  result->total_cost, result->accepted_swaps);
+    }
+  }
+  if (data->points.size() <= 4096) {
+    dmt::core::WallTimer timer;
+    auto dendrogram = dmt::cluster::AgglomerativeCluster(
+        data->points, dmt::cluster::Linkage::kWard);
+    if (dendrogram.ok()) {
+      auto labels = dendrogram->CutAtK(clusters);
+      if (labels.ok()) {
+        Score("Ward (NN-chain)", timer.ElapsedMillis(), truth, *labels);
+      }
+    }
+  } else {
+    std::printf("Ward (NN-chain)    skipped: > 4096 points "
+                "(dense-matrix method)\n");
+  }
+  return 0;
+}

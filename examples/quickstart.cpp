@@ -1,0 +1,68 @@
+// Quickstart: mine association rules from a small hand-written basket
+// database in ~40 lines of API use.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "assoc/fp_growth.h"
+#include "assoc/rules.h"
+#include "core/item_dictionary.h"
+#include "core/transaction.h"
+
+int main() {
+  using dmt::core::ItemDictionary;
+  using dmt::core::ItemId;
+  using dmt::core::TransactionDatabase;
+
+  // 1. Intern item names and build a transaction database.
+  ItemDictionary items;
+  TransactionDatabase db;
+  const char* baskets[][4] = {
+      {"bread", "milk", nullptr},
+      {"bread", "diapers", "beer", "eggs"},
+      {"milk", "diapers", "beer", "cola"},
+      {"bread", "milk", "diapers", "beer"},
+      {"bread", "milk", "diapers", "cola"},
+  };
+  for (const auto& basket : baskets) {
+    std::vector<ItemId> transaction;
+    for (const char* name : basket) {
+      if (name == nullptr) break;
+      transaction.push_back(items.GetOrAdd(name));
+    }
+    db.Add(transaction);
+  }
+
+  // 2. Mine frequent itemsets (any of the four miners returns identical
+  // results; FP-Growth is the fastest default).
+  dmt::assoc::MiningParams params;
+  params.min_support = 0.4;  // at least 2 of 5 baskets
+  auto mined = dmt::assoc::MineFpGrowth(db, params);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 mined.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("frequent itemsets (min support %.0f%%):\n",
+              params.min_support * 100);
+  for (const auto& itemset : mined->itemsets) {
+    std::printf("  %s\n",
+                dmt::assoc::FormatItemset(itemset, &items).c_str());
+  }
+
+  // 3. Generate association rules.
+  dmt::assoc::RuleParams rule_params;
+  rule_params.min_confidence = 0.6;
+  auto rules = dmt::assoc::GenerateRules(*mined, db.size(), rule_params);
+  if (!rules.ok()) {
+    std::fprintf(stderr, "rule generation failed: %s\n",
+                 rules.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nrules (min confidence %.0f%%):\n",
+              rule_params.min_confidence * 100);
+  for (const auto& rule : *rules) {
+    std::printf("  %s\n", dmt::assoc::FormatRule(rule, &items).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "assoc/candidate_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace dmt::assoc {
+
+CandidateGenResult GenerateCandidates(
+    const std::vector<Itemset>& prev_frequent, bool record_parents) {
+  CandidateGenResult result;
+  if (prev_frequent.empty()) return result;
+  const size_t prev_size = prev_frequent[0].size();
+  DMT_CHECK_GE(prev_size, 1u);
+
+  std::unordered_set<Itemset, ItemsetHash> frequent_set(
+      prev_frequent.begin(), prev_frequent.end());
+
+  Itemset candidate(prev_size + 1);
+  Itemset subset(prev_size);
+  for (size_t i = 0; i < prev_frequent.size(); ++i) {
+    const Itemset& a = prev_frequent[i];
+    DMT_DCHECK(a.size() == prev_size);
+    for (size_t j = i + 1; j < prev_frequent.size(); ++j) {
+      const Itemset& b = prev_frequent[j];
+      // Lexicographic order means all joinable partners (equal first k-2
+      // items) are adjacent; stop at the first mismatching prefix.
+      if (!std::equal(a.begin(), a.end() - 1, b.begin())) break;
+      // a and b share the first k-2 items and a.back() < b.back().
+      std::copy(a.begin(), a.end(), candidate.begin());
+      candidate.back() = b.back();
+
+      // Prune: every (k-1)-subset must be frequent. Dropping the last or
+      // second-to-last item yields a and b themselves; test the rest.
+      bool all_frequent = true;
+      for (size_t drop = 0; drop + 2 < candidate.size() && all_frequent;
+           ++drop) {
+        subset.clear();
+        for (size_t p = 0; p < candidate.size(); ++p) {
+          if (p != drop) subset.push_back(candidate[p]);
+        }
+        all_frequent = frequent_set.contains(subset);
+      }
+      if (!all_frequent) continue;
+
+      result.candidates.push_back(candidate);
+      if (record_parents) {
+        result.parents.emplace_back(static_cast<uint32_t>(i),
+                                    static_cast<uint32_t>(j));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dmt::assoc

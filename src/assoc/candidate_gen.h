@@ -1,0 +1,32 @@
+// Apriori candidate generation: join L_{k-1} with itself, then prune by the
+// downward-closure property (every (k-1)-subset must be frequent).
+#ifndef DMT_ASSOC_CANDIDATE_GEN_H_
+#define DMT_ASSOC_CANDIDATE_GEN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "assoc/itemset.h"
+
+namespace dmt::assoc {
+
+/// Candidates of size k generated from the frequent (k-1)-itemsets, plus
+/// (optionally) the indices of the two joined parents in `prev_frequent`
+/// (used by AprioriTid's set-oriented counting).
+struct CandidateGenResult {
+  std::vector<Itemset> candidates;
+  /// parents[i] = (a, b): candidates[i] = prev_frequent[a] ∪
+  /// prev_frequent[b]; the parents share all but their last item. Empty
+  /// unless requested.
+  std::vector<std::pair<uint32_t, uint32_t>> parents;
+};
+
+/// `prev_frequent` must be lexicographically sorted itemsets of equal size
+/// k-1 (k >= 2). Candidates come out lexicographically sorted.
+CandidateGenResult GenerateCandidates(
+    const std::vector<Itemset>& prev_frequent, bool record_parents = false);
+
+}  // namespace dmt::assoc
+
+#endif  // DMT_ASSOC_CANDIDATE_GEN_H_

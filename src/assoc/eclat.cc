@@ -1,0 +1,152 @@
+#include "assoc/eclat.h"
+
+#include <algorithm>
+
+#include "core/bitset.h"
+#include "core/check.h"
+
+namespace dmt::assoc {
+
+using core::DynamicBitset;
+using core::ItemId;
+using core::Result;
+using core::TransactionDatabase;
+
+namespace {
+
+/// Sorted-vector tidset intersection.
+std::vector<uint32_t> IntersectTids(const std::vector<uint32_t>& a,
+                                    const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+size_t SizeOf(const std::vector<uint32_t>& tids) { return tids.size(); }
+size_t SizeOf(const DynamicBitset& tids) { return tids.Count(); }
+
+template <typename Tidset>
+struct ClassMember {
+  ItemId item;
+  Tidset tids;
+  uint32_t support;
+};
+
+/// Depth-first walk over one equivalence class (all itemsets sharing
+/// `prefix`); members are ordered by item id so output is deterministic.
+template <typename Tidset, typename IntersectFn>
+void Walk(const Itemset& prefix,
+          const std::vector<ClassMember<Tidset>>& members, uint32_t min_count,
+          size_t max_size, const IntersectFn& intersect, MiningResult* result,
+          size_t depth) {
+  if (result->passes.size() < depth + 1) {
+    result->passes.push_back({depth + 1, 0, 0});
+  }
+  for (size_t i = 0; i < members.size(); ++i) {
+    Itemset items = prefix;
+    items.push_back(members[i].item);
+    result->itemsets.push_back({items, members[i].support});
+    ++result->passes[depth].frequent;
+    if (max_size != 0 && items.size() >= max_size) continue;
+    std::vector<ClassMember<Tidset>> extensions;
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      // This intersection proposes a (depth+2)-item candidate.
+      if (result->passes.size() < depth + 2) {
+        result->passes.push_back({depth + 2, 0, 0});
+      }
+      ++result->passes[depth + 1].candidates;
+      Tidset shared = intersect(members[i].tids, members[j].tids);
+      uint32_t support = static_cast<uint32_t>(SizeOf(shared));
+      if (support >= min_count) {
+        extensions.push_back(
+            {members[j].item, std::move(shared), support});
+      }
+    }
+    if (!extensions.empty()) {
+      Walk(items, extensions, min_count, max_size, intersect, result,
+           depth + 1);
+    }
+  }
+}
+
+}  // namespace
+
+Result<MiningResult> MineEclat(const TransactionDatabase& db,
+                               const MiningParams& params,
+                               const EclatOptions& options) {
+  DMT_RETURN_NOT_OK(params.Validate());
+  const uint32_t min_count = AbsoluteMinSupport(db, params.min_support);
+  MiningResult result;
+  result.passes.push_back({1, db.item_universe(), 0});
+
+  std::vector<uint32_t> supports = db.ItemSupports();
+
+  if (options.representation == EclatOptions::TidsetRepr::kSortedVectors) {
+    std::vector<ClassMember<std::vector<uint32_t>>> roots;
+    for (ItemId item = 0; item < supports.size(); ++item) {
+      if (supports[item] >= min_count) {
+        roots.push_back({item, {}, supports[item]});
+        roots.back().tids.reserve(supports[item]);
+      }
+    }
+    std::vector<uint32_t> item_to_root(supports.size(), UINT32_MAX);
+    for (uint32_t r = 0; r < roots.size(); ++r) {
+      item_to_root[roots[r].item] = r;
+    }
+    for (size_t t = 0; t < db.size(); ++t) {
+      for (ItemId item : db.transaction(t)) {
+        if (item_to_root[item] != UINT32_MAX) {
+          roots[item_to_root[item]].tids.push_back(
+              static_cast<uint32_t>(t));
+        }
+      }
+    }
+    result.passes[0].frequent = 0;  // filled by the walk at depth 0
+    auto intersect = [](const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b) {
+      return IntersectTids(a, b);
+    };
+    if (!roots.empty()) {
+      Walk<std::vector<uint32_t>>({}, roots, min_count,
+                                  params.max_itemset_size, intersect,
+                                  &result, 0);
+    }
+  } else {
+    std::vector<ClassMember<DynamicBitset>> roots;
+    for (ItemId item = 0; item < supports.size(); ++item) {
+      if (supports[item] >= min_count) {
+        roots.push_back({item, DynamicBitset(db.size()), supports[item]});
+      }
+    }
+    std::vector<uint32_t> item_to_root(supports.size(), UINT32_MAX);
+    for (uint32_t r = 0; r < roots.size(); ++r) {
+      item_to_root[roots[r].item] = r;
+    }
+    for (size_t t = 0; t < db.size(); ++t) {
+      for (ItemId item : db.transaction(t)) {
+        if (item_to_root[item] != UINT32_MAX) {
+          roots[item_to_root[item]].tids.Set(t);
+        }
+      }
+    }
+    auto intersect = [](const DynamicBitset& a, const DynamicBitset& b) {
+      return a.Intersect(b);
+    };
+    if (!roots.empty()) {
+      Walk<DynamicBitset>({}, roots, min_count, params.max_itemset_size,
+                          intersect, &result, 0);
+    }
+  }
+  // Depth d of the walk emits (d+1)-itemsets; relabel passes accordingly
+  // and drop the placeholder first entry.
+  for (size_t d = 0; d < result.passes.size(); ++d) {
+    result.passes[d].pass = d + 1;
+  }
+  result.passes[0].candidates = db.item_universe();
+  SortCanonical(&result.itemsets);
+  return result;
+}
+
+}  // namespace dmt::assoc

@@ -1,0 +1,298 @@
+#include "assoc/fp_growth.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/check.h"
+
+namespace dmt::assoc {
+
+using core::ItemId;
+using core::Result;
+using core::TransactionDatabase;
+
+namespace {
+
+/// FP-tree node; nodes live in one flat arena, links are indices.
+struct FpNode {
+  ItemId item = 0;
+  uint32_t count = 0;
+  uint32_t parent = kNull;
+  uint32_t node_link = kNull;  // next node carrying the same item
+  // (item, node index) pairs; branching factors are small, linear search.
+  std::vector<std::pair<ItemId, uint32_t>> children;
+
+  static constexpr uint32_t kNull = 0xffffffffu;
+};
+
+struct HeaderEntry {
+  ItemId item = 0;
+  uint32_t total_count = 0;
+  uint32_t link_head = FpNode::kNull;
+};
+
+/// An FP-tree: arena of nodes plus a header table ordered by descending
+/// total count (the construction order of the tree paths).
+struct FpTree {
+  std::vector<FpNode> nodes;  // nodes[0] is the root
+  std::vector<HeaderEntry> header;
+
+  FpTree() { nodes.emplace_back(); }
+
+  uint32_t AddChild(uint32_t parent, ItemId item) {
+    for (auto& [child_item, child_index] : nodes[parent].children) {
+      if (child_item == item) return child_index;
+    }
+    uint32_t index = static_cast<uint32_t>(nodes.size());
+    FpNode node;
+    node.item = item;
+    node.parent = parent;
+    nodes.push_back(node);
+    nodes[parent].children.emplace_back(item, index);
+    return index;
+  }
+
+  /// Inserts one (already ordered, filtered) path with a count, wiring
+  /// node links through `link_tail` (per header position).
+  void InsertPath(std::span<const uint32_t> header_positions, uint32_t count,
+                  std::vector<uint32_t>* link_tails) {
+    uint32_t current = 0;
+    for (uint32_t pos : header_positions) {
+      uint32_t before = static_cast<uint32_t>(nodes.size());
+      uint32_t child = AddChild(current, header[pos].item);
+      if (child >= before) {
+        // Fresh node: append to the item's node-link chain.
+        if ((*link_tails)[pos] == FpNode::kNull) {
+          header[pos].link_head = child;
+        } else {
+          nodes[(*link_tails)[pos]].node_link = child;
+        }
+        (*link_tails)[pos] = child;
+      }
+      nodes[child].count += count;
+      current = child;
+    }
+  }
+
+  /// True when the tree consists of a single chain below the root.
+  bool IsSinglePath() const {
+    uint32_t current = 0;
+    while (true) {
+      const auto& children = nodes[current].children;
+      if (children.empty()) return true;
+      if (children.size() > 1) return false;
+      current = children[0].second;
+    }
+  }
+};
+
+/// One weighted, item-ordered path of a conditional pattern base.
+struct WeightedPath {
+  std::vector<ItemId> items;
+  uint32_t count = 0;
+};
+
+class FpMiner {
+ public:
+  FpMiner(uint32_t min_count, size_t max_size, bool single_path_opt,
+          MiningResult* result)
+      : min_count_(min_count),
+        max_size_(max_size),
+        single_path_opt_(single_path_opt),
+        result_(result) {}
+
+  /// Builds the tree for the given weighted paths (or the root database)
+  /// and mines it with the given suffix.
+  void Mine(const FpTree& tree, const Itemset& suffix) {
+    // Process header entries from least to most frequent (bottom-up).
+    for (size_t h = tree.header.size(); h-- > 0;) {
+      const HeaderEntry& entry = tree.header[h];
+      Itemset pattern = suffix;
+      pattern.insert(
+          std::lower_bound(pattern.begin(), pattern.end(), entry.item),
+          entry.item);
+      Emit(pattern, entry.total_count);
+      if (max_size_ != 0 && pattern.size() >= max_size_) continue;
+
+      // Conditional pattern base: prefix paths of every node of this item.
+      std::vector<WeightedPath> base;
+      for (uint32_t node = entry.link_head; node != FpNode::kNull;
+           node = tree.nodes[node].node_link) {
+        WeightedPath path;
+        path.count = tree.nodes[node].count;
+        for (uint32_t up = tree.nodes[node].parent; up != 0;
+             up = tree.nodes[up].parent) {
+          path.items.push_back(tree.nodes[up].item);
+        }
+        if (path.items.empty()) continue;
+        std::reverse(path.items.begin(), path.items.end());
+        base.push_back(std::move(path));
+      }
+      if (base.empty()) continue;
+      FpTree conditional = BuildConditionalTree(base);
+      if (conditional.header.empty()) continue;
+      if (single_path_opt_ && conditional.IsSinglePath()) {
+        EmitSinglePathCombinations(conditional, pattern);
+      } else {
+        Mine(conditional, pattern);
+      }
+    }
+  }
+
+  /// Builds the top-level tree from the database.
+  static FpTree BuildRootTree(const TransactionDatabase& db,
+                              uint32_t min_count, size_t* num_frequent) {
+    FpTree tree;
+    std::vector<uint32_t> supports = db.ItemSupports();
+    // Header: frequent items by descending count, ties by ascending id.
+    for (ItemId item = 0; item < supports.size(); ++item) {
+      if (supports[item] >= min_count) {
+        tree.header.push_back({item, supports[item], FpNode::kNull});
+      }
+    }
+    std::stable_sort(tree.header.begin(), tree.header.end(),
+                     [](const HeaderEntry& a, const HeaderEntry& b) {
+                       return a.total_count > b.total_count;
+                     });
+    *num_frequent = tree.header.size();
+    std::vector<uint32_t> item_to_pos(supports.size(), FpNode::kNull);
+    for (uint32_t pos = 0; pos < tree.header.size(); ++pos) {
+      item_to_pos[tree.header[pos].item] = pos;
+    }
+    std::vector<uint32_t> link_tails(tree.header.size(), FpNode::kNull);
+    std::vector<uint32_t> positions;
+    for (size_t t = 0; t < db.size(); ++t) {
+      positions.clear();
+      for (ItemId item : db.transaction(t)) {
+        if (item_to_pos[item] != FpNode::kNull) {
+          positions.push_back(item_to_pos[item]);
+        }
+      }
+      std::sort(positions.begin(), positions.end());
+      tree.InsertPath(positions, 1, &link_tails);
+    }
+    return tree;
+  }
+
+ private:
+  void Emit(const Itemset& items, uint32_t support) {
+    result_->itemsets.push_back({items, support});
+  }
+
+  FpTree BuildConditionalTree(const std::vector<WeightedPath>& base) {
+    // Recount items within the base and keep the frequent ones.
+    std::unordered_map<ItemId, uint32_t> counts;
+    for (const auto& path : base) {
+      for (ItemId item : path.items) counts[item] += path.count;
+    }
+    FpTree tree;
+    for (const auto& [item, count] : counts) {
+      if (count >= min_count_) {
+        tree.header.push_back({item, count, FpNode::kNull});
+      }
+    }
+    std::sort(tree.header.begin(), tree.header.end(),
+              [](const HeaderEntry& a, const HeaderEntry& b) {
+                if (a.total_count != b.total_count) {
+                  return a.total_count > b.total_count;
+                }
+                return a.item < b.item;
+              });
+    if (tree.header.empty()) return tree;
+    std::unordered_map<ItemId, uint32_t> item_to_pos;
+    for (uint32_t pos = 0; pos < tree.header.size(); ++pos) {
+      item_to_pos.emplace(tree.header[pos].item, pos);
+    }
+    std::vector<uint32_t> link_tails(tree.header.size(), FpNode::kNull);
+    std::vector<uint32_t> positions;
+    for (const auto& path : base) {
+      positions.clear();
+      for (ItemId item : path.items) {
+        auto it = item_to_pos.find(item);
+        if (it != item_to_pos.end()) positions.push_back(it->second);
+      }
+      std::sort(positions.begin(), positions.end());
+      tree.InsertPath(positions, path.count, &link_tails);
+    }
+    return tree;
+  }
+
+  /// Emits every combination of the single path's items (support = minimum
+  /// count along the chosen prefix — counts are non-increasing down the
+  /// path, so each node's count is the support of any combination whose
+  /// deepest member it is).
+  void EmitSinglePathCombinations(const FpTree& tree, const Itemset& suffix) {
+    std::vector<std::pair<ItemId, uint32_t>> path;  // (item, count)
+    uint32_t current = 0;
+    while (!tree.nodes[current].children.empty()) {
+      current = tree.nodes[current].children[0].second;
+      path.emplace_back(tree.nodes[current].item, tree.nodes[current].count);
+    }
+    if (path.size() > 30) {
+      // Too many combinations to enumerate directly; recurse instead.
+      Mine(tree, suffix);
+      return;
+    }
+    const size_t n = path.size();
+    Itemset items;
+    for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+      // The deepest selected node bounds the combination's support.
+      uint32_t support = 0;
+      items = suffix;
+      for (size_t bit = 0; bit < n; ++bit) {
+        if (mask & (1u << bit)) {
+          items.insert(
+              std::lower_bound(items.begin(), items.end(), path[bit].first),
+              path[bit].first);
+          support = path[bit].second;
+        }
+      }
+      if (max_size_ != 0 && items.size() > max_size_) continue;
+      Emit(items, support);
+    }
+  }
+
+  uint32_t min_count_;
+  size_t max_size_;
+  bool single_path_opt_;
+  MiningResult* result_;
+};
+
+}  // namespace
+
+Result<MiningResult> MineFpGrowth(const TransactionDatabase& db,
+                                  const MiningParams& params,
+                                  const FpGrowthOptions& options) {
+  DMT_RETURN_NOT_OK(params.Validate());
+  const uint32_t min_count = AbsoluteMinSupport(db, params.min_support);
+
+  MiningResult result;
+  size_t num_frequent_items = 0;
+  FpTree root = FpMiner::BuildRootTree(db, min_count, &num_frequent_items);
+  FpMiner miner(min_count, params.max_itemset_size,
+                options.single_path_optimization, &result);
+  if (options.single_path_optimization && !root.header.empty() &&
+      root.IsSinglePath()) {
+    // Degenerate database; fall through to the generic recursion which
+    // handles it correctly (header entries emit their own supports).
+    miner.Mine(root, {});
+  } else if (!root.header.empty()) {
+    miner.Mine(root, {});
+  }
+  SortCanonical(&result.itemsets);
+
+  // Reconstruct per-size pass stats (pattern growth has no candidates
+  // beyond the itemsets it actually examines).
+  size_t max_size = 0;
+  for (const auto& itemset : result.itemsets) {
+    max_size = std::max(max_size, itemset.items.size());
+  }
+  result.passes.push_back({1, db.item_universe(), num_frequent_items});
+  for (size_t k = 2; k <= max_size; ++k) {
+    size_t count = result.CountOfSize(k);
+    result.passes.push_back({k, count, count});
+  }
+  return result;
+}
+
+}  // namespace dmt::assoc

@@ -1,0 +1,29 @@
+// FP-Growth frequent-itemset miner (Han, Pei & Yin, SIGMOD 2000): compresses
+// the database into a prefix tree (FP-tree) ordered by descending item
+// frequency, then mines it recursively via conditional pattern bases —
+// no candidate generation.
+#ifndef DMT_ASSOC_FP_GROWTH_H_
+#define DMT_ASSOC_FP_GROWTH_H_
+
+#include "assoc/itemset.h"
+#include "core/status.h"
+#include "core/transaction.h"
+
+namespace dmt::assoc {
+
+/// Tuning knobs for FP-Growth.
+struct FpGrowthOptions {
+  /// When a conditional tree degenerates to a single path, emit all item
+  /// combinations on the path directly instead of recursing (the paper's
+  /// key optimization). Paths longer than 30 recurse regardless.
+  bool single_path_optimization = true;
+};
+
+/// Mines all frequent itemsets by pattern growth.
+core::Result<MiningResult> MineFpGrowth(const core::TransactionDatabase& db,
+                                        const MiningParams& params,
+                                        const FpGrowthOptions& options = {});
+
+}  // namespace dmt::assoc
+
+#endif  // DMT_ASSOC_FP_GROWTH_H_

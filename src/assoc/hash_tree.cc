@@ -1,0 +1,99 @@
+#include "assoc/hash_tree.h"
+
+#include "core/check.h"
+
+namespace dmt::assoc {
+
+HashTree::HashTree(const std::vector<Itemset>& candidates, size_t k,
+                   size_t fanout, size_t max_leaf_size)
+    : candidates_(candidates),
+      k_(k),
+      fanout_(fanout),
+      max_leaf_size_(max_leaf_size),
+      root_(std::make_unique<Node>()) {
+  DMT_CHECK_GE(k, 1u);
+  DMT_CHECK_GE(fanout, 2u);
+  DMT_CHECK_GE(max_leaf_size, 1u);
+  for (uint32_t id = 0; id < candidates_.size(); ++id) {
+    DMT_CHECK_EQ(candidates_[id].size(), k_);
+    Insert(root_.get(), 0, id);
+  }
+}
+
+void HashTree::Insert(Node* node, size_t depth, uint32_t candidate_id) {
+  while (!node->is_leaf) {
+    size_t bucket = Bucket(candidates_[candidate_id][depth]);
+    node = node->children[bucket].get();
+    ++depth;
+  }
+  node->candidate_ids.push_back(candidate_id);
+  // Split overfull leaves unless we've already consumed all k items on the
+  // path (identical hash paths can't be separated further).
+  if (node->candidate_ids.size() > max_leaf_size_ && depth < k_) {
+    SplitLeaf(node, depth);
+  }
+}
+
+void HashTree::SplitLeaf(Node* node, size_t depth) {
+  std::vector<uint32_t> ids = std::move(node->candidate_ids);
+  node->candidate_ids.clear();
+  node->is_leaf = false;
+  node->children.resize(fanout_);
+  for (auto& child : node->children) {
+    child = std::make_unique<Node>();
+    ++num_nodes_;
+  }
+  for (uint32_t id : ids) {
+    Insert(node->children[Bucket(candidates_[id][depth])].get(), depth + 1,
+           id);
+  }
+}
+
+void HashTree::CountTransaction(std::span<const core::ItemId> transaction,
+                                CountingState& state,
+                                std::span<uint32_t> counts) const {
+  DMT_DCHECK(counts.size() == candidates_.size());
+  DMT_DCHECK(state.stamps_.size() == candidates_.size());
+  if (transaction.size() < k_) return;
+  ++state.serial_;
+  if (state.serial_ == 0) {
+    // Serial wrapped; reset stamps so no stale stamp matches.
+    std::fill(state.stamps_.begin(), state.stamps_.end(), 0);
+    state.serial_ = 1;
+  }
+  Descend(root_.get(), 0, transaction, 0, state, counts);
+}
+
+void HashTree::CountDatabase(const core::TransactionDatabase& db,
+                             std::span<uint32_t> counts) const {
+  CountingState state(candidates_.size());
+  for (size_t t = 0; t < db.size(); ++t) {
+    CountTransaction(db.transaction(t), state, counts);
+  }
+}
+
+void HashTree::Descend(const Node* node, size_t depth,
+                       std::span<const core::ItemId> transaction,
+                       size_t start, CountingState& state,
+                       std::span<uint32_t> counts) const {
+  if (node->is_leaf) {
+    // Verify containment of each stored candidate. The path pins down only
+    // hash buckets, not exact items, so a subset check is still required;
+    // the stamp guarantees each candidate is examined once per transaction.
+    for (uint32_t id : node->candidate_ids) {
+      if (state.stamps_[id] == state.serial_) continue;
+      state.stamps_[id] = state.serial_;
+      if (IsSubsetOf(candidates_[id], transaction)) ++counts[id];
+    }
+    return;
+  }
+  // Try every remaining transaction item as the depth-th candidate item,
+  // leaving at least k - depth - 1 items after it.
+  size_t needed_after = k_ - depth - 1;
+  for (size_t i = start; i + needed_after < transaction.size(); ++i) {
+    const Node* child = node->children[Bucket(transaction[i])].get();
+    Descend(child, depth + 1, transaction, i + 1, state, counts);
+  }
+}
+
+}  // namespace dmt::assoc

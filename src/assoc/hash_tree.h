@@ -1,0 +1,82 @@
+// Hash tree for candidate itemset counting — the central data structure of
+// the Apriori algorithm (VLDB'94 §2.1.2). Interior nodes hash on the item at
+// the node's depth; leaves hold candidate ids. Counting a transaction
+// descends only the branches reachable from its items, so each transaction
+// touches a small fraction of the candidates.
+#ifndef DMT_ASSOC_HASH_TREE_H_
+#define DMT_ASSOC_HASH_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "assoc/itemset.h"
+#include "core/transaction.h"
+
+namespace dmt::assoc {
+
+/// Hash tree over candidate k-itemsets (all candidates share one size k).
+class HashTree {
+ public:
+  /// `candidates` must outlive the tree; all must have size `k` >= 1.
+  /// `fanout` is the hash-table width of interior nodes; `max_leaf_size` is
+  /// the number of candidates a leaf holds before splitting (leaves at depth
+  /// k never split).
+  HashTree(const std::vector<Itemset>& candidates, size_t k,
+           size_t fanout = 128, size_t max_leaf_size = 16);
+
+  /// Reusable per-call scratch state; lets one buffer serve a whole
+  /// database scan without reallocation.
+  class CountingState {
+   public:
+    explicit CountingState(size_t num_candidates)
+        : stamps_(num_candidates, 0) {}
+
+   private:
+    friend class HashTree;
+    std::vector<uint32_t> stamps_;
+    uint32_t serial_ = 0;
+  };
+
+  /// Adds the candidates contained in `transaction` (sorted) to `counts`,
+  /// exactly one increment per contained candidate (hash-bucket collisions
+  /// can route the walk to a leaf several times; `state` deduplicates).
+  /// counts.size() must equal the number of candidates.
+  void CountTransaction(std::span<const core::ItemId> transaction,
+                        CountingState& state,
+                        std::span<uint32_t> counts) const;
+
+  /// Counts every transaction of `db` into `counts`.
+  void CountDatabase(const core::TransactionDatabase& db,
+                     std::span<uint32_t> counts) const;
+
+  /// Number of nodes, for introspection/tests.
+  size_t num_nodes() const { return num_nodes_; }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    std::vector<uint32_t> candidate_ids;           // leaf payload
+    std::vector<std::unique_ptr<Node>> children;   // interior: size fanout
+  };
+
+  void Insert(Node* node, size_t depth, uint32_t candidate_id);
+  void SplitLeaf(Node* node, size_t depth);
+  void Descend(const Node* node, size_t depth,
+               std::span<const core::ItemId> transaction, size_t start,
+               CountingState& state, std::span<uint32_t> counts) const;
+
+  size_t Bucket(core::ItemId item) const { return item % fanout_; }
+
+  const std::vector<Itemset>& candidates_;
+  size_t k_;
+  size_t fanout_;
+  size_t max_leaf_size_;
+  size_t num_nodes_ = 1;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace dmt::assoc
+
+#endif  // DMT_ASSOC_HASH_TREE_H_

@@ -1,0 +1,90 @@
+// Common types shared by all frequent-itemset miners.
+#ifndef DMT_ASSOC_ITEMSET_H_
+#define DMT_ASSOC_ITEMSET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/item_dictionary.h"
+#include "core/status.h"
+#include "core/transaction.h"
+
+namespace dmt::assoc {
+
+/// A sorted, duplicate-free itemset.
+using Itemset = std::vector<core::ItemId>;
+
+/// FNV-1a style hash for itemsets, usable as an unordered_map hasher.
+struct ItemsetHash {
+  size_t operator()(const Itemset& items) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (core::ItemId item : items) {
+      h ^= item;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// A frequent itemset together with its absolute support count.
+struct FrequentItemset {
+  Itemset items;
+  uint32_t support = 0;
+
+  bool operator==(const FrequentItemset& other) const = default;
+};
+
+/// Per-pass bookkeeping, matching the candidate/frequent census tables of
+/// the Apriori paper.
+struct PassStats {
+  /// Itemset size handled by this pass (k).
+  size_t pass = 0;
+  /// Candidates generated (for pattern-growth miners: itemsets examined).
+  size_t candidates = 0;
+  /// Candidates that turned out frequent.
+  size_t frequent = 0;
+};
+
+/// Output of a frequent-itemset miner.
+struct MiningResult {
+  /// All frequent itemsets in canonical order (see SortCanonical).
+  std::vector<FrequentItemset> itemsets;
+  /// One entry per pass / recursion depth.
+  std::vector<PassStats> passes;
+
+  /// Number of frequent itemsets of the given size.
+  size_t CountOfSize(size_t k) const;
+};
+
+/// Support threshold and mining limits.
+struct MiningParams {
+  /// Minimum support as a fraction of |D|, in (0, 1].
+  double min_support = 0.01;
+  /// Largest itemset size to mine; 0 means unlimited.
+  size_t max_itemset_size = 0;
+
+  core::Status Validate() const;
+};
+
+/// Converts the fractional threshold to an absolute count (at least 1),
+/// rounding up so that support/|D| >= min_support holds exactly.
+uint32_t AbsoluteMinSupport(const core::TransactionDatabase& db,
+                            double min_support);
+
+/// Sorts itemsets canonically: by size, then lexicographically by items.
+/// Every miner returns this order so results are directly comparable.
+void SortCanonical(std::vector<FrequentItemset>* itemsets);
+
+/// True if `subset` ⊆ `superset` (both sorted).
+bool IsSubsetOf(std::span<const core::ItemId> subset,
+                std::span<const core::ItemId> superset);
+
+/// Human-readable "{a, b, c} (support=n)" using the dictionary when given.
+std::string FormatItemset(const FrequentItemset& itemset,
+                          const core::ItemDictionary* dictionary = nullptr);
+
+}  // namespace dmt::assoc
+
+#endif  // DMT_ASSOC_ITEMSET_H_

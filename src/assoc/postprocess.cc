@@ -1,0 +1,61 @@
+#include "assoc/postprocess.h"
+
+#include <unordered_map>
+
+namespace dmt::assoc {
+namespace {
+
+/// Marks, for every itemset, whether some (k+1)-superset in `all` satisfies
+/// `disqualifies(subset_support, superset_support)`. Checking immediate
+/// supersets suffices: for "frequent superset exists" the collection is
+/// downward closed, and for "equal-support superset exists" support
+/// monotonicity makes any distant equal-support superset imply an
+/// intermediate one.
+template <typename Predicate>
+std::vector<FrequentItemset> FilterByImmediateSupersets(
+    const std::vector<FrequentItemset>& all, const Predicate& disqualifies) {
+  std::unordered_map<Itemset, size_t, ItemsetHash> index;
+  index.reserve(all.size());
+  for (size_t i = 0; i < all.size(); ++i) index.emplace(all[i].items, i);
+
+  std::vector<bool> dropped(all.size(), false);
+  Itemset subset;
+  for (const auto& super : all) {
+    if (super.items.size() < 2) continue;
+    for (size_t drop = 0; drop < super.items.size(); ++drop) {
+      subset.clear();
+      for (size_t p = 0; p < super.items.size(); ++p) {
+        if (p != drop) subset.push_back(super.items[p]);
+      }
+      auto it = index.find(subset);
+      if (it != index.end() &&
+          disqualifies(all[it->second].support, super.support)) {
+        dropped[it->second] = true;
+      }
+    }
+  }
+  std::vector<FrequentItemset> kept;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (!dropped[i]) kept.push_back(all[i]);
+  }
+  SortCanonical(&kept);
+  return kept;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> FilterMaximal(
+    const std::vector<FrequentItemset>& all) {
+  return FilterByImmediateSupersets(
+      all, [](uint32_t, uint32_t) { return true; });
+}
+
+std::vector<FrequentItemset> FilterClosed(
+    const std::vector<FrequentItemset>& all) {
+  return FilterByImmediateSupersets(
+      all, [](uint32_t subset_support, uint32_t superset_support) {
+        return subset_support == superset_support;
+      });
+}
+
+}  // namespace dmt::assoc

@@ -1,0 +1,25 @@
+// Post-filters over the full frequent-itemset collection: maximal and
+// closed itemsets.
+#ifndef DMT_ASSOC_POSTPROCESS_H_
+#define DMT_ASSOC_POSTPROCESS_H_
+
+#include <vector>
+
+#include "assoc/itemset.h"
+
+namespace dmt::assoc {
+
+/// Keeps itemsets with no frequent proper superset. Input must be the
+/// complete frequent collection (as returned by any miner); output is in
+/// canonical order.
+std::vector<FrequentItemset> FilterMaximal(
+    const std::vector<FrequentItemset>& all);
+
+/// Keeps itemsets with no proper superset of equal support. Input must be
+/// the complete frequent collection; output is in canonical order.
+std::vector<FrequentItemset> FilterClosed(
+    const std::vector<FrequentItemset>& all);
+
+}  // namespace dmt::assoc
+
+#endif  // DMT_ASSOC_POSTPROCESS_H_

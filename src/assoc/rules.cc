@@ -1,0 +1,168 @@
+#include "assoc/rules.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "assoc/candidate_gen.h"
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace dmt::assoc {
+
+using core::Result;
+using core::Status;
+
+Status RuleParams::Validate() const {
+  if (!(min_confidence > 0.0) || min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must be in (0, 1]");
+  }
+  if (min_lift < 0.0) {
+    return Status::InvalidArgument("min_lift must be >= 0");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+using SupportIndex = std::unordered_map<Itemset, uint32_t, ItemsetHash>;
+
+double Conviction(double consequent_support_fraction, double confidence) {
+  double denominator = 1.0 - confidence;
+  if (denominator <= 1e-12) return 1e12;
+  return (1.0 - consequent_support_fraction) / denominator;
+}
+
+Itemset Difference(const Itemset& from, const Itemset& remove) {
+  Itemset out;
+  out.reserve(from.size() - remove.size());
+  std::set_difference(from.begin(), from.end(), remove.begin(), remove.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+/// ap-genrules: given the itemset and a layer of m-item consequents that
+/// already passed the confidence bar, grow (m+1)-item consequents.
+void GrowConsequents(const FrequentItemset& itemset,
+                     const SupportIndex& supports, const RuleParams& params,
+                     double num_transactions,
+                     std::vector<Itemset> consequent_layer,
+                     std::vector<AssociationRule>* rules) {
+  while (!consequent_layer.empty() &&
+         consequent_layer[0].size() + 1 < itemset.items.size()) {
+    CandidateGenResult gen = GenerateCandidates(consequent_layer);
+    std::vector<Itemset> next_layer;
+    for (auto& consequent : gen.candidates) {
+      Itemset antecedent = Difference(itemset.items, consequent);
+      auto antecedent_it = supports.find(antecedent);
+      DMT_CHECK(antecedent_it != supports.end());
+      double confidence = static_cast<double>(itemset.support) /
+                          static_cast<double>(antecedent_it->second);
+      if (confidence + 1e-12 < params.min_confidence) continue;
+      auto consequent_it = supports.find(consequent);
+      DMT_CHECK(consequent_it != supports.end());
+      double lift = confidence /
+                    (static_cast<double>(consequent_it->second) /
+                     num_transactions);
+      if (lift + 1e-12 >= params.min_lift) {
+        double consequent_fraction =
+            static_cast<double>(consequent_it->second) / num_transactions;
+        rules->push_back({std::move(antecedent), consequent,
+                          itemset.support,
+                          static_cast<double>(itemset.support) /
+                              num_transactions,
+                          confidence, lift,
+                          Conviction(consequent_fraction, confidence)});
+      }
+      next_layer.push_back(std::move(consequent));
+    }
+    consequent_layer = std::move(next_layer);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<AssociationRule>> GenerateRules(
+    const MiningResult& mining, size_t num_transactions,
+    const RuleParams& params) {
+  DMT_RETURN_NOT_OK(params.Validate());
+  if (num_transactions == 0) {
+    return Status::InvalidArgument("num_transactions must be > 0");
+  }
+  const double n = static_cast<double>(num_transactions);
+
+  SupportIndex supports;
+  supports.reserve(mining.itemsets.size());
+  for (const auto& itemset : mining.itemsets) {
+    supports.emplace(itemset.items, itemset.support);
+  }
+
+  std::vector<AssociationRule> rules;
+  for (const auto& itemset : mining.itemsets) {
+    if (itemset.items.size() < 2) continue;
+    // Seed layer: single-item consequents that pass the confidence bar
+    // (confidence is anti-monotone in the consequent, so failures prune).
+    std::vector<Itemset> seed_layer;
+    for (core::ItemId item : itemset.items) {
+      Itemset consequent{item};
+      Itemset antecedent = Difference(itemset.items, consequent);
+      auto antecedent_it = supports.find(antecedent);
+      DMT_CHECK(antecedent_it != supports.end());
+      double confidence = static_cast<double>(itemset.support) /
+                          static_cast<double>(antecedent_it->second);
+      if (confidence + 1e-12 < params.min_confidence) continue;
+      auto consequent_it = supports.find(consequent);
+      DMT_CHECK(consequent_it != supports.end());
+      double lift =
+          confidence /
+          (static_cast<double>(consequent_it->second) / n);
+      if (lift + 1e-12 >= params.min_lift) {
+        double consequent_fraction =
+            static_cast<double>(consequent_it->second) / n;
+        rules.push_back({std::move(antecedent), consequent, itemset.support,
+                         static_cast<double>(itemset.support) / n,
+                         confidence, lift,
+                         Conviction(consequent_fraction, confidence)});
+      }
+      seed_layer.push_back(std::move(consequent));
+    }
+    GrowConsequents(itemset, supports, params, n, std::move(seed_layer),
+                    &rules);
+  }
+
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.lift != b.lift) return a.lift > b.lift;
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+std::string FormatRule(const AssociationRule& rule,
+                       const core::ItemDictionary* dictionary) {
+  auto format_side = [&](const Itemset& items) {
+    std::string out = "{";
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ", ";
+      if (dictionary != nullptr) {
+        out += dictionary->Name(items[i]);
+      } else {
+        out += std::to_string(items[i]);
+      }
+    }
+    out += "}";
+    return out;
+  };
+  return core::StrFormat(
+      "%s => %s (supp=%.4f, conf=%.3f, lift=%.2f)",
+      format_side(rule.antecedent).c_str(),
+      format_side(rule.consequent).c_str(), rule.support, rule.confidence,
+      rule.lift);
+}
+
+}  // namespace dmt::assoc

@@ -1,0 +1,61 @@
+// Association rule generation from frequent itemsets (the ap-genrules
+// procedure of VLDB'94 §3): consequents grow apriori-style, exploiting the
+// anti-monotonicity of confidence in the consequent.
+#ifndef DMT_ASSOC_RULES_H_
+#define DMT_ASSOC_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "assoc/itemset.h"
+#include "core/status.h"
+
+namespace dmt::assoc {
+
+/// An association rule antecedent => consequent with its quality measures.
+struct AssociationRule {
+  Itemset antecedent;
+  Itemset consequent;
+  /// Absolute support of antecedent ∪ consequent.
+  uint32_t support_count = 0;
+  /// Fractional support of antecedent ∪ consequent.
+  double support = 0.0;
+  /// supp(A ∪ C) / supp(A).
+  double confidence = 0.0;
+  /// confidence / supp(C): > 1 means positive correlation.
+  double lift = 0.0;
+  /// (1 - supp(C)) / (1 - confidence): how much more often the rule would
+  /// have to be wrong if antecedent and consequent were independent.
+  /// Infinity for exact (confidence = 1) rules; capped at 1e12.
+  double conviction = 0.0;
+
+  bool operator==(const AssociationRule& other) const {
+    return antecedent == other.antecedent && consequent == other.consequent;
+  }
+};
+
+/// Rule-generation thresholds.
+struct RuleParams {
+  /// Minimum confidence in (0, 1].
+  double min_confidence = 0.5;
+  /// Minimum lift (0 disables the filter).
+  double min_lift = 0.0;
+
+  core::Status Validate() const;
+};
+
+/// Generates all rules meeting the thresholds from a mining result.
+/// `num_transactions` is |D| of the mined database (for support/lift).
+/// Rules come out sorted by descending confidence, then descending lift,
+/// then canonically by antecedent/consequent.
+core::Result<std::vector<AssociationRule>> GenerateRules(
+    const MiningResult& mining, size_t num_transactions,
+    const RuleParams& params);
+
+/// Human-readable "{a} => {b} (supp=…, conf=…, lift=…)".
+std::string FormatRule(const AssociationRule& rule,
+                       const core::ItemDictionary* dictionary = nullptr);
+
+}  // namespace dmt::assoc
+
+#endif  // DMT_ASSOC_RULES_H_

@@ -1,0 +1,169 @@
+#include "assoc/sampling.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "assoc/candidate_gen.h"
+#include "assoc/fp_growth.h"
+#include "assoc/hash_tree.h"
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace dmt::assoc {
+
+using core::Result;
+using core::Rng;
+using core::Status;
+using core::TransactionDatabase;
+
+Status SamplingOptions::Validate() const {
+  if (!(sample_fraction > 0.0) || sample_fraction >= 1.0) {
+    return Status::InvalidArgument("sample_fraction must be in (0, 1)");
+  }
+  if (!(threshold_scaling > 0.0) || threshold_scaling > 1.0) {
+    return Status::InvalidArgument("threshold_scaling must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+std::vector<Itemset> NegativeBorder(
+    const std::vector<FrequentItemset>& frequent, size_t item_universe) {
+  std::unordered_set<Itemset, ItemsetHash> in_collection;
+  std::map<size_t, std::vector<Itemset>> by_size;
+  for (const auto& itemset : frequent) {
+    in_collection.insert(itemset.items);
+    by_size[itemset.items.size()].push_back(itemset.items);
+  }
+  std::vector<Itemset> border;
+  // Singleton layer: every item absent from the collection.
+  for (core::ItemId item = 0; item < item_universe; ++item) {
+    if (!in_collection.contains(Itemset{item})) border.push_back({item});
+  }
+  // Layer k: apriori joins of the frequent (k-1)-layer that are not
+  // themselves in the collection. The join's subset prune already demands
+  // every (k-1)-subset be frequent, which is exactly the border condition.
+  for (auto& [size, layer] : by_size) {
+    std::sort(layer.begin(), layer.end());
+    CandidateGenResult gen = GenerateCandidates(layer);
+    for (auto& candidate : gen.candidates) {
+      if (!in_collection.contains(candidate)) {
+        border.push_back(std::move(candidate));
+      }
+    }
+  }
+  return border;
+}
+
+namespace {
+
+/// Exact supports of arbitrary itemsets against the full database, one
+/// hash tree per size layer.
+std::vector<uint32_t> CountExact(const TransactionDatabase& db,
+                                 const std::vector<Itemset>& itemsets) {
+  std::vector<uint32_t> supports(itemsets.size(), 0);
+  std::map<size_t, std::vector<uint32_t>> ids_by_size;
+  for (uint32_t i = 0; i < itemsets.size(); ++i) {
+    ids_by_size[itemsets[i].size()].push_back(i);
+  }
+  for (const auto& [size, ids] : ids_by_size) {
+    if (size == 1) {
+      auto item_supports = db.ItemSupports();
+      for (uint32_t id : ids) {
+        core::ItemId item = itemsets[id][0];
+        supports[id] =
+            item < item_supports.size() ? item_supports[item] : 0;
+      }
+      continue;
+    }
+    std::vector<Itemset> layer;
+    layer.reserve(ids.size());
+    for (uint32_t id : ids) layer.push_back(itemsets[id]);
+    HashTree tree(layer, size);
+    std::vector<uint32_t> counts(layer.size(), 0);
+    tree.CountDatabase(db, counts);
+    for (size_t slot = 0; slot < ids.size(); ++slot) {
+      supports[ids[slot]] = counts[slot];
+    }
+  }
+  return supports;
+}
+
+}  // namespace
+
+Result<MiningResult> MineWithSampling(const TransactionDatabase& db,
+                                      const MiningParams& params,
+                                      const SamplingOptions& options,
+                                      SamplingStats* stats) {
+  DMT_RETURN_NOT_OK(params.Validate());
+  DMT_RETURN_NOT_OK(options.Validate());
+  SamplingStats local_stats;
+  SamplingStats* out_stats = stats != nullptr ? stats : &local_stats;
+  *out_stats = SamplingStats{};
+
+  // Draw the sample.
+  Rng rng(options.seed);
+  TransactionDatabase sample;
+  for (size_t t = 0; t < db.size(); ++t) {
+    if (rng.Bernoulli(options.sample_fraction)) {
+      sample.Add(db.transaction(t));
+    }
+  }
+  out_stats->sample_size = sample.size();
+  if (sample.empty()) {
+    // Degenerate sample: mine the full database directly.
+    out_stats->fell_back = true;
+    return MineFpGrowth(db, params);
+  }
+
+  // Mine the sample at the lowered threshold.
+  MiningParams sample_params = params;
+  sample_params.min_support =
+      std::max(1e-9, params.min_support * options.threshold_scaling);
+  DMT_ASSIGN_OR_RETURN(MiningResult sample_result,
+                       MineFpGrowth(sample, sample_params));
+
+  // Verify sample-frequents plus the negative border on the full database.
+  std::vector<Itemset> candidates;
+  candidates.reserve(sample_result.itemsets.size());
+  for (const auto& itemset : sample_result.itemsets) {
+    candidates.push_back(itemset.items);
+  }
+  size_t num_sample_frequent = candidates.size();
+  std::vector<Itemset> border =
+      NegativeBorder(sample_result.itemsets, db.item_universe());
+  candidates.insert(candidates.end(), border.begin(), border.end());
+  out_stats->candidates_checked = candidates.size();
+
+  std::vector<uint32_t> supports = CountExact(db, candidates);
+  const uint32_t min_count = AbsoluteMinSupport(db, params.min_support);
+
+  MiningResult result;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (supports[i] < min_count) continue;
+    if (i >= num_sample_frequent) ++out_stats->border_misses;
+    if (params.max_itemset_size != 0 &&
+        candidates[i].size() > params.max_itemset_size) {
+      continue;
+    }
+    result.itemsets.push_back({candidates[i], supports[i]});
+  }
+  if (out_stats->border_misses > 0) {
+    // Some frequent itemset may lie beyond the verified candidates; redo
+    // exactly (Toivonen's second pass, implemented as a full remine).
+    out_stats->fell_back = true;
+    return MineFpGrowth(db, params);
+  }
+  SortCanonical(&result.itemsets);
+  size_t max_size = 0;
+  for (const auto& itemset : result.itemsets) {
+    max_size = std::max(max_size, itemset.items.size());
+  }
+  for (size_t k = 1; k <= max_size; ++k) {
+    result.passes.push_back({k, result.CountOfSize(k),
+                             result.CountOfSize(k)});
+  }
+  return result;
+}
+
+}  // namespace dmt::assoc

@@ -1,0 +1,30 @@
+// Common interface for dataset-level classifiers.
+#ifndef DMT_CLASSIFY_CLASSIFIER_H_
+#define DMT_CLASSIFY_CLASSIFIER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/status.h"
+
+namespace dmt::classify {
+
+/// A trainable classifier over tabular datasets. Train and test datasets
+/// must share the same schema (attribute order, types, category sets).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the labelled dataset.
+  virtual core::Status Fit(const core::Dataset& train) = 0;
+
+  /// Predicts a class for every row of `test`. Fails if called before Fit
+  /// or on a schema mismatch.
+  virtual core::Result<std::vector<uint32_t>> PredictAll(
+      const core::Dataset& test) const = 0;
+};
+
+}  // namespace dmt::classify
+
+#endif  // DMT_CLASSIFY_CLASSIFIER_H_

@@ -1,0 +1,156 @@
+#include "classify/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/distance.h"
+
+namespace dmt::classify {
+
+using core::Dataset;
+using core::KdTree;
+using core::PointSet;
+using core::Result;
+using core::Status;
+
+Status KnnOptions::Validate() const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  return Status::OK();
+}
+
+namespace {
+
+/// Brute-force k-nearest as (squared distance, index), ascending.
+std::vector<std::pair<double, uint32_t>> BruteKNearest(
+    const PointSet& points, std::span<const double> query, size_t k) {
+  std::vector<std::pair<double, uint32_t>> heap;
+  heap.reserve(k + 1);
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    double d = core::SquaredEuclideanDistance(query, points.point(i));
+    if (heap.size() < k) {
+      heap.emplace_back(d, i);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (d < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {d, i};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end());
+  return heap;
+}
+
+}  // namespace
+
+Status KnnClassifier::Fit(const Dataset& train) {
+  DMT_RETURN_NOT_OK(options_.Validate());
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("cannot fit on an empty dataset");
+  }
+  DMT_ASSIGN_OR_RETURN(train_points_, train.ToPointSet(true));
+  train_labels_.assign(train.labels().begin(), train.labels().end());
+  num_classes_ = train.num_classes();
+
+  const size_t dim = train_points_.dim();
+  feature_means_.assign(dim, 0.0);
+  feature_scales_.assign(dim, 1.0);
+  if (options_.standardize) {
+    const size_t n = train_points_.size();
+    std::vector<double> variance(dim, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      auto p = train_points_.point(i);
+      for (size_t d = 0; d < dim; ++d) feature_means_[d] += p[d];
+    }
+    for (size_t d = 0; d < dim; ++d) {
+      feature_means_[d] /= static_cast<double>(n);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      auto p = train_points_.point(i);
+      for (size_t d = 0; d < dim; ++d) {
+        double diff = p[d] - feature_means_[d];
+        variance[d] += diff * diff;
+      }
+    }
+    for (size_t d = 0; d < dim; ++d) {
+      double stddev = std::sqrt(variance[d] / static_cast<double>(n));
+      feature_scales_[d] = stddev > 0.0 ? stddev : 1.0;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      auto p = train_points_.mutable_point(i);
+      for (size_t d = 0; d < dim; ++d) {
+        p[d] = (p[d] - feature_means_[d]) / feature_scales_[d];
+      }
+    }
+  }
+  if (options_.search == KnnOptions::Search::kKdTree) {
+    index_ = std::make_unique<KdTree>(train_points_);
+  } else {
+    index_.reset();
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+uint32_t KnnClassifier::Vote(
+    const std::vector<std::pair<double, uint32_t>>& neighbours) const {
+  std::vector<double> votes(num_classes_, 0.0);
+  for (const auto& [distance_sq, index] : neighbours) {
+    double weight = 1.0;
+    if (options_.distance_weighted) {
+      weight = 1.0 / (std::sqrt(distance_sq) + 1e-12);
+    }
+    votes[train_labels_[index]] += weight;
+  }
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return best;
+}
+
+Result<std::vector<uint32_t>> KnnClassifier::PredictAll(
+    const Dataset& test) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("classifier has not been fitted");
+  }
+  DMT_ASSIGN_OR_RETURN(PointSet queries, test.ToPointSet(true));
+  if (queries.dim() != train_points_.dim()) {
+    return Status::InvalidArgument(
+        "schema mismatch: test dimensionality differs from training");
+  }
+  std::vector<uint32_t> predictions;
+  predictions.reserve(queries.size());
+  std::vector<double> buffer(queries.dim());
+  for (size_t row = 0; row < queries.size(); ++row) {
+    auto q = queries.point(row);
+    for (size_t d = 0; d < buffer.size(); ++d) {
+      buffer[d] = (q[d] - feature_means_[d]) / feature_scales_[d];
+    }
+    std::vector<std::pair<double, uint32_t>> neighbours =
+        index_ != nullptr
+            ? index_->KNearest(buffer, options_.k)
+            : BruteKNearest(train_points_, buffer, options_.k);
+    predictions.push_back(Vote(neighbours));
+  }
+  return predictions;
+}
+
+uint32_t KnnPredictPoint(const PointSet& train,
+                         const std::vector<uint32_t>& labels,
+                         size_t num_classes, std::span<const double> query,
+                         size_t k, const KdTree* index) {
+  DMT_CHECK_EQ(train.size(), labels.size());
+  DMT_CHECK_GT(k, 0u);
+  auto neighbours = index != nullptr ? index->KNearest(query, k)
+                                     : BruteKNearest(train, query, k);
+  std::vector<uint32_t> votes(num_classes, 0);
+  for (const auto& [distance_sq, i] : neighbours) ++votes[labels[i]];
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return best;
+}
+
+}  // namespace dmt::classify

@@ -1,0 +1,64 @@
+// k-nearest-neighbour classification with brute-force or kd-tree search.
+#ifndef DMT_CLASSIFY_KNN_H_
+#define DMT_CLASSIFY_KNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "core/kd_tree.h"
+#include "core/point_set.h"
+
+namespace dmt::classify {
+
+/// kNN hyper-parameters.
+struct KnnOptions {
+  /// Number of neighbours (majority vote; ties -> smallest class id).
+  size_t k = 5;
+  /// Neighbour search backend.
+  enum class Search { kKdTree, kBruteForce };
+  Search search = Search::kKdTree;
+  /// Weight votes by 1/distance instead of uniformly.
+  bool distance_weighted = false;
+  /// Standardize features to zero mean / unit variance using training
+  /// statistics (recommended: Euclidean distance is scale-sensitive).
+  bool standardize = true;
+
+  core::Status Validate() const;
+};
+
+/// kNN over tabular datasets (categorical attributes one-hot encoded).
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(const KnnOptions& options = {})
+      : options_(options) {}
+
+  core::Status Fit(const core::Dataset& train) override;
+  core::Result<std::vector<uint32_t>> PredictAll(
+      const core::Dataset& test) const override;
+
+ private:
+  uint32_t Vote(const std::vector<std::pair<double, uint32_t>>& neighbours)
+      const;
+
+  KnnOptions options_;
+  bool fitted_ = false;
+  core::PointSet train_points_;
+  std::vector<uint32_t> train_labels_;
+  size_t num_classes_ = 0;
+  std::vector<double> feature_means_;
+  std::vector<double> feature_scales_;
+  std::unique_ptr<core::KdTree> index_;
+};
+
+/// Point-level kNN vote shared with benchmarks: labels the query by
+/// majority among the k nearest `train` points.
+uint32_t KnnPredictPoint(const core::PointSet& train,
+                         const std::vector<uint32_t>& labels,
+                         size_t num_classes,
+                         std::span<const double> query, size_t k,
+                         const core::KdTree* index = nullptr);
+
+}  // namespace dmt::classify
+
+#endif  // DMT_CLASSIFY_KNN_H_

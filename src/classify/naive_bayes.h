@@ -1,0 +1,55 @@
+// Naive Bayes over mixed tabular data: Gaussian likelihoods for numeric
+// attributes, Laplace-smoothed multinomial likelihoods for categorical ones.
+#ifndef DMT_CLASSIFY_NAIVE_BAYES_H_
+#define DMT_CLASSIFY_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+
+namespace dmt::classify {
+
+/// Naive Bayes hyper-parameters.
+struct NaiveBayesOptions {
+  /// Laplace smoothing pseudo-count for categorical likelihoods.
+  double laplace_alpha = 1.0;
+  /// Floor on per-class Gaussian variances (guards zero-variance columns).
+  double variance_floor = 1e-9;
+};
+
+/// Mixed Gaussian/categorical naive Bayes classifier.
+class NaiveBayesClassifier : public Classifier {
+ public:
+  explicit NaiveBayesClassifier(const NaiveBayesOptions& options = {})
+      : options_(options) {}
+
+  core::Status Fit(const core::Dataset& train) override;
+  core::Result<std::vector<uint32_t>> PredictAll(
+      const core::Dataset& test) const override;
+
+  /// Per-class log posterior (up to a constant) for one row; exposed for
+  /// tests and probability-style inspection.
+  core::Result<std::vector<double>> LogScores(const core::Dataset& data,
+                                              size_t row) const;
+
+ private:
+  struct NumericStats {
+    double mean = 0.0;
+    double variance = 1.0;
+  };
+
+  NaiveBayesOptions options_;
+  bool fitted_ = false;
+  size_t num_attributes_ = 0;
+  size_t num_classes_ = 0;
+  std::vector<double> log_priors_;
+  /// [attribute][class] for numeric attributes (empty slots otherwise).
+  std::vector<std::vector<NumericStats>> numeric_stats_;
+  /// [attribute][class][category] log likelihoods.
+  std::vector<std::vector<std::vector<double>>> categorical_log_likelihood_;
+  std::vector<core::AttributeType> attribute_types_;
+};
+
+}  // namespace dmt::classify
+
+#endif  // DMT_CLASSIFY_NAIVE_BAYES_H_

@@ -1,0 +1,245 @@
+#include "classify/one_r.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace dmt::classify {
+
+using core::AttributeType;
+using core::Dataset;
+using core::Result;
+using core::Status;
+
+Status OneROptions::Validate() const {
+  if (min_bucket == 0) {
+    return Status::InvalidArgument("min_bucket must be >= 1");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+uint32_t Majority(const std::vector<size_t>& counts) {
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < counts.size(); ++c) {
+    if (counts[c] > counts[best]) best = c;
+  }
+  return best;
+}
+
+/// One candidate rule with its training error count.
+struct CandidateRule {
+  size_t errors = SIZE_MAX;
+  std::vector<uint32_t> category_class;
+  std::vector<double> interval_bounds;
+  std::vector<uint32_t> interval_class;
+};
+
+CandidateRule BuildCategoricalRule(const Dataset& data, size_t attribute,
+                                   uint32_t fallback) {
+  const size_t categories = data.attribute(attribute).num_categories();
+  std::vector<std::vector<size_t>> counts(
+      categories, std::vector<size_t>(data.num_classes(), 0));
+  auto column = data.CategoricalColumn(attribute);
+  for (size_t row = 0; row < data.num_rows(); ++row) {
+    ++counts[column[row]][data.Label(row)];
+  }
+  CandidateRule rule;
+  rule.errors = 0;
+  rule.category_class.resize(categories, fallback);
+  for (size_t v = 0; v < categories; ++v) {
+    size_t total = std::accumulate(counts[v].begin(), counts[v].end(),
+                                   size_t{0});
+    if (total == 0) continue;  // unseen category falls back
+    uint32_t majority = Majority(counts[v]);
+    rule.category_class[v] = majority;
+    rule.errors += total - counts[v][majority];
+  }
+  return rule;
+}
+
+CandidateRule BuildNumericRule(const Dataset& data, size_t attribute,
+                               size_t min_bucket) {
+  const size_t n = data.num_rows();
+  auto column = data.NumericColumn(attribute);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return column[a] < column[b];
+  });
+
+  // Greedy bucketing: extend the bucket until its majority class has at
+  // least min_bucket members, then close it at the next value change.
+  CandidateRule rule;
+  rule.errors = 0;
+  std::vector<size_t> bucket_counts(data.num_classes(), 0);
+  size_t bucket_majority_count = 0;
+  auto close_bucket = [&](size_t boundary_index) {
+    uint32_t majority = Majority(bucket_counts);
+    size_t total = std::accumulate(bucket_counts.begin(),
+                                   bucket_counts.end(), size_t{0});
+    rule.errors += total - bucket_counts[majority];
+    rule.interval_class.push_back(majority);
+    if (boundary_index < n) {
+      double lo = column[order[boundary_index - 1]];
+      double hi = column[order[boundary_index]];
+      rule.interval_bounds.push_back(lo + (hi - lo) / 2.0);
+    }
+    std::fill(bucket_counts.begin(), bucket_counts.end(), size_t{0});
+    bucket_majority_count = 0;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    ++bucket_counts[data.Label(order[i])];
+    bucket_majority_count =
+        std::max(bucket_majority_count,
+                 bucket_counts[data.Label(order[i])]);
+    // Holte's rule: once the majority class has min_bucket members, keep
+    // extending while the next example still agrees with that majority;
+    // close at the first disagreeing example on a value boundary.
+    bool can_close =
+        bucket_majority_count >= min_bucket && i + 1 < n &&
+        column[order[i]] != column[order[i + 1]] &&
+        data.Label(order[i + 1]) != Majority(bucket_counts);
+    if (can_close) close_bucket(i + 1);
+  }
+  close_bucket(n);
+
+  // Merge adjacent intervals predicting the same class.
+  std::vector<double> merged_bounds;
+  std::vector<uint32_t> merged_class;
+  for (size_t i = 0; i < rule.interval_class.size(); ++i) {
+    if (!merged_class.empty() &&
+        merged_class.back() == rule.interval_class[i]) {
+      if (!merged_bounds.empty() &&
+          merged_bounds.size() >= merged_class.size()) {
+        merged_bounds.pop_back();
+      }
+      if (i < rule.interval_bounds.size()) {
+        merged_bounds.push_back(rule.interval_bounds[i]);
+      }
+      continue;
+    }
+    merged_class.push_back(rule.interval_class[i]);
+    if (i < rule.interval_bounds.size()) {
+      merged_bounds.push_back(rule.interval_bounds[i]);
+    }
+  }
+  rule.interval_bounds = std::move(merged_bounds);
+  rule.interval_class = std::move(merged_class);
+  return rule;
+}
+
+}  // namespace
+
+Status OneRClassifier::Fit(const Dataset& train) {
+  DMT_RETURN_NOT_OK(options_.Validate());
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("cannot fit on an empty dataset");
+  }
+  if (train.num_attributes() == 0) {
+    return Status::InvalidArgument("dataset has no attributes");
+  }
+  std::vector<size_t> class_counts(train.num_classes(), 0);
+  for (uint32_t label : train.labels()) ++class_counts[label];
+  fallback_class_ = Majority(class_counts);
+
+  CandidateRule best;
+  size_t best_attribute = 0;
+  for (size_t a = 0; a < train.num_attributes(); ++a) {
+    CandidateRule candidate =
+        train.attribute(a).type == AttributeType::kCategorical
+            ? BuildCategoricalRule(train, a, fallback_class_)
+            : BuildNumericRule(train, a, options_.min_bucket);
+    if (candidate.errors < best.errors) {
+      best = std::move(candidate);
+      best_attribute = a;
+    }
+  }
+  chosen_attribute_ = best_attribute;
+  attribute_type_ = train.attribute(best_attribute).type;
+  category_class_ = std::move(best.category_class);
+  interval_bounds_ = std::move(best.interval_bounds);
+  interval_class_ = std::move(best.interval_class);
+  training_error_ = static_cast<double>(best.errors) /
+                    static_cast<double>(train.num_rows());
+  attribute_name_ = train.attribute(best_attribute).name;
+  category_names_ = train.attribute(best_attribute).categories;
+  class_names_ = train.class_names();
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<uint32_t>> OneRClassifier::PredictAll(
+    const Dataset& test) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("classifier has not been fitted");
+  }
+  if (test.num_attributes() <= chosen_attribute_ ||
+      test.attribute(chosen_attribute_).type != attribute_type_) {
+    return Status::InvalidArgument(
+        "schema mismatch: chosen attribute missing or retyped");
+  }
+  std::vector<uint32_t> predictions;
+  predictions.reserve(test.num_rows());
+  for (size_t row = 0; row < test.num_rows(); ++row) {
+    if (attribute_type_ == AttributeType::kCategorical) {
+      uint32_t value = test.Categorical(row, chosen_attribute_);
+      predictions.push_back(value < category_class_.size()
+                                ? category_class_[value]
+                                : fallback_class_);
+    } else {
+      double value = test.Numeric(row, chosen_attribute_);
+      size_t interval =
+          std::upper_bound(interval_bounds_.begin(),
+                           interval_bounds_.end(), value) -
+          interval_bounds_.begin();
+      predictions.push_back(interval < interval_class_.size()
+                                ? interval_class_[interval]
+                                : fallback_class_);
+    }
+  }
+  return predictions;
+}
+
+std::string OneRClassifier::RuleToString() const {
+  if (!fitted_) return "(unfitted)";
+  std::string out = "1R on '" + attribute_name_ + "':\n";
+  if (attribute_type_ == AttributeType::kCategorical) {
+    for (size_t v = 0; v < category_class_.size(); ++v) {
+      out += core::StrFormat(
+          "  %s = %s -> %s\n", attribute_name_.c_str(),
+          category_names_[v].c_str(),
+          class_names_[category_class_[v]].c_str());
+    }
+  } else {
+    double previous = 0.0;
+    for (size_t i = 0; i < interval_class_.size(); ++i) {
+      if (i == 0) {
+        out += interval_bounds_.empty()
+                   ? core::StrFormat(
+                         "  always -> %s\n",
+                         class_names_[interval_class_[i]].c_str())
+                   : core::StrFormat(
+                         "  %s <= %.6g -> %s\n", attribute_name_.c_str(),
+                         interval_bounds_[0],
+                         class_names_[interval_class_[i]].c_str());
+      } else if (i < interval_bounds_.size()) {
+        out += core::StrFormat(
+            "  %.6g < %s <= %.6g -> %s\n", previous,
+            attribute_name_.c_str(), interval_bounds_[i],
+            class_names_[interval_class_[i]].c_str());
+      } else {
+        out += core::StrFormat(
+            "  %s > %.6g -> %s\n", attribute_name_.c_str(), previous,
+            class_names_[interval_class_[i]].c_str());
+      }
+      if (i < interval_bounds_.size()) previous = interval_bounds_[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace dmt::classify

@@ -1,0 +1,61 @@
+// 1R ("one rule") classifier (Holte, Machine Learning 1993): classify on a
+// single attribute — the one whose one-level rule has the lowest training
+// error. A classic sanity baseline: "very simple classification rules
+// perform well on most commonly used datasets".
+#ifndef DMT_CLASSIFY_ONE_R_H_
+#define DMT_CLASSIFY_ONE_R_H_
+
+#include <string>
+#include <vector>
+
+#include "classify/classifier.h"
+
+namespace dmt::classify {
+
+/// 1R hyper-parameters.
+struct OneROptions {
+  /// Minimum rows per numeric interval except the last (Holte's SMALL
+  /// parameter; avoids overfitting numeric attributes with tiny buckets).
+  size_t min_bucket = 6;
+
+  core::Status Validate() const;
+};
+
+/// Single-attribute rule classifier.
+class OneRClassifier : public Classifier {
+ public:
+  explicit OneRClassifier(const OneROptions& options = {})
+      : options_(options) {}
+
+  core::Status Fit(const core::Dataset& train) override;
+  core::Result<std::vector<uint32_t>> PredictAll(
+      const core::Dataset& test) const override;
+
+  /// Index of the attribute the learned rule tests.
+  size_t chosen_attribute() const { return chosen_attribute_; }
+  /// Training error rate of the learned rule.
+  double training_error() const { return training_error_; }
+  /// "attr = v -> class" / "attr <= t -> class" rendering of the rule.
+  std::string RuleToString() const;
+
+ private:
+  OneROptions options_;
+  bool fitted_ = false;
+  size_t chosen_attribute_ = 0;
+  double training_error_ = 1.0;
+  core::AttributeType attribute_type_ = core::AttributeType::kNumeric;
+  /// Categorical rule: predicted class per category code.
+  std::vector<uint32_t> category_class_;
+  /// Numeric rule: ascending interval upper bounds; interval i predicts
+  /// interval_class_[i]; the last class covers everything above.
+  std::vector<double> interval_bounds_;
+  std::vector<uint32_t> interval_class_;
+  uint32_t fallback_class_ = 0;
+  std::string attribute_name_;
+  std::vector<std::string> category_names_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace dmt::classify
+
+#endif  // DMT_CLASSIFY_ONE_R_H_

@@ -1,0 +1,211 @@
+#include "cluster/agglomerative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/check.h"
+#include "core/distance.h"
+#include "core/string_util.h"
+
+namespace dmt::cluster {
+
+using core::PointSet;
+using core::Result;
+using core::Status;
+
+namespace {
+
+/// Hard cap on n: the method keeps a dense n x n distance matrix
+/// (8 bytes per cell -> 128 MiB at the cap).
+constexpr size_t kMaxPoints = 4096;
+
+/// Lance–Williams update of d(k, i∪j).
+double LanceWilliams(Linkage linkage, double d_ki, double d_kj, double d_ij,
+                     double n_i, double n_j, double n_k) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return 0.5 * d_ki + 0.5 * d_kj - 0.5 * std::fabs(d_ki - d_kj);
+    case Linkage::kComplete:
+      return 0.5 * d_ki + 0.5 * d_kj + 0.5 * std::fabs(d_ki - d_kj);
+    case Linkage::kAverage:
+      return (n_i * d_ki + n_j * d_kj) / (n_i + n_j);
+    case Linkage::kWard: {
+      double total = n_i + n_j + n_k;
+      return ((n_i + n_k) * d_ki + (n_j + n_k) * d_kj - n_k * d_ij) / total;
+    }
+  }
+  return 0.0;
+}
+
+struct RawMerge {
+  uint32_t rep_a = 0;  // a leaf inside each merged cluster
+  uint32_t rep_b = 0;
+  double height = 0.0;
+  uint32_t size = 0;
+};
+
+/// Simple union-find over leaf indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+Result<std::vector<uint32_t>> Dendrogram::CutAtK(size_t k) const {
+  if (k == 0 || k > num_points_) {
+    return Status::InvalidArgument(core::StrFormat(
+        "cannot cut %zu points into %zu clusters", num_points_, k));
+  }
+  UnionFind uf(num_points_);
+  size_t merges_to_apply = num_points_ - k;
+  DMT_CHECK_LE(merges_to_apply, merges_.size());
+  // merges_ reference dendrogram ids; map id -> a representative leaf.
+  std::vector<uint32_t> rep(num_points_ + merges_.size());
+  std::iota(rep.begin(), rep.begin() + static_cast<std::ptrdiff_t>(
+                                            num_points_),
+            0u);
+  for (size_t m = 0; m < merges_.size(); ++m) {
+    rep[num_points_ + m] = rep[merges_[m].a];
+    if (m < merges_to_apply) {
+      uf.Union(rep[merges_[m].a], rep[merges_[m].b]);
+    }
+  }
+  std::vector<uint32_t> labels(num_points_);
+  std::vector<int32_t> label_of_root(num_points_, -1);
+  uint32_t next_label = 0;
+  for (uint32_t i = 0; i < num_points_; ++i) {
+    uint32_t root = uf.Find(i);
+    if (label_of_root[root] < 0) {
+      label_of_root[root] = static_cast<int32_t>(next_label++);
+    }
+    labels[i] = static_cast<uint32_t>(label_of_root[root]);
+  }
+  DMT_CHECK_EQ(next_label, k);
+  return labels;
+}
+
+Result<Dendrogram> AgglomerativeCluster(const PointSet& points,
+                                        Linkage linkage) {
+  const size_t n = points.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot cluster an empty point set");
+  }
+  if (n > kMaxPoints) {
+    return Status::InvalidArgument(core::StrFormat(
+        "agglomerative clustering is limited to %zu points (got %zu)",
+        kMaxPoints, n));
+  }
+  if (n == 1) return Dendrogram(1, {});
+
+  // Dense distance matrix (squared scale for Ward).
+  const bool squared = linkage == Linkage::kWard;
+  std::vector<double> dist(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d =
+          core::SquaredEuclideanDistance(points.point(i), points.point(j));
+      if (!squared) d = std::sqrt(d);
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+
+  std::vector<bool> active(n, true);
+  std::vector<double> cluster_size(n, 1.0);
+  std::vector<RawMerge> raw_merges;
+  raw_merges.reserve(n - 1);
+  std::vector<uint32_t> chain;
+  chain.reserve(n);
+
+  size_t remaining = n;
+  size_t scan_start = 0;
+  while (remaining > 1) {
+    if (chain.empty()) {
+      while (!active[scan_start]) ++scan_start;
+      chain.push_back(static_cast<uint32_t>(scan_start));
+    }
+    uint32_t top = chain.back();
+    // Nearest active neighbour; prefer the chain predecessor on ties so
+    // reciprocity is detected.
+    uint32_t prev = chain.size() >= 2 ? chain[chain.size() - 2] : top;
+    uint32_t nearest = top;
+    double nearest_d = std::numeric_limits<double>::infinity();
+    for (uint32_t c = 0; c < n; ++c) {
+      if (!active[c] || c == top) continue;
+      double d = dist[top * n + c];
+      if (d < nearest_d || (d == nearest_d && c == prev)) {
+        nearest_d = d;
+        nearest = c;
+      }
+    }
+    if (chain.size() >= 2 && nearest == prev) {
+      // Reciprocal nearest neighbours: merge `top` into `prev`.
+      chain.pop_back();
+      chain.pop_back();
+      uint32_t a = prev, b = top;
+      double d_ab = dist[a * n + b];
+      for (uint32_t k = 0; k < n; ++k) {
+        if (!active[k] || k == a || k == b) continue;
+        double updated =
+            LanceWilliams(linkage, dist[a * n + k], dist[b * n + k], d_ab,
+                          cluster_size[a], cluster_size[b],
+                          cluster_size[k]);
+        dist[a * n + k] = updated;
+        dist[k * n + a] = updated;
+      }
+      raw_merges.push_back(
+          {a, b, d_ab,
+           static_cast<uint32_t>(cluster_size[a] + cluster_size[b])});
+      cluster_size[a] += cluster_size[b];
+      active[b] = false;
+      --remaining;
+    } else {
+      chain.push_back(nearest);
+    }
+  }
+
+  // Sort merges by height (stable for deterministic ties) and relabel into
+  // dendrogram ids via union-find.
+  std::stable_sort(raw_merges.begin(), raw_merges.end(),
+                   [](const RawMerge& x, const RawMerge& y) {
+                     return x.height < y.height;
+                   });
+  UnionFind uf(n);
+  // Map each union-find root to its current dendrogram id.
+  std::vector<uint32_t> cluster_id(n);
+  std::iota(cluster_id.begin(), cluster_id.end(), 0u);
+  std::vector<MergeStep> merges;
+  merges.reserve(raw_merges.size());
+  for (size_t m = 0; m < raw_merges.size(); ++m) {
+    uint32_t root_a = uf.Find(raw_merges[m].rep_a);
+    uint32_t root_b = uf.Find(raw_merges[m].rep_b);
+    MergeStep step;
+    step.a = cluster_id[root_a];
+    step.b = cluster_id[root_b];
+    step.height = raw_merges[m].height;
+    step.size = raw_merges[m].size;
+    if (step.a > step.b) std::swap(step.a, step.b);
+    merges.push_back(step);
+    uf.Union(root_a, root_b);
+    cluster_id[uf.Find(root_a)] = static_cast<uint32_t>(n + m);
+  }
+  return Dendrogram(n, std::move(merges));
+}
+
+}  // namespace dmt::cluster

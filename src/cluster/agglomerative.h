@@ -1,0 +1,58 @@
+// Agglomerative hierarchical clustering via the nearest-neighbour-chain
+// algorithm (O(n^2) time) with Lance–Williams linkage updates.
+#ifndef DMT_CLUSTER_AGGLOMERATIVE_H_
+#define DMT_CLUSTER_AGGLOMERATIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/point_set.h"
+#include "core/status.h"
+
+namespace dmt::cluster {
+
+/// Cluster-distance definition.
+enum class Linkage {
+  kSingle,
+  kComplete,
+  kAverage,
+  kWard,
+};
+
+/// One dendrogram merge step: clusters `a` and `b` (ids in the union-find
+/// numbering: leaves are 0..n-1, the i-th merge creates id n+i) merge at
+/// `height`.
+struct MergeStep {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  double height = 0.0;
+  uint32_t size = 0;  // points in the merged cluster
+};
+
+/// The full merge tree of a dataset.
+class Dendrogram {
+ public:
+  Dendrogram(size_t num_points, std::vector<MergeStep> merges)
+      : num_points_(num_points), merges_(std::move(merges)) {}
+
+  size_t num_points() const { return num_points_; }
+  const std::vector<MergeStep>& merges() const { return merges_; }
+
+  /// Flat clustering with exactly k clusters (undo the last k-1 merges).
+  /// Labels are dense in [0, k).
+  core::Result<std::vector<uint32_t>> CutAtK(size_t k) const;
+
+ private:
+  size_t num_points_;
+  std::vector<MergeStep> merges_;
+};
+
+/// Builds the dendrogram of `points` under the given linkage.
+/// Ward heights are reported as the increase in within-cluster variance
+/// (squared-distance scale); other linkages use Euclidean distance.
+core::Result<Dendrogram> AgglomerativeCluster(const core::PointSet& points,
+                                              Linkage linkage);
+
+}  // namespace dmt::cluster
+
+#endif  // DMT_CLUSTER_AGGLOMERATIVE_H_

@@ -1,0 +1,149 @@
+#include "cluster/clarans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+#include "core/distance.h"
+#include "core/rng.h"
+
+namespace dmt::cluster {
+
+using core::PointSet;
+using core::Result;
+using core::Rng;
+using core::Status;
+
+Status ClaransOptions::Validate() const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (num_local == 0) {
+    return Status::InvalidArgument("num_local must be >= 1");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Current solution: medoid set plus per-point nearest / second-nearest
+/// medoid bookkeeping for O(n) swap evaluation.
+struct Solution {
+  std::vector<uint32_t> medoids;      // point indices
+  std::vector<uint32_t> nearest;      // medoid slot per point
+  std::vector<double> nearest_dist;   // distance to nearest medoid
+  std::vector<double> second_dist;    // distance to second-nearest
+  double cost = 0.0;
+
+  void Recompute(const PointSet& points) {
+    const size_t n = points.size();
+    nearest.assign(n, 0);
+    nearest_dist.assign(n, 0.0);
+    second_dist.assign(n, 0.0);
+    cost = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      double best = std::numeric_limits<double>::infinity();
+      double second = std::numeric_limits<double>::infinity();
+      uint32_t best_slot = 0;
+      for (uint32_t slot = 0; slot < medoids.size(); ++slot) {
+        double d = core::EuclideanDistance(points.point(j),
+                                           points.point(medoids[slot]));
+        if (d < best) {
+          second = best;
+          best = d;
+          best_slot = slot;
+        } else if (d < second) {
+          second = d;
+        }
+      }
+      nearest[j] = best_slot;
+      nearest_dist[j] = best;
+      second_dist[j] = medoids.size() > 1 ? second : best;
+      cost += best;
+    }
+  }
+
+  /// Cost change of replacing the medoid in `slot` with point `candidate`
+  /// (PAM's T_ih differential; O(n)).
+  double SwapDelta(const PointSet& points, uint32_t slot,
+                   uint32_t candidate) const {
+    double delta = 0.0;
+    for (size_t j = 0; j < points.size(); ++j) {
+      double d_new = core::EuclideanDistance(points.point(j),
+                                             points.point(candidate));
+      if (nearest[j] == slot) {
+        // Point loses its medoid: goes to the new medoid or its old
+        // second choice, whichever is closer.
+        delta += std::min(d_new, second_dist[j]) - nearest_dist[j];
+      } else if (d_new < nearest_dist[j]) {
+        delta += d_new - nearest_dist[j];
+      }
+    }
+    return delta;
+  }
+};
+
+}  // namespace
+
+Result<MedoidResult> Clarans(const PointSet& points,
+                             const ClaransOptions& options) {
+  DMT_RETURN_NOT_OK(options.Validate());
+  const size_t n = points.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot cluster an empty point set");
+  }
+  if (options.k > n) {
+    return Status::InvalidArgument("k exceeds the number of points");
+  }
+  Rng rng(options.seed);
+
+  size_t max_neighbors = options.max_neighbors;
+  if (max_neighbors == 0) {
+    double fraction =
+        0.0125 * static_cast<double>(options.k) *
+        static_cast<double>(n - options.k);
+    max_neighbors = std::max<size_t>(
+        250, static_cast<size_t>(std::llround(fraction)));
+  }
+
+  MedoidResult best;
+  best.total_cost = std::numeric_limits<double>::infinity();
+  std::vector<bool> is_medoid(n, false);
+
+  for (size_t restart = 0; restart < options.num_local; ++restart) {
+    Solution current;
+    auto picks = rng.SampleWithoutReplacement(n, options.k);
+    current.medoids.assign(picks.begin(), picks.end());
+    current.Recompute(points);
+    std::fill(is_medoid.begin(), is_medoid.end(), false);
+    for (uint32_t m : current.medoids) is_medoid[m] = true;
+
+    size_t failures = 0;
+    while (failures < max_neighbors && options.k < n) {
+      uint32_t slot = static_cast<uint32_t>(rng.UniformU64(options.k));
+      uint32_t candidate;
+      do {
+        candidate = static_cast<uint32_t>(rng.UniformU64(n));
+      } while (is_medoid[candidate]);
+      double delta = current.SwapDelta(points, slot, candidate);
+      if (delta < -1e-12) {
+        is_medoid[current.medoids[slot]] = false;
+        is_medoid[candidate] = true;
+        current.medoids[slot] = candidate;
+        current.Recompute(points);
+        ++best.accepted_swaps;
+        failures = 0;
+      } else {
+        ++failures;
+      }
+    }
+
+    if (current.cost < best.total_cost) {
+      best.total_cost = current.cost;
+      best.medoids = current.medoids;
+      best.assignments = current.nearest;
+    }
+  }
+  return best;
+}
+
+}  // namespace dmt::cluster

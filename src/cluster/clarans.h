@@ -1,0 +1,50 @@
+// CLARANS k-medoids clustering (Ng & Han, VLDB'94): randomized search on
+// the graph of medoid sets, where each step swaps one medoid for one
+// non-medoid; a node is a local optimum after max_neighbors consecutive
+// non-improving sampled swaps, and the best of num_local optima wins.
+#ifndef DMT_CLUSTER_CLARANS_H_
+#define DMT_CLUSTER_CLARANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/point_set.h"
+#include "core/status.h"
+
+namespace dmt::cluster {
+
+/// CLARANS hyper-parameters. Defaults follow the paper's recommendation:
+/// numlocal = 2, maxneighbor = max(250, 1.25% of k*(n-k)).
+struct ClaransOptions {
+  size_t k = 8;
+  /// Number of local optima to collect (restarts).
+  size_t num_local = 2;
+  /// Consecutive failed swap samples before declaring a local optimum;
+  /// 0 = the paper's 1.25% rule.
+  size_t max_neighbors = 0;
+  uint64_t seed = 1;
+
+  core::Status Validate() const;
+};
+
+/// k-medoids clustering output. Unlike k-means, centers are actual input
+/// points and the objective is the sum of (unsquared) Euclidean distances,
+/// making the method robust to outliers.
+struct MedoidResult {
+  /// Indices of the k medoid points.
+  std::vector<uint32_t> medoids;
+  /// Medoid slot (0..k-1) per input point.
+  std::vector<uint32_t> assignments;
+  /// Sum of distances of points to their medoid.
+  double total_cost = 0.0;
+  /// Swap steps accepted across all restarts.
+  size_t accepted_swaps = 0;
+};
+
+/// Runs CLARANS on `points`. Deterministic in (options, seed).
+core::Result<MedoidResult> Clarans(const core::PointSet& points,
+                                   const ClaransOptions& options);
+
+}  // namespace dmt::cluster
+
+#endif  // DMT_CLUSTER_CLARANS_H_

@@ -1,0 +1,117 @@
+#include "cluster/dbscan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "core/distance.h"
+#include "core/kd_tree.h"
+
+namespace dmt::cluster {
+
+using core::PointSet;
+using core::Result;
+using core::Status;
+
+Status DbscanOptions::Validate() const {
+  if (!(eps > 0.0)) return Status::InvalidArgument("eps must be > 0");
+  if (min_points == 0) {
+    return Status::InvalidArgument("min_points must be >= 1");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::vector<uint32_t> BruteRegionQuery(const PointSet& points, size_t center,
+                                       double eps_sq) {
+  std::vector<uint32_t> out;
+  auto q = points.point(center);
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    if (core::SquaredEuclideanDistance(q, points.point(i)) <= eps_sq) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DbscanResult> Dbscan(const PointSet& points,
+                            const DbscanOptions& options) {
+  DMT_RETURN_NOT_OK(options.Validate());
+  DbscanResult result;
+  result.labels.assign(points.size(), DbscanResult::kNoise);
+  if (points.empty()) return result;
+
+  std::unique_ptr<core::KdTree> index;
+  if (options.neighbors == DbscanOptions::Neighbors::kKdTree) {
+    index = std::make_unique<core::KdTree>(points);
+  }
+  const double eps_sq = options.eps * options.eps;
+  auto region_query = [&](size_t center) {
+    return index != nullptr
+               ? index->RadiusSearch(points.point(center), options.eps)
+               : BruteRegionQuery(points, center, eps_sq);
+  };
+
+  std::vector<bool> visited(points.size(), false);
+  int32_t cluster_id = -1;
+  std::deque<uint32_t> frontier;
+  for (size_t seed = 0; seed < points.size(); ++seed) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    std::vector<uint32_t> neighbours = region_query(seed);
+    if (neighbours.size() < options.min_points) continue;  // stays noise
+
+    // Grow a new cluster by BFS over density-reachable points.
+    ++cluster_id;
+    result.labels[seed] = cluster_id;
+    frontier.assign(neighbours.begin(), neighbours.end());
+    while (!frontier.empty()) {
+      uint32_t current = frontier.front();
+      frontier.pop_front();
+      if (result.labels[current] == DbscanResult::kNoise) {
+        // Border or core point reachable from the cluster.
+        result.labels[current] = cluster_id;
+      }
+      if (visited[current]) continue;
+      visited[current] = true;
+      std::vector<uint32_t> expansion = region_query(current);
+      if (expansion.size() >= options.min_points) {
+        // Core point: its neighbourhood joins the frontier.
+        for (uint32_t next : expansion) {
+          if (!visited[next] ||
+              result.labels[next] == DbscanResult::kNoise) {
+            frontier.push_back(next);
+          }
+        }
+      }
+    }
+  }
+  result.num_clusters = static_cast<size_t>(cluster_id + 1);
+  return result;
+}
+
+core::Result<std::vector<double>> SortedKDistances(const PointSet& points,
+                                                   size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (points.size() <= k) {
+    return Status::InvalidArgument(
+        "need more than k points to compute k-distances");
+  }
+  core::KdTree index(points);
+  std::vector<double> distances;
+  distances.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    // k + 1 neighbours: the nearest is the point itself at distance 0.
+    auto neighbours = index.KNearest(points.point(i), k + 1);
+    distances.push_back(std::sqrt(neighbours.back().first));
+  }
+  std::sort(distances.begin(), distances.end(), std::greater<>());
+  return distances;
+}
+
+}  // namespace dmt::cluster

@@ -1,0 +1,51 @@
+// DBSCAN density-based clustering (Ester, Kriegel, Sander & Xu, KDD'96).
+#ifndef DMT_CLUSTER_DBSCAN_H_
+#define DMT_CLUSTER_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/point_set.h"
+#include "core/status.h"
+
+namespace dmt::cluster {
+
+/// DBSCAN hyper-parameters.
+struct DbscanOptions {
+  /// Neighbourhood radius (Euclidean).
+  double eps = 0.5;
+  /// Minimum neighbourhood size (including the point itself) for a core
+  /// point.
+  size_t min_points = 5;
+  /// Region-query backend: kd-tree index or O(n^2) scan (the ablation
+  /// baseline).
+  enum class Neighbors { kKdTree, kBruteForce };
+  Neighbors neighbors = Neighbors::kKdTree;
+
+  core::Status Validate() const;
+};
+
+/// DBSCAN output.
+struct DbscanResult {
+  /// Cluster id per point; kNoise (-1) marks noise.
+  std::vector<int32_t> labels;
+  size_t num_clusters = 0;
+
+  static constexpr int32_t kNoise = -1;
+};
+
+/// Clusters `points` with DBSCAN. Deterministic: points are seeded in index
+/// order, so cluster ids are stable.
+core::Result<DbscanResult> Dbscan(const core::PointSet& points,
+                                  const DbscanOptions& options);
+
+/// The sorted k-dist graph of KDD'96 §4.2: each point's distance to its
+/// k-th nearest neighbour (excluding itself), descending. The "valley"
+/// (first sharp drop) is the paper's heuristic for eps at
+/// min_points = k + 1; the paper recommends k = 4 for 2-d data.
+core::Result<std::vector<double>> SortedKDistances(
+    const core::PointSet& points, size_t k);
+
+}  // namespace dmt::cluster
+
+#endif  // DMT_CLUSTER_DBSCAN_H_

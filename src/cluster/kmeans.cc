@@ -1,0 +1,210 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+#include "core/distance.h"
+#include "core/rng.h"
+
+namespace dmt::cluster {
+
+using core::PointSet;
+using core::Result;
+using core::Rng;
+using core::Status;
+
+Status KMeansOptions::Validate() const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (tolerance < 0.0) {
+    return Status::InvalidArgument("tolerance must be >= 0");
+  }
+  return Status::OK();
+}
+
+double ComputeSse(const PointSet& points,
+                  const std::vector<uint32_t>& assignments,
+                  const PointSet& centers) {
+  DMT_CHECK_EQ(points.size(), assignments.size());
+  double sse = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    sse += core::SquaredEuclideanDistance(points.point(i),
+                                          centers.point(assignments[i]));
+  }
+  return sse;
+}
+
+namespace {
+
+/// Picks initial centers; weights bias both strategies toward heavy points.
+PointSet SeedCenters(const PointSet& points,
+                     const std::vector<double>& weights, size_t k,
+                     KMeansInit init, Rng& rng) {
+  PointSet centers(points.dim());
+  if (init == KMeansInit::kForgy) {
+    auto picks = rng.SampleWithoutReplacement(points.size(), k);
+    for (size_t index : picks) centers.Add(points.point(index));
+    return centers;
+  }
+  // k-means++: first center weight-proportional, then D^2-weighted.
+  size_t first = rng.Categorical(weights);
+  centers.Add(points.point(first));
+  std::vector<double> min_dist_sq(points.size(),
+                                  std::numeric_limits<double>::infinity());
+  std::vector<double> sampling_weight(points.size(), 0.0);
+  while (centers.size() < k) {
+    auto latest = centers.point(centers.size() - 1);
+    for (size_t i = 0; i < points.size(); ++i) {
+      double d = core::SquaredEuclideanDistance(points.point(i), latest);
+      if (d < min_dist_sq[i]) min_dist_sq[i] = d;
+      sampling_weight[i] = min_dist_sq[i] * weights[i];
+    }
+    double total = 0.0;
+    for (double w : sampling_weight) total += w;
+    size_t next;
+    if (total <= 0.0) {
+      // All remaining points coincide with centers; any point will do.
+      next = rng.UniformU64(points.size());
+    } else {
+      next = rng.Categorical(sampling_weight);
+    }
+    centers.Add(points.point(next));
+  }
+  return centers;
+}
+
+Result<ClusteringResult> Run(const PointSet& points,
+                             const std::vector<double>& weights,
+                             const KMeansOptions& options) {
+  DMT_RETURN_NOT_OK(options.Validate());
+  if (points.empty()) {
+    return Status::InvalidArgument("cannot cluster an empty point set");
+  }
+  if (options.k > points.size()) {
+    return Status::InvalidArgument("k exceeds the number of points");
+  }
+  const size_t n = points.size();
+  const size_t dim = points.dim();
+  Rng rng(options.seed);
+
+  ClusteringResult result;
+  result.centers = SeedCenters(points, weights, options.k, options.init, rng);
+  result.assignments.assign(n, 0);
+
+  std::vector<double> sums(options.k * dim, 0.0);
+  std::vector<double> cluster_weight(options.k, 0.0);
+  double previous_sse = std::numeric_limits<double>::infinity();
+
+  for (size_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    result.iterations = iteration + 1;
+    // Assignment step.
+    double sse = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best_d = std::numeric_limits<double>::infinity();
+      uint32_t best_c = 0;
+      auto p = points.point(i);
+      for (uint32_t c = 0; c < options.k; ++c) {
+        double d = core::SquaredEuclideanDistance(p, result.centers.point(c));
+        if (d < best_d) {
+          best_d = d;
+          best_c = c;
+        }
+      }
+      result.assignments[i] = best_c;
+      sse += best_d * weights[i];
+    }
+    result.sse = sse;
+
+    // Update step.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(cluster_weight.begin(), cluster_weight.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      auto p = points.point(i);
+      double w = weights[i];
+      double* target = sums.data() + result.assignments[i] * dim;
+      for (size_t d = 0; d < dim; ++d) target[d] += w * p[d];
+      cluster_weight[result.assignments[i]] += w;
+    }
+    for (uint32_t c = 0; c < options.k; ++c) {
+      auto center = result.centers.mutable_point(c);
+      if (cluster_weight[c] > 0.0) {
+        const double* source = sums.data() + c * dim;
+        for (size_t d = 0; d < dim; ++d) {
+          center[d] = source[d] / cluster_weight[c];
+        }
+      } else {
+        // Empty cluster: restart it at the point farthest from its center.
+        size_t farthest = 0;
+        double farthest_d = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          double d = core::SquaredEuclideanDistance(
+              points.point(i),
+              result.centers.point(result.assignments[i]));
+          if (d > farthest_d) {
+            farthest_d = d;
+            farthest = i;
+          }
+        }
+        auto p = points.point(farthest);
+        std::copy(p.begin(), p.end(), center.begin());
+      }
+    }
+
+    if (std::isfinite(previous_sse) &&
+        previous_sse - sse <=
+            options.tolerance * std::max(previous_sse, 1e-30)) {
+      break;
+    }
+    previous_sse = sse;
+  }
+
+  // Final assignment against the last centers (keeps assignments and
+  // centers mutually consistent).
+  double sse = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double best_d = std::numeric_limits<double>::infinity();
+    uint32_t best_c = 0;
+    auto p = points.point(i);
+    for (uint32_t c = 0; c < options.k; ++c) {
+      double d = core::SquaredEuclideanDistance(p, result.centers.point(c));
+      if (d < best_d) {
+        best_d = d;
+        best_c = c;
+      }
+    }
+    result.assignments[i] = best_c;
+    sse += best_d * weights[i];
+  }
+  result.sse = sse;
+  return result;
+}
+
+}  // namespace
+
+Result<ClusteringResult> KMeans(const PointSet& points,
+                                const KMeansOptions& options) {
+  std::vector<double> weights(points.size(), 1.0);
+  return Run(points, weights, options);
+}
+
+Result<ClusteringResult> WeightedKMeans(const PointSet& points,
+                                        const std::vector<double>& weights,
+                                        const KMeansOptions& options) {
+  if (weights.size() != points.size()) {
+    return Status::InvalidArgument(
+        "weights must match the number of points");
+  }
+  for (double w : weights) {
+    if (!(w > 0.0)) {
+      return Status::InvalidArgument("weights must be positive");
+    }
+  }
+  return Run(points, weights, options);
+}
+
+}  // namespace dmt::cluster

@@ -1,0 +1,62 @@
+// Lloyd's k-means with Forgy / k-means++ seeding and empty-cluster repair.
+#ifndef DMT_CLUSTER_KMEANS_H_
+#define DMT_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/point_set.h"
+#include "core/status.h"
+
+namespace dmt::cluster {
+
+/// Seeding strategy.
+enum class KMeansInit {
+  /// k distinct random points as initial centers (Forgy).
+  kForgy,
+  /// D^2-weighted seeding (Arthur & Vassilvitskii, k-means++).
+  kPlusPlus,
+};
+
+/// k-means hyper-parameters.
+struct KMeansOptions {
+  size_t k = 8;
+  KMeansInit init = KMeansInit::kPlusPlus;
+  size_t max_iterations = 100;
+  /// Stop when the SSE improvement falls below this relative amount.
+  double tolerance = 1e-6;
+  uint64_t seed = 1;
+
+  core::Status Validate() const;
+};
+
+/// Hard-assignment clustering output.
+struct ClusteringResult {
+  /// Cluster index per input point.
+  std::vector<uint32_t> assignments;
+  /// Final cluster centers (k points).
+  core::PointSet centers;
+  /// Sum of squared distances of points to their centers.
+  double sse = 0.0;
+  /// Lloyd iterations executed.
+  size_t iterations = 0;
+};
+
+/// Runs k-means on `points`. Fails when k exceeds the number of points.
+core::Result<ClusteringResult> KMeans(const core::PointSet& points,
+                                      const KMeansOptions& options);
+
+/// Weighted variant (per-point multiplicities); used by BIRCH's global
+/// phase over CF-entry centroids.
+core::Result<ClusteringResult> WeightedKMeans(
+    const core::PointSet& points, const std::vector<double>& weights,
+    const KMeansOptions& options);
+
+/// Recomputes the SSE of an assignment against given centers.
+double ComputeSse(const core::PointSet& points,
+                  const std::vector<uint32_t>& assignments,
+                  const core::PointSet& centers);
+
+}  // namespace dmt::cluster
+
+#endif  // DMT_CLUSTER_KMEANS_H_

@@ -1,0 +1,70 @@
+#include "core/bitset.h"
+
+#include <bit>
+
+#include "core/check.h"
+
+namespace dmt::core {
+
+DynamicBitset::DynamicBitset(size_t num_bits)
+    : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+void DynamicBitset::Set(size_t bit) {
+  DMT_DCHECK(bit < num_bits_);
+  words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+}
+
+void DynamicBitset::Clear(size_t bit) {
+  DMT_DCHECK(bit < num_bits_);
+  words_[bit >> 6] &= ~(uint64_t{1} << (bit & 63));
+}
+
+bool DynamicBitset::Test(size_t bit) const {
+  DMT_DCHECK(bit < num_bits_);
+  return (words_[bit >> 6] >> (bit & 63)) & 1;
+}
+
+size_t DynamicBitset::Count() const {
+  size_t total = 0;
+  for (uint64_t word : words_) total += std::popcount(word);
+  return total;
+}
+
+void DynamicBitset::IntersectWith(const DynamicBitset& other) {
+  DMT_CHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+size_t DynamicBitset::IntersectionCount(const DynamicBitset& other) const {
+  DMT_CHECK_EQ(num_bits_, other.num_bits_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+DynamicBitset DynamicBitset::Intersect(const DynamicBitset& other) const {
+  DMT_CHECK_EQ(num_bits_, other.num_bits_);
+  DynamicBitset out(num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
+  }
+  return out;
+}
+
+std::vector<uint32_t> DynamicBitset::ToIndices() const {
+  std::vector<uint32_t> indices;
+  indices.reserve(Count());
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      indices.push_back(static_cast<uint32_t>(w * 64 + bit));
+      word &= word - 1;
+    }
+  }
+  return indices;
+}
+
+}  // namespace dmt::core

@@ -1,0 +1,50 @@
+// Dynamically sized bitset with fast intersection counting, used for
+// vertical (tidset) itemset mining.
+#ifndef DMT_CORE_BITSET_H_
+#define DMT_CORE_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dmt::core {
+
+/// Fixed-size-after-construction bitset over 64-bit words.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// All bits cleared.
+  explicit DynamicBitset(size_t num_bits);
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t bit);
+  void Clear(size_t bit);
+  bool Test(size_t bit) const;
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// this &= other. Sizes must match.
+  void IntersectWith(const DynamicBitset& other);
+
+  /// popcount(this & other) without materializing the intersection.
+  size_t IntersectionCount(const DynamicBitset& other) const;
+
+  /// Returns this & other.
+  DynamicBitset Intersect(const DynamicBitset& other) const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<uint32_t> ToIndices() const;
+
+  bool operator==(const DynamicBitset& other) const = default;
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_BITSET_H_

@@ -1,0 +1,42 @@
+// Invariant-checking macros for programming errors (never for user input —
+// use Status for that). DMT_CHECK is always on; DMT_DCHECK only in debug.
+#ifndef DMT_CORE_CHECK_H_
+#define DMT_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dmt::core::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "dmt: CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace dmt::core::internal
+
+#define DMT_CHECK(cond)                                           \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::dmt::core::internal::CheckFailed(#cond, __FILE__,         \
+                                         __LINE__);               \
+    }                                                             \
+  } while (false)
+
+#define DMT_CHECK_LT(a, b) DMT_CHECK((a) < (b))
+#define DMT_CHECK_LE(a, b) DMT_CHECK((a) <= (b))
+#define DMT_CHECK_GT(a, b) DMT_CHECK((a) > (b))
+#define DMT_CHECK_GE(a, b) DMT_CHECK((a) >= (b))
+#define DMT_CHECK_EQ(a, b) DMT_CHECK((a) == (b))
+#define DMT_CHECK_NE(a, b) DMT_CHECK((a) != (b))
+
+#ifdef NDEBUG
+#define DMT_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define DMT_DCHECK(cond) DMT_CHECK(cond)
+#endif
+
+#endif  // DMT_CORE_CHECK_H_

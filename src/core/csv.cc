@@ -1,0 +1,155 @@
+#include "core/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/string_util.h"
+
+namespace dmt::core {
+namespace {
+
+bool FieldNeedsQuoting(std::string_view field, char delimiter) {
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendQuoted(std::string& out, std::string_view field) {
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(std::string_view text, const CsvOptions& options) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> current_row;
+  std::string current_field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_field = [&] {
+    current_row.push_back(std::move(current_field));
+    current_field.clear();
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(current_row));
+    current_row.clear();
+    row_has_content = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          current_field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current_field += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      row_has_content = true;
+    } else if (c == options.delimiter) {
+      end_field();
+      row_has_content = true;
+    } else if (c == '\r') {
+      // Swallow; the '\n' (if any) terminates the row.
+      if (i + 1 >= text.size() || text[i + 1] != '\n') end_row();
+    } else if (c == '\n') {
+      end_row();
+    } else {
+      current_field += c;
+      row_has_content = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (row_has_content || !current_field.empty() || !current_row.empty()) {
+    end_row();
+  }
+
+  CsvTable table;
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    if (rows.empty()) {
+      return Status::InvalidArgument("CSV has a header option but no rows");
+    }
+    table.header = std::move(rows[0]);
+    first_data_row = 1;
+  }
+  size_t expected_width =
+      options.has_header
+          ? table.header.size()
+          : (rows.empty() ? 0 : rows[0].size());
+  for (size_t i = first_data_row; i < rows.size(); ++i) {
+    if (options.require_rectangular && rows[i].size() != expected_width) {
+      return Status::InvalidArgument(StrFormat(
+          "CSV row %zu has %zu fields, expected %zu", i, rows[i].size(),
+          expected_width));
+    }
+    table.rows.push_back(std::move(rows[i]));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("error while reading '" + path + "'");
+  }
+  return ParseCsv(buffer.str(), options);
+}
+
+std::string WriteCsv(const CsvTable& table, char delimiter) {
+  std::string out;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += delimiter;
+      if (FieldNeedsQuoting(row[i], delimiter)) {
+        AppendQuoted(out, row[i]);
+      } else {
+        out += row[i];
+      }
+    }
+    out += '\n';
+  };
+  if (!table.header.empty()) write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table,
+                    char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << WriteCsv(table, delimiter);
+  out.flush();
+  if (!out) {
+    return Status::IOError("error while writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace dmt::core

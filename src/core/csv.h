@@ -1,0 +1,45 @@
+// Minimal RFC-4180-style CSV reading and writing.
+#ifndef DMT_CORE_CSV_H_
+#define DMT_CORE_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dmt::core {
+
+/// Parsed CSV content: optional header row plus data rows of string fields.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// CSV parsing options.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// When true, every row must have the same field count as the first.
+  bool require_rectangular = true;
+};
+
+/// Parses CSV text. Handles quoted fields, embedded delimiters/newlines,
+/// doubled quotes, and CRLF line endings.
+Result<CsvTable> ParseCsv(std::string_view text,
+                          const CsvOptions& options = {});
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+/// Serializes a table to CSV text, quoting fields as needed.
+std::string WriteCsv(const CsvTable& table, char delimiter = ',');
+
+/// Writes a table to a file.
+Status WriteCsvFile(const std::string& path, const CsvTable& table,
+                    char delimiter = ',');
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_CSV_H_

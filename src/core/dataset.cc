@@ -1,0 +1,254 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace dmt::core {
+
+const AttributeInfo& Dataset::attribute(size_t a) const {
+  DMT_CHECK_LT(a, attributes_.size());
+  return attributes_[a];
+}
+
+const std::string& Dataset::class_name(uint32_t c) const {
+  DMT_CHECK_LT(c, class_names_.size());
+  return class_names_[c];
+}
+
+double Dataset::Numeric(size_t row, size_t attribute_index) const {
+  DMT_DCHECK(row < num_rows_);
+  DMT_DCHECK(attributes_[attribute_index].type == AttributeType::kNumeric);
+  return columns_[attribute_index].numeric[row];
+}
+
+uint32_t Dataset::Categorical(size_t row, size_t attribute_index) const {
+  DMT_DCHECK(row < num_rows_);
+  DMT_DCHECK(attributes_[attribute_index].type ==
+             AttributeType::kCategorical);
+  return columns_[attribute_index].categorical[row];
+}
+
+std::span<const double> Dataset::NumericColumn(size_t attribute_index) const {
+  DMT_CHECK_LT(attribute_index, attributes_.size());
+  DMT_CHECK(attributes_[attribute_index].type == AttributeType::kNumeric);
+  return columns_[attribute_index].numeric;
+}
+
+std::span<const uint32_t> Dataset::CategoricalColumn(
+    size_t attribute_index) const {
+  DMT_CHECK_LT(attribute_index, attributes_.size());
+  DMT_CHECK(attributes_[attribute_index].type == AttributeType::kCategorical);
+  return columns_[attribute_index].categorical;
+}
+
+uint32_t Dataset::Label(size_t row) const {
+  DMT_DCHECK(row < num_rows_);
+  return labels_[row];
+}
+
+std::vector<size_t> Dataset::ClassCounts() const {
+  std::vector<size_t> counts(num_classes(), 0);
+  for (uint32_t label : labels_) ++counts[label];
+  return counts;
+}
+
+Dataset Dataset::Subset(std::span<const size_t> rows) const {
+  Dataset out;
+  out.attributes_ = attributes_;
+  out.class_names_ = class_names_;
+  out.num_rows_ = rows.size();
+  out.columns_.resize(columns_.size());
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    if (attributes_[a].type == AttributeType::kNumeric) {
+      out.columns_[a].numeric.reserve(rows.size());
+      for (size_t row : rows) {
+        DMT_CHECK_LT(row, num_rows_);
+        out.columns_[a].numeric.push_back(columns_[a].numeric[row]);
+      }
+    } else {
+      out.columns_[a].categorical.reserve(rows.size());
+      for (size_t row : rows) {
+        DMT_CHECK_LT(row, num_rows_);
+        out.columns_[a].categorical.push_back(columns_[a].categorical[row]);
+      }
+    }
+  }
+  out.labels_.reserve(rows.size());
+  for (size_t row : rows) out.labels_.push_back(labels_[row]);
+  return out;
+}
+
+Result<PointSet> Dataset::ToPointSet(bool one_hot_categoricals) const {
+  size_t dim = 0;
+  for (const auto& attr : attributes_) {
+    if (attr.type == AttributeType::kNumeric) {
+      ++dim;
+    } else if (one_hot_categoricals) {
+      dim += attr.num_categories();
+    } else {
+      return Status::InvalidArgument(
+          "categorical attribute '" + attr.name +
+          "' cannot be converted without one-hot encoding");
+    }
+  }
+  if (dim == 0) {
+    return Status::InvalidArgument("dataset has no feature columns");
+  }
+  PointSet points(dim);
+  std::vector<double> row_buffer(dim);
+  for (size_t row = 0; row < num_rows_; ++row) {
+    size_t d = 0;
+    for (size_t a = 0; a < attributes_.size(); ++a) {
+      if (attributes_[a].type == AttributeType::kNumeric) {
+        row_buffer[d++] = columns_[a].numeric[row];
+      } else {
+        for (size_t c = 0; c < attributes_[a].num_categories(); ++c) {
+          row_buffer[d++] =
+              columns_[a].categorical[row] == c ? 1.0 : 0.0;
+        }
+      }
+    }
+    points.Add(row_buffer);
+  }
+  return points;
+}
+
+DatasetBuilder& DatasetBuilder::AddNumericColumn(std::string name,
+                                                 std::vector<double> values) {
+  AttributeInfo info;
+  info.name = std::move(name);
+  info.type = AttributeType::kNumeric;
+  dataset_.attributes_.push_back(std::move(info));
+  Dataset::Column column;
+  column.numeric = std::move(values);
+  dataset_.columns_.push_back(std::move(column));
+  return *this;
+}
+
+DatasetBuilder& DatasetBuilder::AddCategoricalColumn(
+    std::string name, std::vector<uint32_t> codes,
+    std::vector<std::string> categories) {
+  AttributeInfo info;
+  info.name = std::move(name);
+  info.type = AttributeType::kCategorical;
+  info.categories = std::move(categories);
+  dataset_.attributes_.push_back(std::move(info));
+  Dataset::Column column;
+  column.categorical = std::move(codes);
+  dataset_.columns_.push_back(std::move(column));
+  return *this;
+}
+
+DatasetBuilder& DatasetBuilder::SetLabels(
+    std::vector<uint32_t> labels, std::vector<std::string> class_names) {
+  dataset_.labels_ = std::move(labels);
+  dataset_.class_names_ = std::move(class_names);
+  has_labels_ = true;
+  return *this;
+}
+
+Result<Dataset> DatasetBuilder::Build() {
+  if (!has_labels_) {
+    return Status::FailedPrecondition("dataset labels were never set");
+  }
+  size_t rows = dataset_.labels_.size();
+  for (size_t a = 0; a < dataset_.attributes_.size(); ++a) {
+    const auto& attr = dataset_.attributes_[a];
+    const auto& column = dataset_.columns_[a];
+    size_t column_rows = attr.type == AttributeType::kNumeric
+                             ? column.numeric.size()
+                             : column.categorical.size();
+    if (column_rows != rows) {
+      return Status::InvalidArgument(StrFormat(
+          "column '%s' has %zu rows but labels have %zu",
+          attr.name.c_str(), column_rows, rows));
+    }
+    if (attr.type == AttributeType::kCategorical) {
+      for (uint32_t code : column.categorical) {
+        if (code >= attr.num_categories()) {
+          return Status::OutOfRange(StrFormat(
+              "category code %u out of range for column '%s' (%zu "
+              "categories)",
+              code, attr.name.c_str(), attr.num_categories()));
+        }
+      }
+    }
+  }
+  for (uint32_t label : dataset_.labels_) {
+    if (label >= dataset_.class_names_.size()) {
+      return Status::OutOfRange(
+          StrFormat("label code %u out of range (%zu classes)", label,
+                    dataset_.class_names_.size()));
+    }
+  }
+  dataset_.num_rows_ = rows;
+  return std::move(dataset_);
+}
+
+Result<Dataset> DatasetFromCsv(const CsvTable& table,
+                               const std::string& label_column) {
+  if (table.header.empty()) {
+    return Status::InvalidArgument("CSV table has no header row");
+  }
+  size_t label_index = table.header.size();
+  for (size_t i = 0; i < table.header.size(); ++i) {
+    if (table.header[i] == label_column) {
+      label_index = i;
+      break;
+    }
+  }
+  if (label_index == table.header.size()) {
+    return Status::NotFound("label column '" + label_column +
+                            "' not found in CSV header");
+  }
+  const size_t rows = table.rows.size();
+  DatasetBuilder builder;
+  for (size_t col = 0; col < table.header.size(); ++col) {
+    if (col == label_index) continue;
+    // Numeric if every value parses as a double.
+    bool numeric = true;
+    std::vector<double> values;
+    values.reserve(rows);
+    for (const auto& row : table.rows) {
+      auto parsed = ParseDouble(row[col]);
+      if (!parsed.ok()) {
+        numeric = false;
+        break;
+      }
+      values.push_back(*parsed);
+    }
+    if (numeric && rows > 0) {
+      builder.AddNumericColumn(table.header[col], std::move(values));
+    } else {
+      std::vector<std::string> categories;
+      std::unordered_map<std::string, uint32_t> index;
+      std::vector<uint32_t> codes;
+      codes.reserve(rows);
+      for (const auto& row : table.rows) {
+        auto [it, inserted] = index.try_emplace(
+            row[col], static_cast<uint32_t>(categories.size()));
+        if (inserted) categories.push_back(row[col]);
+        codes.push_back(it->second);
+      }
+      builder.AddCategoricalColumn(table.header[col], std::move(codes),
+                                   std::move(categories));
+    }
+  }
+  std::vector<std::string> class_names;
+  std::unordered_map<std::string, uint32_t> class_index;
+  std::vector<uint32_t> labels;
+  labels.reserve(rows);
+  for (const auto& row : table.rows) {
+    auto [it, inserted] = class_index.try_emplace(
+        row[label_index], static_cast<uint32_t>(class_names.size()));
+    if (inserted) class_names.push_back(row[label_index]);
+    labels.push_back(it->second);
+  }
+  builder.SetLabels(std::move(labels), std::move(class_names));
+  return builder.Build();
+}
+
+}  // namespace dmt::core

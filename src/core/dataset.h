@@ -1,0 +1,112 @@
+// Column-oriented labelled tabular dataset for classification algorithms.
+#ifndef DMT_CORE_DATASET_H_
+#define DMT_CORE_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/csv.h"
+#include "core/point_set.h"
+#include "core/status.h"
+
+namespace dmt::core {
+
+/// Kind of a feature column.
+enum class AttributeType { kNumeric, kCategorical };
+
+/// Schema entry for one attribute.
+struct AttributeInfo {
+  std::string name;
+  AttributeType type = AttributeType::kNumeric;
+  /// Category names, only for kCategorical; codes index into this.
+  std::vector<std::string> categories;
+
+  size_t num_categories() const { return categories.size(); }
+};
+
+/// Immutable labelled dataset: typed feature columns plus a class label per
+/// row. Column-oriented so split-finding in trees scans contiguously.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_attributes() const { return attributes_.size(); }
+  size_t num_classes() const { return class_names_.size(); }
+
+  const AttributeInfo& attribute(size_t a) const;
+  const std::vector<std::string>& class_names() const { return class_names_; }
+  const std::string& class_name(uint32_t c) const;
+
+  /// Value accessors; the attribute must have the matching type.
+  double Numeric(size_t row, size_t attribute) const;
+  uint32_t Categorical(size_t row, size_t attribute) const;
+
+  /// Whole-column accessors for scan-heavy algorithms.
+  std::span<const double> NumericColumn(size_t attribute) const;
+  std::span<const uint32_t> CategoricalColumn(size_t attribute) const;
+
+  uint32_t Label(size_t row) const;
+  std::span<const uint32_t> labels() const { return labels_; }
+
+  /// Per-class row counts.
+  std::vector<size_t> ClassCounts() const;
+
+  /// Copies the selected rows into a new dataset with the same schema.
+  Dataset Subset(std::span<const size_t> rows) const;
+
+  /// Converts features to a dense point matrix. Categorical attributes are
+  /// one-hot encoded when `one_hot_categoricals`, otherwise rejected.
+  Result<PointSet> ToPointSet(bool one_hot_categoricals = true) const;
+
+ private:
+  friend class DatasetBuilder;
+
+  struct Column {
+    std::vector<double> numeric;
+    std::vector<uint32_t> categorical;
+  };
+
+  size_t num_rows_ = 0;
+  std::vector<AttributeInfo> attributes_;
+  std::vector<Column> columns_;
+  std::vector<uint32_t> labels_;
+  std::vector<std::string> class_names_;
+};
+
+/// Assembles a Dataset column by column, validating shape at Build().
+class DatasetBuilder {
+ public:
+  /// Adds a numeric feature column.
+  DatasetBuilder& AddNumericColumn(std::string name,
+                                   std::vector<double> values);
+
+  /// Adds a categorical feature column; every code must index `categories`.
+  DatasetBuilder& AddCategoricalColumn(std::string name,
+                                       std::vector<uint32_t> codes,
+                                       std::vector<std::string> categories);
+
+  /// Sets the label column; every code must index `class_names`.
+  DatasetBuilder& SetLabels(std::vector<uint32_t> labels,
+                            std::vector<std::string> class_names);
+
+  /// Validates column lengths and code ranges and produces the dataset.
+  Result<Dataset> Build();
+
+ private:
+  Dataset dataset_;
+  bool has_labels_ = false;
+};
+
+/// Builds a dataset from a parsed CSV table. The column named
+/// `label_column` becomes the class label; every other column is numeric if
+/// all its values parse as doubles, otherwise categorical (dictionary-encoded
+/// in first-appearance order).
+Result<Dataset> DatasetFromCsv(const CsvTable& table,
+                               const std::string& label_column);
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_DATASET_H_

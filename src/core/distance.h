@@ -1,0 +1,51 @@
+// Distance functions over dense double vectors.
+#ifndef DMT_CORE_DISTANCE_H_
+#define DMT_CORE_DISTANCE_H_
+
+#include <cmath>
+#include <span>
+
+#include "core/check.h"
+
+namespace dmt::core {
+
+/// Squared Euclidean distance (the workhorse of k-means and kNN: monotone in
+/// the true distance, no sqrt).
+inline double SquaredEuclideanDistance(std::span<const double> a,
+                                       std::span<const double> b) {
+  DMT_DCHECK(a.size() == b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    total += diff * diff;
+  }
+  return total;
+}
+
+inline double EuclideanDistance(std::span<const double> a,
+                                std::span<const double> b) {
+  return std::sqrt(SquaredEuclideanDistance(a, b));
+}
+
+inline double ManhattanDistance(std::span<const double> a,
+                                std::span<const double> b) {
+  DMT_DCHECK(a.size() == b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) total += std::fabs(a[i] - b[i]);
+  return total;
+}
+
+inline double ChebyshevDistance(std::span<const double> a,
+                                std::span<const double> b) {
+  DMT_DCHECK(a.size() == b.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = std::fabs(a[i] - b[i]);
+    if (diff > worst) worst = diff;
+  }
+  return worst;
+}
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_DISTANCE_H_

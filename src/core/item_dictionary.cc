@@ -1,0 +1,30 @@
+#include "core/item_dictionary.h"
+
+#include "core/check.h"
+
+namespace dmt::core {
+
+ItemId ItemDictionary::GetOrAdd(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  ItemId id = static_cast<ItemId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Result<ItemId> ItemDictionary::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return Status::NotFound("item '" + std::string(name) +
+                            "' is not in the dictionary");
+  }
+  return it->second;
+}
+
+const std::string& ItemDictionary::Name(ItemId id) const {
+  DMT_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+}  // namespace dmt::core

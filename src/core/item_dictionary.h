@@ -1,0 +1,40 @@
+// Bidirectional mapping between item names and dense integer ids.
+#ifndef DMT_CORE_ITEM_DICTIONARY_H_
+#define DMT_CORE_ITEM_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dmt::core {
+
+/// Dense id for an item in a transaction database.
+using ItemId = uint32_t;
+
+/// Interns item names to dense ids [0, size) and back.
+class ItemDictionary {
+ public:
+  /// Returns the existing id for `name` or assigns the next dense id.
+  ItemId GetOrAdd(std::string_view name);
+
+  /// Looks up the id of an existing item.
+  Result<ItemId> Find(std::string_view name) const;
+
+  /// Name for a valid id; checks bounds.
+  const std::string& Name(ItemId id) const;
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ItemId> ids_;
+};
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_ITEM_DICTIONARY_H_

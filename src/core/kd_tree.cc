@@ -1,0 +1,146 @@
+#include "core/kd_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "core/distance.h"
+
+namespace dmt::core {
+
+KdTree::KdTree(const PointSet& points, size_t leaf_size)
+    : points_(points), leaf_size_(std::max<size_t>(1, leaf_size)) {
+  indices_.resize(points_.size());
+  std::iota(indices_.begin(), indices_.end(), 0u);
+  if (!points_.empty()) BuildNode(0, points_.size());
+}
+
+uint32_t KdTree::BuildNode(size_t begin, size_t end) {
+  uint32_t node_index = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (end - begin <= leaf_size_) {
+    Node& node = nodes_[node_index];
+    node.is_leaf = true;
+    node.begin = static_cast<uint32_t>(begin);
+    node.end = static_cast<uint32_t>(end);
+    return node_index;
+  }
+  // Split on the dimension with the widest spread among these points.
+  const size_t dim = points_.dim();
+  size_t best_axis = 0;
+  double best_spread = -1.0;
+  for (size_t d = 0; d < dim; ++d) {
+    double lo = points_.point(indices_[begin])[d];
+    double hi = lo;
+    for (size_t i = begin + 1; i < end; ++i) {
+      double v = points_.point(indices_[i])[d];
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_axis = d;
+    }
+  }
+  if (best_spread <= 0.0) {
+    // All points identical: keep as a (possibly large) leaf.
+    Node& node = nodes_[node_index];
+    node.is_leaf = true;
+    node.begin = static_cast<uint32_t>(begin);
+    node.end = static_cast<uint32_t>(end);
+    return node_index;
+  }
+  size_t mid = begin + (end - begin) / 2;
+  std::nth_element(indices_.begin() + static_cast<std::ptrdiff_t>(begin),
+                   indices_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   indices_.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](uint32_t a, uint32_t b) {
+                     return points_.point(a)[best_axis] <
+                            points_.point(b)[best_axis];
+                   });
+  double split_value = points_.point(indices_[mid])[best_axis];
+  uint32_t left = BuildNode(begin, mid);
+  uint32_t right = BuildNode(mid, end);
+  Node& node = nodes_[node_index];
+  node.is_leaf = false;
+  node.axis = static_cast<uint32_t>(best_axis);
+  node.split = split_value;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+std::vector<std::pair<double, uint32_t>> KdTree::KNearest(
+    std::span<const double> query, size_t k) const {
+  DMT_CHECK_EQ(query.size(), points_.dim());
+  std::vector<std::pair<double, uint32_t>> heap;  // max-heap on distance
+  if (k == 0 || points_.empty()) return heap;
+  heap.reserve(k + 1);
+  SearchKNearest(0, query, k, &heap);
+  std::sort_heap(heap.begin(), heap.end());
+  return heap;
+}
+
+void KdTree::SearchKNearest(
+    uint32_t node_index, std::span<const double> query, size_t k,
+    std::vector<std::pair<double, uint32_t>>* heap) const {
+  const Node& node = nodes_[node_index];
+  if (node.is_leaf) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      uint32_t point_index = indices_[i];
+      double d = SquaredEuclideanDistance(query,
+                                          points_.point(point_index));
+      if (heap->size() < k) {
+        heap->emplace_back(d, point_index);
+        std::push_heap(heap->begin(), heap->end());
+      } else if (d < heap->front().first) {
+        std::pop_heap(heap->begin(), heap->end());
+        heap->back() = {d, point_index};
+        std::push_heap(heap->begin(), heap->end());
+      }
+    }
+    return;
+  }
+  double diff = query[node.axis] - node.split;
+  uint32_t near_child = diff <= 0.0 ? node.left : node.right;
+  uint32_t far_child = diff <= 0.0 ? node.right : node.left;
+  SearchKNearest(near_child, query, k, heap);
+  // Visit the far side only if the splitting plane is closer than the
+  // current k-th distance (or we have fewer than k yet).
+  if (heap->size() < k || diff * diff < heap->front().first) {
+    SearchKNearest(far_child, query, k, heap);
+  }
+}
+
+std::vector<uint32_t> KdTree::RadiusSearch(std::span<const double> query,
+                                           double radius) const {
+  DMT_CHECK_EQ(query.size(), points_.dim());
+  std::vector<uint32_t> out;
+  if (points_.empty() || radius < 0.0) return out;
+  SearchRadius(0, query, radius * radius, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void KdTree::SearchRadius(uint32_t node_index,
+                          std::span<const double> query, double radius_sq,
+                          std::vector<uint32_t>* out) const {
+  const Node& node = nodes_[node_index];
+  if (node.is_leaf) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      uint32_t point_index = indices_[i];
+      if (SquaredEuclideanDistance(query, points_.point(point_index)) <=
+          radius_sq) {
+        out->push_back(point_index);
+      }
+    }
+    return;
+  }
+  double diff = query[node.axis] - node.split;
+  uint32_t near_child = diff <= 0.0 ? node.left : node.right;
+  uint32_t far_child = diff <= 0.0 ? node.right : node.left;
+  SearchRadius(near_child, query, radius_sq, out);
+  if (diff * diff <= radius_sq) SearchRadius(far_child, query, radius_sq, out);
+}
+
+}  // namespace dmt::core

@@ -1,0 +1,62 @@
+// kd-tree over a PointSet for k-nearest-neighbour and radius queries.
+#ifndef DMT_CORE_KD_TREE_H_
+#define DMT_CORE_KD_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/point_set.h"
+
+namespace dmt::core {
+
+/// Static kd-tree. The indexed PointSet must outlive the tree and must not
+/// change. Splits on the widest-spread dimension at the median.
+class KdTree {
+ public:
+  /// Builds the index; `leaf_size` points or fewer stop the recursion.
+  explicit KdTree(const PointSet& points, size_t leaf_size = 16);
+
+  /// The k nearest points to `query` as (squared distance, point index),
+  /// ascending by distance (ties by index order encountered). Returns fewer
+  /// than k when the set is smaller.
+  std::vector<std::pair<double, uint32_t>> KNearest(
+      std::span<const double> query, size_t k) const;
+
+  /// Indices of all points within `radius` (inclusive) of `query`,
+  /// ascending.
+  std::vector<uint32_t> RadiusSearch(std::span<const double> query,
+                                     double radius) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Internal: split dimension/value and children. Leaf: [begin, end) into
+    // indices_.
+    uint32_t left = 0;
+    uint32_t right = 0;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    uint32_t axis = 0;
+    double split = 0.0;
+    bool is_leaf = true;
+  };
+
+  uint32_t BuildNode(size_t begin, size_t end);
+  void SearchKNearest(uint32_t node_index, std::span<const double> query,
+                      size_t k,
+                      std::vector<std::pair<double, uint32_t>>* heap) const;
+  void SearchRadius(uint32_t node_index, std::span<const double> query,
+                    double radius_sq, std::vector<uint32_t>* out) const;
+
+  const PointSet& points_;
+  size_t leaf_size_;
+  std::vector<uint32_t> indices_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_KD_TREE_H_

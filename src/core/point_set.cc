@@ -1,0 +1,95 @@
+#include "core/point_set.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace dmt::core {
+
+Result<PointSet> PointSet::FromFlat(size_t dim, std::vector<double> data) {
+  if (dim == 0) {
+    return Status::InvalidArgument("PointSet dimensionality must be > 0");
+  }
+  if (data.size() % dim != 0) {
+    return Status::InvalidArgument(
+        StrFormat("flat data of %zu doubles is not a multiple of dim %zu",
+                  data.size(), dim));
+  }
+  PointSet out(dim);
+  out.data_ = std::move(data);
+  return out;
+}
+
+void PointSet::Add(std::span<const double> point) {
+  DMT_CHECK_EQ(point.size(), dim_);
+  data_.insert(data_.end(), point.begin(), point.end());
+}
+
+std::span<const double> PointSet::point(size_t i) const {
+  DMT_DCHECK(i < size());
+  return {data_.data() + i * dim_, dim_};
+}
+
+std::span<double> PointSet::mutable_point(size_t i) {
+  DMT_DCHECK(i < size());
+  return {data_.data() + i * dim_, dim_};
+}
+
+PointSet PointSet::Subset(std::span<const size_t> rows) const {
+  PointSet out(dim_);
+  out.data_.reserve(rows.size() * dim_);
+  for (size_t row : rows) {
+    auto p = point(row);
+    out.data_.insert(out.data_.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+void PointSet::Bounds(std::vector<double>* mins,
+                      std::vector<double>* maxs) const {
+  DMT_CHECK(!empty());
+  mins->assign(dim_, 0.0);
+  maxs->assign(dim_, 0.0);
+  for (size_t d = 0; d < dim_; ++d) {
+    (*mins)[d] = (*maxs)[d] = data_[d];
+  }
+  for (size_t i = 1; i < size(); ++i) {
+    auto p = point(i);
+    for (size_t d = 0; d < dim_; ++d) {
+      if (p[d] < (*mins)[d]) (*mins)[d] = p[d];
+      if (p[d] > (*maxs)[d]) (*maxs)[d] = p[d];
+    }
+  }
+}
+
+void PointSet::Standardize() {
+  if (empty()) return;
+  const size_t n = size();
+  std::vector<double> mean(dim_, 0.0);
+  std::vector<double> var(dim_, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    auto p = point(i);
+    for (size_t d = 0; d < dim_; ++d) mean[d] += p[d];
+  }
+  for (size_t d = 0; d < dim_; ++d) mean[d] /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto p = point(i);
+    for (size_t d = 0; d < dim_; ++d) {
+      double diff = p[d] - mean[d];
+      var[d] += diff * diff;
+    }
+  }
+  for (size_t d = 0; d < dim_; ++d) {
+    var[d] = std::sqrt(var[d] / static_cast<double>(n));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    auto p = mutable_point(i);
+    for (size_t d = 0; d < dim_; ++d) {
+      p[d] -= mean[d];
+      if (var[d] > 0.0) p[d] /= var[d];
+    }
+  }
+}
+
+}  // namespace dmt::core

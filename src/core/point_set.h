@@ -1,0 +1,54 @@
+// Dense row-major point matrix used by clustering and nearest-neighbour
+// algorithms.
+#ifndef DMT_CORE_POINT_SET_H_
+#define DMT_CORE_POINT_SET_H_
+
+#include <span>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dmt::core {
+
+/// n points of fixed dimensionality, stored contiguously row-major.
+class PointSet {
+ public:
+  PointSet() = default;
+
+  /// Empty set of `dim`-dimensional points.
+  explicit PointSet(size_t dim) : dim_(dim) {}
+
+  /// Takes ownership of pre-built row-major data; data.size() must be a
+  /// multiple of dim.
+  static Result<PointSet> FromFlat(size_t dim, std::vector<double> data);
+
+  /// Appends one point; size must equal dim().
+  void Add(std::span<const double> point);
+
+  size_t size() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return data_.empty(); }
+
+  std::span<const double> point(size_t i) const;
+  std::span<double> mutable_point(size_t i);
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// Copies the selected rows into a new PointSet.
+  PointSet Subset(std::span<const size_t> rows) const;
+
+  /// Per-dimension min/max over all points. Requires a non-empty set.
+  void Bounds(std::vector<double>* mins, std::vector<double>* maxs) const;
+
+  /// Standardizes every dimension to zero mean / unit variance in place
+  /// (dimensions with zero variance are left centered).
+  void Standardize();
+
+ private:
+  size_t dim_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_POINT_SET_H_

@@ -1,0 +1,135 @@
+#include "core/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace dmt::core {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(sm);
+  // xoshiro requires a nonzero state; SplitMix64 cannot emit four zero words
+  // from any seed, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  DMT_CHECK_GT(bound, 0u);
+  // Rejection sampling over the largest multiple of `bound` below 2^64.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DMT_CHECK_LE(lo, hi);
+  uint64_t range = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextU64());  // full 64-bit span
+  return lo + static_cast<int64_t>(UniformU64(range));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * UniformDouble() - 1.0;
+    v = 2.0 * UniformDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::Exponential(double mean) {
+  DMT_CHECK_GT(mean, 0.0);
+  // 1 - UniformDouble() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - UniformDouble());
+}
+
+uint64_t Rng::Poisson(double mean) {
+  DMT_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    uint64_t count = 0;
+    double product = UniformDouble();
+    while (product > limit) {
+      ++count;
+      product *= UniformDouble();
+    }
+    return count;
+  }
+  // Normal approximation for large means; adequate for workload generation.
+  double draw = Normal(mean, std::sqrt(mean));
+  if (draw < 0.0) return 0;
+  return static_cast<uint64_t>(std::llround(draw));
+}
+
+size_t Rng::Categorical(std::span<const double> weights) {
+  DMT_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    DMT_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  DMT_CHECK_GT(total, 0.0);
+  double target = UniformDouble() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: return the last index
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  DMT_CHECK_LE(k, n);
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(UniformU64(n - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+Rng Rng::Split() {
+  return Rng(NextU64());
+}
+
+}  // namespace dmt::core

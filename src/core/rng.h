@@ -1,0 +1,99 @@
+// Deterministic, portable random number generation.
+//
+// Every stochastic component in dmt takes an explicit 64-bit seed and uses
+// this engine, so identical seeds produce identical results on every
+// platform. std::<distribution> types are deliberately avoided in
+// result-bearing paths because the standard does not pin down their
+// algorithms; the samplers here are fully specified.
+#ifndef DMT_CORE_RNG_H_
+#define DMT_CORE_RNG_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/check.h"
+
+namespace dmt::core {
+
+/// SplitMix64 step: used for seeding and as a cheap standalone mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** engine with portable samplers on top.
+///
+/// Not thread-safe; create one Rng per thread (Split() derives independent
+/// streams deterministically).
+class Rng {
+ public:
+  /// Seeds the four-word state by running SplitMix64 over `seed`.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Next raw 64 random bits.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound), bias-free via rejection. bound > 0.
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal deviate (Marsaglia polar method, cached spare).
+  double Normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Exponential deviate with the given mean (mean > 0).
+  double Exponential(double mean);
+
+  /// Poisson deviate. Knuth's method for small means, normal approximation
+  /// (clamped at zero) for mean >= 30.
+  uint64_t Poisson(double mean);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  size_t Categorical(std::span<const double> weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    if (values.size() < 2) return;
+    for (size_t i = values.size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i + 1));
+      using std::swap;
+      swap(values[i], values[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (reservoir when k << n is not
+  /// needed at our scales; partial Fisher–Yates). Returned in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent deterministic child stream.
+  Rng Split();
+
+ private:
+  uint64_t state_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_RNG_H_

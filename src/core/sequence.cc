@@ -1,0 +1,63 @@
+#include "core/sequence.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace dmt::core {
+
+size_t Sequence::TotalItems() const {
+  size_t total = 0;
+  for (const auto& element : elements) total += element.size();
+  return total;
+}
+
+bool Sequence::Contains(const Sequence& other) const {
+  // Greedy left-to-right matching is correct for subsequence containment:
+  // matching each element of `other` at the earliest possible position
+  // leaves the largest suffix available for the rest.
+  size_t pos = 0;
+  for (const auto& needle : other.elements) {
+    bool matched = false;
+    for (; pos < elements.size(); ++pos) {
+      const auto& haystack = elements[pos];
+      if (std::includes(haystack.begin(), haystack.end(), needle.begin(),
+                        needle.end())) {
+        matched = true;
+        ++pos;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+void SequenceDatabase::Add(const Sequence& sequence) {
+  Sequence cleaned;
+  cleaned.elements.reserve(sequence.elements.size());
+  for (const auto& element : sequence.elements) {
+    std::vector<ItemId> sorted(element);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    if (sorted.empty()) continue;
+    item_universe_ =
+        std::max(item_universe_, static_cast<size_t>(sorted.back()) + 1);
+    cleaned.elements.push_back(std::move(sorted));
+  }
+  sequences_.push_back(std::move(cleaned));
+}
+
+const Sequence& SequenceDatabase::sequence(size_t i) const {
+  DMT_CHECK_LT(i, sequences_.size());
+  return sequences_[i];
+}
+
+double SequenceDatabase::average_elements() const {
+  if (empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& s : sequences_) total += s.size();
+  return static_cast<double>(total) / static_cast<double>(size());
+}
+
+}  // namespace dmt::core

@@ -1,0 +1,58 @@
+// Customer-sequence database for sequential pattern mining.
+#ifndef DMT_CORE_SEQUENCE_H_
+#define DMT_CORE_SEQUENCE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/item_dictionary.h"
+#include "core/status.h"
+
+namespace dmt::core {
+
+/// A sequence is an ordered list of elements; each element (one customer
+/// transaction) is a sorted, duplicate-free itemset.
+struct Sequence {
+  std::vector<std::vector<ItemId>> elements;
+
+  size_t size() const { return elements.size(); }
+  bool empty() const { return elements.empty(); }
+
+  /// Total number of items across all elements (the sequence "length" in the
+  /// Agrawal–Srikant sense).
+  size_t TotalItems() const;
+
+  /// True when `other` is contained in this sequence: each element of
+  /// `other` is a subset of a distinct element of this sequence, in order.
+  bool Contains(const Sequence& other) const;
+
+  bool operator==(const Sequence& other) const = default;
+};
+
+/// Set of customer sequences (double-CSR layout).
+class SequenceDatabase {
+ public:
+  /// Appends one customer's sequence; element itemsets are sorted and
+  /// de-duplicated, empty elements dropped.
+  void Add(const Sequence& sequence);
+
+  size_t size() const { return sequences_.size(); }
+  bool empty() const { return sequences_.empty(); }
+
+  const Sequence& sequence(size_t i) const;
+
+  /// One past the largest item id present (0 when empty).
+  size_t item_universe() const { return item_universe_; }
+
+  /// Average number of elements per sequence.
+  double average_elements() const;
+
+ private:
+  std::vector<Sequence> sequences_;
+  size_t item_universe_ = 0;
+};
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_SEQUENCE_H_

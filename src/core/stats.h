@@ -1,0 +1,88 @@
+// Online statistics (Welford) and small numeric helpers.
+#ifndef DMT_CORE_STATS_H_
+#define DMT_CORE_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "core/check.h"
+
+namespace dmt::core {
+
+/// Numerically stable single-pass accumulator of mean and variance.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || count_ == 1) min_ = x;
+    if (x > max_ || count_ == 1) max_ = x;
+  }
+
+  /// Merges another accumulator (parallel Welford / Chan's formula).
+  void Merge(const RunningStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    uint64_t combined = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double combined_mean =
+        mean_ + delta * static_cast<double>(other.count_) /
+                    static_cast<double>(combined);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) /
+                           static_cast<double>(combined);
+    mean_ = combined_mean;
+    count_ = combined;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Population variance (divides by n).
+  double variance() const {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Sample variance (divides by n-1); 0 when fewer than two observations.
+  double sample_variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a span; 0 when empty.
+inline double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+/// Binary entropy-style log2 that maps 0 to 0 (for impurity computations).
+inline double XLog2X(double p) {
+  DMT_DCHECK(p >= 0.0);
+  return p > 0.0 ? p * std::log2(p) : 0.0;
+}
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_STATS_H_

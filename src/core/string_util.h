@@ -1,0 +1,34 @@
+// Small string helpers shared across modules.
+#ifndef DMT_CORE_STRING_UTIL_H_
+#define DMT_CORE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dmt::core {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins elements with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Locale-independent double parse of the full string.
+Result<double> ParseDouble(std::string_view text);
+
+/// Locale-independent non-negative integer parse of the full string.
+Result<uint64_t> ParseUint(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_STRING_UTIL_H_

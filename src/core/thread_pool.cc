@@ -1,0 +1,84 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace dmt::core {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t count = std::max<size_t>(1, num_threads);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  DMT_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    DMT_CHECK(!shutting_down_);
+    queue_.push_back(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock,
+                 [this] { return queue_.empty() && active_tasks_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_tasks_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --active_tasks_;
+      if (queue_.empty() && active_tasks_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void ParallelForChunks(ThreadPool* pool, size_t begin, size_t end,
+                       const std::function<void(size_t, size_t)>& body) {
+  if (begin >= end) return;
+  if (pool == nullptr || pool->num_threads() == 1) {
+    body(begin, end);
+    return;
+  }
+  size_t range = end - begin;
+  size_t chunks = std::min(range, pool->num_threads() * 4);
+  size_t chunk_size = (range + chunks - 1) / chunks;
+  for (size_t chunk_begin = begin; chunk_begin < end;
+       chunk_begin += chunk_size) {
+    size_t chunk_end = std::min(end, chunk_begin + chunk_size);
+    pool->Submit([=] { body(chunk_begin, chunk_end); });
+  }
+  pool->Wait();
+}
+
+}  // namespace dmt::core

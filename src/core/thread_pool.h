@@ -1,0 +1,56 @@
+// Fixed-size worker pool with a blocking Wait() barrier.
+#ifndef DMT_CORE_THREAD_POOL_H_
+#define DMT_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dmt::core {
+
+/// Simple FIFO thread pool. Tasks must not throw.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_tasks_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Splits [begin, end) into contiguous chunks and runs `body(chunk_begin,
+/// chunk_end)` across the pool; blocks until complete. A null pool runs
+/// serially.
+void ParallelForChunks(
+    ThreadPool* pool, size_t begin, size_t end,
+    const std::function<void(size_t, size_t)>& body);
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_THREAD_POOL_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing helper for benchmarks and progress reporting.
+#ifndef DMT_CORE_TIMER_H_
+#define DMT_CORE_TIMER_H_
+
+#include <chrono>
+
+namespace dmt::core {
+
+/// Monotonic stopwatch started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_TIMER_H_

@@ -1,0 +1,197 @@
+#include "eval/clustering_metrics.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dmt::eval {
+
+using core::Result;
+using core::Status;
+
+namespace {
+
+/// Contingency table between two labelings, with dense remapping.
+struct Contingency {
+  std::vector<std::vector<uint64_t>> table;  // [truth][predicted]
+  std::vector<uint64_t> truth_sizes;
+  std::vector<uint64_t> predicted_sizes;
+  uint64_t n = 0;
+};
+
+Result<Contingency> BuildContingency(std::span<const uint32_t> truth,
+                                     std::span<const uint32_t> predicted) {
+  if (truth.size() != predicted.size()) {
+    return Status::InvalidArgument("label vector sizes differ");
+  }
+  if (truth.empty()) {
+    return Status::InvalidArgument("cannot evaluate empty labelings");
+  }
+  std::unordered_map<uint32_t, uint32_t> truth_ids, predicted_ids;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  pairs.reserve(truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    auto [t_it, t_new] = truth_ids.try_emplace(
+        truth[i], static_cast<uint32_t>(truth_ids.size()));
+    auto [p_it, p_new] = predicted_ids.try_emplace(
+        predicted[i], static_cast<uint32_t>(predicted_ids.size()));
+    pairs.emplace_back(t_it->second, p_it->second);
+  }
+  Contingency c;
+  c.n = truth.size();
+  c.table.assign(truth_ids.size(),
+                 std::vector<uint64_t>(predicted_ids.size(), 0));
+  c.truth_sizes.assign(truth_ids.size(), 0);
+  c.predicted_sizes.assign(predicted_ids.size(), 0);
+  for (auto [t, p] : pairs) {
+    ++c.table[t][p];
+    ++c.truth_sizes[t];
+    ++c.predicted_sizes[p];
+  }
+  return c;
+}
+
+double Choose2(uint64_t n) {
+  return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+}
+
+}  // namespace
+
+Result<double> AdjustedRandIndex(std::span<const uint32_t> truth,
+                                 std::span<const uint32_t> predicted) {
+  DMT_ASSIGN_OR_RETURN(Contingency c, BuildContingency(truth, predicted));
+  double sum_cells = 0.0;
+  for (const auto& row : c.table) {
+    for (uint64_t cell : row) sum_cells += Choose2(cell);
+  }
+  double sum_truth = 0.0;
+  for (uint64_t size : c.truth_sizes) sum_truth += Choose2(size);
+  double sum_predicted = 0.0;
+  for (uint64_t size : c.predicted_sizes) sum_predicted += Choose2(size);
+  double total_pairs = Choose2(c.n);
+  double expected = sum_truth * sum_predicted / total_pairs;
+  double maximum = 0.5 * (sum_truth + sum_predicted);
+  if (maximum == expected) {
+    // Both partitions are trivial (all singletons or one block): define
+    // agreement as perfect.
+    return 1.0;
+  }
+  return (sum_cells - expected) / (maximum - expected);
+}
+
+Result<double> NormalizedMutualInformation(
+    std::span<const uint32_t> truth, std::span<const uint32_t> predicted) {
+  DMT_ASSIGN_OR_RETURN(Contingency c, BuildContingency(truth, predicted));
+  const double n = static_cast<double>(c.n);
+  double mutual_information = 0.0;
+  for (size_t t = 0; t < c.table.size(); ++t) {
+    for (size_t p = 0; p < c.table[t].size(); ++p) {
+      if (c.table[t][p] == 0) continue;
+      double joint = static_cast<double>(c.table[t][p]) / n;
+      double marginal_product =
+          (static_cast<double>(c.truth_sizes[t]) / n) *
+          (static_cast<double>(c.predicted_sizes[p]) / n);
+      mutual_information += joint * std::log(joint / marginal_product);
+    }
+  }
+  auto entropy = [n](const std::vector<uint64_t>& sizes) {
+    double h = 0.0;
+    for (uint64_t size : sizes) {
+      if (size == 0) continue;
+      double p = static_cast<double>(size) / n;
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  double h_truth = entropy(c.truth_sizes);
+  double h_predicted = entropy(c.predicted_sizes);
+  double mean_entropy = 0.5 * (h_truth + h_predicted);
+  if (mean_entropy <= 0.0) {
+    // Both partitions constant: identical by construction.
+    return 1.0;
+  }
+  double nmi = mutual_information / mean_entropy;
+  // Clamp floating noise.
+  if (nmi < 0.0) return 0.0;
+  if (nmi > 1.0) return 1.0;
+  return nmi;
+}
+
+Result<double> MeanSilhouette(const core::PointSet& points,
+                              std::span<const uint32_t> assignments) {
+  const size_t n = points.size();
+  if (n != assignments.size()) {
+    return Status::InvalidArgument(
+        "assignments must match the number of points");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("cannot score an empty point set");
+  }
+  if (n > 20000) {
+    return Status::InvalidArgument(
+        "MeanSilhouette is O(n^2) and limited to 20000 points");
+  }
+  // Dense cluster ids and sizes.
+  std::unordered_map<uint32_t, uint32_t> id_map;
+  std::vector<uint32_t> dense(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto [it, inserted] =
+        id_map.try_emplace(assignments[i],
+                           static_cast<uint32_t>(id_map.size()));
+    dense[i] = it->second;
+  }
+  const size_t k = id_map.size();
+  if (k < 2) {
+    return Status::InvalidArgument(
+        "silhouette requires at least two clusters");
+  }
+  std::vector<size_t> cluster_size(k, 0);
+  for (uint32_t c : dense) ++cluster_size[c];
+
+  double total = 0.0;
+  std::vector<double> sum_to_cluster(k);
+  for (size_t i = 0; i < n; ++i) {
+    if (cluster_size[dense[i]] == 1) continue;  // scores 0
+    std::fill(sum_to_cluster.begin(), sum_to_cluster.end(), 0.0);
+    auto p = points.point(i);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double diff_sq = 0.0;
+      auto q = points.point(j);
+      for (size_t d = 0; d < p.size(); ++d) {
+        double diff = p[d] - q[d];
+        diff_sq += diff * diff;
+      }
+      sum_to_cluster[dense[j]] += std::sqrt(diff_sq);
+    }
+    double a = sum_to_cluster[dense[i]] /
+               static_cast<double>(cluster_size[dense[i]] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      if (c == dense[i] || cluster_size[c] == 0) continue;
+      b = std::min(b, sum_to_cluster[c] /
+                          static_cast<double>(cluster_size[c]));
+    }
+    double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+Result<double> Purity(std::span<const uint32_t> truth,
+                      std::span<const uint32_t> predicted) {
+  DMT_ASSIGN_OR_RETURN(Contingency c, BuildContingency(truth, predicted));
+  uint64_t majority_total = 0;
+  for (size_t p = 0; p < c.predicted_sizes.size(); ++p) {
+    uint64_t best = 0;
+    for (size_t t = 0; t < c.table.size(); ++t) {
+      best = std::max(best, c.table[t][p]);
+    }
+    majority_total += best;
+  }
+  return static_cast<double>(majority_total) / static_cast<double>(c.n);
+}
+
+}  // namespace dmt::eval

@@ -1,0 +1,38 @@
+// External clustering-quality measures against ground-truth labels:
+// adjusted Rand index, normalized mutual information, purity.
+#ifndef DMT_EVAL_CLUSTERING_METRICS_H_
+#define DMT_EVAL_CLUSTERING_METRICS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/point_set.h"
+#include "core/status.h"
+
+namespace dmt::eval {
+
+/// Adjusted Rand index in [-1, 1]; 1 = identical partitions, ~0 = random
+/// agreement. Label values need not be dense.
+core::Result<double> AdjustedRandIndex(std::span<const uint32_t> truth,
+                                       std::span<const uint32_t> predicted);
+
+/// Normalized mutual information in [0, 1] (normalized by the arithmetic
+/// mean of the entropies; 1 when either partition is constant and they
+/// agree, 0 when independent).
+core::Result<double> NormalizedMutualInformation(
+    std::span<const uint32_t> truth, std::span<const uint32_t> predicted);
+
+/// Purity in (0, 1]: fraction of points in the majority true class of their
+/// predicted cluster.
+core::Result<double> Purity(std::span<const uint32_t> truth,
+                            std::span<const uint32_t> predicted);
+
+/// Mean silhouette coefficient in [-1, 1] (internal quality: no ground
+/// truth needed). O(n^2); limited to 20000 points. Requires at least two
+/// clusters; singleton-cluster points score 0 by convention.
+core::Result<double> MeanSilhouette(const core::PointSet& points,
+                                    std::span<const uint32_t> assignments);
+
+}  // namespace dmt::eval
+
+#endif  // DMT_EVAL_CLUSTERING_METRICS_H_

@@ -1,0 +1,126 @@
+#include "eval/cross_validation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.h"
+#include "core/string_util.h"
+
+namespace dmt::eval {
+
+using core::Result;
+using core::Rng;
+using core::Status;
+
+Result<Split> TrainTestSplit(size_t num_rows, double test_fraction,
+                             uint64_t seed) {
+  if (num_rows < 2) {
+    return Status::InvalidArgument("need at least two rows to split");
+  }
+  if (!(test_fraction > 0.0) || test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  Rng rng(seed);
+  std::vector<size_t> order(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) order[i] = i;
+  rng.Shuffle(order);
+  size_t test_size = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(
+             test_fraction * static_cast<double>(num_rows))));
+  test_size = std::min(test_size, num_rows - 1);
+  Split split;
+  split.test.assign(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(test_size));
+  split.train.assign(order.begin() + static_cast<std::ptrdiff_t>(test_size),
+                     order.end());
+  std::sort(split.test.begin(), split.test.end());
+  std::sort(split.train.begin(), split.train.end());
+  return split;
+}
+
+Result<Split> StratifiedTrainTestSplit(std::span<const uint32_t> labels,
+                                       double test_fraction,
+                                       uint64_t seed) {
+  if (labels.size() < 2) {
+    return Status::InvalidArgument("need at least two rows to split");
+  }
+  if (!(test_fraction > 0.0) || test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  Rng rng(seed);
+  uint32_t num_classes = 0;
+  for (uint32_t label : labels) num_classes = std::max(num_classes, label);
+  ++num_classes;
+  std::vector<std::vector<size_t>> by_class(num_classes);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    by_class[labels[i]].push_back(i);
+  }
+  Split split;
+  for (auto& rows : by_class) {
+    if (rows.empty()) continue;
+    rng.Shuffle(rows);
+    size_t test_size = static_cast<size_t>(std::llround(
+        test_fraction * static_cast<double>(rows.size())));
+    test_size = std::min(test_size, rows.size() - 1);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      (i < test_size ? split.test : split.train).push_back(rows[i]);
+    }
+  }
+  if (split.test.empty() || split.train.empty()) {
+    return Status::InvalidArgument(
+        "stratified split produced an empty side; adjust test_fraction");
+  }
+  std::sort(split.test.begin(), split.test.end());
+  std::sort(split.train.begin(), split.train.end());
+  return split;
+}
+
+Result<std::vector<Split>> StratifiedKFold(std::span<const uint32_t> labels,
+                                           size_t folds, uint64_t seed) {
+  if (folds < 2) return Status::InvalidArgument("folds must be >= 2");
+  if (labels.size() < folds) {
+    return Status::InvalidArgument(core::StrFormat(
+        "cannot make %zu folds from %zu rows", folds, labels.size()));
+  }
+  Rng rng(seed);
+  uint32_t num_classes = 0;
+  for (uint32_t label : labels) num_classes = std::max(num_classes, label);
+  ++num_classes;
+  std::vector<std::vector<size_t>> by_class(num_classes);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    by_class[labels[i]].push_back(i);
+  }
+  // Deal each class's shuffled rows round-robin across folds.
+  std::vector<std::vector<size_t>> fold_rows(folds);
+  size_t deal = 0;
+  for (auto& rows : by_class) {
+    rng.Shuffle(rows);
+    for (size_t row : rows) {
+      fold_rows[deal % folds].push_back(row);
+      ++deal;
+    }
+  }
+  std::vector<Split> splits(folds);
+  for (size_t f = 0; f < folds; ++f) {
+    for (size_t other = 0; other < folds; ++other) {
+      auto& side = other == f ? splits[f].test : splits[f].train;
+      side.insert(side.end(), fold_rows[other].begin(),
+                  fold_rows[other].end());
+    }
+    if (splits[f].test.empty()) {
+      return Status::InvalidArgument(
+          "a fold came out empty; reduce the number of folds");
+    }
+    std::sort(splits[f].test.begin(), splits[f].test.end());
+    std::sort(splits[f].train.begin(), splits[f].train.end());
+  }
+  return splits;
+}
+
+void MaterializeSplit(const core::Dataset& data, const Split& split,
+                      core::Dataset* train, core::Dataset* test) {
+  *train = data.Subset(split.train);
+  *test = data.Subset(split.test);
+}
+
+}  // namespace dmt::eval

@@ -1,0 +1,41 @@
+// Data-splitting utilities: train/test split and (stratified) k-fold
+// cross-validation.
+#ifndef DMT_EVAL_CROSS_VALIDATION_H_
+#define DMT_EVAL_CROSS_VALIDATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/status.h"
+
+namespace dmt::eval {
+
+/// Row indices of one train/test partition.
+struct Split {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Random split with `test_fraction` of rows held out. Deterministic in
+/// seed.
+core::Result<Split> TrainTestSplit(size_t num_rows, double test_fraction,
+                                   uint64_t seed);
+
+/// Stratified split: each class contributes ~test_fraction of its rows.
+core::Result<Split> StratifiedTrainTestSplit(
+    std::span<const uint32_t> labels, double test_fraction, uint64_t seed);
+
+/// K folds with (approximately) class-balanced test sets; every row appears
+/// in exactly one test set.
+core::Result<std::vector<Split>> StratifiedKFold(
+    std::span<const uint32_t> labels, size_t folds, uint64_t seed);
+
+/// Convenience: materializes the train/test datasets of a split.
+void MaterializeSplit(const core::Dataset& data, const Split& split,
+                      core::Dataset* train, core::Dataset* test);
+
+}  // namespace dmt::eval
+
+#endif  // DMT_EVAL_CROSS_VALIDATION_H_

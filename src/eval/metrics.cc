@@ -1,0 +1,117 @@
+#include "eval/metrics.h"
+
+#include "core/string_util.h"
+
+namespace dmt::eval {
+
+using core::Result;
+using core::Status;
+
+Result<ConfusionMatrix> ConfusionMatrix::FromPredictions(
+    size_t num_classes, std::span<const uint32_t> truth,
+    std::span<const uint32_t> predicted) {
+  if (truth.size() != predicted.size()) {
+    return Status::InvalidArgument(core::StrFormat(
+        "truth has %zu labels but predictions have %zu", truth.size(),
+        predicted.size()));
+  }
+  if (truth.empty()) {
+    return Status::InvalidArgument("cannot evaluate zero predictions");
+  }
+  if (num_classes == 0) {
+    return Status::InvalidArgument("num_classes must be > 0");
+  }
+  ConfusionMatrix matrix(num_classes);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] >= num_classes || predicted[i] >= num_classes) {
+      return Status::OutOfRange("label exceeds num_classes");
+    }
+    ++matrix.cells_[truth[i] * num_classes + predicted[i]];
+  }
+  matrix.total_ = truth.size();
+  return matrix;
+}
+
+uint64_t ConfusionMatrix::cell(uint32_t true_class,
+                               uint32_t predicted_class) const {
+  return cells_[true_class * num_classes_ + predicted_class];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  uint64_t correct = 0;
+  for (uint32_t c = 0; c < num_classes_; ++c) correct += cell(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(uint32_t c) const {
+  uint64_t predicted_c = 0;
+  for (uint32_t t = 0; t < num_classes_; ++t) predicted_c += cell(t, c);
+  if (predicted_c == 0) return 0.0;
+  return static_cast<double>(cell(c, c)) / static_cast<double>(predicted_c);
+}
+
+double ConfusionMatrix::Recall(uint32_t c) const {
+  uint64_t actual_c = 0;
+  for (uint32_t p = 0; p < num_classes_; ++p) actual_c += cell(c, p);
+  if (actual_c == 0) return 0.0;
+  return static_cast<double>(cell(c, c)) / static_cast<double>(actual_c);
+}
+
+double ConfusionMatrix::F1(uint32_t c) const {
+  double precision = Precision(c);
+  double recall = Recall(c);
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double ConfusionMatrix::MacroPrecision() const {
+  double total = 0.0;
+  for (uint32_t c = 0; c < num_classes_; ++c) total += Precision(c);
+  return total / static_cast<double>(num_classes_);
+}
+
+double ConfusionMatrix::MacroRecall() const {
+  double total = 0.0;
+  for (uint32_t c = 0; c < num_classes_; ++c) total += Recall(c);
+  return total / static_cast<double>(num_classes_);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double total = 0.0;
+  for (uint32_t c = 0; c < num_classes_; ++c) total += F1(c);
+  return total / static_cast<double>(num_classes_);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::string out = "true\\pred";
+  for (uint32_t p = 0; p < num_classes_; ++p) {
+    out += core::StrFormat("%10u", p);
+  }
+  out += '\n';
+  for (uint32_t t = 0; t < num_classes_; ++t) {
+    out += core::StrFormat("%9u", t);
+    for (uint32_t p = 0; p < num_classes_; ++p) {
+      out += core::StrFormat("%10llu",
+                             static_cast<unsigned long long>(cell(t, p)));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<double> Accuracy(std::span<const uint32_t> truth,
+                        std::span<const uint32_t> predicted) {
+  if (truth.size() != predicted.size()) {
+    return Status::InvalidArgument("label vector sizes differ");
+  }
+  if (truth.empty()) {
+    return Status::InvalidArgument("cannot evaluate zero predictions");
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+}  // namespace dmt::eval

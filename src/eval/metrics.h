@@ -1,0 +1,60 @@
+// Classification evaluation: confusion matrix, accuracy, per-class and
+// macro precision/recall/F1.
+#ifndef DMT_EVAL_METRICS_H_
+#define DMT_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dmt::eval {
+
+/// Confusion matrix over `num_classes` classes; cell (t, p) counts rows with
+/// true class t predicted as p.
+class ConfusionMatrix {
+ public:
+  /// Builds from parallel truth/prediction vectors. Labels must be
+  /// < num_classes.
+  static core::Result<ConfusionMatrix> FromPredictions(
+      size_t num_classes, std::span<const uint32_t> truth,
+      std::span<const uint32_t> predicted);
+
+  size_t num_classes() const { return num_classes_; }
+  uint64_t cell(uint32_t true_class, uint32_t predicted_class) const;
+  uint64_t total() const { return total_; }
+
+  double Accuracy() const;
+  /// Precision of one class: TP / (TP + FP); 0 when never predicted.
+  double Precision(uint32_t c) const;
+  /// Recall of one class: TP / (TP + FN); 0 when absent from the truth.
+  double Recall(uint32_t c) const;
+  /// Harmonic mean of precision and recall; 0 when both vanish.
+  double F1(uint32_t c) const;
+  /// Unweighted averages over classes.
+  double MacroPrecision() const;
+  double MacroRecall() const;
+  double MacroF1() const;
+
+  /// Fixed-width text rendering (rows = truth, columns = predictions).
+  std::string ToString() const;
+
+ private:
+  ConfusionMatrix(size_t num_classes)
+      : num_classes_(num_classes), cells_(num_classes * num_classes, 0) {}
+
+  size_t num_classes_;
+  std::vector<uint64_t> cells_;
+  uint64_t total_ = 0;
+};
+
+/// Fraction of positions where the two label vectors agree (sizes must
+/// match; empty input fails).
+core::Result<double> Accuracy(std::span<const uint32_t> truth,
+                              std::span<const uint32_t> predicted);
+
+}  // namespace dmt::eval
+
+#endif  // DMT_EVAL_METRICS_H_

@@ -1,0 +1,210 @@
+#include "gen/agrawal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/string_util.h"
+
+namespace dmt::gen {
+
+using core::Dataset;
+using core::DatasetBuilder;
+using core::Result;
+using core::Rng;
+using core::Status;
+
+Status AgrawalParams::Validate() const {
+  if (function < 1 || function > 10) {
+    return Status::InvalidArgument(
+        core::StrFormat("function must be in 1..10, got %d", function));
+  }
+  if (num_records == 0) {
+    return Status::InvalidArgument("num_records must be > 0");
+  }
+  if (perturbation < 0.0 || perturbation > 1.0) {
+    return Status::InvalidArgument("perturbation must be in [0, 1]");
+  }
+  if (label_noise < 0.0 || label_noise > 1.0) {
+    return Status::InvalidArgument("label_noise must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// One synthetic applicant record.
+struct Record {
+  double salary;      // uniform [20000, 150000]
+  double commission;  // 0 if salary >= 75000, else uniform [10000, 75000]
+  double age;         // uniform [20, 80]
+  uint32_t elevel;    // uniform {0..4}
+  uint32_t car;       // uniform {1..20} (stored as code 0..19)
+  uint32_t zipcode;   // uniform {1..9} (stored as code 0..8)
+  double hvalue;      // uniform [zipcode*50000, zipcode*150000]
+  double hyears;      // uniform [1, 30]
+  double loan;        // uniform [0, 500000]
+};
+
+Record DrawRecord(Rng& rng) {
+  Record r;
+  r.salary = rng.UniformDouble(20000.0, 150000.0);
+  r.commission =
+      r.salary >= 75000.0 ? 0.0 : rng.UniformDouble(10000.0, 75000.0);
+  r.age = rng.UniformDouble(20.0, 80.0);
+  r.elevel = static_cast<uint32_t>(rng.UniformU64(5));
+  r.car = static_cast<uint32_t>(rng.UniformU64(20));
+  r.zipcode = static_cast<uint32_t>(rng.UniformU64(9));
+  double zip_factor = static_cast<double>(r.zipcode + 1);
+  r.hvalue = rng.UniformDouble(zip_factor * 50000.0, zip_factor * 150000.0);
+  r.hyears = rng.UniformDouble(1.0, 30.0);
+  r.loan = rng.UniformDouble(0.0, 500000.0);
+  return r;
+}
+
+/// The published group-A predicates (encoding follows the reference
+/// implementation distributed with the paper and reused by later systems).
+bool IsGroupA(int function, const Record& r) {
+  const double salary = r.salary;
+  const double commission = r.commission;
+  const double age = r.age;
+  const double elevel = static_cast<double>(r.elevel);
+  const double loan = r.loan;
+  const double total_income = salary + commission;
+  switch (function) {
+    case 1:
+      return age < 40.0 || 60.0 <= age;
+    case 2:
+      if (age < 40.0) return 50000.0 <= salary && salary <= 100000.0;
+      if (age < 60.0) return 75000.0 <= salary && salary <= 125000.0;
+      return 25000.0 <= salary && salary <= 75000.0;
+    case 3:
+      if (age < 40.0) return r.elevel <= 1;
+      if (age < 60.0) return 1 <= r.elevel && r.elevel <= 3;
+      return 2 <= r.elevel;
+    case 4:
+      if (age < 40.0) {
+        return r.elevel <= 1 ? (25000.0 <= salary && salary <= 75000.0)
+                             : (50000.0 <= salary && salary <= 100000.0);
+      }
+      if (age < 60.0) {
+        return (1 <= r.elevel && r.elevel <= 3)
+                   ? (50000.0 <= salary && salary <= 100000.0)
+                   : (75000.0 <= salary && salary <= 125000.0);
+      }
+      return 2 <= r.elevel ? (50000.0 <= salary && salary <= 100000.0)
+                           : (25000.0 <= salary && salary <= 75000.0);
+    case 5:
+      if (age < 40.0) {
+        return (50000.0 <= salary && salary <= 100000.0)
+                   ? (100000.0 <= loan && loan <= 300000.0)
+                   : (200000.0 <= loan && loan <= 400000.0);
+      }
+      if (age < 60.0) {
+        return (75000.0 <= salary && salary <= 125000.0)
+                   ? (200000.0 <= loan && loan <= 400000.0)
+                   : (300000.0 <= loan && loan <= 500000.0);
+      }
+      return (25000.0 <= salary && salary <= 75000.0)
+                 ? (300000.0 <= loan && loan <= 500000.0)
+                 : (100000.0 <= loan && loan <= 300000.0);
+    case 6:
+      if (age < 40.0) {
+        return 25000.0 <= total_income && total_income <= 75000.0;
+      }
+      if (age < 60.0) {
+        return 50000.0 <= total_income && total_income <= 125000.0;
+      }
+      return 25000.0 <= total_income && total_income <= 75000.0;
+    case 7:
+      return (2.0 * total_income / 3.0 - loan / 5.0 - 20000.0) > 0.0;
+    case 8:
+      return (2.0 * total_income / 3.0 - 5000.0 * elevel - 20000.0) > 0.0;
+    case 9:
+      return (2.0 * total_income / 3.0 - 5000.0 * elevel - loan / 5.0 -
+              10000.0) > 0.0;
+    case 10: {
+      double equity = 0.0;
+      if (r.hyears >= 20.0) equity = r.hvalue * (r.hyears - 20.0) / 10.0;
+      return (2.0 * total_income / 3.0 - 5000.0 * elevel + equity / 5.0 -
+              10000.0) > 0.0;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<Dataset> GenerateAgrawal(const AgrawalParams& params, uint64_t seed) {
+  DMT_RETURN_NOT_OK(params.Validate());
+  Rng rng(seed);
+  const size_t n = params.num_records;
+
+  std::vector<double> salary(n), commission(n), age(n), hvalue(n), hyears(n),
+      loan(n);
+  std::vector<uint32_t> elevel(n), car(n), zipcode(n), labels(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    Record r = DrawRecord(rng);
+    labels[i] = IsGroupA(params.function, r) ? 0u : 1u;
+    if (params.label_noise > 0.0 && rng.Bernoulli(params.label_noise)) {
+      labels[i] ^= 1u;
+    }
+    if (params.perturbation > 0.0) {
+      auto perturb = [&](double value, double lo, double hi) {
+        double shifted = value + rng.UniformDouble(-0.5, 0.5) *
+                                     params.perturbation * (hi - lo);
+        return std::clamp(shifted, lo, hi);
+      };
+      r.salary = perturb(r.salary, 20000.0, 150000.0);
+      if (r.commission > 0.0) {
+        r.commission = perturb(r.commission, 10000.0, 75000.0);
+      }
+      r.age = perturb(r.age, 20.0, 80.0);
+      double zip_factor = static_cast<double>(r.zipcode + 1);
+      r.hvalue = perturb(r.hvalue, zip_factor * 50000.0,
+                         zip_factor * 150000.0);
+      r.hyears = perturb(r.hyears, 1.0, 30.0);
+      r.loan = perturb(r.loan, 0.0, 500000.0);
+    }
+    salary[i] = r.salary;
+    commission[i] = r.commission;
+    age[i] = r.age;
+    elevel[i] = r.elevel;
+    car[i] = r.car;
+    zipcode[i] = r.zipcode;
+    hvalue[i] = r.hvalue;
+    hyears[i] = r.hyears;
+    loan[i] = r.loan;
+  }
+
+  auto make_names = [](const char* prefix, size_t count, int base) {
+    std::vector<std::string> names;
+    names.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      names.push_back(
+          core::StrFormat("%s%d", prefix, static_cast<int>(i) + base));
+    }
+    return names;
+  };
+
+  DatasetBuilder builder;
+  builder.AddNumericColumn("salary", std::move(salary))
+      .AddNumericColumn("commission", std::move(commission))
+      .AddNumericColumn("age", std::move(age))
+      .AddCategoricalColumn("elevel", std::move(elevel),
+                            make_names("level", 5, 0))
+      .AddCategoricalColumn("car", std::move(car), make_names("make", 20, 1))
+      .AddCategoricalColumn("zipcode", std::move(zipcode),
+                            make_names("zip", 9, 1))
+      .AddNumericColumn("hvalue", std::move(hvalue))
+      .AddNumericColumn("hyears", std::move(hyears))
+      .AddNumericColumn("loan", std::move(loan))
+      .SetLabels(std::move(labels), {"groupA", "groupB"});
+  return builder.Build();
+}
+
+}  // namespace dmt::gen

@@ -1,0 +1,41 @@
+// Synthetic classification-function generator of Agrawal, Imielinski &
+// Swami, "Database Mining: A Performance Perspective" (IEEE TKDE 1993).
+//
+// Nine attributes describe a loan applicant (salary, commission, age,
+// education level, car make, zipcode, house value, years owned, loan);
+// ten published predicates F1..F10 assign each record to "group A" or
+// "group B". Optional attribute perturbation and label noise reproduce the
+// paper's robustness experiments.
+#ifndef DMT_GEN_AGRAWAL_H_
+#define DMT_GEN_AGRAWAL_H_
+
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "core/status.h"
+
+namespace dmt::gen {
+
+/// Parameters of the Agrawal classification generator.
+struct AgrawalParams {
+  /// Which published predicate labels the records, 1..10.
+  int function = 1;
+  /// Number of records to generate.
+  size_t num_records = 10000;
+  /// Attribute perturbation factor p: after labelling, each numeric value v
+  /// is shifted by uniform(-0.5, 0.5) * p * range(attribute) (paper §5.4).
+  double perturbation = 0.0;
+  /// Probability of flipping the class label of a record.
+  double label_noise = 0.0;
+
+  core::Status Validate() const;
+};
+
+/// Generates a labelled dataset (classes "groupA"/"groupB").
+/// Deterministic in (params, seed).
+core::Result<core::Dataset> GenerateAgrawal(const AgrawalParams& params,
+                                            uint64_t seed);
+
+}  // namespace dmt::gen
+
+#endif  // DMT_GEN_AGRAWAL_H_

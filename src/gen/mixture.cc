@@ -1,0 +1,110 @@
+#include "gen/mixture.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace dmt::gen {
+
+using core::PointSet;
+using core::Result;
+using core::Rng;
+using core::Status;
+
+Status GaussianMixtureParams::Validate() const {
+  if (num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be > 0");
+  }
+  if (points_per_cluster == 0) {
+    return Status::InvalidArgument("points_per_cluster must be > 0");
+  }
+  if (dim == 0) return Status::InvalidArgument("dim must be > 0");
+  if (cluster_stddev < 0.0) {
+    return Status::InvalidArgument("cluster_stddev must be >= 0");
+  }
+  if (spread <= 0.0) return Status::InvalidArgument("spread must be > 0");
+  if (noise_fraction < 0.0) {
+    return Status::InvalidArgument("noise_fraction must be >= 0");
+  }
+  if (placement == CenterPlacement::kGrid && dim != 2) {
+    return Status::InvalidArgument("grid placement requires dim == 2");
+  }
+  return Status::OK();
+}
+
+Result<LabeledPoints> GenerateGaussianMixture(
+    const GaussianMixtureParams& params, uint64_t seed) {
+  DMT_RETURN_NOT_OK(params.Validate());
+  Rng rng(seed);
+  LabeledPoints out;
+  out.points = PointSet(params.dim);
+  out.true_centers = PointSet(params.dim);
+
+  // Place centers.
+  std::vector<double> center(params.dim);
+  if (params.placement == CenterPlacement::kGrid) {
+    size_t side = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(params.num_clusters))));
+    for (size_t c = 0; c < params.num_clusters; ++c) {
+      center[0] = static_cast<double>(c % side) * params.spread;
+      center[1] = static_cast<double>(c / side) * params.spread;
+      out.true_centers.Add(center);
+    }
+  } else {
+    for (size_t c = 0; c < params.num_clusters; ++c) {
+      for (size_t d = 0; d < params.dim; ++d) {
+        center[d] = rng.UniformDouble(0.0, params.spread);
+      }
+      out.true_centers.Add(center);
+    }
+  }
+
+  // Draw clustered points.
+  std::vector<double> point(params.dim);
+  for (size_t c = 0; c < params.num_clusters; ++c) {
+    auto mu = out.true_centers.point(c);
+    for (size_t i = 0; i < params.points_per_cluster; ++i) {
+      for (size_t d = 0; d < params.dim; ++d) {
+        point[d] = rng.Normal(mu[d], params.cluster_stddev);
+      }
+      out.points.Add(point);
+      out.labels.push_back(static_cast<uint32_t>(c));
+    }
+  }
+
+  // Background noise over the bounding box of the centers, padded by 3
+  // sigma so noise actually surrounds the clusters.
+  size_t noise_points = static_cast<size_t>(
+      std::llround(params.noise_fraction *
+                   static_cast<double>(params.num_clusters *
+                                       params.points_per_cluster)));
+  if (noise_points > 0) {
+    std::vector<double> mins, maxs;
+    out.true_centers.Bounds(&mins, &maxs);
+    double pad = 3.0 * params.cluster_stddev;
+    for (size_t i = 0; i < noise_points; ++i) {
+      for (size_t d = 0; d < params.dim; ++d) {
+        point[d] = rng.UniformDouble(mins[d] - pad, maxs[d] + pad);
+      }
+      out.points.Add(point);
+      out.labels.push_back(kNoiseLabel);
+    }
+  }
+  return out;
+}
+
+Result<LabeledPoints> GenerateBirchGrid(size_t num_clusters,
+                                        size_t points_per_cluster,
+                                        double spacing, double stddev,
+                                        uint64_t seed) {
+  GaussianMixtureParams params;
+  params.num_clusters = num_clusters;
+  params.points_per_cluster = points_per_cluster;
+  params.dim = 2;
+  params.cluster_stddev = stddev;
+  params.placement = CenterPlacement::kGrid;
+  params.spread = spacing;
+  return GenerateGaussianMixture(params, seed);
+}
+
+}  // namespace dmt::gen

@@ -1,0 +1,65 @@
+// Gaussian-mixture point generators for clustering experiments, including
+// the grid-of-clusters layouts of the BIRCH paper (SIGMOD'96, DS1/DS2/DS3).
+#ifndef DMT_GEN_MIXTURE_H_
+#define DMT_GEN_MIXTURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/point_set.h"
+#include "core/status.h"
+
+namespace dmt::gen {
+
+/// Ground-truth label assigned to uniform background noise points.
+inline constexpr uint32_t kNoiseLabel = 0xffffffffu;
+
+/// How cluster centers are placed.
+enum class CenterPlacement {
+  /// Uniformly at random inside the bounding box.
+  kUniformRandom,
+  /// On a regular sqrt(k) x sqrt(k)-ish grid (BIRCH DS1 layout; requires
+  /// dim == 2).
+  kGrid,
+};
+
+/// Parameters of the Gaussian mixture generator.
+struct GaussianMixtureParams {
+  size_t num_clusters = 10;
+  /// Points drawn per cluster (each cluster gets exactly this many).
+  size_t points_per_cluster = 100;
+  size_t dim = 2;
+  /// Per-dimension standard deviation of each cluster.
+  double cluster_stddev = 1.0;
+  CenterPlacement placement = CenterPlacement::kUniformRandom;
+  /// Side length of the bounding box centers are placed in (random
+  /// placement) or grid spacing between adjacent centers (grid placement).
+  double spread = 20.0;
+  /// Additional uniform background-noise points, as a fraction of the total
+  /// clustered points (labelled kNoiseLabel).
+  double noise_fraction = 0.0;
+
+  core::Status Validate() const;
+};
+
+/// Generated points plus ground truth.
+struct LabeledPoints {
+  core::PointSet points;
+  std::vector<uint32_t> labels;
+  core::PointSet true_centers;
+};
+
+/// Generates a Gaussian mixture. Deterministic in (params, seed).
+core::Result<LabeledPoints> GenerateGaussianMixture(
+    const GaussianMixtureParams& params, uint64_t seed);
+
+/// Convenience: the BIRCH-style 2-d grid dataset with k clusters of n points
+/// each at unit grid spacing `spacing` and cluster radius ~ stddev.
+core::Result<LabeledPoints> GenerateBirchGrid(size_t num_clusters,
+                                              size_t points_per_cluster,
+                                              double spacing, double stddev,
+                                              uint64_t seed);
+
+}  // namespace dmt::gen
+
+#endif  // DMT_GEN_MIXTURE_H_

@@ -1,0 +1,54 @@
+// IBM Quest-style synthetic transaction generator.
+//
+// Re-implementation of the synthetic market-basket workload of Agrawal &
+// Srikant, "Fast Algorithms for Mining Association Rules" (VLDB'94),
+// §"Synthetic data generation": a pool of potentially-large itemsets with
+// exponentially decaying weights is planted into Poisson-sized transactions,
+// with per-pattern corruption. Workloads are conventionally named
+// T<avg transaction size>.I<avg pattern size>.D<num transactions>.
+#ifndef DMT_GEN_QUEST_H_
+#define DMT_GEN_QUEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "core/transaction.h"
+
+namespace dmt::gen {
+
+/// Parameters of the Quest transaction generator. Defaults follow the
+/// VLDB'94 paper (N = 1000, |L| = 2000) scaled for laptop runs.
+struct QuestParams {
+  /// |D|: number of transactions.
+  size_t num_transactions = 10000;
+  /// |T|: average transaction size (Poisson mean).
+  double avg_transaction_size = 10.0;
+  /// |I|: average size of the maximal potentially large itemsets.
+  double avg_pattern_size = 4.0;
+  /// N: number of distinct items.
+  size_t num_items = 1000;
+  /// |L|: number of maximal potentially large itemsets in the pool.
+  size_t num_patterns = 2000;
+  /// Fraction of each pattern inherited from the previous pattern
+  /// (exponential mean), modeling correlated itemsets.
+  double correlation = 0.5;
+  /// Mean / stddev of the per-pattern corruption level (normal, clamped to
+  /// [0, 1]); corrupted patterns drop items when planted.
+  double corruption_mean = 0.5;
+  double corruption_stddev = 0.1;
+
+  /// Validates parameter ranges.
+  core::Status Validate() const;
+
+  /// Conventional workload name, e.g. "T10.I4.D10K".
+  std::string Name() const;
+};
+
+/// Generates a transaction database. Deterministic in (params, seed).
+core::Result<core::TransactionDatabase> GenerateQuestTransactions(
+    const QuestParams& params, uint64_t seed);
+
+}  // namespace dmt::gen
+
+#endif  // DMT_GEN_QUEST_H_

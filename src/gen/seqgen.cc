@@ -1,0 +1,150 @@
+#include "gen/seqgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/string_util.h"
+
+namespace dmt::gen {
+
+using core::ItemId;
+using core::Result;
+using core::Rng;
+using core::Sequence;
+using core::SequenceDatabase;
+using core::Status;
+
+Status SequenceGenParams::Validate() const {
+  if (num_customers == 0) {
+    return Status::InvalidArgument("num_customers must be > 0");
+  }
+  if (num_items == 0) return Status::InvalidArgument("num_items must be > 0");
+  if (num_pattern_sequences == 0 || num_pattern_itemsets == 0) {
+    return Status::InvalidArgument("pattern pool sizes must be > 0");
+  }
+  if (avg_transactions_per_customer <= 0.0 ||
+      avg_items_per_transaction <= 0.0 || avg_pattern_elements <= 0.0 ||
+      avg_pattern_itemset_size <= 0.0) {
+    return Status::InvalidArgument("all averages must be > 0");
+  }
+  if (corruption_mean < 0.0 || corruption_mean > 1.0 ||
+      corruption_stddev < 0.0) {
+    return Status::InvalidArgument("corruption parameters out of range");
+  }
+  return Status::OK();
+}
+
+std::string SequenceGenParams::Name() const {
+  return core::StrFormat("C%g.T%g.S%g.I%g", avg_transactions_per_customer,
+                         avg_items_per_transaction, avg_pattern_elements,
+                         avg_pattern_itemset_size);
+}
+
+namespace {
+
+struct PatternSequence {
+  Sequence sequence;
+  double corruption = 0.5;
+};
+
+std::vector<ItemId> DrawItemset(Rng& rng, size_t num_items, double avg_size) {
+  size_t target = std::max<uint64_t>(1, rng.Poisson(avg_size));
+  target = std::min(target, num_items);
+  std::vector<ItemId> items;
+  while (items.size() < target) {
+    ItemId item = static_cast<ItemId>(rng.UniformU64(num_items));
+    if (std::find(items.begin(), items.end(), item) == items.end()) {
+      items.push_back(item);
+    }
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+}  // namespace
+
+Result<SequenceDatabase> GenerateSequences(const SequenceGenParams& params,
+                                           uint64_t seed) {
+  DMT_RETURN_NOT_OK(params.Validate());
+  Rng rng(seed);
+
+  // Phase 1: pool of potentially-large itemsets with exponential weights.
+  std::vector<std::vector<ItemId>> itemset_pool;
+  std::vector<double> itemset_weights;
+  itemset_pool.reserve(params.num_pattern_itemsets);
+  for (size_t i = 0; i < params.num_pattern_itemsets; ++i) {
+    itemset_pool.push_back(
+        DrawItemset(rng, params.num_items, params.avg_pattern_itemset_size));
+    itemset_weights.push_back(rng.Exponential(1.0));
+  }
+
+  // Phase 2: pool of potentially-large sequences whose elements come from
+  // the itemset pool.
+  std::vector<PatternSequence> sequence_pool;
+  std::vector<double> sequence_weights;
+  sequence_pool.reserve(params.num_pattern_sequences);
+  for (size_t s = 0; s < params.num_pattern_sequences; ++s) {
+    size_t elements =
+        std::max<uint64_t>(1, rng.Poisson(params.avg_pattern_elements));
+    PatternSequence pattern;
+    for (size_t e = 0; e < elements; ++e) {
+      size_t pick = rng.Categorical(itemset_weights);
+      pattern.sequence.elements.push_back(itemset_pool[pick]);
+    }
+    pattern.corruption = std::clamp(
+        rng.Normal(params.corruption_mean, params.corruption_stddev), 0.0,
+        1.0);
+    sequence_pool.push_back(std::move(pattern));
+    sequence_weights.push_back(rng.Exponential(1.0));
+  }
+
+  // Phase 3: assemble customers. Each customer receives a target number of
+  // transactions; patterns are planted (corrupted: elements dropped) until
+  // the target is covered, then each transaction is padded with random
+  // items up to its own Poisson-sized target.
+  SequenceDatabase db;
+  for (size_t customer = 0; customer < params.num_customers; ++customer) {
+    size_t target_transactions = std::max<uint64_t>(
+        1, rng.Poisson(params.avg_transactions_per_customer));
+    Sequence assembled;
+    size_t attempts = 0;
+    const size_t max_attempts = 8 + 4 * target_transactions;
+    while (assembled.elements.size() < target_transactions &&
+           attempts++ < max_attempts) {
+      const size_t pick = rng.Categorical(sequence_weights);
+      const PatternSequence& pattern = sequence_pool[pick];
+      Sequence planted = pattern.sequence;
+      while (planted.elements.size() > 1 &&
+             rng.UniformDouble() < pattern.corruption) {
+        size_t victim =
+            static_cast<size_t>(rng.UniformU64(planted.elements.size()));
+        planted.elements.erase(planted.elements.begin() +
+                               static_cast<std::ptrdiff_t>(victim));
+      }
+      for (auto& element : planted.elements) {
+        if (assembled.elements.size() >= target_transactions) break;
+        assembled.elements.push_back(std::move(element));
+      }
+    }
+    while (assembled.elements.size() < target_transactions) {
+      assembled.elements.push_back(
+          DrawItemset(rng, params.num_items, params.avg_items_per_transaction));
+    }
+    // Pad each transaction with random items toward the per-transaction
+    // size target.
+    for (auto& element : assembled.elements) {
+      size_t target_size = std::max<uint64_t>(
+          1, rng.Poisson(params.avg_items_per_transaction));
+      while (element.size() < target_size) {
+        element.push_back(
+            static_cast<ItemId>(rng.UniformU64(params.num_items)));
+      }
+    }
+    db.Add(assembled);
+  }
+  return db;
+}
+
+}  // namespace dmt::gen

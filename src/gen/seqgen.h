@@ -1,0 +1,52 @@
+// Synthetic customer-sequence generator of Srikant & Agrawal, "Mining
+// Sequential Patterns" (ICDE'95): a pool of potentially-large itemsets is
+// composed into potentially-large sequences, which are planted (with
+// corruption) into customers' transaction sequences. Workloads are named
+// C<avg transactions per customer>.T<avg transaction size>.S<avg pattern
+// elements>.I<avg itemset size>.
+#ifndef DMT_GEN_SEQGEN_H_
+#define DMT_GEN_SEQGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/sequence.h"
+#include "core/status.h"
+
+namespace dmt::gen {
+
+/// Parameters of the sequence generator; defaults are the paper's scaled
+/// for laptop runs.
+struct SequenceGenParams {
+  /// |C|: number of customers (sequences).
+  size_t num_customers = 5000;
+  /// Avg transactions per customer (Poisson mean).
+  double avg_transactions_per_customer = 10.0;
+  /// Avg items per transaction (Poisson mean).
+  double avg_items_per_transaction = 2.5;
+  /// Avg number of elements of the maximal potentially-large sequences.
+  double avg_pattern_elements = 4.0;
+  /// Avg size of the itemsets inside potentially-large sequences.
+  double avg_pattern_itemset_size = 1.25;
+  /// N: number of distinct items.
+  size_t num_items = 1000;
+  /// Pool sizes.
+  size_t num_pattern_sequences = 500;
+  size_t num_pattern_itemsets = 2000;
+  /// Corruption level distribution, as in the transaction generator.
+  double corruption_mean = 0.5;
+  double corruption_stddev = 0.1;
+
+  core::Status Validate() const;
+
+  /// Conventional workload name, e.g. "C10.T2.5.S4.I1.25".
+  std::string Name() const;
+};
+
+/// Generates a customer-sequence database. Deterministic in (params, seed).
+core::Result<core::SequenceDatabase> GenerateSequences(
+    const SequenceGenParams& params, uint64_t seed);
+
+}  // namespace dmt::gen
+
+#endif  // DMT_GEN_SEQGEN_H_

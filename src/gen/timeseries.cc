@@ -1,0 +1,61 @@
+#include "gen/timeseries.h"
+
+#include "core/rng.h"
+#include "core/string_util.h"
+
+namespace dmt::gen {
+
+using core::Result;
+using core::Rng;
+using core::Status;
+
+Status RandomWalkParams::Validate() const {
+  if (num_series == 0) {
+    return Status::InvalidArgument("num_series must be > 0");
+  }
+  if (length == 0) return Status::InvalidArgument("length must be > 0");
+  if (step_stddev < 0.0) {
+    return Status::InvalidArgument("step_stddev must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<double>>> GenerateRandomWalks(
+    const RandomWalkParams& params, uint64_t seed) {
+  DMT_RETURN_NOT_OK(params.Validate());
+  Rng rng(seed);
+  std::vector<std::vector<double>> series(params.num_series);
+  for (auto& walk : series) {
+    walk.resize(params.length);
+    double value = params.start;
+    for (size_t t = 0; t < params.length; ++t) {
+      value += rng.Normal(0.0, params.step_stddev);
+      walk[t] = value;
+    }
+  }
+  return series;
+}
+
+Status PlantMotif(std::vector<std::vector<double>>* series, size_t target,
+                  size_t offset, const std::vector<double>& motif,
+                  double noise_stddev, uint64_t seed) {
+  if (series == nullptr || target >= series->size()) {
+    return Status::InvalidArgument("target series out of range");
+  }
+  auto& destination = (*series)[target];
+  if (offset + motif.size() > destination.size()) {
+    return Status::OutOfRange(core::StrFormat(
+        "motif of length %zu at offset %zu overruns series of length %zu",
+        motif.size(), offset, destination.size()));
+  }
+  if (noise_stddev < 0.0) {
+    return Status::InvalidArgument("noise_stddev must be >= 0");
+  }
+  Rng rng(seed);
+  for (size_t i = 0; i < motif.size(); ++i) {
+    destination[offset + i] = motif[i] + rng.Normal(0.0, noise_stddev);
+  }
+  return Status::OK();
+}
+
+}  // namespace dmt::gen

@@ -1,0 +1,41 @@
+// Synthetic time-series generator: random walks (the workload of the
+// FODO'93 / SIGMOD'94 similarity-search papers, who modelled stock series
+// as random walks) with optional planted motifs.
+#ifndef DMT_GEN_TIMESERIES_H_
+#define DMT_GEN_TIMESERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dmt::gen {
+
+/// Random-walk parameters.
+struct RandomWalkParams {
+  size_t num_series = 100;
+  size_t length = 1024;
+  /// Standard deviation of each step.
+  double step_stddev = 1.0;
+  /// Starting value of each walk.
+  double start = 0.0;
+
+  core::Status Validate() const;
+};
+
+/// Generates independent Gaussian random walks. Deterministic in
+/// (params, seed).
+core::Result<std::vector<std::vector<double>>> GenerateRandomWalks(
+    const RandomWalkParams& params, uint64_t seed);
+
+/// Copies `motif` into `series[target]` at `offset`, adding Gaussian noise
+/// with `noise_stddev` — plants a known near-match for similarity-search
+/// experiments.
+core::Status PlantMotif(std::vector<std::vector<double>>* series,
+                        size_t target, size_t offset,
+                        const std::vector<double>& motif,
+                        double noise_stddev, uint64_t seed);
+
+}  // namespace dmt::gen
+
+#endif  // DMT_GEN_TIMESERIES_H_

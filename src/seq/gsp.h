@@ -1,0 +1,64 @@
+// Sequential pattern mining in the GSP / AprioriAll family (Agrawal &
+// Srikant, ICDE'95; Srikant & Agrawal, EDBT'96): level-wise candidate
+// sequence generation with downward-closure pruning, counted by subsequence
+// containment over customer sequences.
+#ifndef DMT_SEQ_GSP_H_
+#define DMT_SEQ_GSP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sequence.h"
+#include "core/status.h"
+
+namespace dmt::seq {
+
+/// A frequent sequential pattern with its customer support count.
+struct SequencePattern {
+  core::Sequence sequence;
+  uint32_t support = 0;
+
+  bool operator==(const SequencePattern& other) const = default;
+};
+
+/// Per-pass bookkeeping (k = total items in the candidate sequences).
+struct SeqPassStats {
+  size_t pass = 0;
+  size_t candidates = 0;
+  size_t frequent = 0;
+};
+
+/// Output of the miner.
+struct SeqMiningResult {
+  /// Frequent patterns in canonical order (by total items, then element
+  /// structure, then items).
+  std::vector<SequencePattern> patterns;
+  std::vector<SeqPassStats> passes;
+};
+
+/// Mining thresholds.
+struct SeqMiningParams {
+  /// Minimum support as a fraction of customers, in (0, 1].
+  double min_support = 0.01;
+  /// Largest pattern size in total items; 0 = unlimited.
+  size_t max_pattern_items = 0;
+
+  core::Status Validate() const;
+};
+
+/// Mines all frequent sequential patterns.
+core::Result<SeqMiningResult> MineGsp(const core::SequenceDatabase& db,
+                                      const SeqMiningParams& params);
+
+/// Keeps only maximal patterns (no frequent proper supersequence) — the
+/// "maximal phase" of AprioriAll.
+std::vector<SequencePattern> FilterMaximalSequences(
+    const std::vector<SequencePattern>& patterns);
+
+/// Human-readable "<{a, b} {c}> (support=n)".
+std::string FormatSequencePattern(const SequencePattern& pattern);
+
+}  // namespace dmt::seq
+
+#endif  // DMT_SEQ_GSP_H_

@@ -1,0 +1,326 @@
+#include "tree/builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace dmt::tree {
+
+using core::AttributeType;
+using core::Dataset;
+using core::Result;
+using core::Status;
+
+Status TreeOptions::Validate() const {
+  if (min_samples_split < 2) {
+    return Status::InvalidArgument("min_samples_split must be >= 2");
+  }
+  if (min_gain < 0.0) {
+    return Status::InvalidArgument("min_gain must be >= 0");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// A chosen split for one node.
+struct BestSplit {
+  double score = -1.0;
+  uint32_t attribute = 0;
+  SplitKind kind = SplitKind::kNumericThreshold;
+  double threshold = 0.0;
+  uint32_t category = 0;
+};
+
+/// Builder state shared across the recursion.
+class TreeBuilderImpl {
+ public:
+  TreeBuilderImpl(const Dataset& data, const TreeOptions& options)
+      : data_(data), options_(options) {}
+
+  DecisionTree Build() {
+    DecisionTree tree;
+    // Capture rendering metadata.
+    for (size_t a = 0; a < data_.num_attributes(); ++a) {
+      internal::TreeAccess::AttributeNames(tree).push_back(
+          data_.attribute(a).name);
+      internal::TreeAccess::AttributeCategories(tree).push_back(
+          data_.attribute(a).categories);
+    }
+    internal::TreeAccess::ClassNames(tree) = data_.class_names();
+    std::vector<size_t> rows(data_.num_rows());
+    std::iota(rows.begin(), rows.end(), size_t{0});
+    Grow(&tree, rows, 0);
+    return tree;
+  }
+
+ private:
+  std::vector<uint32_t> CountClasses(std::span<const size_t> rows) const {
+    std::vector<uint32_t> counts(data_.num_classes(), 0);
+    for (size_t row : rows) ++counts[data_.Label(row)];
+    return counts;
+  }
+
+  static uint32_t Majority(std::span<const uint32_t> counts) {
+    uint32_t best = 0;
+    for (uint32_t c = 1; c < counts.size(); ++c) {
+      if (counts[c] > counts[best]) best = c;
+    }
+    return best;
+  }
+
+  /// Evaluates the best threshold split on a numeric attribute.
+  void ScanNumeric(std::span<const size_t> rows, uint32_t attribute,
+                   std::span<const uint32_t> parent_counts,
+                   BestSplit* best) const {
+    // Sort rows by value, then sweep the boundary between distinct values.
+    std::vector<size_t> sorted(rows.begin(), rows.end());
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return data_.Numeric(a, attribute) < data_.Numeric(b, attribute);
+    });
+    std::vector<std::vector<uint32_t>> child_counts(2);
+    child_counts[0].assign(data_.num_classes(), 0);
+    child_counts[1].assign(parent_counts.begin(), parent_counts.end());
+    // C4.5 caveat: gain ratio rewards extremely lopsided thresholds (tiny
+    // split information inflates the ratio), so the threshold is chosen by
+    // raw gain and only the chosen threshold is scored with the requested
+    // criterion (Quinlan's own remedy).
+    const SplitCriterion scan_criterion =
+        options_.criterion == SplitCriterion::kGainRatio
+            ? SplitCriterion::kInformationGain
+            : options_.criterion;
+    double best_gain = -1.0;
+    double best_threshold = 0.0;
+    std::vector<uint32_t> best_left;
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      uint32_t label = data_.Label(sorted[i]);
+      ++child_counts[0][label];
+      --child_counts[1][label];
+      double left_value = data_.Numeric(sorted[i], attribute);
+      double right_value = data_.Numeric(sorted[i + 1], attribute);
+      if (left_value == right_value) continue;  // no boundary here
+      double gain =
+          SplitScore(scan_criterion, parent_counts, child_counts);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_threshold = left_value + (right_value - left_value) / 2.0;
+        best_left = child_counts[0];
+      }
+    }
+    if (best_gain < 0.0) return;
+    double score = best_gain;
+    if (options_.criterion == SplitCriterion::kGainRatio) {
+      std::vector<std::vector<uint32_t>> chosen(2);
+      chosen[0] = best_left;
+      chosen[1].assign(data_.num_classes(), 0);
+      for (size_t cls = 0; cls < chosen[1].size(); ++cls) {
+        chosen[1][cls] = parent_counts[cls] - best_left[cls];
+      }
+      score = SplitScore(SplitCriterion::kGainRatio, parent_counts, chosen);
+    }
+    if (score > best->score) {
+      best->score = score;
+      best->attribute = attribute;
+      best->kind = SplitKind::kNumericThreshold;
+      best->threshold = best_threshold;
+    }
+  }
+
+  /// Evaluates a categorical attribute (multiway or best binary equals).
+  void ScanCategorical(std::span<const size_t> rows, uint32_t attribute,
+                       std::span<const uint32_t> parent_counts,
+                       BestSplit* best) const {
+    const size_t num_categories =
+        data_.attribute(attribute).num_categories();
+    std::vector<std::vector<uint32_t>> per_category(
+        num_categories, std::vector<uint32_t>(data_.num_classes(), 0));
+    for (size_t row : rows) {
+      ++per_category[data_.Categorical(row, attribute)][data_.Label(row)];
+    }
+    if (options_.categorical_style == CategoricalSplitStyle::kMultiway) {
+      double score =
+          SplitScore(options_.criterion, parent_counts, per_category);
+      if (score > best->score) {
+        best->score = score;
+        best->attribute = attribute;
+        best->kind = SplitKind::kCategoricalMultiway;
+      }
+      return;
+    }
+    // Binary: try category == c for every c present among the rows.
+    std::vector<std::vector<uint32_t>> child_counts(2);
+    for (uint32_t c = 0; c < num_categories; ++c) {
+      uint64_t in_category = 0;
+      for (uint32_t count : per_category[c]) in_category += count;
+      if (in_category == 0 || in_category == rows.size()) continue;
+      child_counts[0] = per_category[c];
+      child_counts[1].assign(data_.num_classes(), 0);
+      for (size_t cls = 0; cls < child_counts[1].size(); ++cls) {
+        child_counts[1][cls] = parent_counts[cls] - per_category[c][cls];
+      }
+      double score =
+          SplitScore(options_.criterion, parent_counts, child_counts);
+      if (score > best->score) {
+        best->score = score;
+        best->attribute = attribute;
+        best->kind = SplitKind::kCategoricalEquals;
+        best->category = c;
+      }
+    }
+  }
+
+  uint32_t Grow(DecisionTree* tree, std::span<const size_t> rows,
+                size_t depth) {
+    const uint32_t node_index =
+        static_cast<uint32_t>(internal::TreeAccess::Nodes(*tree).size());
+    internal::TreeAccess::Nodes(*tree).emplace_back();
+    {
+      TreeNode& node = internal::TreeAccess::Nodes(*tree)[node_index];
+      node.class_counts = CountClasses(rows);
+      node.majority_class = Majority(node.class_counts);
+    }
+    const std::vector<uint32_t> parent_counts =
+        internal::TreeAccess::Nodes(*tree)[node_index].class_counts;
+
+    // Stopping conditions: purity, size, depth.
+    bool pure = false;
+    for (uint32_t count : parent_counts) {
+      if (count == rows.size()) pure = true;
+    }
+    if (pure || rows.size() < options_.min_samples_split ||
+        (options_.max_depth != 0 && depth >= options_.max_depth)) {
+      return node_index;
+    }
+
+    BestSplit best;
+    for (uint32_t a = 0; a < data_.num_attributes(); ++a) {
+      if (data_.attribute(a).type == AttributeType::kNumeric) {
+        if (options_.allow_numeric_splits) {
+          ScanNumeric(rows, a, parent_counts, &best);
+        }
+      } else {
+        ScanCategorical(rows, a, parent_counts, &best);
+      }
+    }
+    if (best.score < options_.min_gain) return node_index;
+
+    // Partition rows among children.
+    std::vector<std::vector<size_t>> partitions;
+    switch (best.kind) {
+      case SplitKind::kCategoricalMultiway:
+        partitions.resize(
+            data_.attribute(best.attribute).num_categories());
+        for (size_t row : rows) {
+          partitions[data_.Categorical(row, best.attribute)].push_back(row);
+        }
+        break;
+      case SplitKind::kCategoricalEquals:
+        partitions.resize(2);
+        for (size_t row : rows) {
+          partitions[data_.Categorical(row, best.attribute) ==
+                             best.category
+                         ? 0
+                         : 1]
+              .push_back(row);
+        }
+        break;
+      case SplitKind::kNumericThreshold:
+        partitions.resize(2);
+        for (size_t row : rows) {
+          partitions[data_.Numeric(row, best.attribute) <= best.threshold
+                         ? 0
+                         : 1]
+              .push_back(row);
+        }
+        break;
+    }
+
+    // A degenerate split (all rows one side) can slip through multiway
+    // scoring when only one category is populated; keep the node a leaf.
+    size_t non_empty = 0;
+    for (const auto& partition : partitions) {
+      if (!partition.empty()) ++non_empty;
+    }
+    if (non_empty < 2) return node_index;
+
+    {
+      TreeNode& node = internal::TreeAccess::Nodes(*tree)[node_index];
+      node.is_leaf = false;
+      node.kind = best.kind;
+      node.attribute = best.attribute;
+      node.threshold = best.threshold;
+      node.category = best.category;
+    }
+    std::vector<uint32_t> children;
+    children.reserve(partitions.size());
+    for (const auto& partition : partitions) {
+      if (partition.empty()) {
+        // Empty branch: a leaf inheriting the parent's majority (C4.5's
+        // convention for unseen categories).
+        uint32_t leaf_index = static_cast<uint32_t>(internal::TreeAccess::Nodes(*tree).size());
+        internal::TreeAccess::Nodes(*tree).emplace_back();
+        TreeNode& leaf = internal::TreeAccess::Nodes(*tree)[leaf_index];
+        leaf.class_counts.assign(data_.num_classes(), 0);
+        leaf.majority_class = internal::TreeAccess::Nodes(*tree)[node_index].majority_class;
+        children.push_back(leaf_index);
+      } else {
+        children.push_back(Grow(tree, partition, depth + 1));
+      }
+    }
+    internal::TreeAccess::Nodes(*tree)[node_index].children = std::move(children);
+    return node_index;
+  }
+
+  const Dataset& data_;
+  const TreeOptions& options_;
+};
+
+}  // namespace
+
+Result<DecisionTree> BuildTree(const Dataset& data,
+                               const TreeOptions& options) {
+  DMT_RETURN_NOT_OK(options.Validate());
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("cannot grow a tree on an empty dataset");
+  }
+  if (data.num_classes() == 0) {
+    return Status::InvalidArgument("dataset has no classes");
+  }
+  if (!options.allow_numeric_splits) {
+    for (size_t a = 0; a < data.num_attributes(); ++a) {
+      if (data.attribute(a).type == AttributeType::kNumeric) {
+        return Status::InvalidArgument(core::StrFormat(
+            "attribute '%s' is numeric but numeric splits are disabled "
+            "(discretize first, e.g. EqualWidthDiscretize)",
+            data.attribute(a).name.c_str()));
+      }
+    }
+  }
+  TreeBuilderImpl builder(data, options);
+  return builder.Build();
+}
+
+Result<DecisionTree> BuildId3(const Dataset& data, TreeOptions options) {
+  options.criterion = SplitCriterion::kInformationGain;
+  options.categorical_style = CategoricalSplitStyle::kMultiway;
+  options.allow_numeric_splits = false;
+  return BuildTree(data, options);
+}
+
+Result<DecisionTree> BuildC45(const Dataset& data, TreeOptions options) {
+  options.criterion = SplitCriterion::kGainRatio;
+  options.categorical_style = CategoricalSplitStyle::kMultiway;
+  options.allow_numeric_splits = true;
+  return BuildTree(data, options);
+}
+
+Result<DecisionTree> BuildCart(const Dataset& data, TreeOptions options) {
+  options.criterion = SplitCriterion::kGini;
+  options.categorical_style = CategoricalSplitStyle::kBinary;
+  options.allow_numeric_splits = true;
+  return BuildTree(data, options);
+}
+
+}  // namespace dmt::tree

@@ -1,0 +1,72 @@
+#include "tree/criteria.h"
+
+#include "core/stats.h"
+
+namespace dmt::tree {
+namespace {
+
+uint64_t Total(std::span<const uint32_t> counts) {
+  uint64_t total = 0;
+  for (uint32_t c : counts) total += c;
+  return total;
+}
+
+}  // namespace
+
+double Entropy(std::span<const uint32_t> class_counts) {
+  uint64_t total = Total(class_counts);
+  if (total == 0) return 0.0;
+  double entropy = 0.0;
+  for (uint32_t count : class_counts) {
+    if (count == 0) continue;
+    double p = static_cast<double>(count) / static_cast<double>(total);
+    entropy -= core::XLog2X(p);
+  }
+  return entropy;
+}
+
+double GiniImpurity(std::span<const uint32_t> class_counts) {
+  uint64_t total = Total(class_counts);
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (uint32_t count : class_counts) {
+    double p = static_cast<double>(count) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+double Impurity(SplitCriterion criterion,
+                std::span<const uint32_t> class_counts) {
+  return criterion == SplitCriterion::kGini ? GiniImpurity(class_counts)
+                                            : Entropy(class_counts);
+}
+
+double SplitInformation(std::span<const uint32_t> partition_sizes) {
+  return Entropy(partition_sizes);
+}
+
+double SplitScore(SplitCriterion criterion,
+                  std::span<const uint32_t> parent_counts,
+                  const std::vector<std::vector<uint32_t>>& child_counts) {
+  uint64_t parent_total = Total(parent_counts);
+  if (parent_total == 0) return 0.0;
+  double weighted_child_impurity = 0.0;
+  std::vector<uint32_t> partition_sizes;
+  partition_sizes.reserve(child_counts.size());
+  for (const auto& child : child_counts) {
+    uint64_t child_total = Total(child);
+    partition_sizes.push_back(static_cast<uint32_t>(child_total));
+    if (child_total == 0) continue;
+    double weight = static_cast<double>(child_total) /
+                    static_cast<double>(parent_total);
+    weighted_child_impurity += weight * Impurity(criterion, child);
+  }
+  double gain = Impurity(criterion, parent_counts) - weighted_child_impurity;
+  if (criterion != SplitCriterion::kGainRatio) return gain;
+  double split_info = SplitInformation(partition_sizes);
+  if (split_info <= 1e-12) return 0.0;
+  return gain / split_info;
+}
+
+}  // namespace dmt::tree

@@ -1,0 +1,45 @@
+// Impurity measures and split-quality criteria for decision-tree induction:
+// information gain (ID3), gain ratio (C4.5), Gini index (CART).
+#ifndef DMT_TREE_CRITERIA_H_
+#define DMT_TREE_CRITERIA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dmt::tree {
+
+/// Which measure scores candidate splits.
+enum class SplitCriterion {
+  /// Entropy reduction (ID3).
+  kInformationGain,
+  /// Information gain normalized by split information (C4.5).
+  kGainRatio,
+  /// Gini impurity reduction (CART).
+  kGini,
+};
+
+/// Shannon entropy (bits) of a class-count histogram.
+double Entropy(std::span<const uint32_t> class_counts);
+
+/// Gini impurity 1 - sum p_i^2 of a class-count histogram.
+double GiniImpurity(std::span<const uint32_t> class_counts);
+
+/// Impurity under the given criterion (entropy for both gain flavours).
+double Impurity(SplitCriterion criterion,
+                std::span<const uint32_t> class_counts);
+
+/// Split information: entropy of the partition sizes (C4.5 denominator).
+double SplitInformation(std::span<const uint32_t> partition_sizes);
+
+/// Scores a candidate partition of `parent_counts` into children.
+/// `child_counts[c]` is the class histogram of child c. Returns the
+/// criterion value (higher is better); gain ratio returns 0 when the split
+/// information vanishes.
+double SplitScore(SplitCriterion criterion,
+                  std::span<const uint32_t> parent_counts,
+                  const std::vector<std::vector<uint32_t>>& child_counts);
+
+}  // namespace dmt::tree
+
+#endif  // DMT_TREE_CRITERIA_H_

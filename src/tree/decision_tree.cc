@@ -1,0 +1,197 @@
+#include "tree/decision_tree.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace dmt::tree {
+
+uint32_t DecisionTree::Predict(const core::Dataset& data, size_t row) const {
+  DMT_CHECK(!nodes_.empty());
+  size_t current = 0;
+  for (;;) {
+    const TreeNode& node = nodes_[current];
+    if (node.is_leaf) return node.majority_class;
+    switch (node.kind) {
+      case SplitKind::kCategoricalMultiway: {
+        uint32_t value = data.Categorical(row, node.attribute);
+        DMT_DCHECK(value < node.children.size());
+        current = node.children[value];
+        break;
+      }
+      case SplitKind::kCategoricalEquals: {
+        uint32_t value = data.Categorical(row, node.attribute);
+        current = node.children[value == node.category ? 0 : 1];
+        break;
+      }
+      case SplitKind::kNumericThreshold: {
+        double value = data.Numeric(row, node.attribute);
+        current = node.children[value <= node.threshold ? 0 : 1];
+        break;
+      }
+    }
+  }
+}
+
+std::vector<uint32_t> DecisionTree::PredictAll(
+    const core::Dataset& data) const {
+  std::vector<uint32_t> out;
+  out.reserve(data.num_rows());
+  for (size_t row = 0; row < data.num_rows(); ++row) {
+    out.push_back(Predict(data, row));
+  }
+  return out;
+}
+
+size_t DecisionTree::NumLeaves() const {
+  // Count leaves reachable from the root (pruning may strand nodes until
+  // Compact() runs).
+  size_t leaves = 0;
+  std::vector<size_t> stack = {0};
+  while (!stack.empty()) {
+    size_t current = stack.back();
+    stack.pop_back();
+    const TreeNode& node = nodes_[current];
+    if (node.is_leaf) {
+      ++leaves;
+      continue;
+    }
+    for (uint32_t child : node.children) stack.push_back(child);
+  }
+  return leaves;
+}
+
+size_t DecisionTree::Depth() const { return DepthBelow(0); }
+
+size_t DecisionTree::DepthBelow(size_t node_index) const {
+  const TreeNode& node = nodes_[node_index];
+  if (node.is_leaf) return 0;
+  size_t deepest = 0;
+  for (uint32_t child : node.children) {
+    deepest = std::max(deepest, DepthBelow(child));
+  }
+  return deepest + 1;
+}
+
+void DecisionTree::CollapseToLeaf(size_t node_index) {
+  TreeNode& node = nodes_[node_index];
+  node.is_leaf = true;
+  node.children.clear();
+}
+
+void DecisionTree::Compact() {
+  std::vector<uint32_t> remap(nodes_.size(), UINT32_MAX);
+  std::vector<TreeNode> kept;
+  // Preorder walk assigning new ids.
+  std::vector<size_t> stack = {0};
+  while (!stack.empty()) {
+    size_t current = stack.back();
+    stack.pop_back();
+    if (remap[current] != UINT32_MAX) continue;
+    remap[current] = static_cast<uint32_t>(kept.size());
+    kept.push_back(nodes_[current]);
+    for (uint32_t child : nodes_[current].children) {
+      stack.push_back(child);
+    }
+  }
+  for (auto& node : kept) {
+    for (auto& child : node.children) child = remap[child];
+  }
+  nodes_ = std::move(kept);
+}
+
+namespace {
+
+std::string DescribeEdge(const DecisionTree& tree, const TreeNode& node,
+                         size_t child_slot,
+                         const std::vector<std::string>& attribute_names,
+                         const std::vector<std::vector<std::string>>&
+                             attribute_categories) {
+  const std::string& attr = attribute_names[node.attribute];
+  switch (node.kind) {
+    case SplitKind::kCategoricalMultiway:
+      return core::StrFormat(
+          "%s = %s", attr.c_str(),
+          attribute_categories[node.attribute][child_slot].c_str());
+    case SplitKind::kCategoricalEquals:
+      return core::StrFormat(
+          "%s %s %s", attr.c_str(), child_slot == 0 ? "=" : "!=",
+          attribute_categories[node.attribute][node.category].c_str());
+    case SplitKind::kNumericThreshold:
+      return core::StrFormat("%s %s %.6g", attr.c_str(),
+                             child_slot == 0 ? "<=" : ">", node.threshold);
+  }
+  (void)tree;
+  return "?";
+}
+
+}  // namespace
+
+std::string DecisionTree::ToText() const {
+  std::string out;
+  // (node, indent, edge label) DFS.
+  struct Frame {
+    size_t node;
+    size_t indent;
+    std::string edge;
+  };
+  std::vector<Frame> stack = {{0, 0, ""}};
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const TreeNode& node = nodes_[frame.node];
+    out.append(frame.indent * 2, ' ');
+    if (!frame.edge.empty()) {
+      out += frame.edge;
+      out += ": ";
+    }
+    if (node.is_leaf) {
+      out += core::StrFormat("%s (%llu/%llu)",
+                             class_names_[node.majority_class].c_str(),
+                             static_cast<unsigned long long>(
+                                 node.NumSamples()),
+                             static_cast<unsigned long long>(
+                                 node.NumErrors()));
+      out += '\n';
+      continue;
+    }
+    out += core::StrFormat("[split on %s]",
+                           attribute_names_[node.attribute].c_str());
+    out += '\n';
+    // Push children in reverse so the first child renders first.
+    for (size_t slot = node.children.size(); slot-- > 0;) {
+      stack.push_back({node.children[slot], frame.indent + 1,
+                       DescribeEdge(*this, node, slot, attribute_names_,
+                                    attribute_categories_)});
+    }
+  }
+  return out;
+}
+
+std::string DecisionTree::ToDot() const {
+  std::string out = "digraph dmt_tree {\n  node [shape=box];\n";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const TreeNode& node = nodes_[i];
+    if (node.is_leaf) {
+      out += core::StrFormat(
+          "  n%zu [label=\"%s\\n%llu samples\", style=filled];\n", i,
+          class_names_[node.majority_class].c_str(),
+          static_cast<unsigned long long>(node.NumSamples()));
+    } else {
+      out += core::StrFormat("  n%zu [label=\"%s\"];\n", i,
+                             attribute_names_[node.attribute].c_str());
+      for (size_t slot = 0; slot < node.children.size(); ++slot) {
+        out += core::StrFormat(
+            "  n%zu -> n%u [label=\"%s\"];\n", i, node.children[slot],
+            DescribeEdge(*this, node, slot, attribute_names_,
+                         attribute_categories_)
+                .c_str());
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dmt::tree

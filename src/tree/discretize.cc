@@ -1,0 +1,108 @@
+#include "tree/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <span>
+
+#include "core/string_util.h"
+
+namespace dmt::tree {
+
+using core::AttributeType;
+using core::Dataset;
+using core::DatasetBuilder;
+using core::Result;
+using core::Status;
+
+namespace {
+
+/// Maps each value to the index of the last boundary <= value, clamped to
+/// [0, bins-1]. `boundaries` holds the lower edges of bins 1..bins-1.
+uint32_t BinOf(double value, const std::vector<double>& boundaries) {
+  auto it = std::upper_bound(boundaries.begin(), boundaries.end(), value);
+  return static_cast<uint32_t>(it - boundaries.begin());
+}
+
+Result<Dataset> DiscretizeWith(
+    const Dataset& data, size_t bins,
+    const std::function<std::vector<double>(std::span<const double>)>&
+        make_boundaries) {
+  if (bins < 2) {
+    return Status::InvalidArgument("bins must be >= 2");
+  }
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("cannot discretize an empty dataset");
+  }
+  DatasetBuilder builder;
+  for (size_t a = 0; a < data.num_attributes(); ++a) {
+    const auto& attr = data.attribute(a);
+    if (attr.type == AttributeType::kCategorical) {
+      std::vector<uint32_t> codes(data.CategoricalColumn(a).begin(),
+                                  data.CategoricalColumn(a).end());
+      builder.AddCategoricalColumn(attr.name, std::move(codes),
+                                   attr.categories);
+      continue;
+    }
+    auto column = data.NumericColumn(a);
+    std::vector<double> boundaries = make_boundaries(column);
+    std::vector<uint32_t> codes;
+    codes.reserve(column.size());
+    for (double value : column) codes.push_back(BinOf(value, boundaries));
+    std::vector<std::string> names;
+    names.reserve(boundaries.size() + 1);
+    for (size_t b = 0; b <= boundaries.size(); ++b) {
+      std::string lo = b == 0 ? "-inf"
+                              : core::StrFormat("%.4g", boundaries[b - 1]);
+      std::string hi = b == boundaries.size()
+                           ? "+inf"
+                           : core::StrFormat("%.4g", boundaries[b]);
+      names.push_back("[" + lo + "," + hi + ")");
+    }
+    builder.AddCategoricalColumn(attr.name, std::move(codes),
+                                 std::move(names));
+  }
+  std::vector<uint32_t> labels(data.labels().begin(), data.labels().end());
+  builder.SetLabels(std::move(labels), data.class_names());
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<Dataset> EqualWidthDiscretize(const Dataset& data, size_t bins) {
+  return DiscretizeWith(
+      data, bins, [bins](std::span<const double> column) {
+        double lo = column[0], hi = column[0];
+        for (double v : column) {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+        std::vector<double> boundaries;
+        if (hi > lo) {
+          double width = (hi - lo) / static_cast<double>(bins);
+          for (size_t b = 1; b < bins; ++b) {
+            boundaries.push_back(lo + width * static_cast<double>(b));
+          }
+        }
+        return boundaries;  // empty for constant columns: single bin
+      });
+}
+
+Result<Dataset> EqualFrequencyDiscretize(const Dataset& data, size_t bins) {
+  return DiscretizeWith(
+      data, bins, [bins](std::span<const double> column) {
+        std::vector<double> sorted(column.begin(), column.end());
+        std::sort(sorted.begin(), sorted.end());
+        std::vector<double> boundaries;
+        for (size_t b = 1; b < bins; ++b) {
+          size_t index = b * sorted.size() / bins;
+          double boundary = sorted[std::min(index, sorted.size() - 1)];
+          if (boundaries.empty() || boundary > boundaries.back()) {
+            boundaries.push_back(boundary);
+          }
+        }
+        return boundaries;
+      });
+}
+
+}  // namespace dmt::tree

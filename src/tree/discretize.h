@@ -1,0 +1,25 @@
+// Numeric-attribute discretization, for algorithms that handle only
+// categorical data (faithful ID3, categorical naive Bayes).
+#ifndef DMT_TREE_DISCRETIZE_H_
+#define DMT_TREE_DISCRETIZE_H_
+
+#include "core/dataset.h"
+#include "core/status.h"
+
+namespace dmt::tree {
+
+/// Replaces every numeric attribute with a categorical one of `bins`
+/// equal-width intervals over the attribute's observed range (category
+/// names like "[20,35)"). Categorical attributes and labels pass through
+/// unchanged.
+core::Result<core::Dataset> EqualWidthDiscretize(const core::Dataset& data,
+                                                 size_t bins);
+
+/// Equal-frequency variant: bin boundaries at the empirical quantiles, so
+/// each bin holds roughly num_rows/bins values.
+core::Result<core::Dataset> EqualFrequencyDiscretize(
+    const core::Dataset& data, size_t bins);
+
+}  // namespace dmt::tree
+
+#endif  // DMT_TREE_DISCRETIZE_H_

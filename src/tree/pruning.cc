@@ -1,0 +1,238 @@
+#include "tree/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace dmt::tree {
+
+using core::Dataset;
+using core::Result;
+using core::Status;
+
+double InverseNormalCdf(double p) {
+  DMT_CHECK(p > 0.0 && p < 1.0);
+  // Acklam's rational approximation (relative error < 1.15e-9).
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1.0 - p_low;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double PessimisticErrorRate(double errors, double n, double confidence) {
+  DMT_CHECK(n > 0.0);
+  // C4.5's special case for error-free leaves: the exact binomial upper
+  // limit solving (1 - e)^n = CF. The normal approximation badly
+  // underestimates this for tiny leaves (0.31 vs 0.75 at n = 1, CF = .25),
+  // which would stop pruning from ever firing on overfit trees.
+  if (errors <= 0.0) {
+    return 1.0 - std::pow(confidence, 1.0 / n);
+  }
+  const double z = InverseNormalCdf(1.0 - confidence);
+  const double z2 = z * z;
+  // Continuity-corrected observed rate, as in C4.5/Weka.
+  const double f = std::min(1.0, (errors + 0.5) / n);
+  double numerator =
+      f + z2 / (2.0 * n) +
+      z * std::sqrt(std::max(0.0, f / n - f * f / n + z2 / (4.0 * n * n)));
+  double bound = numerator / (1.0 + z2 / n);
+  if (errors < 1.0) {
+    // Interpolate between the exact zero-error limit and the one-error
+    // bound (C4.5's treatment of fractional error counts).
+    double at_zero = 1.0 - std::pow(confidence, 1.0 / n);
+    double at_one = PessimisticErrorRate(1.0, n, confidence);
+    bound = at_zero + errors * (at_one - at_zero);
+  }
+  return std::min(1.0, bound);
+}
+
+namespace {
+
+/// Estimated (pessimistic) number of errors of the subtree at `index`, and
+/// pruning in post-order.
+double PruneSubtree(DecisionTree* tree, size_t index, double confidence) {
+  auto& nodes = internal::TreeAccess::Nodes(*tree);
+  TreeNode& node = nodes[index];
+  const double n = static_cast<double>(node.NumSamples());
+  const double node_errors = static_cast<double>(node.NumErrors());
+  // Empty branches (n == 0) predict the parent majority and contribute no
+  // estimated error.
+  const double leaf_estimate =
+      n > 0.0 ? n * PessimisticErrorRate(node_errors, n, confidence) : 0.0;
+  if (node.is_leaf) return leaf_estimate;
+
+  double subtree_estimate = 0.0;
+  for (uint32_t child : node.children) {
+    subtree_estimate += PruneSubtree(tree, child, confidence);
+  }
+  if (leaf_estimate <= subtree_estimate + 0.1) {
+    // Collapsing does not raise the estimated error: prune.
+    tree->CollapseToLeaf(index);
+    return leaf_estimate;
+  }
+  return subtree_estimate;
+}
+
+/// Training-error count of the subtree's leaves plus its leaf count.
+void SubtreeStats(const DecisionTree& tree, size_t index,
+                  uint64_t* leaf_errors, size_t* leaves) {
+  const TreeNode& node = tree.node(index);
+  if (node.is_leaf) {
+    *leaf_errors += node.NumErrors();
+    ++*leaves;
+    return;
+  }
+  for (uint32_t child : node.children) {
+    SubtreeStats(tree, child, leaf_errors, leaves);
+  }
+}
+
+/// Finds the weakest link: the internal node with the smallest
+/// g(t) = (R(t) - R(T_t)) / (|leaves| - 1). Returns false for a stump.
+bool WeakestLink(const DecisionTree& tree, double total_samples,
+                 size_t* link, double* g_value) {
+  bool found = false;
+  double best_g = std::numeric_limits<double>::infinity();
+  size_t best_index = 0;
+  // Walk reachable internal nodes.
+  std::vector<size_t> stack = {0};
+  while (!stack.empty()) {
+    size_t index = stack.back();
+    stack.pop_back();
+    const TreeNode& node = tree.node(index);
+    if (node.is_leaf) continue;
+    for (uint32_t child : node.children) stack.push_back(child);
+    uint64_t subtree_errors = 0;
+    size_t leaves = 0;
+    SubtreeStats(tree, index, &subtree_errors, &leaves);
+    if (leaves < 2) continue;
+    double r_leaf =
+        static_cast<double>(node.NumErrors()) / total_samples;
+    double r_subtree =
+        static_cast<double>(subtree_errors) / total_samples;
+    double g = (r_leaf - r_subtree) / static_cast<double>(leaves - 1);
+    if (g < best_g) {
+      best_g = g;
+      best_index = index;
+      found = true;
+    }
+  }
+  if (found) {
+    *link = best_index;
+    *g_value = best_g;
+  }
+  return found;
+}
+
+}  // namespace
+
+Status PessimisticPrune(DecisionTree* tree,
+                        const PessimisticPruneOptions& options) {
+  if (!(options.confidence > 0.0) || options.confidence > 0.5) {
+    return Status::InvalidArgument("confidence must be in (0, 0.5]");
+  }
+  if (tree->num_nodes() == 0) {
+    return Status::InvalidArgument("cannot prune an empty tree");
+  }
+  PruneSubtree(tree, 0, options.confidence);
+  tree->Compact();
+  return Status::OK();
+}
+
+void CostComplexityPrune(DecisionTree* tree, double alpha) {
+  if (tree->num_nodes() == 0) return;
+  const double total =
+      static_cast<double>(tree->root().NumSamples());
+  if (total == 0.0) return;
+  for (;;) {
+    size_t link = 0;
+    double g = 0.0;
+    if (!WeakestLink(*tree, total, &link, &g)) break;
+    if (g > alpha) break;
+    tree->CollapseToLeaf(link);
+  }
+  tree->Compact();
+}
+
+std::vector<double> CostComplexityAlphas(const DecisionTree& tree) {
+  std::vector<double> alphas;
+  if (tree.num_nodes() == 0) return alphas;
+  DecisionTree working = tree;
+  const double total =
+      static_cast<double>(working.root().NumSamples());
+  if (total == 0.0) return alphas;
+  for (;;) {
+    size_t link = 0;
+    double g = 0.0;
+    if (!WeakestLink(working, total, &link, &g)) break;
+    alphas.push_back(std::max(g, alphas.empty() ? g : alphas.back()));
+    working.CollapseToLeaf(link);
+  }
+  return alphas;
+}
+
+Result<double> SelectAlphaByValidation(const DecisionTree& tree,
+                                       const Dataset& validation) {
+  if (validation.num_rows() == 0) {
+    return Status::InvalidArgument("validation set is empty");
+  }
+  std::vector<double> candidates = {0.0};
+  for (double alpha : CostComplexityAlphas(tree)) {
+    // Nudge past the critical value so the link actually collapses.
+    candidates.push_back(alpha + 1e-12);
+  }
+  double best_alpha = 0.0;
+  double best_accuracy = -1.0;
+  for (double alpha : candidates) {
+    DecisionTree pruned = tree;
+    CostComplexityPrune(&pruned, alpha);
+    size_t correct = 0;
+    for (size_t row = 0; row < validation.num_rows(); ++row) {
+      if (pruned.Predict(validation, row) == validation.Label(row)) {
+        ++correct;
+      }
+    }
+    double accuracy =
+        static_cast<double>(correct) /
+        static_cast<double>(validation.num_rows());
+    // Ties favour the larger alpha (smaller tree); candidates ascend.
+    if (accuracy >= best_accuracy) {
+      best_accuracy = accuracy;
+      best_alpha = alpha;
+    }
+  }
+  return best_alpha;
+}
+
+}  // namespace dmt::tree

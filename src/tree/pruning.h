@@ -1,0 +1,52 @@
+// Post-pruning: C4.5 pessimistic error-based pruning and CART
+// cost-complexity (weakest-link) pruning.
+#ifndef DMT_TREE_PRUNING_H_
+#define DMT_TREE_PRUNING_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/status.h"
+#include "tree/decision_tree.h"
+
+namespace dmt::tree {
+
+/// Options for C4.5 pessimistic pruning.
+struct PessimisticPruneOptions {
+  /// Confidence factor CF in (0, 0.5]; smaller prunes more aggressively.
+  /// C4.5's default is 0.25.
+  double confidence = 0.25;
+};
+
+/// Upper confidence limit on the error rate after observing `errors`
+/// mistakes in `n` samples (Wilson-style bound used by C4.5). Exposed for
+/// tests.
+double PessimisticErrorRate(double errors, double n, double confidence);
+
+/// Inverse standard-normal CDF (Acklam's rational approximation). Exposed
+/// for tests.
+double InverseNormalCdf(double p);
+
+/// Prunes `tree` bottom-up, collapsing subtrees whose estimated error is no
+/// better than predicting the majority class directly. Compacts the tree.
+core::Status PessimisticPrune(DecisionTree* tree,
+                              const PessimisticPruneOptions& options = {});
+
+/// CART cost-complexity pruning at a fixed complexity parameter: collapses
+/// every subtree whose per-leaf error improvement is <= alpha (weakest link
+/// first). alpha is in units of (training error fraction) / leaf.
+void CostComplexityPrune(DecisionTree* tree, double alpha);
+
+/// The increasing sequence of critical alphas of the weakest-link path
+/// (empty for a stump). Pruning at alphas[i] removes at least i+1 links.
+std::vector<double> CostComplexityAlphas(const DecisionTree& tree);
+
+/// Sweeps the cost-complexity path and returns the alpha whose pruned tree
+/// maximizes accuracy on `validation` (ties -> smaller tree, i.e. larger
+/// alpha).
+core::Result<double> SelectAlphaByValidation(
+    const DecisionTree& tree, const core::Dataset& validation);
+
+}  // namespace dmt::tree
+
+#endif  // DMT_TREE_PRUNING_H_

@@ -1,0 +1,244 @@
+#include "tree/sliq.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/check.h"
+#include "tree/criteria.h"
+
+namespace dmt::tree {
+
+using core::AttributeType;
+using core::Dataset;
+using core::Result;
+using core::Status;
+
+Status SliqOptions::Validate() const {
+  if (min_samples_split < 2) {
+    return Status::InvalidArgument("min_samples_split must be >= 2");
+  }
+  if (min_gain < 0.0) {
+    return Status::InvalidArgument("min_gain must be >= 0");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+constexpr uint32_t kInactive = 0xffffffffu;
+
+/// Best split found for one open leaf during a level.
+struct LeafSplit {
+  double score = -1.0;
+  uint32_t attribute = 0;
+  SplitKind kind = SplitKind::kNumericThreshold;
+  double threshold = 0.0;
+  uint32_t category = 0;
+};
+
+/// Per-open-leaf scan state for one numeric attribute-list pass.
+struct NumericScanState {
+  std::vector<uint32_t> left_counts;
+  uint64_t seen = 0;
+  double last_value = 0.0;
+};
+
+double GiniGain(std::span<const uint32_t> parent,
+                std::span<const uint32_t> left) {
+  // SplitScore wants explicit child histograms; build the right side.
+  std::vector<std::vector<uint32_t>> children(2);
+  children[0].assign(left.begin(), left.end());
+  children[1].resize(parent.size());
+  for (size_t c = 0; c < parent.size(); ++c) {
+    children[1][c] = parent[c] - left[c];
+  }
+  return SplitScore(SplitCriterion::kGini, parent, children);
+}
+
+}  // namespace
+
+Result<DecisionTree> BuildSliq(const Dataset& data,
+                               const SliqOptions& options) {
+  DMT_RETURN_NOT_OK(options.Validate());
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("cannot grow a tree on an empty dataset");
+  }
+  if (data.num_classes() == 0) {
+    return Status::InvalidArgument("dataset has no classes");
+  }
+  const size_t n = data.num_rows();
+  const size_t num_classes = data.num_classes();
+
+  DecisionTree tree;
+  auto& nodes = internal::TreeAccess::Nodes(tree);
+  for (size_t a = 0; a < data.num_attributes(); ++a) {
+    internal::TreeAccess::AttributeNames(tree).push_back(
+        data.attribute(a).name);
+    internal::TreeAccess::AttributeCategories(tree).push_back(
+        data.attribute(a).categories);
+  }
+  internal::TreeAccess::ClassNames(tree) = data.class_names();
+
+  // Presort every numeric attribute once (the SLIQ attribute lists).
+  std::vector<std::vector<uint32_t>> sorted_rows(data.num_attributes());
+  for (size_t a = 0; a < data.num_attributes(); ++a) {
+    if (data.attribute(a).type != AttributeType::kNumeric) continue;
+    auto column = data.NumericColumn(a);
+    sorted_rows[a].resize(n);
+    std::iota(sorted_rows[a].begin(), sorted_rows[a].end(), 0u);
+    std::stable_sort(sorted_rows[a].begin(), sorted_rows[a].end(),
+                     [&](uint32_t x, uint32_t y) {
+                       return column[x] < column[y];
+                     });
+  }
+
+  // Class list: every row starts at the root (slot 0 of level 0).
+  std::vector<uint32_t> slot_of(n, 0);
+  // Level bookkeeping: slot -> tree node id, class histogram, depth.
+  nodes.emplace_back();
+  std::vector<uint32_t> slot_node = {0};
+  std::vector<std::vector<uint32_t>> slot_counts(1);
+  slot_counts[0].assign(num_classes, 0);
+  for (size_t row = 0; row < n; ++row) ++slot_counts[0][data.Label(row)];
+  size_t depth = 0;
+
+  while (!slot_node.empty()) {
+    const size_t num_slots = slot_node.size();
+    // Finalize majority classes for this level's nodes.
+    std::vector<bool> growable(num_slots, true);
+    for (size_t s = 0; s < num_slots; ++s) {
+      TreeNode& node = nodes[slot_node[s]];
+      node.class_counts = slot_counts[s];
+      uint32_t best_class = 0;
+      uint64_t total = 0;
+      for (uint32_t c = 0; c < num_classes; ++c) {
+        total += slot_counts[s][c];
+        if (slot_counts[s][c] > slot_counts[s][best_class]) best_class = c;
+      }
+      node.majority_class = best_class;
+      bool pure = slot_counts[s][best_class] == total;
+      if (pure || total < options.min_samples_split ||
+          (options.max_depth != 0 && depth >= options.max_depth)) {
+        growable[s] = false;
+      }
+    }
+
+    // Evaluate splits for every growable slot with one pass per attribute.
+    std::vector<LeafSplit> best(num_slots);
+    for (uint32_t a = 0; a < data.num_attributes(); ++a) {
+      if (data.attribute(a).type == AttributeType::kNumeric) {
+        auto column = data.NumericColumn(a);
+        std::vector<NumericScanState> scan(num_slots);
+        for (size_t s = 0; s < num_slots; ++s) {
+          scan[s].left_counts.assign(num_classes, 0);
+        }
+        for (uint32_t row : sorted_rows[a]) {
+          uint32_t s = slot_of[row];
+          if (s == kInactive || !growable[s]) continue;
+          NumericScanState& state = scan[s];
+          double value = column[row];
+          if (state.seen > 0 && value > state.last_value) {
+            double gain = GiniGain(slot_counts[s], state.left_counts);
+            if (gain > best[s].score) {
+              best[s].score = gain;
+              best[s].attribute = a;
+              best[s].kind = SplitKind::kNumericThreshold;
+              best[s].threshold =
+                  state.last_value + (value - state.last_value) / 2.0;
+            }
+          }
+          ++state.left_counts[data.Label(row)];
+          ++state.seen;
+          state.last_value = value;
+        }
+      } else {
+        const size_t num_categories = data.attribute(a).num_categories();
+        auto column = data.CategoricalColumn(a);
+        // Per-slot per-category class histograms in one scan.
+        std::vector<std::vector<uint32_t>> histograms(
+            num_slots,
+            std::vector<uint32_t>(num_categories * num_classes, 0));
+        for (size_t row = 0; row < n; ++row) {
+          uint32_t s = slot_of[row];
+          if (s == kInactive || !growable[s]) continue;
+          ++histograms[s][column[row] * num_classes + data.Label(row)];
+        }
+        std::vector<uint32_t> left(num_classes);
+        for (size_t s = 0; s < num_slots; ++s) {
+          if (!growable[s]) continue;
+          uint64_t slot_total = 0;
+          for (uint32_t c = 0; c < num_classes; ++c) {
+            slot_total += slot_counts[s][c];
+          }
+          for (uint32_t v = 0; v < num_categories; ++v) {
+            uint64_t in_category = 0;
+            for (uint32_t c = 0; c < num_classes; ++c) {
+              left[c] = histograms[s][v * num_classes + c];
+              in_category += left[c];
+            }
+            if (in_category == 0 || in_category == slot_total) continue;
+            double gain = GiniGain(slot_counts[s], left);
+            if (gain > best[s].score) {
+              best[s].score = gain;
+              best[s].attribute = a;
+              best[s].kind = SplitKind::kCategoricalEquals;
+              best[s].category = v;
+            }
+          }
+        }
+      }
+    }
+
+    // Apply the chosen splits: create children, rewrite the class list.
+    std::vector<uint32_t> next_slot_node;
+    std::vector<std::vector<uint32_t>> next_slot_counts;
+    // For each old slot: either (left_slot, right_slot) or kInactive.
+    std::vector<std::pair<uint32_t, uint32_t>> slot_children(
+        num_slots, {kInactive, kInactive});
+    for (size_t s = 0; s < num_slots; ++s) {
+      if (!growable[s] || best[s].score < options.min_gain) continue;
+      TreeNode& node = nodes[slot_node[s]];
+      node.is_leaf = false;
+      node.kind = best[s].kind;
+      node.attribute = best[s].attribute;
+      node.threshold = best[s].threshold;
+      node.category = best[s].category;
+      uint32_t left_id = static_cast<uint32_t>(nodes.size());
+      nodes.emplace_back();
+      uint32_t right_id = static_cast<uint32_t>(nodes.size());
+      nodes.emplace_back();
+      nodes[slot_node[s]].children = {left_id, right_id};
+      slot_children[s] = {
+          static_cast<uint32_t>(next_slot_node.size()),
+          static_cast<uint32_t>(next_slot_node.size() + 1)};
+      next_slot_node.push_back(left_id);
+      next_slot_node.push_back(right_id);
+      next_slot_counts.emplace_back(num_classes, 0);
+      next_slot_counts.emplace_back(num_classes, 0);
+    }
+    // Route rows.
+    for (size_t row = 0; row < n; ++row) {
+      uint32_t s = slot_of[row];
+      if (s == kInactive || slot_children[s].first == kInactive) {
+        slot_of[row] = kInactive;
+        continue;
+      }
+      const TreeNode& node = nodes[slot_node[s]];
+      bool goes_left =
+          node.kind == SplitKind::kNumericThreshold
+              ? data.Numeric(row, node.attribute) <= node.threshold
+              : data.Categorical(row, node.attribute) == node.category;
+      uint32_t next = goes_left ? slot_children[s].first
+                                : slot_children[s].second;
+      slot_of[row] = next;
+      ++next_slot_counts[next][data.Label(row)];
+    }
+    slot_node = std::move(next_slot_node);
+    slot_counts = std::move(next_slot_counts);
+    ++depth;
+  }
+  return tree;
+}
+
+}  // namespace dmt::tree

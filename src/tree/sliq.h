@@ -1,0 +1,33 @@
+// SLIQ-style scalable decision-tree induction (Mehta, Agrawal & Rissanen,
+// EDBT'96): numeric attributes are sorted ONCE into attribute lists; the
+// tree grows breadth-first, and one scan of each attribute list per level
+// evaluates the candidate splits of every open leaf simultaneously via a
+// class list mapping rows to their current leaves. Equivalent splits to
+// CART (Gini, binary), but without the per-node re-sorting.
+#ifndef DMT_TREE_SLIQ_H_
+#define DMT_TREE_SLIQ_H_
+
+#include "core/dataset.h"
+#include "core/status.h"
+#include "tree/decision_tree.h"
+
+namespace dmt::tree {
+
+/// SLIQ induction limits (same semantics as TreeOptions).
+struct SliqOptions {
+  size_t min_samples_split = 2;
+  size_t max_depth = 0;
+  double min_gain = 1e-9;
+
+  core::Status Validate() const;
+};
+
+/// Grows a CART-equivalent (Gini, binary splits) tree breadth-first with
+/// presorted attribute lists. Produces the same DecisionTree type as the
+/// recursive builders.
+core::Result<DecisionTree> BuildSliq(const core::Dataset& data,
+                                     const SliqOptions& options = {});
+
+}  // namespace dmt::tree
+
+#endif  // DMT_TREE_SLIQ_H_

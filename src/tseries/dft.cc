@@ -1,0 +1,84 @@
+#include "tseries/dft.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace dmt::tseries {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+namespace {
+
+/// In-place iterative radix-2 Cooley–Tukey.
+void Fft(std::vector<std::complex<double>>& data) {
+  const size_t n = data.size();
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    std::complex<double> root(std::cos(angle), std::sin(angle));
+    for (size_t start = 0; start < n; start += len) {
+      std::complex<double> twiddle(1.0, 0.0);
+      for (size_t off = 0; off < len / 2; ++off) {
+        std::complex<double> even = data[start + off];
+        std::complex<double> odd = data[start + off + len / 2] * twiddle;
+        data[start + off] = even + odd;
+        data[start + off + len / 2] = even - odd;
+        twiddle *= root;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> Dft(std::span<const double> values) {
+  const size_t n = values.size();
+  std::vector<std::complex<double>> out;
+  if (n == 0) return out;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  if (IsPowerOfTwo(n)) {
+    out.assign(values.begin(), values.end());
+    Fft(out);
+    for (auto& c : out) c *= scale;
+    return out;
+  }
+  out.resize(n);
+  for (size_t f = 0; f < n; ++f) {
+    std::complex<double> sum(0.0, 0.0);
+    for (size_t t = 0; t < n; ++t) {
+      double angle = -2.0 * std::numbers::pi * static_cast<double>(f) *
+                     static_cast<double>(t) / static_cast<double>(n);
+      sum += values[t] * std::complex<double>(std::cos(angle),
+                                              std::sin(angle));
+    }
+    out[f] = sum * scale;
+  }
+  return out;
+}
+
+std::vector<double> DftFeatures(std::span<const double> values, size_t k) {
+  return DftFeaturesRange(values, 0, k);
+}
+
+std::vector<double> DftFeaturesRange(std::span<const double> values,
+                                     size_t first, size_t count) {
+  auto coefficients = Dft(values);
+  size_t end = first + count;
+  if (end > coefficients.size()) end = coefficients.size();
+  if (first > end) first = end;
+  std::vector<double> features;
+  features.reserve(2 * (end - first));
+  for (size_t f = first; f < end; ++f) {
+    features.push_back(coefficients[f].real());
+    features.push_back(coefficients[f].imag());
+  }
+  return features;
+}
+
+}  // namespace dmt::tseries

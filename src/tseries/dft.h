@@ -1,0 +1,34 @@
+// Discrete Fourier transform with the orthonormal (1/sqrt(n)) scaling used
+// by feature-based time-series indexing: Parseval's theorem then makes
+// Euclidean distance in any coefficient subspace a lower bound of the
+// distance in the time domain.
+#ifndef DMT_TSERIES_DFT_H_
+#define DMT_TSERIES_DFT_H_
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace dmt::tseries {
+
+/// Orthonormal DFT of a real series: X_f = n^{-1/2} sum_t x_t e^{-2πi ft/n}.
+/// Uses an iterative radix-2 FFT when n is a power of two, the O(n^2)
+/// definition otherwise. Empty input yields empty output.
+std::vector<std::complex<double>> Dft(std::span<const double> values);
+
+/// First `k` DFT coefficients flattened to 2k reals (re0, im0, re1, ...).
+/// k is clamped to the series length.
+std::vector<double> DftFeatures(std::span<const double> values, size_t k);
+
+/// DFT coefficients [first, first + count) flattened to reals; the range is
+/// clamped to the series length. Starting at 1 skips the DC coefficient,
+/// making the features invariant to vertical shifts of the series.
+std::vector<double> DftFeaturesRange(std::span<const double> values,
+                                     size_t first, size_t count);
+
+/// True when n is a nonzero power of two (exposed for tests).
+bool IsPowerOfTwo(size_t n);
+
+}  // namespace dmt::tseries
+
+#endif  // DMT_TSERIES_DFT_H_

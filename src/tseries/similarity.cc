@@ -1,0 +1,163 @@
+#include "tseries/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/distance.h"
+#include "core/string_util.h"
+#include "tseries/dft.h"
+
+namespace dmt::tseries {
+
+using core::Result;
+using core::Status;
+
+namespace {
+
+/// Squared Euclidean distance between the two windows after subtracting
+/// each window's own mean (v-shift-invariant distance).
+double CenteredSquaredDistance(std::span<const double> a,
+                               std::span<const double> b) {
+  DMT_CHECK(a.size() == b.size());
+  double mean_a = 0.0, mean_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(a.size());
+  mean_b /= static_cast<double>(b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = (a[i] - mean_a) - (b[i] - mean_b);
+    total += diff * diff;
+  }
+  return total;
+}
+
+}  // namespace
+
+Status SubsequenceIndexOptions::Validate() const {
+  if (window == 0) return Status::InvalidArgument("window must be >= 1");
+  if (num_coefficients == 0) {
+    return Status::InvalidArgument("num_coefficients must be >= 1");
+  }
+  if (2 * num_coefficients > window) {
+    return Status::InvalidArgument(
+        "num_coefficients must be <= window / 2 (feature space cannot "
+        "exceed the original dimensionality)");
+  }
+  if (stride == 0) return Status::InvalidArgument("stride must be >= 1");
+  return Status::OK();
+}
+
+Result<SubsequenceIndex> SubsequenceIndex::Build(
+    const std::vector<std::vector<double>>& series,
+    const SubsequenceIndexOptions& options) {
+  DMT_RETURN_NOT_OK(options.Validate());
+  SubsequenceIndex index(options);
+  index.series_ = series;
+  index.features_ =
+      std::make_unique<core::PointSet>(2 * options.num_coefficients);
+  for (uint32_t s = 0; s < series.size(); ++s) {
+    const auto& values = series[s];
+    if (values.size() < options.window) continue;
+    for (size_t offset = 0; offset + options.window <= values.size();
+         offset += options.stride) {
+      std::span<const double> window(values.data() + offset,
+                                     options.window);
+      auto features =
+          options.vertical_shift_invariant
+              ? DftFeaturesRange(window, 1, options.num_coefficients)
+              : DftFeatures(window, options.num_coefficients);
+      index.features_->Add(features);
+      index.locations_.emplace_back(s, static_cast<uint32_t>(offset));
+    }
+  }
+  if (!index.features_->empty()) {
+    index.feature_index_ =
+        std::make_unique<core::KdTree>(*index.features_);
+  }
+  return index;
+}
+
+Result<std::vector<SubsequenceMatch>> SubsequenceIndex::RangeQuery(
+    std::span<const double> query, double epsilon,
+    QueryStats* stats) const {
+  if (query.size() != options_.window) {
+    return Status::InvalidArgument(core::StrFormat(
+        "query length %zu does not match the index window %zu",
+        query.size(), options_.window));
+  }
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  QueryStats local;
+  local.windows_indexed = locations_.size();
+  std::vector<SubsequenceMatch> matches;
+  if (feature_index_ != nullptr) {
+    auto query_features =
+        options_.vertical_shift_invariant
+            ? DftFeaturesRange(query, 1, options_.num_coefficients)
+            : DftFeatures(query, options_.num_coefficients);
+    // Parseval: distance in the truncated coefficient space lower-bounds
+    // the time-domain distance, so an epsilon-ball in feature space
+    // contains every true match (no false dismissals).
+    auto candidates = feature_index_->RadiusSearch(query_features, epsilon);
+    local.candidates = candidates.size();
+    const double epsilon_sq = epsilon * epsilon;
+    for (uint32_t candidate : candidates) {
+      auto [s, offset] = locations_[candidate];
+      std::span<const double> window(series_[s].data() + offset,
+                                     options_.window);
+      double d_sq = options_.vertical_shift_invariant
+                        ? CenteredSquaredDistance(query, window)
+                        : core::SquaredEuclideanDistance(query, window);
+      if (d_sq <= epsilon_sq) {
+        matches.push_back({s, offset, std::sqrt(d_sq)});
+      }
+    }
+  }
+  local.matches = matches.size();
+  if (stats != nullptr) *stats = local;
+  std::sort(matches.begin(), matches.end(),
+            [](const SubsequenceMatch& a, const SubsequenceMatch& b) {
+              if (a.series != b.series) return a.series < b.series;
+              return a.offset < b.offset;
+            });
+  return matches;
+}
+
+Result<std::vector<SubsequenceMatch>>
+SubsequenceIndex::RangeQueryBruteForce(std::span<const double> query,
+                                       double epsilon,
+                                       QueryStats* stats) const {
+  if (query.size() != options_.window) {
+    return Status::InvalidArgument(core::StrFormat(
+        "query length %zu does not match the index window %zu",
+        query.size(), options_.window));
+  }
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  QueryStats local;
+  local.windows_indexed = locations_.size();
+  local.candidates = locations_.size();
+  const double epsilon_sq = epsilon * epsilon;
+  std::vector<SubsequenceMatch> matches;
+  for (const auto& [s, offset] : locations_) {
+    std::span<const double> window(series_[s].data() + offset,
+                                   options_.window);
+    double d_sq = options_.vertical_shift_invariant
+                      ? CenteredSquaredDistance(query, window)
+                      : core::SquaredEuclideanDistance(query, window);
+    if (d_sq <= epsilon_sq) {
+      matches.push_back({s, offset, std::sqrt(d_sq)});
+    }
+  }
+  local.matches = matches.size();
+  if (stats != nullptr) *stats = local;
+  return matches;
+}
+
+}  // namespace dmt::tseries

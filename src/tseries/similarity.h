@@ -1,0 +1,97 @@
+// GEMINI-style subsequence similarity search (Agrawal, Faloutsos & Swami,
+// FODO'93; Faloutsos, Ranganathan & Manolopoulos, SIGMOD'94): every
+// sliding window of every series is mapped to its first few DFT
+// coefficients; a range query filters candidates in the low-dimensional
+// feature space (no false dismissals, by Parseval) and verifies the
+// survivors against the raw data.
+#ifndef DMT_TSERIES_SIMILARITY_H_
+#define DMT_TSERIES_SIMILARITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/kd_tree.h"
+#include "core/point_set.h"
+#include "core/status.h"
+
+namespace dmt::tseries {
+
+/// Index configuration.
+struct SubsequenceIndexOptions {
+  /// Sliding-window length; queries must have exactly this length.
+  size_t window = 64;
+  /// DFT coefficients kept per window (feature dim = 2 * this). The
+  /// original papers found 2-3 coefficients optimal for random-walk-like
+  /// data (energy concentrates in low frequencies).
+  size_t num_coefficients = 3;
+  /// Offsets between indexed windows (1 = every position, the papers'
+  /// ST-index; larger strides trade recall of *positions* for space —
+  /// matches are still exact for indexed offsets).
+  size_t stride = 1;
+  /// Match up to a vertical shift (FRM'94 §5, "v-shift" similarity): the
+  /// DC coefficient is dropped from the features and distances are
+  /// computed between mean-centered windows.
+  bool vertical_shift_invariant = false;
+
+  core::Status Validate() const;
+};
+
+/// One verified match.
+struct SubsequenceMatch {
+  uint32_t series = 0;
+  uint32_t offset = 0;
+  /// Exact Euclidean distance between the query and the window.
+  double distance = 0.0;
+
+  bool operator==(const SubsequenceMatch& other) const = default;
+};
+
+/// Query diagnostics: how well the feature filter worked.
+struct QueryStats {
+  size_t windows_indexed = 0;
+  size_t candidates = 0;   // windows passing the feature-space filter
+  size_t matches = 0;      // candidates surviving exact verification
+};
+
+/// Immutable index over the sliding windows of a series collection.
+class SubsequenceIndex {
+ public:
+  /// Builds the index; series shorter than the window are skipped.
+  static core::Result<SubsequenceIndex> Build(
+      const std::vector<std::vector<double>>& series,
+      const SubsequenceIndexOptions& options);
+
+  /// All windows within Euclidean distance `epsilon` of `query`
+  /// (query.size() == window). Exact: the feature-space prefilter admits
+  /// no false dismissals. Results sorted by (series, offset).
+  core::Result<std::vector<SubsequenceMatch>> RangeQuery(
+      std::span<const double> query, double epsilon,
+      QueryStats* stats = nullptr) const;
+
+  /// Brute-force reference scan (ablation baseline; identical results).
+  core::Result<std::vector<SubsequenceMatch>> RangeQueryBruteForce(
+      std::span<const double> query, double epsilon,
+      QueryStats* stats = nullptr) const;
+
+  size_t num_windows() const { return locations_.size(); }
+  const SubsequenceIndexOptions& options() const { return options_; }
+
+ private:
+  SubsequenceIndex(SubsequenceIndexOptions options) : options_(options) {}
+
+  SubsequenceIndexOptions options_;
+  /// Raw series (owned copy, for verification).
+  std::vector<std::vector<double>> series_;
+  /// (series, offset) per indexed window, parallel to features_ rows.
+  std::vector<std::pair<uint32_t, uint32_t>> locations_;
+  /// Heap-allocated so the kd-tree's reference to it survives moves of
+  /// the index object.
+  std::unique_ptr<core::PointSet> features_;
+  std::unique_ptr<core::KdTree> feature_index_;
+};
+
+}  // namespace dmt::tseries
+
+#endif  // DMT_TSERIES_SIMILARITY_H_

@@ -1,0 +1,80 @@
+#include "assoc/candidate_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace dmt::assoc {
+namespace {
+
+TEST(CandidateGenTest, JoinsOnSharedPrefix) {
+  // L2 = {1,2},{1,3},{2,3} -> candidate {1,2,3} survives pruning.
+  std::vector<Itemset> prev = {{1, 2}, {1, 3}, {2, 3}};
+  auto result = GenerateCandidates(prev);
+  ASSERT_EQ(result.candidates.size(), 1u);
+  EXPECT_EQ(result.candidates[0], (Itemset{1, 2, 3}));
+}
+
+TEST(CandidateGenTest, PrunesWhenSubsetInfrequent) {
+  // {2,3} missing -> {1,2,3} must be pruned.
+  std::vector<Itemset> prev = {{1, 2}, {1, 3}};
+  auto result = GenerateCandidates(prev);
+  EXPECT_TRUE(result.candidates.empty());
+}
+
+TEST(CandidateGenTest, SinglesJoinWithoutPruning) {
+  std::vector<Itemset> prev = {{1}, {4}, {7}};
+  auto result = GenerateCandidates(prev);
+  ASSERT_EQ(result.candidates.size(), 3u);
+  EXPECT_EQ(result.candidates[0], (Itemset{1, 4}));
+  EXPECT_EQ(result.candidates[1], (Itemset{1, 7}));
+  EXPECT_EQ(result.candidates[2], (Itemset{4, 7}));
+}
+
+TEST(CandidateGenTest, RecordsParents) {
+  std::vector<Itemset> prev = {{1}, {4}, {7}};
+  auto result = GenerateCandidates(prev, /*record_parents=*/true);
+  ASSERT_EQ(result.parents.size(), 3u);
+  EXPECT_EQ(result.parents[0], std::make_pair(0u, 1u));
+  EXPECT_EQ(result.parents[1], std::make_pair(0u, 2u));
+  EXPECT_EQ(result.parents[2], std::make_pair(1u, 2u));
+}
+
+TEST(CandidateGenTest, NoParentsUnlessRequested) {
+  std::vector<Itemset> prev = {{1}, {2}};
+  auto result = GenerateCandidates(prev);
+  EXPECT_TRUE(result.parents.empty());
+}
+
+TEST(CandidateGenTest, EmptyInputYieldsNothing) {
+  auto result = GenerateCandidates({});
+  EXPECT_TRUE(result.candidates.empty());
+}
+
+TEST(CandidateGenTest, DifferentPrefixesDoNotJoin) {
+  std::vector<Itemset> prev = {{1, 2}, {3, 4}};
+  auto result = GenerateCandidates(prev);
+  EXPECT_TRUE(result.candidates.empty());
+}
+
+TEST(CandidateGenTest, CandidatesComeOutSorted) {
+  std::vector<Itemset> prev = {{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4},
+                               {3, 4}};
+  auto result = GenerateCandidates(prev);
+  // All four 3-subsets of {1,2,3,4} survive.
+  ASSERT_EQ(result.candidates.size(), 4u);
+  for (size_t i = 1; i < result.candidates.size(); ++i) {
+    EXPECT_LT(result.candidates[i - 1], result.candidates[i]);
+  }
+}
+
+TEST(CandidateGenTest, DeepPruningChecksAllSubsets) {
+  // Join of {1,2,3} and {1,2,4} gives {1,2,3,4}; subsets {1,3,4} and
+  // {2,3,4} must both be present for it to survive.
+  std::vector<Itemset> with_all = {{1, 2, 3}, {1, 2, 4}, {1, 3, 4},
+                                   {2, 3, 4}};
+  EXPECT_EQ(GenerateCandidates(with_all).candidates.size(), 1u);
+  std::vector<Itemset> missing_one = {{1, 2, 3}, {1, 2, 4}, {1, 3, 4}};
+  EXPECT_TRUE(GenerateCandidates(missing_one).candidates.empty());
+}
+
+}  // namespace
+}  // namespace dmt::assoc

@@ -1,0 +1,78 @@
+// Property sweep: Apriori must return identical results for every
+// hash-tree geometry (fanout x leaf size) and for the subset-lookup
+// counting method — counting strategy is a pure performance knob.
+#include <gtest/gtest.h>
+
+#include "assoc/apriori.h"
+#include "assoc/fp_growth.h"
+#include "core/rng.h"
+
+namespace dmt::assoc {
+namespace {
+
+using core::ItemId;
+using core::TransactionDatabase;
+
+TransactionDatabase RandomDatabase(uint64_t seed) {
+  core::Rng rng(seed);
+  TransactionDatabase db;
+  for (int t = 0; t < 150; ++t) {
+    std::vector<ItemId> items;
+    for (ItemId item = 0; item < 30; ++item) {
+      if (rng.Bernoulli(0.2)) items.push_back(item);
+    }
+    db.Add(items);
+  }
+  return db;
+}
+
+struct Geometry {
+  size_t fanout;
+  size_t leaf_size;
+};
+
+class HashTreeGeometryTest : public testing::TestWithParam<Geometry> {};
+
+TEST_P(HashTreeGeometryTest, GeometryDoesNotChangeResults) {
+  const Geometry& geometry = GetParam();
+  for (uint64_t seed : {1u, 2u}) {
+    TransactionDatabase db = RandomDatabase(seed);
+    MiningParams params;
+    params.min_support = 0.05;
+    auto reference = MineFpGrowth(db, params);
+    ASSERT_TRUE(reference.ok());
+    AprioriOptions options;
+    options.hash_tree_fanout = geometry.fanout;
+    options.hash_tree_leaf_size = geometry.leaf_size;
+    auto result = MineApriori(db, params, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->itemsets, reference->itemsets)
+        << "fanout " << geometry.fanout << " leaf " << geometry.leaf_size
+        << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HashTreeGeometryTest,
+    testing::Values(Geometry{2, 1}, Geometry{2, 64}, Geometry{8, 1},
+                    Geometry{8, 16}, Geometry{128, 4}, Geometry{128, 256},
+                    Geometry{1024, 16}),
+    [](const testing::TestParamInfo<Geometry>& info) {
+      return "fanout" + std::to_string(info.param.fanout) + "_leaf" +
+             std::to_string(info.param.leaf_size);
+    });
+
+TEST(HashTreeGeometryTest, InvalidGeometriesRejected) {
+  TransactionDatabase db = RandomDatabase(3);
+  MiningParams params;
+  params.min_support = 0.1;
+  AprioriOptions options;
+  options.hash_tree_fanout = 1;
+  EXPECT_FALSE(MineApriori(db, params, options).ok());
+  options = AprioriOptions{};
+  options.hash_tree_leaf_size = 0;
+  EXPECT_FALSE(MineApriori(db, params, options).ok());
+}
+
+}  // namespace
+}  // namespace dmt::assoc

@@ -1,0 +1,116 @@
+#include "assoc/hash_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace dmt::assoc {
+namespace {
+
+using core::ItemId;
+using core::TransactionDatabase;
+
+std::vector<uint32_t> CountWithTree(const std::vector<Itemset>& candidates,
+                                    size_t k,
+                                    const TransactionDatabase& db,
+                                    size_t fanout = 8,
+                                    size_t leaf_size = 2) {
+  HashTree tree(candidates, k, fanout, leaf_size);
+  std::vector<uint32_t> counts(candidates.size(), 0);
+  tree.CountDatabase(db, counts);
+  return counts;
+}
+
+std::vector<uint32_t> CountBrute(const std::vector<Itemset>& candidates,
+                                 const TransactionDatabase& db) {
+  std::vector<uint32_t> counts(candidates.size(), 0);
+  for (size_t t = 0; t < db.size(); ++t) {
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (IsSubsetOf(candidates[c], db.transaction(t))) ++counts[c];
+    }
+  }
+  return counts;
+}
+
+TEST(HashTreeTest, CountsSimpleCandidates) {
+  std::vector<Itemset> candidates = {{1, 2}, {1, 3}, {2, 3}};
+  TransactionDatabase db;
+  db.Add(std::vector<ItemId>{1, 2, 3});
+  db.Add(std::vector<ItemId>{1, 2});
+  db.Add(std::vector<ItemId>{3});
+  auto counts = CountWithTree(candidates, 2, db);
+  EXPECT_EQ(counts, (std::vector<uint32_t>{2, 1, 1}));
+}
+
+TEST(HashTreeTest, ShortTransactionsContributeNothing) {
+  std::vector<Itemset> candidates = {{1, 2, 3}};
+  TransactionDatabase db;
+  db.Add(std::vector<ItemId>{1, 2});
+  auto counts = CountWithTree(candidates, 3, db);
+  EXPECT_EQ(counts[0], 0u);
+}
+
+TEST(HashTreeTest, CollidingBucketsDoNotDoubleCount) {
+  // fanout 2 forces heavy bucket collisions; counts must still be exact.
+  std::vector<Itemset> candidates = {{0, 2}, {0, 4}, {2, 4}, {1, 3}};
+  TransactionDatabase db;
+  db.Add(std::vector<ItemId>{0, 2, 4});  // contains {0,2},{0,4},{2,4}
+  auto counts = CountWithTree(candidates, 2, db, /*fanout=*/2,
+                              /*leaf_size=*/1);
+  EXPECT_EQ(counts, (std::vector<uint32_t>{1, 1, 1, 0}));
+}
+
+TEST(HashTreeTest, MatchesBruteForceOnRandomData) {
+  core::Rng rng(99);
+  for (int round = 0; round < 5; ++round) {
+    // Random database over 12 items.
+    TransactionDatabase db;
+    for (int t = 0; t < 60; ++t) {
+      std::vector<ItemId> items;
+      for (ItemId item = 0; item < 12; ++item) {
+        if (rng.Bernoulli(0.4)) items.push_back(item);
+      }
+      db.Add(items);
+    }
+    // Random candidate 3-itemsets (distinct).
+    std::vector<Itemset> candidates;
+    for (int c = 0; c < 30; ++c) {
+      auto pick = rng.SampleWithoutReplacement(12, 3);
+      Itemset itemset(pick.begin(), pick.end());
+      std::sort(itemset.begin(), itemset.end());
+      if (std::find(candidates.begin(), candidates.end(), itemset) ==
+          candidates.end()) {
+        candidates.push_back(itemset);
+      }
+    }
+    auto tree_counts = CountWithTree(candidates, 3, db, 4, 2);
+    auto brute_counts = CountBrute(candidates, db);
+    EXPECT_EQ(tree_counts, brute_counts) << "round " << round;
+  }
+}
+
+TEST(HashTreeTest, LargeLeafNeverSplits) {
+  std::vector<Itemset> candidates = {{1, 2}, {3, 4}, {5, 6}};
+  HashTree tree(candidates, 2, 8, /*max_leaf_size=*/100);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+TEST(HashTreeTest, SmallLeafSplits) {
+  std::vector<Itemset> candidates;
+  for (ItemId i = 0; i < 20; ++i) candidates.push_back({i, i + 20});
+  HashTree tree(candidates, 2, 8, /*max_leaf_size=*/1);
+  EXPECT_GT(tree.num_nodes(), 1u);
+}
+
+TEST(HashTreeTest, IdenticalHashPathsStayInOneLeaf) {
+  // Items congruent mod fanout collide at every level; the leaf at depth k
+  // cannot split further and must still count correctly.
+  std::vector<Itemset> candidates = {{0, 8}, {8, 16}, {0, 16}};
+  TransactionDatabase db;
+  db.Add(std::vector<ItemId>{0, 8, 16});
+  auto counts = CountWithTree(candidates, 2, db, 8, 1);
+  EXPECT_EQ(counts, (std::vector<uint32_t>{1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace dmt::assoc

@@ -1,0 +1,327 @@
+// Cross-algorithm correctness: all four miners must produce exactly the
+// same frequent-itemset collection as a brute-force reference on random
+// databases, across support thresholds and database shapes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "assoc/apriori.h"
+#include "assoc/eclat.h"
+#include "assoc/fp_growth.h"
+#include "core/rng.h"
+#include "gen/quest.h"
+
+namespace dmt::assoc {
+namespace {
+
+using core::ItemId;
+using core::TransactionDatabase;
+
+/// Exhaustive reference miner: enumerates itemsets depth-first, counting
+/// supports by scanning the database. Only usable on small universes.
+void BruteForceExtend(const TransactionDatabase& db, uint32_t min_count,
+                      const Itemset& prefix, ItemId next_item,
+                      std::vector<FrequentItemset>* out) {
+  for (ItemId item = next_item; item < db.item_universe(); ++item) {
+    Itemset candidate = prefix;
+    candidate.push_back(item);
+    uint32_t support = 0;
+    for (size_t t = 0; t < db.size(); ++t) {
+      if (IsSubsetOf(candidate, db.transaction(t))) ++support;
+    }
+    if (support >= min_count) {
+      out->push_back({candidate, support});
+      BruteForceExtend(db, min_count, candidate, item + 1, out);
+    }
+  }
+}
+
+std::vector<FrequentItemset> BruteForceMine(const TransactionDatabase& db,
+                                            double min_support) {
+  uint32_t min_count = AbsoluteMinSupport(db, min_support);
+  std::vector<FrequentItemset> out;
+  BruteForceExtend(db, min_count, {}, 0, &out);
+  SortCanonical(&out);
+  return out;
+}
+
+TransactionDatabase RandomDatabase(uint64_t seed, size_t transactions,
+                                   size_t universe, double density) {
+  core::Rng rng(seed);
+  TransactionDatabase db;
+  for (size_t t = 0; t < transactions; ++t) {
+    std::vector<ItemId> items;
+    for (ItemId item = 0; item < universe; ++item) {
+      if (rng.Bernoulli(density)) items.push_back(item);
+    }
+    db.Add(items);
+  }
+  return db;
+}
+
+enum class Algorithm {
+  kApriori,
+  kAprioriSubsetLookup,
+  kAprioriTid,
+  kFpGrowth,
+  kFpGrowthNoSinglePath,
+  kEclat,
+  kEclatBitset,
+};
+
+std::string AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kApriori:
+      return "Apriori";
+    case Algorithm::kAprioriSubsetLookup:
+      return "AprioriSubsetLookup";
+    case Algorithm::kAprioriTid:
+      return "AprioriTid";
+    case Algorithm::kFpGrowth:
+      return "FpGrowth";
+    case Algorithm::kFpGrowthNoSinglePath:
+      return "FpGrowthNoSinglePath";
+    case Algorithm::kEclat:
+      return "Eclat";
+    case Algorithm::kEclatBitset:
+      return "EclatBitset";
+  }
+  return "?";
+}
+
+core::Result<MiningResult> RunMiner(Algorithm algorithm,
+                                    const TransactionDatabase& db,
+                                    const MiningParams& params) {
+  switch (algorithm) {
+    case Algorithm::kApriori:
+      return MineApriori(db, params);
+    case Algorithm::kAprioriSubsetLookup: {
+      AprioriOptions options;
+      options.counting = AprioriOptions::CountingMethod::kSubsetLookup;
+      return MineApriori(db, params, options);
+    }
+    case Algorithm::kAprioriTid:
+      return MineAprioriTid(db, params);
+    case Algorithm::kFpGrowth:
+      return MineFpGrowth(db, params);
+    case Algorithm::kFpGrowthNoSinglePath: {
+      FpGrowthOptions options;
+      options.single_path_optimization = false;
+      return MineFpGrowth(db, params, options);
+    }
+    case Algorithm::kEclat:
+      return MineEclat(db, params);
+    case Algorithm::kEclatBitset: {
+      EclatOptions options;
+      options.representation = EclatOptions::TidsetRepr::kBitsets;
+      return MineEclat(db, params, options);
+    }
+  }
+  return core::Status::Internal("unknown algorithm");
+}
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kApriori,        Algorithm::kAprioriSubsetLookup,
+    Algorithm::kAprioriTid,     Algorithm::kFpGrowth,
+    Algorithm::kFpGrowthNoSinglePath,
+    Algorithm::kEclat,          Algorithm::kEclatBitset,
+};
+
+struct SweepCase {
+  uint64_t seed;
+  double min_support;
+  double density;
+};
+
+using AgreementParam = std::tuple<Algorithm, SweepCase>;
+
+class MinerAgreementTest : public testing::TestWithParam<AgreementParam> {};
+
+TEST_P(MinerAgreementTest, MatchesBruteForceReference) {
+  auto [algorithm, sweep] = GetParam();
+  TransactionDatabase db =
+      RandomDatabase(sweep.seed, 80, 10, sweep.density);
+  MiningParams params;
+  params.min_support = sweep.min_support;
+  auto result = RunMiner(algorithm, db, params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto expected = BruteForceMine(db, sweep.min_support);
+  ASSERT_EQ(result->itemsets.size(), expected.size())
+      << AlgorithmName(algorithm);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result->itemsets[i].items, expected[i].items) << i;
+    EXPECT_EQ(result->itemsets[i].support, expected[i].support)
+        << FormatItemset(expected[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MinerAgreementTest,
+    testing::Combine(testing::ValuesIn(kAllAlgorithms),
+                     testing::Values(SweepCase{1, 0.2, 0.3},
+                                     SweepCase{2, 0.1, 0.3},
+                                     SweepCase{3, 0.05, 0.2},
+                                     SweepCase{4, 0.3, 0.5},
+                                     SweepCase{5, 0.15, 0.4})),
+    [](const testing::TestParamInfo<AgreementParam>& param_info) {
+      return AlgorithmName(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param).seed);
+    });
+
+class MinerQuestAgreementTest : public testing::TestWithParam<Algorithm> {};
+
+TEST_P(MinerQuestAgreementTest, AgreesWithAprioriOnQuestWorkload) {
+  gen::QuestParams quest;
+  quest.num_transactions = 400;
+  quest.avg_transaction_size = 6.0;
+  quest.avg_pattern_size = 3.0;
+  quest.num_items = 50;
+  quest.num_patterns = 20;
+  auto db = gen::GenerateQuestTransactions(quest, 7);
+  ASSERT_TRUE(db.ok());
+  MiningParams params;
+  params.min_support = 0.02;
+  auto reference = MineApriori(*db, params);
+  ASSERT_TRUE(reference.ok());
+  auto result = RunMiner(GetParam(), *db, params);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->itemsets.size(), reference->itemsets.size());
+  EXPECT_TRUE(std::equal(result->itemsets.begin(), result->itemsets.end(),
+                         reference->itemsets.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMiners, MinerQuestAgreementTest,
+                         testing::ValuesIn(kAllAlgorithms),
+                         [](const testing::TestParamInfo<Algorithm>&
+                                param_info) {
+                           return AlgorithmName(param_info.param);
+                         });
+
+TEST(MinerPropertiesTest, DownwardClosure) {
+  TransactionDatabase db = RandomDatabase(11, 100, 12, 0.35);
+  MiningParams params;
+  params.min_support = 0.1;
+  auto result = MineFpGrowth(db, params);
+  ASSERT_TRUE(result.ok());
+  std::map<Itemset, uint32_t> supports;
+  for (const auto& itemset : result->itemsets) {
+    supports[itemset.items] = itemset.support;
+  }
+  for (const auto& itemset : result->itemsets) {
+    if (itemset.items.size() < 2) continue;
+    for (size_t drop = 0; drop < itemset.items.size(); ++drop) {
+      Itemset subset;
+      for (size_t p = 0; p < itemset.items.size(); ++p) {
+        if (p != drop) subset.push_back(itemset.items[p]);
+      }
+      auto it = supports.find(subset);
+      ASSERT_NE(it, supports.end())
+          << "missing subset of " << FormatItemset(itemset);
+      EXPECT_GE(it->second, itemset.support);
+    }
+  }
+}
+
+TEST(MinerPropertiesTest, HigherSupportYieldsSubsetOfItemsets) {
+  TransactionDatabase db = RandomDatabase(13, 100, 12, 0.35);
+  MiningParams loose, tight;
+  loose.min_support = 0.05;
+  tight.min_support = 0.2;
+  auto loose_result = MineApriori(db, loose);
+  auto tight_result = MineApriori(db, tight);
+  ASSERT_TRUE(loose_result.ok());
+  ASSERT_TRUE(tight_result.ok());
+  EXPECT_LE(tight_result->itemsets.size(), loose_result->itemsets.size());
+  std::map<Itemset, uint32_t> loose_supports;
+  for (const auto& itemset : loose_result->itemsets) {
+    loose_supports[itemset.items] = itemset.support;
+  }
+  for (const auto& itemset : tight_result->itemsets) {
+    auto it = loose_supports.find(itemset.items);
+    ASSERT_NE(it, loose_supports.end());
+    EXPECT_EQ(it->second, itemset.support);
+  }
+}
+
+TEST(MinerPropertiesTest, MaxItemsetSizeRespected) {
+  TransactionDatabase db = RandomDatabase(17, 80, 10, 0.5);
+  MiningParams params;
+  params.min_support = 0.1;
+  params.max_itemset_size = 2;
+  for (Algorithm algorithm : kAllAlgorithms) {
+    auto result = RunMiner(algorithm, db, params);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result->itemsets.empty()) << AlgorithmName(algorithm);
+    for (const auto& itemset : result->itemsets) {
+      EXPECT_LE(itemset.items.size(), 2u) << AlgorithmName(algorithm);
+    }
+    // The truncated collection must equal the full one filtered to size<=2.
+    MiningParams full = params;
+    full.max_itemset_size = 0;
+    auto full_result = RunMiner(algorithm, db, full);
+    ASSERT_TRUE(full_result.ok());
+    std::vector<FrequentItemset> filtered;
+    for (const auto& itemset : full_result->itemsets) {
+      if (itemset.items.size() <= 2) filtered.push_back(itemset);
+    }
+    EXPECT_EQ(result->itemsets, filtered) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(MinerPropertiesTest, EmptyDatabaseYieldsNothing) {
+  TransactionDatabase db;
+  MiningParams params;
+  params.min_support = 0.5;
+  for (Algorithm algorithm : kAllAlgorithms) {
+    auto result = RunMiner(algorithm, db, params);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_TRUE(result->itemsets.empty()) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(MinerPropertiesTest, SingleTransactionFullSupport) {
+  TransactionDatabase db;
+  db.Add(std::vector<ItemId>{1, 2, 3});
+  MiningParams params;
+  params.min_support = 1.0;
+  for (Algorithm algorithm : kAllAlgorithms) {
+    auto result = RunMiner(algorithm, db, params);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    // All 7 non-empty subsets of {1,2,3} are frequent with support 1.
+    EXPECT_EQ(result->itemsets.size(), 7u) << AlgorithmName(algorithm);
+    for (const auto& itemset : result->itemsets) {
+      EXPECT_EQ(itemset.support, 1u);
+    }
+  }
+}
+
+TEST(MinerPropertiesTest, InvalidParamsRejected) {
+  TransactionDatabase db;
+  db.Add(std::vector<ItemId>{1});
+  MiningParams params;
+  params.min_support = 0.0;
+  for (Algorithm algorithm : kAllAlgorithms) {
+    EXPECT_FALSE(RunMiner(algorithm, db, params).ok())
+        << AlgorithmName(algorithm);
+  }
+}
+
+TEST(MinerPropertiesTest, AprioriPassStatsConsistent) {
+  TransactionDatabase db = RandomDatabase(23, 100, 10, 0.4);
+  MiningParams params;
+  params.min_support = 0.1;
+  auto result = MineApriori(db, params);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->passes.empty());
+  size_t total_frequent = 0;
+  for (const auto& pass : result->passes) {
+    EXPECT_GE(pass.candidates, pass.frequent);
+    EXPECT_EQ(result->CountOfSize(pass.pass), pass.frequent);
+    total_frequent += pass.frequent;
+  }
+  EXPECT_EQ(total_frequent, result->itemsets.size());
+}
+
+}  // namespace
+}  // namespace dmt::assoc

@@ -1,0 +1,148 @@
+#include "assoc/postprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "assoc/apriori.h"
+#include "core/rng.h"
+
+namespace dmt::assoc {
+namespace {
+
+using core::ItemId;
+using core::TransactionDatabase;
+
+std::vector<FrequentItemset> MineAll(const TransactionDatabase& db,
+                                     double min_support) {
+  MiningParams params;
+  params.min_support = min_support;
+  auto result = MineApriori(db, params);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value().itemsets;
+}
+
+TEST(PostprocessTest, MaximalKeepsOnlyTopItemsets) {
+  TransactionDatabase db;
+  for (int i = 0; i < 4; ++i) db.Add(std::vector<ItemId>{1, 2, 3});
+  auto all = MineAll(db, 0.5);
+  EXPECT_EQ(all.size(), 7u);
+  auto maximal = FilterMaximal(all);
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0].items, (Itemset{1, 2, 3}));
+}
+
+TEST(PostprocessTest, ClosedKeepsSupportChanges) {
+  // {1,2} occurs 4 times, {1} alone 2 more times: {1} is closed (support 6
+  // vs superset 4), {2} is not (every 2 comes with 1).
+  TransactionDatabase db;
+  for (int i = 0; i < 4; ++i) db.Add(std::vector<ItemId>{1, 2});
+  for (int i = 0; i < 2; ++i) db.Add(std::vector<ItemId>{1});
+  auto all = MineAll(db, 0.1);
+  auto closed = FilterClosed(all);
+  std::vector<Itemset> closed_sets;
+  for (const auto& itemset : closed) closed_sets.push_back(itemset.items);
+  EXPECT_EQ(closed_sets,
+            (std::vector<Itemset>{{1}, {1, 2}}));
+}
+
+TEST(PostprocessTest, MaximalSubsetOfClosed) {
+  core::Rng rng(3);
+  TransactionDatabase db;
+  for (int t = 0; t < 80; ++t) {
+    std::vector<ItemId> items;
+    for (ItemId item = 0; item < 10; ++item) {
+      if (rng.Bernoulli(0.4)) items.push_back(item);
+    }
+    db.Add(items);
+  }
+  auto all = MineAll(db, 0.1);
+  auto maximal = FilterMaximal(all);
+  auto closed = FilterClosed(all);
+  EXPECT_LE(maximal.size(), closed.size());
+  EXPECT_LE(closed.size(), all.size());
+  // Every maximal itemset is closed.
+  for (const auto& m : maximal) {
+    bool found = false;
+    for (const auto& c : closed) {
+      if (c.items == m.items) found = true;
+    }
+    EXPECT_TRUE(found) << FormatItemset(m);
+  }
+}
+
+TEST(PostprocessTest, MaximalDefinitionHolds) {
+  core::Rng rng(9);
+  TransactionDatabase db;
+  for (int t = 0; t < 60; ++t) {
+    std::vector<ItemId> items;
+    for (ItemId item = 0; item < 9; ++item) {
+      if (rng.Bernoulli(0.45)) items.push_back(item);
+    }
+    db.Add(items);
+  }
+  auto all = MineAll(db, 0.15);
+  auto maximal = FilterMaximal(all);
+  for (const auto& m : maximal) {
+    for (const auto& other : all) {
+      if (other.items.size() == m.items.size() + 1) {
+        EXPECT_FALSE(IsSubsetOf(m.items, other.items))
+            << FormatItemset(m) << " has frequent superset "
+            << FormatItemset(other);
+      }
+    }
+  }
+  // And every dropped itemset has a frequent immediate superset.
+  for (const auto& itemset : all) {
+    bool is_maximal = false;
+    for (const auto& m : maximal) {
+      if (m.items == itemset.items) is_maximal = true;
+    }
+    if (is_maximal) continue;
+    bool has_superset = false;
+    for (const auto& other : all) {
+      if (other.items.size() == itemset.items.size() + 1 &&
+          IsSubsetOf(itemset.items, other.items)) {
+        has_superset = true;
+      }
+    }
+    EXPECT_TRUE(has_superset) << FormatItemset(itemset);
+  }
+}
+
+TEST(PostprocessTest, ClosedPreservesAllSupportInformation) {
+  // Known property: the support of any frequent itemset equals the maximum
+  // support among closed supersets.
+  core::Rng rng(15);
+  TransactionDatabase db;
+  for (int t = 0; t < 60; ++t) {
+    std::vector<ItemId> items;
+    for (ItemId item = 0; item < 8; ++item) {
+      if (rng.Bernoulli(0.5)) items.push_back(item);
+    }
+    db.Add(items);
+  }
+  auto all = MineAll(db, 0.1);
+  auto closed = FilterClosed(all);
+  for (const auto& itemset : all) {
+    uint32_t best = 0;
+    for (const auto& c : closed) {
+      if (IsSubsetOf(itemset.items, c.items)) {
+        best = std::max(best, c.support);
+      }
+    }
+    EXPECT_EQ(best, itemset.support) << FormatItemset(itemset);
+  }
+}
+
+TEST(PostprocessTest, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(FilterMaximal({}).empty());
+  EXPECT_TRUE(FilterClosed({}).empty());
+}
+
+TEST(PostprocessTest, SingletonsOnlyAllMaximal) {
+  std::vector<FrequentItemset> all = {{{1}, 3}, {{2}, 4}};
+  EXPECT_EQ(FilterMaximal(all).size(), 2u);
+  EXPECT_EQ(FilterClosed(all).size(), 2u);
+}
+
+}  // namespace
+}  // namespace dmt::assoc

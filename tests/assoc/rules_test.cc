@@ -1,0 +1,244 @@
+#include "assoc/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "assoc/apriori.h"
+#include "core/rng.h"
+
+namespace dmt::assoc {
+namespace {
+
+using core::ItemId;
+using core::TransactionDatabase;
+
+/// A small database with a planted implication: item 1 almost always
+/// implies item 2.
+TransactionDatabase PlantedDatabase() {
+  TransactionDatabase db;
+  for (int i = 0; i < 8; ++i) db.Add(std::vector<ItemId>{1, 2});
+  db.Add(std::vector<ItemId>{1});
+  db.Add(std::vector<ItemId>{2});
+  for (int i = 0; i < 10; ++i) db.Add(std::vector<ItemId>{3});
+  return db;
+}
+
+MiningResult MineAll(const TransactionDatabase& db, double min_support) {
+  MiningParams params;
+  params.min_support = min_support;
+  auto result = MineApriori(db, params);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(RulesTest, FindsPlantedImplication) {
+  TransactionDatabase db = PlantedDatabase();
+  MiningResult mining = MineAll(db, 0.05);
+  RuleParams params;
+  params.min_confidence = 0.8;
+  auto rules = GenerateRules(mining, db.size(), params);
+  ASSERT_TRUE(rules.ok());
+  bool found = false;
+  for (const auto& rule : *rules) {
+    if (rule.antecedent == Itemset{1} && rule.consequent == Itemset{2}) {
+      found = true;
+      EXPECT_EQ(rule.support_count, 8u);
+      EXPECT_NEAR(rule.confidence, 8.0 / 9.0, 1e-12);
+      EXPECT_NEAR(rule.support, 8.0 / 20.0, 1e-12);
+      EXPECT_NEAR(rule.lift, (8.0 / 9.0) / (9.0 / 20.0), 1e-12);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RulesTest, ConfidenceThresholdFilters) {
+  TransactionDatabase db = PlantedDatabase();
+  MiningResult mining = MineAll(db, 0.05);
+  RuleParams strict;
+  strict.min_confidence = 0.95;
+  auto rules = GenerateRules(mining, db.size(), strict);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : *rules) {
+    EXPECT_GE(rule.confidence, 0.95 - 1e-12);
+  }
+}
+
+TEST(RulesTest, LiftThresholdFilters) {
+  TransactionDatabase db = PlantedDatabase();
+  MiningResult mining = MineAll(db, 0.05);
+  RuleParams params;
+  params.min_confidence = 0.1;
+  params.min_lift = 1.5;
+  auto rules = GenerateRules(mining, db.size(), params);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : *rules) {
+    EXPECT_GE(rule.lift, 1.5 - 1e-9);
+  }
+}
+
+TEST(RulesTest, RulesSortedByConfidenceThenLift) {
+  TransactionDatabase db = PlantedDatabase();
+  MiningResult mining = MineAll(db, 0.05);
+  RuleParams params;
+  params.min_confidence = 0.1;
+  auto rules = GenerateRules(mining, db.size(), params);
+  ASSERT_TRUE(rules.ok());
+  for (size_t i = 1; i < rules->size(); ++i) {
+    const auto& prev = (*rules)[i - 1];
+    const auto& cur = (*rules)[i];
+    EXPECT_TRUE(prev.confidence > cur.confidence ||
+                (prev.confidence == cur.confidence &&
+                 prev.lift >= cur.lift));
+  }
+}
+
+TEST(RulesTest, EveryRulePartitionsItsItemset) {
+  core::Rng rng(5);
+  TransactionDatabase db;
+  for (int t = 0; t < 60; ++t) {
+    std::vector<ItemId> items;
+    for (ItemId item = 0; item < 8; ++item) {
+      if (rng.Bernoulli(0.45)) items.push_back(item);
+    }
+    db.Add(items);
+  }
+  MiningResult mining = MineAll(db, 0.1);
+  RuleParams params;
+  params.min_confidence = 0.4;
+  auto rules = GenerateRules(mining, db.size(), params);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_FALSE(rules->empty());
+  for (const auto& rule : *rules) {
+    EXPECT_FALSE(rule.antecedent.empty());
+    EXPECT_FALSE(rule.consequent.empty());
+    // Antecedent and consequent are disjoint.
+    Itemset intersection;
+    std::set_intersection(rule.antecedent.begin(), rule.antecedent.end(),
+                          rule.consequent.begin(), rule.consequent.end(),
+                          std::back_inserter(intersection));
+    EXPECT_TRUE(intersection.empty());
+    // Confidence is consistent with raw supports recomputed from the db.
+    Itemset all;
+    std::set_union(rule.antecedent.begin(), rule.antecedent.end(),
+                   rule.consequent.begin(), rule.consequent.end(),
+                   std::back_inserter(all));
+    uint32_t support_all = 0, support_antecedent = 0;
+    for (size_t t = 0; t < db.size(); ++t) {
+      if (IsSubsetOf(all, db.transaction(t))) ++support_all;
+      if (IsSubsetOf(rule.antecedent, db.transaction(t))) {
+        ++support_antecedent;
+      }
+    }
+    EXPECT_EQ(rule.support_count, support_all);
+    EXPECT_NEAR(rule.confidence,
+                static_cast<double>(support_all) / support_antecedent,
+                1e-12);
+  }
+}
+
+TEST(RulesTest, MultiItemConsequentsGenerated) {
+  // Items 1,2,3 always together: rules like {1} => {2,3} must appear.
+  TransactionDatabase db;
+  for (int i = 0; i < 10; ++i) db.Add(std::vector<ItemId>{1, 2, 3});
+  db.Add(std::vector<ItemId>{4});
+  MiningResult mining = MineAll(db, 0.5);
+  RuleParams params;
+  params.min_confidence = 0.9;
+  auto rules = GenerateRules(mining, db.size(), params);
+  ASSERT_TRUE(rules.ok());
+  bool found = false;
+  for (const auto& rule : *rules) {
+    if (rule.antecedent == Itemset{1} &&
+        rule.consequent == Itemset{2, 3}) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RulesTest, NoRulesFromSingletonItemsets) {
+  TransactionDatabase db;
+  db.Add(std::vector<ItemId>{1});
+  db.Add(std::vector<ItemId>{2});
+  MiningResult mining = MineAll(db, 0.5);
+  RuleParams params;
+  auto rules = GenerateRules(mining, db.size(), params);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+TEST(RulesTest, ValidatesParameters) {
+  MiningResult mining;
+  RuleParams params;
+  params.min_confidence = 0.0;
+  EXPECT_FALSE(GenerateRules(mining, 10, params).ok());
+  params.min_confidence = 1.5;
+  EXPECT_FALSE(GenerateRules(mining, 10, params).ok());
+  params.min_confidence = 0.5;
+  params.min_lift = -1.0;
+  EXPECT_FALSE(GenerateRules(mining, 10, params).ok());
+  params.min_lift = 0.0;
+  EXPECT_FALSE(GenerateRules(mining, 0, params).ok());
+}
+
+
+TEST(RulesTest, ConvictionComputedCorrectly) {
+  TransactionDatabase db = PlantedDatabase();
+  MiningResult mining = MineAll(db, 0.05);
+  RuleParams params;
+  params.min_confidence = 0.5;
+  auto rules = GenerateRules(mining, db.size(), params);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : *rules) {
+    // Recompute conviction from the rule's own fields.
+    uint32_t consequent_support = 0;
+    for (size_t t = 0; t < db.size(); ++t) {
+      if (IsSubsetOf(rule.consequent, db.transaction(t))) {
+        ++consequent_support;
+      }
+    }
+    double consequent_fraction =
+        static_cast<double>(consequent_support) /
+        static_cast<double>(db.size());
+    if (rule.confidence >= 1.0 - 1e-12) {
+      EXPECT_GE(rule.conviction, 1e11);
+    } else {
+      EXPECT_NEAR(rule.conviction,
+                  (1.0 - consequent_fraction) / (1.0 - rule.confidence),
+                  1e-9);
+    }
+    EXPECT_GT(rule.conviction, 0.0);
+  }
+}
+
+TEST(RulesTest, ConvictionAboveOneForPositivelyCorrelatedRules) {
+  TransactionDatabase db = PlantedDatabase();
+  MiningResult mining = MineAll(db, 0.05);
+  RuleParams params;
+  params.min_confidence = 0.8;
+  params.min_lift = 1.2;
+  auto rules = GenerateRules(mining, db.size(), params);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_FALSE(rules->empty());
+  for (const auto& rule : *rules) {
+    EXPECT_GT(rule.conviction, 1.0) << FormatRule(rule);
+  }
+}
+
+TEST(RulesTest, FormatRuleReadable) {
+  AssociationRule rule;
+  rule.antecedent = {0};
+  rule.consequent = {1};
+  rule.support = 0.25;
+  rule.confidence = 0.8;
+  rule.lift = 1.6;
+  EXPECT_EQ(FormatRule(rule),
+            "{0} => {1} (supp=0.2500, conf=0.800, lift=1.60)");
+  core::ItemDictionary dict;
+  dict.GetOrAdd("beer");
+  dict.GetOrAdd("chips");
+  EXPECT_EQ(FormatRule(rule, &dict),
+            "{beer} => {chips} (supp=0.2500, conf=0.800, lift=1.60)");
+}
+
+}  // namespace
+}  // namespace dmt::assoc

@@ -1,0 +1,154 @@
+#include "core/kd_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/distance.h"
+#include "core/rng.h"
+
+namespace dmt::core {
+namespace {
+
+PointSet RandomPoints(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  PointSet points(dim);
+  std::vector<double> buffer(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      buffer[d] = rng.UniformDouble(-10.0, 10.0);
+    }
+    points.Add(buffer);
+  }
+  return points;
+}
+
+std::vector<std::pair<double, uint32_t>> BruteKNearest(
+    const PointSet& points, std::span<const double> query, size_t k) {
+  std::vector<std::pair<double, uint32_t>> all;
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    all.emplace_back(SquaredEuclideanDistance(query, points.point(i)), i);
+  }
+  std::sort(all.begin(), all.end());
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(KdTreeTest, KNearestMatchesBruteForce) {
+  for (size_t dim : {1u, 2u, 5u}) {
+    PointSet points = RandomPoints(300, dim, 10 + dim);
+    KdTree tree(points, 8);
+    Rng rng(99);
+    std::vector<double> query(dim);
+    for (int trial = 0; trial < 20; ++trial) {
+      for (size_t d = 0; d < dim; ++d) {
+        query[d] = rng.UniformDouble(-12.0, 12.0);
+      }
+      for (size_t k : {1u, 5u, 17u}) {
+        auto expected = BruteKNearest(points, query, k);
+        auto actual = tree.KNearest(query, k);
+        ASSERT_EQ(actual.size(), expected.size());
+        for (size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_DOUBLE_EQ(actual[i].first, expected[i].first)
+              << "dim " << dim << " trial " << trial << " k " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(KdTreeTest, RadiusSearchMatchesBruteForce) {
+  PointSet points = RandomPoints(400, 3, 77);
+  KdTree tree(points, 4);
+  Rng rng(5);
+  std::vector<double> query(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (size_t d = 0; d < 3; ++d) query[d] = rng.UniformDouble(-10, 10);
+    double radius = rng.UniformDouble(0.5, 6.0);
+    auto actual = tree.RadiusSearch(query, radius);
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < points.size(); ++i) {
+      if (SquaredEuclideanDistance(query, points.point(i)) <=
+          radius * radius) {
+        expected.push_back(i);
+      }
+    }
+    EXPECT_EQ(actual, expected) << "trial " << trial;
+  }
+}
+
+TEST(KdTreeTest, KLargerThanSetReturnsAll) {
+  PointSet points = RandomPoints(7, 2, 3);
+  KdTree tree(points);
+  std::vector<double> query = {0.0, 0.0};
+  auto result = tree.KNearest(query, 100);
+  EXPECT_EQ(result.size(), 7u);
+}
+
+TEST(KdTreeTest, KZeroReturnsNothing) {
+  PointSet points = RandomPoints(7, 2, 3);
+  KdTree tree(points);
+  std::vector<double> query = {0.0, 0.0};
+  EXPECT_TRUE(tree.KNearest(query, 0).empty());
+}
+
+TEST(KdTreeTest, EmptyPointSet) {
+  PointSet points(2);
+  KdTree tree(points);
+  std::vector<double> query = {0.0, 0.0};
+  EXPECT_TRUE(tree.KNearest(query, 3).empty());
+  EXPECT_TRUE(tree.RadiusSearch(query, 1.0).empty());
+}
+
+TEST(KdTreeTest, DuplicatePointsAllFound) {
+  PointSet points(2);
+  for (int i = 0; i < 10; ++i) {
+    points.Add(std::vector<double>{1.0, 1.0});
+  }
+  KdTree tree(points, 2);
+  std::vector<double> query = {1.0, 1.0};
+  auto knn = tree.KNearest(query, 10);
+  EXPECT_EQ(knn.size(), 10u);
+  for (const auto& [d, i] : knn) EXPECT_DOUBLE_EQ(d, 0.0);
+  auto radius = tree.RadiusSearch(query, 0.0);
+  EXPECT_EQ(radius.size(), 10u);
+}
+
+TEST(KdTreeTest, ExactPointFoundFirst) {
+  PointSet points = RandomPoints(100, 4, 123);
+  KdTree tree(points);
+  for (uint32_t i = 0; i < points.size(); i += 13) {
+    auto knn = tree.KNearest(points.point(i), 1);
+    ASSERT_EQ(knn.size(), 1u);
+    EXPECT_DOUBLE_EQ(knn[0].first, 0.0);
+  }
+}
+
+TEST(KdTreeTest, LeafSizeOneBuildsDeepTree) {
+  PointSet points = RandomPoints(64, 2, 8);
+  KdTree shallow(points, 64);
+  KdTree deep(points, 1);
+  EXPECT_EQ(shallow.num_nodes(), 1u);
+  EXPECT_GT(deep.num_nodes(), 32u);
+  // Same answers regardless of structure.
+  std::vector<double> query = {0.5, -0.5};
+  auto a = shallow.KNearest(query, 5);
+  auto b = deep.KNearest(query, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].first, b[i].first);
+  }
+}
+
+TEST(KdTreeTest, RadiusZeroFindsOnlyExactMatches) {
+  PointSet points(1);
+  points.Add(std::vector<double>{1.0});
+  points.Add(std::vector<double>{2.0});
+  KdTree tree(points);
+  std::vector<double> query = {1.0};
+  auto hits = tree.RadiusSearch(query, 0.0);
+  EXPECT_EQ(hits, (std::vector<uint32_t>{0}));
+}
+
+}  // namespace
+}  // namespace dmt::core

@@ -1,0 +1,212 @@
+#include "classify/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "gen/mixture.h"
+
+namespace dmt::classify {
+namespace {
+
+using core::Dataset;
+using core::DatasetBuilder;
+using core::PointSet;
+
+/// Labelled dataset from a 2-cluster Gaussian mixture. Centers sit on a
+/// fixed grid so datasets drawn with different seeds share geometry.
+Dataset MixtureDataset(uint64_t seed, size_t per_cluster = 100) {
+  gen::GaussianMixtureParams params;
+  params.num_clusters = 2;
+  params.points_per_cluster = per_cluster;
+  params.cluster_stddev = 1.0;
+  params.placement = gen::CenterPlacement::kGrid;
+  params.spread = 30.0;
+  auto data = gen::GenerateGaussianMixture(params, seed);
+  EXPECT_TRUE(data.ok());
+  DatasetBuilder builder;
+  std::vector<double> x, y;
+  for (size_t i = 0; i < data->points.size(); ++i) {
+    x.push_back(data->points.point(i)[0]);
+    y.push_back(data->points.point(i)[1]);
+  }
+  builder.AddNumericColumn("x", std::move(x))
+      .AddNumericColumn("y", std::move(y))
+      .SetLabels(std::vector<uint32_t>(data->labels.begin(),
+                                       data->labels.end()),
+                 {"c0", "c1"});
+  auto result = builder.Build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(KnnTest, ClassifiesSeparatedClusters) {
+  Dataset train = MixtureDataset(1);
+  Dataset test = MixtureDataset(2);
+  KnnClassifier knn;
+  ASSERT_TRUE(knn.Fit(train).ok());
+  auto predictions = knn.PredictAll(test);
+  ASSERT_TRUE(predictions.ok());
+  std::vector<uint32_t> truth(test.labels().begin(), test.labels().end());
+  auto accuracy = eval::Accuracy(truth, *predictions);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_GT(*accuracy, 0.99);
+}
+
+TEST(KnnTest, KdTreeAndBruteForceAgree) {
+  Dataset train = MixtureDataset(3);
+  Dataset test = MixtureDataset(4, 50);
+  KnnOptions tree_options;
+  tree_options.search = KnnOptions::Search::kKdTree;
+  KnnOptions brute_options;
+  brute_options.search = KnnOptions::Search::kBruteForce;
+  KnnClassifier with_tree(tree_options);
+  KnnClassifier with_brute(brute_options);
+  ASSERT_TRUE(with_tree.Fit(train).ok());
+  ASSERT_TRUE(with_brute.Fit(train).ok());
+  auto a = with_tree.PredictAll(test);
+  auto b = with_brute.PredictAll(test);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(KnnTest, KOneMemorizesTrainingData) {
+  Dataset train = MixtureDataset(5);
+  KnnOptions options;
+  options.k = 1;
+  options.standardize = false;
+  KnnClassifier knn(options);
+  ASSERT_TRUE(knn.Fit(train).ok());
+  auto predictions = knn.PredictAll(train);
+  ASSERT_TRUE(predictions.ok());
+  std::vector<uint32_t> truth(train.labels().begin(), train.labels().end());
+  auto accuracy = eval::Accuracy(truth, *predictions);
+  EXPECT_DOUBLE_EQ(*accuracy, 1.0);
+}
+
+TEST(KnnTest, StandardizationMattersForSkewedScales) {
+  // Informative dimension tiny, noise dimension huge: without
+  // standardization the noise dominates Euclidean distance.
+  DatasetBuilder train_builder, test_builder;
+  core::Rng rng(17);
+  std::vector<double> info_train, noise_train, info_test, noise_test;
+  std::vector<uint32_t> labels_train, labels_test;
+  for (int i = 0; i < 200; ++i) {
+    uint32_t label = i % 2;
+    double informative = label == 0 ? 0.0 : 0.001;
+    (i < 100 ? info_train : info_test)
+        .push_back(informative + rng.Normal(0.0, 0.0001));
+    (i < 100 ? noise_train : noise_test)
+        .push_back(rng.Normal(0.0, 1000.0));
+    (i < 100 ? labels_train : labels_test).push_back(label);
+  }
+  train_builder.AddNumericColumn("info", std::move(info_train))
+      .AddNumericColumn("noise", std::move(noise_train))
+      .SetLabels(std::move(labels_train), {"a", "b"});
+  test_builder.AddNumericColumn("info", std::move(info_test))
+      .AddNumericColumn("noise", std::move(noise_test))
+      .SetLabels(std::move(labels_test), {"a", "b"});
+  auto train = train_builder.Build();
+  auto test = test_builder.Build();
+  ASSERT_TRUE(train.ok());
+  ASSERT_TRUE(test.ok());
+
+  KnnOptions raw_options;
+  raw_options.standardize = false;
+  KnnOptions std_options;
+  std_options.standardize = true;
+  KnnClassifier raw(raw_options), standardized(std_options);
+  ASSERT_TRUE(raw.Fit(*train).ok());
+  ASSERT_TRUE(standardized.Fit(*train).ok());
+  std::vector<uint32_t> truth(test->labels().begin(),
+                              test->labels().end());
+  auto raw_acc = eval::Accuracy(truth, *raw.PredictAll(*test));
+  auto std_acc = eval::Accuracy(truth, *standardized.PredictAll(*test));
+  EXPECT_GT(*std_acc, 0.95);
+  EXPECT_GT(*std_acc, *raw_acc);
+}
+
+TEST(KnnTest, CategoricalAttributesOneHotEncoded) {
+  DatasetBuilder builder;
+  builder.AddCategoricalColumn("c", {0, 0, 0, 1, 1, 1}, {"x", "y"})
+      .SetLabels({0, 0, 0, 1, 1, 1}, {"a", "b"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  KnnOptions options;
+  options.k = 3;
+  KnnClassifier knn(options);
+  ASSERT_TRUE(knn.Fit(*data).ok());
+  auto predictions = knn.PredictAll(*data);
+  ASSERT_TRUE(predictions.ok());
+  for (size_t row = 0; row < data->num_rows(); ++row) {
+    EXPECT_EQ((*predictions)[row], data->Label(row));
+  }
+}
+
+TEST(KnnTest, PredictBeforeFitFails) {
+  Dataset data = MixtureDataset(6, 10);
+  KnnClassifier knn;
+  EXPECT_FALSE(knn.PredictAll(data).ok());
+}
+
+TEST(KnnTest, InvalidKRejected) {
+  Dataset data = MixtureDataset(7, 10);
+  KnnOptions options;
+  options.k = 0;
+  KnnClassifier knn(options);
+  EXPECT_FALSE(knn.Fit(data).ok());
+}
+
+TEST(KnnTest, DistanceWeightedVotingBreaksTies) {
+  // Two training points of class a very close, two of class b far away;
+  // k=4 uniform voting ties (first class wins by id), weighted voting
+  // must prefer the close class even when it has fewer members nearby.
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {0.1, -0.1, 5.0, 5.2, 5.4})
+      .SetLabels({0, 0, 1, 1, 1}, {"near", "far"});
+  auto train = builder.Build();
+  ASSERT_TRUE(train.ok());
+  DatasetBuilder query_builder;
+  query_builder.AddNumericColumn("x", {0.0}).SetLabels({0},
+                                                       {"near", "far"});
+  auto query = query_builder.Build();
+  ASSERT_TRUE(query.ok());
+  KnnOptions options;
+  options.k = 5;  // all points vote: 3 far vs 2 near
+  options.standardize = false;
+  options.distance_weighted = true;
+  KnnClassifier weighted(options);
+  ASSERT_TRUE(weighted.Fit(*train).ok());
+  auto prediction = weighted.PredictAll(*query);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_EQ((*prediction)[0], 0u);  // near class wins on weight
+  options.distance_weighted = false;
+  KnnClassifier uniform(options);
+  ASSERT_TRUE(uniform.Fit(*train).ok());
+  auto uniform_prediction = uniform.PredictAll(*query);
+  ASSERT_TRUE(uniform_prediction.ok());
+  EXPECT_EQ((*uniform_prediction)[0], 1u);  // majority wins uniformly
+}
+
+TEST(KnnTest, KnnPredictPointHelper) {
+  PointSet train(1);
+  train.Add(std::vector<double>{0.0});
+  train.Add(std::vector<double>{1.0});
+  train.Add(std::vector<double>{10.0});
+  std::vector<uint32_t> labels = {0, 0, 1};
+  EXPECT_EQ(KnnPredictPoint(train, labels, 2,
+                            std::vector<double>{0.5}, 2),
+            0u);
+  EXPECT_EQ(KnnPredictPoint(train, labels, 2,
+                            std::vector<double>{9.0}, 1),
+            1u);
+  core::KdTree index(train);
+  EXPECT_EQ(KnnPredictPoint(train, labels, 2, std::vector<double>{9.0}, 1,
+                            &index),
+            1u);
+}
+
+}  // namespace
+}  // namespace dmt::classify

@@ -1,0 +1,155 @@
+#include "classify/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "gen/agrawal.h"
+
+namespace dmt::classify {
+namespace {
+
+using core::Dataset;
+using core::DatasetBuilder;
+
+Dataset GaussianBlobs() {
+  // Two well-separated 1-d Gaussians.
+  DatasetBuilder builder;
+  std::vector<double> values;
+  std::vector<uint32_t> labels;
+  for (int i = 0; i < 20; ++i) {
+    values.push_back(0.0 + 0.1 * i);
+    labels.push_back(0);
+    values.push_back(10.0 + 0.1 * i);
+    labels.push_back(1);
+  }
+  builder.AddNumericColumn("x", std::move(values))
+      .SetLabels(std::move(labels), {"left", "right"});
+  auto result = builder.Build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(NaiveBayesTest, SeparatesGaussianBlobs) {
+  Dataset data = GaussianBlobs();
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Fit(data).ok());
+  auto predictions = nb.PredictAll(data);
+  ASSERT_TRUE(predictions.ok());
+  for (size_t row = 0; row < data.num_rows(); ++row) {
+    EXPECT_EQ((*predictions)[row], data.Label(row));
+  }
+}
+
+TEST(NaiveBayesTest, CategoricalLikelihoodsWithSmoothing) {
+  // Class a: always category 0. Class b: always category 1. A Laplace
+  // alpha keeps unseen combinations finite.
+  DatasetBuilder builder;
+  builder.AddCategoricalColumn("c", {0, 0, 0, 1, 1, 1}, {"x", "y"})
+      .SetLabels({0, 0, 0, 1, 1, 1}, {"a", "b"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Fit(*data).ok());
+  auto predictions = nb.PredictAll(*data);
+  ASSERT_TRUE(predictions.ok());
+  EXPECT_EQ((*predictions)[0], 0u);
+  EXPECT_EQ((*predictions)[3], 1u);
+  // Log scores are finite for the cross combination.
+  auto scores = nb.LogScores(*data, 0);
+  ASSERT_TRUE(scores.ok());
+  for (double s : *scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(NaiveBayesTest, PredictBeforeFitFails) {
+  Dataset data = GaussianBlobs();
+  NaiveBayesClassifier nb;
+  auto predictions = nb.PredictAll(data);
+  EXPECT_FALSE(predictions.ok());
+  EXPECT_EQ(predictions.status().code(),
+            core::StatusCode::kFailedPrecondition);
+}
+
+TEST(NaiveBayesTest, SchemaMismatchRejected) {
+  Dataset data = GaussianBlobs();
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Fit(data).ok());
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {1.0})
+      .AddNumericColumn("y", {2.0})
+      .SetLabels({0}, {"left", "right"});
+  auto wider = builder.Build();
+  ASSERT_TRUE(wider.ok());
+  EXPECT_FALSE(nb.PredictAll(*wider).ok());
+}
+
+TEST(NaiveBayesTest, ZeroVarianceColumnHandled) {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {1.0, 1.0, 2.0, 2.0})
+      .SetLabels({0, 0, 1, 1}, {"a", "b"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Fit(*data).ok());
+  auto predictions = nb.PredictAll(*data);
+  ASSERT_TRUE(predictions.ok());
+  EXPECT_EQ((*predictions)[0], 0u);
+  EXPECT_EQ((*predictions)[2], 1u);
+}
+
+TEST(NaiveBayesTest, PriorsInfluencePredictions) {
+  // Identical likelihoods; class 1 has a much larger prior.
+  DatasetBuilder builder;
+  std::vector<double> values(20, 3.0);
+  std::vector<uint32_t> labels(20, 1);
+  labels[0] = 0;
+  values[0] = 3.0;
+  builder.AddNumericColumn("x", std::move(values))
+      .SetLabels(std::move(labels), {"rare", "common"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Fit(*data).ok());
+  auto predictions = nb.PredictAll(*data);
+  ASSERT_TRUE(predictions.ok());
+  for (uint32_t p : *predictions) EXPECT_EQ(p, 1u);
+}
+
+TEST(NaiveBayesTest, ReasonableAccuracyOnAgrawal) {
+  gen::AgrawalParams params;
+  params.function = 1;
+  params.num_records = 3000;
+  auto data = gen::GenerateAgrawal(params, 41);
+  ASSERT_TRUE(data.ok());
+  auto split = eval::StratifiedTrainTestSplit(data->labels(), 0.3, 7);
+  ASSERT_TRUE(split.ok());
+  Dataset train, test;
+  eval::MaterializeSplit(*data, *split, &train, &test);
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Fit(train).ok());
+  auto predictions = nb.PredictAll(test);
+  ASSERT_TRUE(predictions.ok());
+  std::vector<uint32_t> truth(test.labels().begin(), test.labels().end());
+  auto accuracy = eval::Accuracy(truth, *predictions);
+  ASSERT_TRUE(accuracy.ok());
+  // F1's disjunction (age<40 or age>=60) is not axis-Gaussian, but NB
+  // should still beat a majority-class baseline comfortably.
+  EXPECT_GT(*accuracy, 0.6);
+}
+
+TEST(NaiveBayesTest, OptionValidation) {
+  Dataset data = GaussianBlobs();
+  NaiveBayesOptions options;
+  options.laplace_alpha = -1.0;
+  NaiveBayesClassifier bad_alpha(options);
+  EXPECT_FALSE(bad_alpha.Fit(data).ok());
+  options = NaiveBayesOptions{};
+  options.variance_floor = 0.0;
+  NaiveBayesClassifier bad_floor(options);
+  EXPECT_FALSE(bad_floor.Fit(data).ok());
+}
+
+}  // namespace
+}  // namespace dmt::classify

@@ -1,0 +1,154 @@
+#include "classify/one_r.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "gen/agrawal.h"
+
+namespace dmt::classify {
+namespace {
+
+using core::Dataset;
+using core::DatasetBuilder;
+
+TEST(OneRTest, PicksThePerfectlyPredictiveAttribute) {
+  DatasetBuilder builder;
+  builder
+      .AddCategoricalColumn("noise", {0, 1, 0, 1, 0, 1}, {"a", "b"})
+      .AddCategoricalColumn("signal", {0, 0, 0, 1, 1, 1}, {"x", "y"})
+      .SetLabels({0, 0, 0, 1, 1, 1}, {"no", "yes"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  OneRClassifier one_r;
+  ASSERT_TRUE(one_r.Fit(*data).ok());
+  EXPECT_EQ(one_r.chosen_attribute(), 1u);
+  EXPECT_DOUBLE_EQ(one_r.training_error(), 0.0);
+  auto predictions = one_r.PredictAll(*data);
+  ASSERT_TRUE(predictions.ok());
+  for (size_t row = 0; row < data->num_rows(); ++row) {
+    EXPECT_EQ((*predictions)[row], data->Label(row));
+  }
+}
+
+TEST(OneRTest, NumericAttributeGetsIntervals) {
+  DatasetBuilder builder;
+  std::vector<double> values;
+  std::vector<uint32_t> labels;
+  for (int i = 0; i < 20; ++i) {
+    values.push_back(static_cast<double>(i));
+    labels.push_back(i < 10 ? 0 : 1);
+  }
+  builder.AddNumericColumn("x", std::move(values))
+      .SetLabels(std::move(labels), {"lo", "hi"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  OneRClassifier one_r;
+  ASSERT_TRUE(one_r.Fit(*data).ok());
+  EXPECT_DOUBLE_EQ(one_r.training_error(), 0.0);
+  auto predictions = one_r.PredictAll(*data);
+  ASSERT_TRUE(predictions.ok());
+  for (size_t row = 0; row < data->num_rows(); ++row) {
+    EXPECT_EQ((*predictions)[row], data->Label(row));
+  }
+  std::string rule = one_r.RuleToString();
+  EXPECT_NE(rule.find("x"), std::string::npos);
+  EXPECT_NE(rule.find("<="), std::string::npos);
+}
+
+TEST(OneRTest, MinBucketPreventsTinyIntervals) {
+  // Alternating labels: with min_bucket 6 the rule cannot chase every
+  // flip, so training error stays substantial (no overfit).
+  DatasetBuilder builder;
+  std::vector<double> values;
+  std::vector<uint32_t> labels;
+  for (int i = 0; i < 24; ++i) {
+    values.push_back(static_cast<double>(i));
+    labels.push_back(i % 2);
+  }
+  builder.AddNumericColumn("x", std::move(values))
+      .SetLabels(std::move(labels), {"a", "b"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  OneRClassifier one_r;
+  ASSERT_TRUE(one_r.Fit(*data).ok());
+  EXPECT_GE(one_r.training_error(), 0.3);
+}
+
+TEST(OneRTest, NearsOptimalOnAgrawalF1) {
+  // F1 is a pure age predicate, exactly what 1R can represent.
+  gen::AgrawalParams params;
+  params.function = 1;
+  params.num_records = 4000;
+  auto data = gen::GenerateAgrawal(params, 51);
+  ASSERT_TRUE(data.ok());
+  auto split = eval::StratifiedTrainTestSplit(data->labels(), 0.3, 9);
+  ASSERT_TRUE(split.ok());
+  Dataset train, test;
+  eval::MaterializeSplit(*data, *split, &train, &test);
+  OneRClassifier one_r;
+  ASSERT_TRUE(one_r.Fit(train).ok());
+  EXPECT_EQ(train.attribute(one_r.chosen_attribute()).name, "age");
+  auto predictions = one_r.PredictAll(test);
+  ASSERT_TRUE(predictions.ok());
+  std::vector<uint32_t> truth(test.labels().begin(), test.labels().end());
+  auto accuracy = eval::Accuracy(truth, *predictions);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_GT(*accuracy, 0.95);
+}
+
+TEST(OneRTest, UnseenCategoryFallsBackToMajority) {
+  DatasetBuilder train_builder;
+  train_builder
+      .AddCategoricalColumn("c", {0, 0, 1}, {"a", "b", "never_seen"})
+      .SetLabels({0, 0, 1}, {"x", "y"});
+  auto train = train_builder.Build();
+  ASSERT_TRUE(train.ok());
+  DatasetBuilder test_builder;
+  test_builder
+      .AddCategoricalColumn("c", {2}, {"a", "b", "never_seen"})
+      .SetLabels({0}, {"x", "y"});
+  auto test = test_builder.Build();
+  ASSERT_TRUE(test.ok());
+  OneRClassifier one_r;
+  ASSERT_TRUE(one_r.Fit(*train).ok());
+  auto predictions = one_r.PredictAll(*test);
+  ASSERT_TRUE(predictions.ok());
+  EXPECT_EQ((*predictions)[0], 0u);  // global majority is class x
+}
+
+TEST(OneRTest, PredictBeforeFitFails) {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {1.0}).SetLabels({0}, {"a"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  OneRClassifier one_r;
+  EXPECT_FALSE(one_r.PredictAll(*data).ok());
+}
+
+TEST(OneRTest, ValidatesOptions) {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {1.0}).SetLabels({0}, {"a"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  OneROptions options;
+  options.min_bucket = 0;
+  OneRClassifier one_r(options);
+  EXPECT_FALSE(one_r.Fit(*data).ok());
+}
+
+TEST(OneRTest, CategoricalRuleRendering) {
+  DatasetBuilder builder;
+  builder.AddCategoricalColumn("color", {0, 0, 1, 1}, {"red", "blue"})
+      .SetLabels({0, 0, 1, 1}, {"stop", "go"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  OneRClassifier one_r;
+  ASSERT_TRUE(one_r.Fit(*data).ok());
+  std::string rule = one_r.RuleToString();
+  EXPECT_NE(rule.find("color = red -> stop"), std::string::npos);
+  EXPECT_NE(rule.find("color = blue -> go"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmt::classify

@@ -1,0 +1,154 @@
+#include "cluster/agglomerative.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/clustering_metrics.h"
+#include "gen/mixture.h"
+
+namespace dmt::cluster {
+namespace {
+
+using core::PointSet;
+
+PointSet Line(std::vector<double> xs) {
+  PointSet points(1);
+  for (double x : xs) points.Add(std::vector<double>{x});
+  return points;
+}
+
+TEST(AgglomerativeTest, MergeCountIsNMinusOne) {
+  PointSet points = Line({0, 1, 5, 6, 20});
+  for (Linkage linkage : {Linkage::kSingle, Linkage::kComplete,
+                          Linkage::kAverage, Linkage::kWard}) {
+    auto dendrogram = AgglomerativeCluster(points, linkage);
+    ASSERT_TRUE(dendrogram.ok());
+    EXPECT_EQ(dendrogram->merges().size(), 4u);
+    EXPECT_EQ(dendrogram->num_points(), 5u);
+  }
+}
+
+TEST(AgglomerativeTest, SingleLinkageMergesClosestFirst) {
+  PointSet points = Line({0, 1, 10, 12, 30});
+  auto dendrogram = AgglomerativeCluster(points, Linkage::kSingle);
+  ASSERT_TRUE(dendrogram.ok());
+  const auto& merges = dendrogram->merges();
+  // First merge: points 0 and 1 (distance 1).
+  EXPECT_DOUBLE_EQ(merges[0].height, 1.0);
+  // Heights are non-decreasing for single linkage.
+  for (size_t i = 1; i < merges.size(); ++i) {
+    EXPECT_GE(merges[i].height, merges[i - 1].height);
+  }
+  // Final merge connects the far point at distance 18 (30 - 12).
+  EXPECT_DOUBLE_EQ(merges.back().height, 18.0);
+}
+
+TEST(AgglomerativeTest, CompleteLinkageUsesFarthestPair) {
+  PointSet points = Line({0, 1, 10});
+  auto dendrogram = AgglomerativeCluster(points, Linkage::kComplete);
+  ASSERT_TRUE(dendrogram.ok());
+  const auto& merges = dendrogram->merges();
+  EXPECT_DOUBLE_EQ(merges[0].height, 1.0);
+  // Complete linkage distance from {0,1} to {10} is max(10, 9) = 10.
+  EXPECT_DOUBLE_EQ(merges[1].height, 10.0);
+}
+
+TEST(AgglomerativeTest, AverageLinkageUsesMeanPairDistance) {
+  PointSet points = Line({0, 1, 10});
+  auto dendrogram = AgglomerativeCluster(points, Linkage::kAverage);
+  ASSERT_TRUE(dendrogram.ok());
+  // Average distance from {0,1} to {10}: (10 + 9)/2 = 9.5.
+  EXPECT_DOUBLE_EQ(dendrogram->merges()[1].height, 9.5);
+}
+
+TEST(AgglomerativeTest, CutAtKProducesKClusters) {
+  PointSet points = Line({0, 1, 5, 6, 20, 21});
+  auto dendrogram = AgglomerativeCluster(points, Linkage::kWard);
+  ASSERT_TRUE(dendrogram.ok());
+  for (size_t k = 1; k <= 6; ++k) {
+    auto labels = dendrogram->CutAtK(k);
+    ASSERT_TRUE(labels.ok());
+    uint32_t max_label = 0;
+    for (uint32_t label : *labels) max_label = std::max(max_label, label);
+    EXPECT_EQ(max_label + 1, k);
+  }
+}
+
+TEST(AgglomerativeTest, CutAtThreeSeparatesNaturalGroups) {
+  PointSet points = Line({0, 1, 5, 6, 20, 21});
+  for (Linkage linkage : {Linkage::kSingle, Linkage::kComplete,
+                          Linkage::kAverage, Linkage::kWard}) {
+    auto dendrogram = AgglomerativeCluster(points, linkage);
+    ASSERT_TRUE(dendrogram.ok());
+    auto labels = dendrogram->CutAtK(3);
+    ASSERT_TRUE(labels.ok());
+    EXPECT_EQ((*labels)[0], (*labels)[1]);
+    EXPECT_EQ((*labels)[2], (*labels)[3]);
+    EXPECT_EQ((*labels)[4], (*labels)[5]);
+    EXPECT_NE((*labels)[0], (*labels)[2]);
+    EXPECT_NE((*labels)[2], (*labels)[4]);
+  }
+}
+
+TEST(AgglomerativeTest, SingleLinkageChains) {
+  // A chain of close points plus one far pair: single linkage keeps the
+  // chain together at k=2 even though its diameter is large.
+  PointSet points = Line({0, 1, 2, 3, 4, 5, 50, 51});
+  auto dendrogram = AgglomerativeCluster(points, Linkage::kSingle);
+  ASSERT_TRUE(dendrogram.ok());
+  auto labels = dendrogram->CutAtK(2);
+  ASSERT_TRUE(labels.ok());
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ((*labels)[i], (*labels)[0]);
+  EXPECT_EQ((*labels)[6], (*labels)[7]);
+  EXPECT_NE((*labels)[0], (*labels)[6]);
+}
+
+TEST(AgglomerativeTest, WardRecoversGaussianClusters) {
+  gen::GaussianMixtureParams params;
+  params.num_clusters = 4;
+  params.points_per_cluster = 60;
+  params.cluster_stddev = 0.5;
+  params.placement = gen::CenterPlacement::kGrid;
+  params.spread = 30.0;
+  auto data = gen::GenerateGaussianMixture(params, 5);
+  ASSERT_TRUE(data.ok());
+  auto dendrogram = AgglomerativeCluster(data->points, Linkage::kWard);
+  ASSERT_TRUE(dendrogram.ok());
+  auto labels = dendrogram->CutAtK(4);
+  ASSERT_TRUE(labels.ok());
+  auto ari = eval::AdjustedRandIndex(data->labels, *labels);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GT(*ari, 0.99);
+}
+
+TEST(AgglomerativeTest, SinglePointDendrogram) {
+  PointSet points = Line({42.0});
+  auto dendrogram = AgglomerativeCluster(points, Linkage::kAverage);
+  ASSERT_TRUE(dendrogram.ok());
+  EXPECT_TRUE(dendrogram->merges().empty());
+  auto labels = dendrogram->CutAtK(1);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->size(), 1u);
+}
+
+TEST(AgglomerativeTest, CutValidation) {
+  PointSet points = Line({0, 1, 2});
+  auto dendrogram = AgglomerativeCluster(points, Linkage::kComplete);
+  ASSERT_TRUE(dendrogram.ok());
+  EXPECT_FALSE(dendrogram->CutAtK(0).ok());
+  EXPECT_FALSE(dendrogram->CutAtK(4).ok());
+}
+
+TEST(AgglomerativeTest, InputValidation) {
+  PointSet empty(2);
+  EXPECT_FALSE(AgglomerativeCluster(empty, Linkage::kSingle).ok());
+}
+
+TEST(AgglomerativeTest, MergeSizesAccumulate) {
+  PointSet points = Line({0, 1, 2, 3});
+  auto dendrogram = AgglomerativeCluster(points, Linkage::kWard);
+  ASSERT_TRUE(dendrogram.ok());
+  EXPECT_EQ(dendrogram->merges().back().size, 4u);
+}
+
+}  // namespace
+}  // namespace dmt::cluster

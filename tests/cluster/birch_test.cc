@@ -1,0 +1,138 @@
+#include "cluster/birch.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "eval/clustering_metrics.h"
+#include "gen/mixture.h"
+
+namespace dmt::cluster {
+namespace {
+
+using core::PointSet;
+
+TEST(BirchTest, RecoversWellSeparatedClusters) {
+  auto data = gen::GenerateBirchGrid(9, 120, 30.0, 0.8, 1);
+  ASSERT_TRUE(data.ok());
+  BirchOptions options;
+  options.global_clusters = 9;
+  options.threshold = 2.0;
+  options.seed = 3;
+  auto result = Birch(data->points, options);
+  ASSERT_TRUE(result.ok());
+  auto ari =
+      eval::AdjustedRandIndex(data->labels, result->clustering.assignments);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GT(*ari, 0.95);
+}
+
+TEST(BirchTest, SummarizesIntoFewLeafEntries) {
+  auto data = gen::GenerateBirchGrid(4, 500, 40.0, 1.0, 2);
+  ASSERT_TRUE(data.ok());
+  BirchOptions options;
+  options.global_clusters = 4;
+  options.threshold = 3.0;
+  auto result = Birch(data->points, options);
+  ASSERT_TRUE(result.ok());
+  // 2000 points compress into far fewer CF entries.
+  EXPECT_LT(result->num_leaf_entries, 400u);
+  EXPECT_GE(result->num_leaf_entries, 4u);
+}
+
+TEST(BirchTest, ThresholdEscalationBoundsMemory) {
+  auto data = gen::GenerateBirchGrid(16, 200, 10.0, 1.5, 3);
+  ASSERT_TRUE(data.ok());
+  BirchOptions options;
+  options.global_clusters = 16;
+  options.threshold = 0.01;          // absurdly tight: forces rebuilds
+  options.max_leaf_entries_total = 64;
+  auto result = Birch(data->points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->rebuilds, 0u);
+  EXPECT_GT(result->final_threshold, options.threshold);
+  EXPECT_LE(result->num_leaf_entries, 2 * 64u);  // bounded by the cap
+}
+
+TEST(BirchTest, DeterministicForSeed) {
+  auto data = gen::GenerateBirchGrid(4, 100, 25.0, 1.0, 4);
+  ASSERT_TRUE(data.ok());
+  BirchOptions options;
+  options.global_clusters = 4;
+  auto a = Birch(data->points, options);
+  auto b = Birch(data->points, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->clustering.assignments, b->clustering.assignments);
+}
+
+TEST(BirchTest, AssignmentsConsistentWithCenters) {
+  auto data = gen::GenerateBirchGrid(4, 100, 25.0, 1.0, 5);
+  ASSERT_TRUE(data.ok());
+  BirchOptions options;
+  options.global_clusters = 4;
+  auto result = Birch(data->points, options);
+  ASSERT_TRUE(result.ok());
+  // Every point's assigned center is its nearest center.
+  const auto& centers = result->clustering.centers;
+  for (size_t i = 0; i < data->points.size(); ++i) {
+    double assigned = core::SquaredEuclideanDistance(
+        data->points.point(i),
+        centers.point(result->clustering.assignments[i]));
+    for (uint32_t c = 0; c < centers.size(); ++c) {
+      double d = core::SquaredEuclideanDistance(data->points.point(i),
+                                                centers.point(c));
+      EXPECT_GE(d + 1e-9, assigned);
+    }
+  }
+}
+
+TEST(BirchTest, FewerPointsThanClustersClamped) {
+  PointSet points(2);
+  points.Add(std::vector<double>{0.0, 0.0});
+  points.Add(std::vector<double>{1.0, 1.0});
+  BirchOptions options;
+  options.global_clusters = 10;
+  auto result = Birch(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->clustering.centers.size(), 2u);
+}
+
+TEST(BirchTest, ValidatesOptions) {
+  PointSet points(1);
+  points.Add(std::vector<double>{1.0});
+  BirchOptions options;
+  options.threshold = -1.0;
+  EXPECT_FALSE(Birch(points, options).ok());
+  options = BirchOptions{};
+  options.branching = 1;
+  EXPECT_FALSE(Birch(points, options).ok());
+  options = BirchOptions{};
+  options.global_clusters = 0;
+  EXPECT_FALSE(Birch(points, options).ok());
+  options = BirchOptions{};
+  options.max_leaf_entries_total = 1;
+  EXPECT_FALSE(Birch(points, options).ok());
+  PointSet empty(2);
+  EXPECT_FALSE(Birch(empty, BirchOptions{}).ok());
+}
+
+TEST(BirchTest, SseCloseToDirectKMeansOnEasyData) {
+  auto data = gen::GenerateBirchGrid(9, 150, 30.0, 0.8, 7);
+  ASSERT_TRUE(data.ok());
+  BirchOptions birch_options;
+  birch_options.global_clusters = 9;
+  birch_options.threshold = 2.0;
+  auto birch = Birch(data->points, birch_options);
+  ASSERT_TRUE(birch.ok());
+  KMeansOptions kmeans_options;
+  kmeans_options.k = 9;
+  kmeans_options.seed = 3;
+  auto kmeans = KMeans(data->points, kmeans_options);
+  ASSERT_TRUE(kmeans.ok());
+  // BIRCH works on summaries, so allow slack; on well-separated data it
+  // should land within 2x of direct k-means.
+  EXPECT_LT(birch->clustering.sse, 2.0 * kmeans->sse + 1e-9);
+}
+
+}  // namespace
+}  // namespace dmt::cluster

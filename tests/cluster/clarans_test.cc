@@ -1,0 +1,154 @@
+#include "cluster/clarans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/distance.h"
+#include "eval/clustering_metrics.h"
+#include "gen/mixture.h"
+
+namespace dmt::cluster {
+namespace {
+
+using core::PointSet;
+
+TEST(ClaransTest, RecoversWellSeparatedClusters) {
+  auto data = gen::GenerateBirchGrid(4, 80, 25.0, 0.8, 1);
+  ASSERT_TRUE(data.ok());
+  ClaransOptions options;
+  options.k = 4;
+  options.seed = 7;
+  auto result = Clarans(data->points, options);
+  ASSERT_TRUE(result.ok());
+  auto ari = eval::AdjustedRandIndex(data->labels, result->assignments);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GT(*ari, 0.95);
+}
+
+TEST(ClaransTest, MedoidsAreInputPoints) {
+  auto data = gen::GenerateBirchGrid(3, 50, 20.0, 1.0, 2);
+  ASSERT_TRUE(data.ok());
+  ClaransOptions options;
+  options.k = 3;
+  auto result = Clarans(data->points, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->medoids.size(), 3u);
+  std::set<uint32_t> distinct(result->medoids.begin(),
+                              result->medoids.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  for (uint32_t m : result->medoids) {
+    EXPECT_LT(m, data->points.size());
+  }
+}
+
+TEST(ClaransTest, CostConsistentWithAssignments) {
+  auto data = gen::GenerateBirchGrid(3, 40, 20.0, 1.0, 3);
+  ASSERT_TRUE(data.ok());
+  ClaransOptions options;
+  options.k = 3;
+  auto result = Clarans(data->points, options);
+  ASSERT_TRUE(result.ok());
+  double recomputed = 0.0;
+  for (size_t i = 0; i < data->points.size(); ++i) {
+    recomputed += core::EuclideanDistance(
+        data->points.point(i),
+        data->points.point(result->medoids[result->assignments[i]]));
+  }
+  EXPECT_NEAR(result->total_cost, recomputed, 1e-9);
+  // And each point is assigned to its nearest medoid.
+  for (size_t i = 0; i < data->points.size(); ++i) {
+    double assigned = core::EuclideanDistance(
+        data->points.point(i),
+        data->points.point(result->medoids[result->assignments[i]]));
+    for (uint32_t m : result->medoids) {
+      EXPECT_GE(core::EuclideanDistance(data->points.point(i),
+                                        data->points.point(m)) +
+                    1e-9,
+                assigned);
+    }
+  }
+}
+
+TEST(ClaransTest, DeterministicForSeed) {
+  auto data = gen::GenerateBirchGrid(3, 40, 20.0, 1.0, 4);
+  ASSERT_TRUE(data.ok());
+  ClaransOptions options;
+  options.k = 3;
+  options.seed = 42;
+  auto a = Clarans(data->points, options);
+  auto b = Clarans(data->points, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->medoids, b->medoids);
+  EXPECT_DOUBLE_EQ(a->total_cost, b->total_cost);
+}
+
+TEST(ClaransTest, MoreRestartsNeverHurt) {
+  auto data = gen::GenerateBirchGrid(9, 30, 12.0, 1.2, 5);
+  ASSERT_TRUE(data.ok());
+  ClaransOptions one;
+  one.k = 9;
+  one.num_local = 1;
+  one.max_neighbors = 50;  // weak search so restarts matter
+  one.seed = 3;
+  ClaransOptions many = one;
+  many.num_local = 5;
+  auto single = Clarans(data->points, one);
+  auto multi = Clarans(data->points, many);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(multi.ok());
+  EXPECT_LE(multi->total_cost, single->total_cost + 1e-9);
+}
+
+TEST(ClaransTest, RobustToSingleOutlier) {
+  // k-medoids keeps its center on the data; a far outlier cannot drag a
+  // medoid the way it drags a k-means centroid.
+  PointSet points(1);
+  for (double x : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+    points.Add(std::vector<double>{x});
+  }
+  points.Add(std::vector<double>{1000.0});
+  ClaransOptions options;
+  options.k = 2;
+  options.seed = 1;
+  auto result = Clarans(points, options);
+  ASSERT_TRUE(result.ok());
+  // One medoid is the outlier itself; the other lies inside the blob.
+  bool has_outlier_medoid = false;
+  bool has_blob_medoid = false;
+  for (uint32_t m : result->medoids) {
+    if (points.point(m)[0] > 500.0) has_outlier_medoid = true;
+    if (points.point(m)[0] < 1.0) has_blob_medoid = true;
+  }
+  EXPECT_TRUE(has_outlier_medoid);
+  EXPECT_TRUE(has_blob_medoid);
+}
+
+TEST(ClaransTest, KEqualsNHasZeroCost) {
+  PointSet points(1);
+  for (double x : {1.0, 2.0, 3.0}) points.Add(std::vector<double>{x});
+  ClaransOptions options;
+  options.k = 3;
+  auto result = Clarans(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_cost, 0.0);
+}
+
+TEST(ClaransTest, ValidatesInputs) {
+  PointSet points(1);
+  points.Add(std::vector<double>{1.0});
+  ClaransOptions options;
+  options.k = 0;
+  EXPECT_FALSE(Clarans(points, options).ok());
+  options.k = 2;
+  EXPECT_FALSE(Clarans(points, options).ok());  // k > n
+  options.k = 1;
+  options.num_local = 0;
+  EXPECT_FALSE(Clarans(points, options).ok());
+  PointSet empty(1);
+  EXPECT_FALSE(Clarans(empty, ClaransOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace dmt::cluster

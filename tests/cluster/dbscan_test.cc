@@ -1,0 +1,206 @@
+#include "cluster/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/clustering_metrics.h"
+#include "gen/mixture.h"
+
+namespace dmt::cluster {
+namespace {
+
+using core::PointSet;
+
+TEST(DbscanTest, FindsSeparatedClustersAndNoise) {
+  gen::GaussianMixtureParams params;
+  params.num_clusters = 3;
+  params.points_per_cluster = 150;
+  params.cluster_stddev = 0.5;
+  params.spread = 40.0;
+  params.noise_fraction = 0.05;
+  auto data = gen::GenerateGaussianMixture(params, 1);
+  ASSERT_TRUE(data.ok());
+  DbscanOptions options;
+  options.eps = 1.5;
+  options.min_points = 5;
+  auto result = Dbscan(data->points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 3u);
+  // Clustered points agree with the ground truth (ignore noise points).
+  std::vector<uint32_t> truth, predicted;
+  for (size_t i = 0; i < data->labels.size(); ++i) {
+    if (data->labels[i] == gen::kNoiseLabel) continue;
+    if (result->labels[i] == DbscanResult::kNoise) continue;
+    truth.push_back(data->labels[i]);
+    predicted.push_back(static_cast<uint32_t>(result->labels[i]));
+  }
+  ASSERT_GT(truth.size(), 400u);
+  auto ari = eval::AdjustedRandIndex(truth, predicted);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GT(*ari, 0.99);
+}
+
+TEST(DbscanTest, KdTreeAndBruteForceAgree) {
+  gen::GaussianMixtureParams params;
+  params.num_clusters = 4;
+  params.points_per_cluster = 80;
+  params.noise_fraction = 0.1;
+  params.spread = 25.0;
+  auto data = gen::GenerateGaussianMixture(params, 2);
+  ASSERT_TRUE(data.ok());
+  DbscanOptions with_tree, with_brute;
+  with_tree.eps = with_brute.eps = 2.0;
+  with_tree.min_points = with_brute.min_points = 4;
+  with_tree.neighbors = DbscanOptions::Neighbors::kKdTree;
+  with_brute.neighbors = DbscanOptions::Neighbors::kBruteForce;
+  auto a = Dbscan(data->points, with_tree);
+  auto b = Dbscan(data->points, with_brute);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+  EXPECT_EQ(a->num_clusters, b->num_clusters);
+}
+
+TEST(DbscanTest, IsolatedPointsAreNoise) {
+  PointSet points(2);
+  points.Add(std::vector<double>{0.0, 0.0});
+  points.Add(std::vector<double>{100.0, 100.0});
+  points.Add(std::vector<double>{-100.0, 50.0});
+  DbscanOptions options;
+  options.eps = 1.0;
+  options.min_points = 2;
+  auto result = Dbscan(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 0u);
+  for (int32_t label : result->labels) {
+    EXPECT_EQ(label, DbscanResult::kNoise);
+  }
+}
+
+TEST(DbscanTest, SingleDenseBlobIsOneCluster) {
+  PointSet points(2);
+  for (int i = 0; i < 50; ++i) {
+    points.Add(std::vector<double>{i * 0.01, 0.0});
+  }
+  DbscanOptions options;
+  options.eps = 0.05;
+  options.min_points = 3;
+  auto result = Dbscan(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 1u);
+  for (int32_t label : result->labels) EXPECT_EQ(label, 0);
+}
+
+TEST(DbscanTest, ChainOfDensePointsConnects) {
+  // Density-reachability: a long chain with spacing < eps forms one
+  // cluster even though the endpoints are far apart.
+  PointSet points(1);
+  for (int i = 0; i < 100; ++i) {
+    points.Add(std::vector<double>{static_cast<double>(i)});
+  }
+  DbscanOptions options;
+  options.eps = 1.5;
+  options.min_points = 2;
+  auto result = Dbscan(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 1u);
+}
+
+TEST(DbscanTest, MinPointsControlsCoreDefinition) {
+  // Three points within eps of each other: with min_points=4 nothing is a
+  // core point.
+  PointSet points(1);
+  points.Add(std::vector<double>{0.0});
+  points.Add(std::vector<double>{0.1});
+  points.Add(std::vector<double>{0.2});
+  DbscanOptions options;
+  options.eps = 0.5;
+  options.min_points = 4;
+  auto result = Dbscan(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 0u);
+  options.min_points = 3;
+  result = Dbscan(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 1u);
+}
+
+TEST(DbscanTest, BorderPointJoinsFirstReachingCluster) {
+  // A border point between two dense groups belongs to a cluster (not
+  // noise) and the result is deterministic.
+  PointSet points(1);
+  for (double x : {0.0, 0.1, 0.2, 1.0, 1.8, 1.9, 2.0}) {
+    points.Add(std::vector<double>{x});
+  }
+  DbscanOptions options;
+  options.eps = 0.85;
+  options.min_points = 3;
+  auto a = Dbscan(points, options);
+  auto b = Dbscan(points, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+  EXPECT_NE(a->labels[3], DbscanResult::kNoise);
+}
+
+TEST(DbscanTest, EmptyInput) {
+  PointSet points(2);
+  auto result = Dbscan(points, DbscanOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->labels.empty());
+  EXPECT_EQ(result->num_clusters, 0u);
+}
+
+TEST(DbscanTest, ValidatesOptions) {
+  PointSet points(1);
+  points.Add(std::vector<double>{0.0});
+  DbscanOptions options;
+  options.eps = 0.0;
+  EXPECT_FALSE(Dbscan(points, options).ok());
+  options.eps = 1.0;
+  options.min_points = 0;
+  EXPECT_FALSE(Dbscan(points, options).ok());
+}
+
+
+TEST(KDistTest, SortedDescendingAndValleyVisible) {
+  // Dense clusters + sparse noise: the k-dist graph starts high (noise)
+  // and drops to the intra-cluster scale.
+  gen::GaussianMixtureParams params;
+  params.num_clusters = 3;
+  params.points_per_cluster = 100;
+  params.cluster_stddev = 0.3;
+  params.spread = 30.0;
+  params.noise_fraction = 0.1;
+  auto data = gen::GenerateGaussianMixture(params, 21);
+  ASSERT_TRUE(data.ok());
+  auto distances = SortedKDistances(data->points, 4);
+  ASSERT_TRUE(distances.ok());
+  ASSERT_EQ(distances->size(), data->points.size());
+  for (size_t i = 1; i < distances->size(); ++i) {
+    EXPECT_LE((*distances)[i], (*distances)[i - 1]);
+  }
+  // The top of the curve (noise) is far above the median (cluster core).
+  EXPECT_GT(distances->front(), 3.0 * (*distances)[distances->size() / 2]);
+}
+
+TEST(KDistTest, MatchesBruteForceValues) {
+  core::PointSet points(1);
+  for (double x : {0.0, 1.0, 3.0, 6.0}) {
+    points.Add(std::vector<double>{x});
+  }
+  auto distances = SortedKDistances(points, 2);
+  ASSERT_TRUE(distances.ok());
+  // 2-dist of each point: 0 -> 3, 1 -> 2, 3 -> 3, 6 -> 5; sorted desc.
+  EXPECT_EQ(*distances, (std::vector<double>{5.0, 3.0, 3.0, 2.0}));
+}
+
+TEST(KDistTest, ValidatesInput) {
+  core::PointSet points(1);
+  points.Add(std::vector<double>{0.0});
+  points.Add(std::vector<double>{1.0});
+  EXPECT_FALSE(SortedKDistances(points, 0).ok());
+  EXPECT_FALSE(SortedKDistances(points, 2).ok());  // needs > k points
+}
+
+}  // namespace
+}  // namespace dmt::cluster

@@ -1,0 +1,122 @@
+// Property sweep: every clustering algorithm recovers well-separated
+// planted clusters across seeds and cluster counts, and degrades
+// gracefully (never crashes, always valid output) when clusters overlap.
+#include <gtest/gtest.h>
+
+#include "cluster/agglomerative.h"
+#include "cluster/birch.h"
+#include "cluster/clarans.h"
+#include "cluster/kmeans.h"
+#include "eval/clustering_metrics.h"
+#include "gen/mixture.h"
+
+namespace dmt::cluster {
+namespace {
+
+enum class Method { kKMeans, kBirch, kClarans, kWard };
+
+std::string MethodName(Method method) {
+  switch (method) {
+    case Method::kKMeans:
+      return "KMeans";
+    case Method::kBirch:
+      return "Birch";
+    case Method::kClarans:
+      return "Clarans";
+    case Method::kWard:
+      return "Ward";
+  }
+  return "?";
+}
+
+core::Result<std::vector<uint32_t>> RunMethod(Method method,
+                                        const core::PointSet& points,
+                                        size_t k, uint64_t seed) {
+  switch (method) {
+    case Method::kKMeans: {
+      KMeansOptions options;
+      options.k = k;
+      options.seed = seed;
+      DMT_ASSIGN_OR_RETURN(ClusteringResult result,
+                           KMeans(points, options));
+      return result.assignments;
+    }
+    case Method::kBirch: {
+      BirchOptions options;
+      options.global_clusters = k;
+      options.threshold = 2.0;
+      options.seed = seed;
+      DMT_ASSIGN_OR_RETURN(BirchResult result, Birch(points, options));
+      return result.clustering.assignments;
+    }
+    case Method::kClarans: {
+      ClaransOptions options;
+      options.k = k;
+      options.max_neighbors = 600;
+      options.seed = seed;
+      DMT_ASSIGN_OR_RETURN(MedoidResult result, Clarans(points, options));
+      return result.assignments;
+    }
+    case Method::kWard: {
+      DMT_ASSIGN_OR_RETURN(Dendrogram dendrogram,
+                           AgglomerativeCluster(points, Linkage::kWard));
+      return dendrogram.CutAtK(k);
+    }
+  }
+  return core::Status::Internal("unknown method");
+}
+
+struct SweepCase {
+  size_t clusters;
+  uint64_t seed;
+};
+
+using RecoveryParam = std::tuple<Method, SweepCase>;
+
+class RecoveryTest : public testing::TestWithParam<RecoveryParam> {};
+
+TEST_P(RecoveryTest, RecoversSeparatedGridClusters) {
+  auto [method, sweep] = GetParam();
+  auto data = gen::GenerateBirchGrid(sweep.clusters, 60, 25.0, 0.8,
+                                     sweep.seed);
+  ASSERT_TRUE(data.ok());
+  auto assignments =
+      RunMethod(method, data->points, sweep.clusters, sweep.seed + 1);
+  ASSERT_TRUE(assignments.ok()) << MethodName(method);
+  ASSERT_EQ(assignments->size(), data->points.size());
+  auto ari = eval::AdjustedRandIndex(data->labels, *assignments);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GT(*ari, 0.9) << MethodName(method) << " k=" << sweep.clusters
+                       << " seed=" << sweep.seed;
+}
+
+TEST_P(RecoveryTest, ValidOutputOnOverlappingClusters) {
+  auto [method, sweep] = GetParam();
+  // Heavy overlap: stddev comparable to spacing. Quality is not asserted,
+  // only contract validity.
+  auto data = gen::GenerateBirchGrid(sweep.clusters, 40, 3.0, 2.0,
+                                     sweep.seed);
+  ASSERT_TRUE(data.ok());
+  auto assignments =
+      RunMethod(method, data->points, sweep.clusters, sweep.seed + 1);
+  ASSERT_TRUE(assignments.ok()) << MethodName(method);
+  ASSERT_EQ(assignments->size(), data->points.size());
+  for (uint32_t label : *assignments) {
+    EXPECT_LT(label, sweep.clusters);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecoveryTest,
+    testing::Combine(testing::Values(Method::kKMeans, Method::kBirch,
+                                     Method::kClarans, Method::kWard),
+                     testing::Values(SweepCase{4, 1}, SweepCase{9, 2},
+                                     SweepCase{16, 3})),
+    [](const testing::TestParamInfo<RecoveryParam>& info) {
+      return MethodName(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param).clusters) + "_seed" +
+             std::to_string(std::get<1>(info.param).seed);
+    });
+
+}  // namespace
+}  // namespace dmt::cluster

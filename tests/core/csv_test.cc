@@ -1,0 +1,135 @@
+#include "core/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace dmt::core {
+namespace {
+
+TEST(CsvTest, ParsesSimpleTableWithHeader) {
+  auto result = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(result->rows[1], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvTest, ParsesWithoutHeader) {
+  CsvOptions options;
+  options.has_header = false;
+  auto result = ParseCsv("1,2\n3,4\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->header.empty());
+  EXPECT_EQ(result->rows.size(), 2u);
+}
+
+TEST(CsvTest, HandlesMissingTrailingNewline) {
+  auto result = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][1], "2");
+}
+
+TEST(CsvTest, HandlesCrlf) {
+  auto result = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->header[1], "b");
+  EXPECT_EQ(result->rows[0][0], "1");
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndNewlines) {
+  auto result = ParseCsv("name,note\nx,\"hello, world\"\ny,\"line1\nline2\"\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][1], "hello, world");
+  EXPECT_EQ(result->rows[1][1], "line1\nline2");
+}
+
+TEST(CsvTest, DoubledQuotesUnescape) {
+  auto result = ParseCsv("a\n\"she said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0], "she said \"hi\"");
+}
+
+TEST(CsvTest, EmptyFieldsPreserved) {
+  auto result = ParseCsv("a,b,c\n,,\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto result = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, AllowsRaggedRowsWhenRequested) {
+  CsvOptions options;
+  options.require_rectangular = false;
+  auto result = ParseCsv("a,b\n1,2,3\n4\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0].size(), 3u);
+  EXPECT_EQ(result->rows[1].size(), 1u);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  auto result = ParseCsv("a\n\"oops\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto result = ParseCsv("a;b\n1;2\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][1], "2");
+}
+
+TEST(CsvTest, RoundTripThroughWriter) {
+  CsvTable table;
+  table.header = {"id", "text"};
+  table.rows = {{"1", "plain"},
+                {"2", "with, comma"},
+                {"3", "with \"quote\""},
+                {"4", "multi\nline"}};
+  std::string text = WriteCsv(table);
+  auto reparsed = ParseCsv(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->header, table.header);
+  EXPECT_EQ(reparsed->rows, table.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable table;
+  table.header = {"x"};
+  table.rows = {{"1"}, {"2"}};
+  std::string path = testing::TempDir() + "/dmt_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, table).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto result = ReadCsvFile("/nonexistent/path/nope.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, HeaderOnlyTableHasNoRows) {
+  auto result = ParseCsv("a,b\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST(CsvTest, EmptyInputWithHeaderOptionFails) {
+  auto result = ParseCsv("");
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace dmt::core

@@ -1,0 +1,194 @@
+#include "core/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "core/point_set.h"
+
+namespace dmt::core {
+namespace {
+
+Dataset MakeToyDataset() {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("age", {25.0, 40.0, 61.0})
+      .AddCategoricalColumn("color", {0, 1, 0}, {"red", "blue"})
+      .SetLabels({0, 1, 1}, {"no", "yes"});
+  auto result = builder.Build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(DatasetBuilderTest, BuildsValidDataset) {
+  Dataset ds = MakeToyDataset();
+  EXPECT_EQ(ds.num_rows(), 3u);
+  EXPECT_EQ(ds.num_attributes(), 2u);
+  EXPECT_EQ(ds.num_classes(), 2u);
+  EXPECT_EQ(ds.attribute(0).name, "age");
+  EXPECT_EQ(ds.attribute(0).type, AttributeType::kNumeric);
+  EXPECT_EQ(ds.attribute(1).type, AttributeType::kCategorical);
+  EXPECT_EQ(ds.attribute(1).categories.size(), 2u);
+  EXPECT_DOUBLE_EQ(ds.Numeric(1, 0), 40.0);
+  EXPECT_EQ(ds.Categorical(2, 1), 0u);
+  EXPECT_EQ(ds.Label(2), 1u);
+  EXPECT_EQ(ds.class_name(0), "no");
+}
+
+TEST(DatasetBuilderTest, RejectsMismatchedColumnLength) {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {1.0, 2.0})
+      .SetLabels({0, 1, 0}, {"a", "b"});
+  auto result = builder.Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetBuilderTest, RejectsOutOfRangeCategoryCode) {
+  DatasetBuilder builder;
+  builder.AddCategoricalColumn("c", {0, 5}, {"only"})
+      .SetLabels({0, 0}, {"a"});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(DatasetBuilderTest, RejectsOutOfRangeLabel) {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {1.0}).SetLabels({7}, {"a", "b"});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(DatasetBuilderTest, RejectsMissingLabels) {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {1.0});
+  auto result = builder.Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatasetTest, ClassCounts) {
+  Dataset ds = MakeToyDataset();
+  auto counts = ds.ClassCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(DatasetTest, SubsetPreservesSchemaAndValues) {
+  Dataset ds = MakeToyDataset();
+  std::vector<size_t> rows = {2, 0};
+  Dataset sub = ds.Subset(rows);
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(sub.Numeric(0, 0), 61.0);
+  EXPECT_DOUBLE_EQ(sub.Numeric(1, 0), 25.0);
+  EXPECT_EQ(sub.Label(0), 1u);
+  EXPECT_EQ(sub.Label(1), 0u);
+  EXPECT_EQ(sub.attribute(1).categories.size(), 2u);
+}
+
+TEST(DatasetTest, ToPointSetOneHotEncodes) {
+  Dataset ds = MakeToyDataset();
+  auto points = ds.ToPointSet(true);
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points->dim(), 3u);  // age + 2 one-hot colors
+  auto p0 = points->point(0);
+  EXPECT_DOUBLE_EQ(p0[0], 25.0);
+  EXPECT_DOUBLE_EQ(p0[1], 1.0);  // red
+  EXPECT_DOUBLE_EQ(p0[2], 0.0);
+}
+
+TEST(DatasetTest, ToPointSetRejectsCategoricalWithoutOneHot) {
+  Dataset ds = MakeToyDataset();
+  EXPECT_FALSE(ds.ToPointSet(false).ok());
+}
+
+TEST(DatasetFromCsvTest, InfersTypesAndLabels) {
+  auto table = ParseCsv(
+      "age,color,target\n25,red,no\n40,blue,yes\n61,red,yes\n");
+  ASSERT_TRUE(table.ok());
+  auto ds = DatasetFromCsv(*table, "target");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_rows(), 3u);
+  EXPECT_EQ(ds->num_attributes(), 2u);
+  EXPECT_EQ(ds->attribute(0).type, AttributeType::kNumeric);
+  EXPECT_EQ(ds->attribute(1).type, AttributeType::kCategorical);
+  EXPECT_EQ(ds->num_classes(), 2u);
+  EXPECT_EQ(ds->class_name(ds->Label(0)), "no");
+}
+
+TEST(DatasetFromCsvTest, MissingLabelColumnIsNotFound) {
+  auto table = ParseCsv("a,b\n1,2\n");
+  ASSERT_TRUE(table.ok());
+  auto ds = DatasetFromCsv(*table, "missing");
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetFromCsvTest, MixedColumnFallsBackToCategorical) {
+  auto table = ParseCsv("x,y\n1,a\nnot_a_number,b\n");
+  ASSERT_TRUE(table.ok());
+  auto ds = DatasetFromCsv(*table, "y");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->attribute(0).type, AttributeType::kCategorical);
+}
+
+TEST(PointSetTest, AddAndAccess) {
+  PointSet points(2);
+  points.Add(std::vector<double>{1.0, 2.0});
+  points.Add(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points.point(1)[0], 3.0);
+}
+
+TEST(PointSetTest, FromFlatValidatesShape) {
+  EXPECT_TRUE(PointSet::FromFlat(2, {1, 2, 3, 4}).ok());
+  EXPECT_FALSE(PointSet::FromFlat(2, {1, 2, 3}).ok());
+  EXPECT_FALSE(PointSet::FromFlat(0, {}).ok());
+}
+
+TEST(PointSetTest, SubsetCopiesRows) {
+  PointSet points(1);
+  points.Add(std::vector<double>{10.0});
+  points.Add(std::vector<double>{20.0});
+  points.Add(std::vector<double>{30.0});
+  std::vector<size_t> rows = {2, 0};
+  PointSet sub = points.Subset(rows);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub.point(0)[0], 30.0);
+  EXPECT_DOUBLE_EQ(sub.point(1)[0], 10.0);
+}
+
+TEST(PointSetTest, BoundsComputePerDimension) {
+  PointSet points(2);
+  points.Add(std::vector<double>{1.0, 5.0});
+  points.Add(std::vector<double>{-2.0, 7.0});
+  std::vector<double> mins, maxs;
+  points.Bounds(&mins, &maxs);
+  EXPECT_DOUBLE_EQ(mins[0], -2.0);
+  EXPECT_DOUBLE_EQ(maxs[0], 1.0);
+  EXPECT_DOUBLE_EQ(mins[1], 5.0);
+  EXPECT_DOUBLE_EQ(maxs[1], 7.0);
+}
+
+TEST(PointSetTest, StandardizeZeroMeanUnitVariance) {
+  PointSet points(1);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    points.Add(std::vector<double>{v});
+  }
+  points.Standardize();
+  double sum = 0.0, sum_sq = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    sum += points.point(i)[0];
+    sum_sq += points.point(i)[0] * points.point(i)[0];
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  EXPECT_NEAR(sum_sq / 4.0, 1.0, 1e-12);
+}
+
+TEST(PointSetTest, StandardizeConstantDimensionCenters) {
+  PointSet points(1);
+  points.Add(std::vector<double>{5.0});
+  points.Add(std::vector<double>{5.0});
+  points.Standardize();
+  EXPECT_DOUBLE_EQ(points.point(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(points.point(1)[0], 0.0);
+}
+
+}  // namespace
+}  // namespace dmt::core

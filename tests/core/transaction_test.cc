@@ -1,0 +1,159 @@
+#include "core/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include "core/item_dictionary.h"
+#include "core/sequence.h"
+
+namespace dmt::core {
+namespace {
+
+TEST(ItemDictionaryTest, AssignsDenseIdsInOrder) {
+  ItemDictionary dict;
+  EXPECT_EQ(dict.GetOrAdd("milk"), 0u);
+  EXPECT_EQ(dict.GetOrAdd("bread"), 1u);
+  EXPECT_EQ(dict.GetOrAdd("milk"), 0u);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Name(1), "bread");
+}
+
+TEST(ItemDictionaryTest, FindMissingIsNotFound) {
+  ItemDictionary dict;
+  dict.GetOrAdd("a");
+  EXPECT_TRUE(dict.Find("a").ok());
+  auto missing = dict.Find("b");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TransactionDatabaseTest, StartsEmpty) {
+  TransactionDatabase db;
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_EQ(db.item_universe(), 0u);
+  EXPECT_EQ(db.average_length(), 0.0);
+}
+
+TEST(TransactionDatabaseTest, SortsAndDeduplicatesItems) {
+  TransactionDatabase db;
+  db.Add(std::vector<ItemId>{5, 1, 3, 1, 5});
+  ASSERT_EQ(db.size(), 1u);
+  auto t = db.transaction(0);
+  EXPECT_EQ(std::vector<ItemId>(t.begin(), t.end()),
+            (std::vector<ItemId>{1, 3, 5}));
+  EXPECT_EQ(db.item_universe(), 6u);
+}
+
+TEST(TransactionDatabaseTest, TracksTotalsAndAverages) {
+  TransactionDatabase db;
+  db.Add(std::vector<ItemId>{0, 1});
+  db.Add(std::vector<ItemId>{2, 3, 4, 5});
+  EXPECT_EQ(db.total_items(), 6u);
+  EXPECT_DOUBLE_EQ(db.average_length(), 3.0);
+}
+
+TEST(TransactionDatabaseTest, ItemSupportsCountsOncePerTransaction) {
+  TransactionDatabase db;
+  db.Add(std::vector<ItemId>{0, 1, 1});  // duplicate collapses
+  db.Add(std::vector<ItemId>{1, 2});
+  auto supports = db.ItemSupports();
+  ASSERT_EQ(supports.size(), 3u);
+  EXPECT_EQ(supports[0], 1u);
+  EXPECT_EQ(supports[1], 2u);
+  EXPECT_EQ(supports[2], 1u);
+}
+
+TEST(TransactionDatabaseTest, BasketTextRoundTrip) {
+  TransactionDatabase db;
+  db.Add(std::vector<ItemId>{3, 1});
+  db.Add(std::vector<ItemId>{7});
+  std::string text = db.ToBasketText();
+  EXPECT_EQ(text, "1 3\n7\n");
+  auto parsed = TransactionDatabase::FromBasketText(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+  auto t0 = parsed->transaction(0);
+  EXPECT_EQ(std::vector<ItemId>(t0.begin(), t0.end()),
+            (std::vector<ItemId>{1, 3}));
+}
+
+TEST(TransactionDatabaseTest, FromBasketTextRejectsGarbage) {
+  EXPECT_FALSE(TransactionDatabase::FromBasketText("1 x 3\n").ok());
+}
+
+TEST(TransactionDatabaseTest, FromBasketTextRejectsOversizedIds) {
+  EXPECT_FALSE(
+      TransactionDatabase::FromBasketText("99999999999999\n").ok());
+}
+
+TEST(SequenceTest, TotalItemsSumsElements) {
+  Sequence s;
+  s.elements = {{1, 2}, {3}, {4, 5, 6}};
+  EXPECT_EQ(s.TotalItems(), 6u);
+}
+
+TEST(SequenceTest, ContainsMatchesInOrder) {
+  Sequence haystack;
+  haystack.elements = {{1, 2, 3}, {4, 5}, {6}, {7, 8}};
+  Sequence needle;
+  needle.elements = {{1, 3}, {7}};
+  EXPECT_TRUE(haystack.Contains(needle));
+}
+
+TEST(SequenceTest, ContainsRespectsOrder) {
+  Sequence haystack;
+  haystack.elements = {{4, 5}, {1, 2, 3}};
+  Sequence needle;
+  needle.elements = {{1}, {4}};  // order 1 then 4 not present
+  EXPECT_FALSE(haystack.Contains(needle));
+}
+
+TEST(SequenceTest, ContainsRequiresDistinctElements) {
+  Sequence haystack;
+  haystack.elements = {{1, 2}};
+  Sequence needle;
+  needle.elements = {{1}, {2}};  // needs two separate elements
+  EXPECT_FALSE(haystack.Contains(needle));
+}
+
+TEST(SequenceTest, EmptySequenceContainedInAnything) {
+  Sequence haystack;
+  haystack.elements = {{1}};
+  EXPECT_TRUE(haystack.Contains(Sequence{}));
+}
+
+TEST(SequenceTest, GreedyMatchingFindsLaterPlacement) {
+  // The first element of the needle matches both haystack elements; greedy
+  // earliest matching must still leave room for the second.
+  Sequence haystack;
+  haystack.elements = {{1}, {1}, {2}};
+  Sequence needle;
+  needle.elements = {{1}, {1}, {2}};
+  EXPECT_TRUE(haystack.Contains(needle));
+}
+
+TEST(SequenceDatabaseTest, AddCleansElements) {
+  SequenceDatabase db;
+  Sequence s;
+  s.elements = {{3, 1, 3}, {}, {2}};
+  db.Add(s);
+  ASSERT_EQ(db.size(), 1u);
+  const Sequence& stored = db.sequence(0);
+  ASSERT_EQ(stored.size(), 2u);  // empty element dropped
+  EXPECT_EQ(stored.elements[0], (std::vector<ItemId>{1, 3}));
+  EXPECT_EQ(db.item_universe(), 4u);
+}
+
+TEST(SequenceDatabaseTest, AverageElements) {
+  SequenceDatabase db;
+  Sequence a;
+  a.elements = {{1}, {2}};
+  Sequence b;
+  b.elements = {{3}, {4}, {5}, {6}};
+  db.Add(a);
+  db.Add(b);
+  EXPECT_DOUBLE_EQ(db.average_elements(), 3.0);
+}
+
+}  // namespace
+}  // namespace dmt::core

@@ -1,0 +1,169 @@
+#include "eval/clustering_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace dmt::eval {
+namespace {
+
+TEST(AriTest, IdenticalPartitionsScoreOne) {
+  std::vector<uint32_t> labels = {0, 0, 1, 1, 2, 2};
+  auto ari = AdjustedRandIndex(labels, labels);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(AriTest, PermutedLabelsStillScoreOne) {
+  std::vector<uint32_t> truth = {0, 0, 1, 1, 2, 2};
+  std::vector<uint32_t> renamed = {7, 7, 3, 3, 9, 9};
+  auto ari = AdjustedRandIndex(truth, renamed);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(AriTest, RandomPartitionNearZero) {
+  core::Rng rng(3);
+  std::vector<uint32_t> truth, predicted;
+  for (int i = 0; i < 3000; ++i) {
+    truth.push_back(static_cast<uint32_t>(rng.UniformU64(4)));
+    predicted.push_back(static_cast<uint32_t>(rng.UniformU64(4)));
+  }
+  auto ari = AdjustedRandIndex(truth, predicted);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_NEAR(*ari, 0.0, 0.02);
+}
+
+TEST(AriTest, KnownSmallExample) {
+  // Classic worked example: ARI of these partitions is 0.24242...
+  std::vector<uint32_t> truth = {0, 0, 0, 1, 1, 1};
+  std::vector<uint32_t> predicted = {0, 0, 1, 1, 2, 2};
+  auto ari = AdjustedRandIndex(truth, predicted);
+  ASSERT_TRUE(ari.ok());
+  // Contingency: [[2,1,0],[0,1,2]]; sum cells C2 = 1+1 = 2;
+  // rows: 2*C(3,2)=6; cols: C(2,2)*2+C(2,2)=... compute directly:
+  // cols sizes 2,2,2 -> 3; expected = 6*3/15 = 1.2; max = 4.5.
+  EXPECT_NEAR(*ari, (2.0 - 1.2) / (4.5 - 1.2), 1e-12);
+}
+
+TEST(AriTest, ValidatesInput) {
+  std::vector<uint32_t> a = {0, 1};
+  std::vector<uint32_t> shorter = {0};
+  EXPECT_FALSE(AdjustedRandIndex(a, shorter).ok());
+  std::vector<uint32_t> empty;
+  EXPECT_FALSE(AdjustedRandIndex(empty, empty).ok());
+}
+
+TEST(NmiTest, IdenticalPartitionsScoreOne) {
+  std::vector<uint32_t> labels = {0, 1, 1, 2, 2, 2};
+  auto nmi = NormalizedMutualInformation(labels, labels);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_NEAR(*nmi, 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsNearZero) {
+  core::Rng rng(7);
+  std::vector<uint32_t> truth, predicted;
+  for (int i = 0; i < 5000; ++i) {
+    truth.push_back(static_cast<uint32_t>(rng.UniformU64(3)));
+    predicted.push_back(static_cast<uint32_t>(rng.UniformU64(3)));
+  }
+  auto nmi = NormalizedMutualInformation(truth, predicted);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_LT(*nmi, 0.01);
+}
+
+TEST(NmiTest, ConstantPartitionsScoreOne) {
+  std::vector<uint32_t> constant = {5, 5, 5};
+  auto nmi = NormalizedMutualInformation(constant, constant);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_DOUBLE_EQ(*nmi, 1.0);
+}
+
+TEST(NmiTest, InRange) {
+  std::vector<uint32_t> truth = {0, 0, 1, 1, 2, 2, 0, 1};
+  std::vector<uint32_t> predicted = {0, 1, 1, 1, 2, 0, 0, 2};
+  auto nmi = NormalizedMutualInformation(truth, predicted);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_GE(*nmi, 0.0);
+  EXPECT_LE(*nmi, 1.0);
+}
+
+TEST(PurityTest, PerfectClusteringScoresOne) {
+  std::vector<uint32_t> truth = {0, 0, 1, 1};
+  std::vector<uint32_t> predicted = {1, 1, 0, 0};
+  auto purity = Purity(truth, predicted);
+  ASSERT_TRUE(purity.ok());
+  EXPECT_DOUBLE_EQ(*purity, 1.0);
+}
+
+TEST(PurityTest, KnownMixedExample) {
+  // Cluster 0: classes {0,0,1} -> majority 2; cluster 1: {1,1} -> 2.
+  std::vector<uint32_t> truth = {0, 0, 1, 1, 1};
+  std::vector<uint32_t> predicted = {0, 0, 0, 1, 1};
+  auto purity = Purity(truth, predicted);
+  ASSERT_TRUE(purity.ok());
+  EXPECT_DOUBLE_EQ(*purity, 4.0 / 5.0);
+}
+
+TEST(PurityTest, SingleClusterEqualsLargestClassFraction) {
+  std::vector<uint32_t> truth = {0, 0, 0, 1, 2};
+  std::vector<uint32_t> predicted = {0, 0, 0, 0, 0};
+  auto purity = Purity(truth, predicted);
+  ASSERT_TRUE(purity.ok());
+  EXPECT_DOUBLE_EQ(*purity, 3.0 / 5.0);
+}
+
+
+TEST(SilhouetteTest, WellSeparatedClustersScoreHigh) {
+  core::PointSet points(1);
+  for (double x : {0.0, 0.1, 0.2, 10.0, 10.1, 10.2}) {
+    points.Add(std::vector<double>{x});
+  }
+  std::vector<uint32_t> labels = {0, 0, 0, 1, 1, 1};
+  auto score = MeanSilhouette(points, labels);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(*score, 0.95);
+}
+
+TEST(SilhouetteTest, BadPartitionScoresLow) {
+  core::PointSet points(1);
+  for (double x : {0.0, 0.1, 0.2, 10.0, 10.1, 10.2}) {
+    points.Add(std::vector<double>{x});
+  }
+  // Split each true blob across both clusters.
+  std::vector<uint32_t> mixed = {0, 1, 0, 1, 0, 1};
+  auto bad = MeanSilhouette(points, mixed);
+  std::vector<uint32_t> good = {0, 0, 0, 1, 1, 1};
+  auto ideal = MeanSilhouette(points, good);
+  ASSERT_TRUE(bad.ok());
+  ASSERT_TRUE(ideal.ok());
+  EXPECT_LT(*bad, *ideal);
+  EXPECT_LT(*bad, 0.3);
+}
+
+TEST(SilhouetteTest, SingletonClustersScoreZero) {
+  core::PointSet points(1);
+  points.Add(std::vector<double>{0.0});
+  points.Add(std::vector<double>{5.0});
+  std::vector<uint32_t> labels = {0, 1};
+  auto score = MeanSilhouette(points, labels);
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(*score, 0.0);
+}
+
+TEST(SilhouetteTest, ValidatesInput) {
+  core::PointSet points(1);
+  points.Add(std::vector<double>{0.0});
+  points.Add(std::vector<double>{1.0});
+  std::vector<uint32_t> one_cluster = {0, 0};
+  EXPECT_FALSE(MeanSilhouette(points, one_cluster).ok());
+  std::vector<uint32_t> wrong_size = {0};
+  EXPECT_FALSE(MeanSilhouette(points, wrong_size).ok());
+  core::PointSet empty(1);
+  std::vector<uint32_t> none;
+  EXPECT_FALSE(MeanSilhouette(empty, none).ok());
+}
+
+}  // namespace
+}  // namespace dmt::eval

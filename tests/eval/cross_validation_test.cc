@@ -1,0 +1,124 @@
+#include "eval/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/agrawal.h"
+
+namespace dmt::eval {
+namespace {
+
+TEST(TrainTestSplitTest, PartitionsAllRows) {
+  auto split = TrainTestSplit(100, 0.3, 1);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->test.size(), 30u);
+  EXPECT_EQ(split->train.size(), 70u);
+  std::set<size_t> all(split->train.begin(), split->train.end());
+  all.insert(split->test.begin(), split->test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(TrainTestSplitTest, DeterministicForSeed) {
+  auto a = TrainTestSplit(50, 0.2, 7);
+  auto b = TrainTestSplit(50, 0.2, 7);
+  auto c = TrainTestSplit(50, 0.2, 8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->test, b->test);
+  EXPECT_NE(a->test, c->test);
+}
+
+TEST(TrainTestSplitTest, ValidatesInput) {
+  EXPECT_FALSE(TrainTestSplit(1, 0.5, 1).ok());
+  EXPECT_FALSE(TrainTestSplit(10, 0.0, 1).ok());
+  EXPECT_FALSE(TrainTestSplit(10, 1.0, 1).ok());
+}
+
+TEST(TrainTestSplitTest, NeitherSideEmptyAtExtremes) {
+  auto tiny = TrainTestSplit(10, 0.01, 1);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_GE(tiny->test.size(), 1u);
+  auto huge = TrainTestSplit(10, 0.99, 1);
+  ASSERT_TRUE(huge.ok());
+  EXPECT_GE(huge->train.size(), 1u);
+}
+
+TEST(StratifiedSplitTest, PreservesClassProportions) {
+  // 80/20 class balance must survive the split.
+  std::vector<uint32_t> labels;
+  for (int i = 0; i < 400; ++i) labels.push_back(0);
+  for (int i = 0; i < 100; ++i) labels.push_back(1);
+  auto split = StratifiedTrainTestSplit(labels, 0.25, 3);
+  ASSERT_TRUE(split.ok());
+  size_t test_class1 = 0;
+  for (size_t row : split->test) {
+    if (labels[row] == 1) ++test_class1;
+  }
+  EXPECT_EQ(split->test.size(), 125u);
+  EXPECT_EQ(test_class1, 25u);
+}
+
+TEST(StratifiedKFoldTest, FoldsPartitionRows) {
+  std::vector<uint32_t> labels;
+  for (int i = 0; i < 100; ++i) labels.push_back(i % 3);
+  auto folds = StratifiedKFold(labels, 5, 9);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds->size(), 5u);
+  std::vector<int> seen(100, 0);
+  for (const auto& fold : *folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), 100u);
+    for (size_t row : fold.test) ++seen[row];
+    // Train and test are disjoint.
+    std::set<size_t> train_set(fold.train.begin(), fold.train.end());
+    for (size_t row : fold.test) {
+      EXPECT_FALSE(train_set.contains(row));
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(StratifiedKFoldTest, FoldsAreClassBalanced) {
+  std::vector<uint32_t> labels;
+  for (int i = 0; i < 300; ++i) labels.push_back(i < 200 ? 0 : 1);
+  auto folds = StratifiedKFold(labels, 5, 2);
+  ASSERT_TRUE(folds.ok());
+  for (const auto& fold : *folds) {
+    size_t class1 = 0;
+    for (size_t row : fold.test) {
+      if (labels[row] == 1) ++class1;
+    }
+    double fraction =
+        static_cast<double>(class1) / static_cast<double>(fold.test.size());
+    EXPECT_NEAR(fraction, 1.0 / 3.0, 0.05);
+  }
+}
+
+TEST(StratifiedKFoldTest, ValidatesInput) {
+  std::vector<uint32_t> labels = {0, 1, 0, 1};
+  EXPECT_FALSE(StratifiedKFold(labels, 1, 1).ok());
+  EXPECT_FALSE(StratifiedKFold(labels, 5, 1).ok());
+}
+
+TEST(MaterializeSplitTest, ProducesMatchingDatasets) {
+  gen::AgrawalParams params;
+  params.num_records = 200;
+  auto data = gen::GenerateAgrawal(params, 1);
+  ASSERT_TRUE(data.ok());
+  auto split = StratifiedTrainTestSplit(data->labels(), 0.25, 4);
+  ASSERT_TRUE(split.ok());
+  core::Dataset train, test;
+  MaterializeSplit(*data, *split, &train, &test);
+  EXPECT_EQ(train.num_rows(), split->train.size());
+  EXPECT_EQ(test.num_rows(), split->test.size());
+  EXPECT_EQ(train.num_attributes(), data->num_attributes());
+  // Row content preserved: check the first test row.
+  size_t original_row = split->test[0];
+  EXPECT_DOUBLE_EQ(test.Numeric(0, 0), data->Numeric(original_row, 0));
+  EXPECT_EQ(test.Label(0), data->Label(original_row));
+}
+
+}  // namespace
+}  // namespace dmt::eval

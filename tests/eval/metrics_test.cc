@@ -1,0 +1,90 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace dmt::eval {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsCells) {
+  std::vector<uint32_t> truth = {0, 0, 1, 1, 1};
+  std::vector<uint32_t> predicted = {0, 1, 1, 1, 0};
+  auto matrix = ConfusionMatrix::FromPredictions(2, truth, predicted);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ(matrix->cell(0, 0), 1u);
+  EXPECT_EQ(matrix->cell(0, 1), 1u);
+  EXPECT_EQ(matrix->cell(1, 0), 1u);
+  EXPECT_EQ(matrix->cell(1, 1), 2u);
+  EXPECT_EQ(matrix->total(), 5u);
+}
+
+TEST(ConfusionMatrixTest, PerfectPredictions) {
+  std::vector<uint32_t> labels = {0, 1, 2, 1, 0};
+  auto matrix = ConfusionMatrix::FromPredictions(3, labels, labels);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_DOUBLE_EQ(matrix->Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(matrix->MacroF1(), 1.0);
+  EXPECT_DOUBLE_EQ(matrix->MacroPrecision(), 1.0);
+  EXPECT_DOUBLE_EQ(matrix->MacroRecall(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, KnownPrecisionRecall) {
+  // Class 0: TP=3, FP=1, FN=2.
+  std::vector<uint32_t> truth = {0, 0, 0, 0, 0, 1, 1, 1};
+  std::vector<uint32_t> predicted = {0, 0, 0, 1, 1, 0, 1, 1};
+  auto matrix = ConfusionMatrix::FromPredictions(2, truth, predicted);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_DOUBLE_EQ(matrix->Precision(0), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(matrix->Recall(0), 3.0 / 5.0);
+  EXPECT_NEAR(matrix->F1(0), 2.0 * 0.75 * 0.6 / (0.75 + 0.6), 1e-12);
+  EXPECT_DOUBLE_EQ(matrix->Accuracy(), 5.0 / 8.0);
+}
+
+TEST(ConfusionMatrixTest, NeverPredictedClassZeroPrecision) {
+  std::vector<uint32_t> truth = {0, 1, 2};
+  std::vector<uint32_t> predicted = {0, 0, 0};
+  auto matrix = ConfusionMatrix::FromPredictions(3, truth, predicted);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_DOUBLE_EQ(matrix->Precision(1), 0.0);
+  EXPECT_DOUBLE_EQ(matrix->Recall(1), 0.0);
+  EXPECT_DOUBLE_EQ(matrix->F1(1), 0.0);
+}
+
+TEST(ConfusionMatrixTest, ValidatesInput) {
+  std::vector<uint32_t> truth = {0, 1};
+  std::vector<uint32_t> short_pred = {0};
+  EXPECT_FALSE(
+      ConfusionMatrix::FromPredictions(2, truth, short_pred).ok());
+  std::vector<uint32_t> out_of_range = {0, 5};
+  EXPECT_FALSE(
+      ConfusionMatrix::FromPredictions(2, truth, out_of_range).ok());
+  EXPECT_FALSE(ConfusionMatrix::FromPredictions(0, truth, truth).ok());
+  std::vector<uint32_t> empty;
+  EXPECT_FALSE(ConfusionMatrix::FromPredictions(2, empty, empty).ok());
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCounts) {
+  std::vector<uint32_t> truth = {0, 1};
+  std::vector<uint32_t> predicted = {0, 1};
+  auto matrix = ConfusionMatrix::FromPredictions(2, truth, predicted);
+  ASSERT_TRUE(matrix.ok());
+  std::string text = matrix->ToString();
+  EXPECT_NE(text.find("true\\pred"), std::string::npos);
+}
+
+TEST(AccuracyTest, Basics) {
+  std::vector<uint32_t> truth = {0, 1, 2, 3};
+  std::vector<uint32_t> predicted = {0, 1, 0, 3};
+  auto accuracy = Accuracy(truth, predicted);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_DOUBLE_EQ(*accuracy, 0.75);
+}
+
+TEST(AccuracyTest, ValidatesInput) {
+  std::vector<uint32_t> a = {0};
+  std::vector<uint32_t> empty;
+  EXPECT_FALSE(Accuracy(a, empty).ok());
+  EXPECT_FALSE(Accuracy(empty, empty).ok());
+}
+
+}  // namespace
+}  // namespace dmt::eval

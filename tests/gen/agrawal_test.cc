@@ -1,0 +1,156 @@
+#include "gen/agrawal.h"
+
+#include <gtest/gtest.h>
+
+namespace dmt::gen {
+namespace {
+
+using core::AttributeType;
+
+TEST(AgrawalTest, GeneratesRequestedShape) {
+  AgrawalParams params;
+  params.function = 1;
+  params.num_records = 1000;
+  auto ds = GenerateAgrawal(params, 1);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_rows(), 1000u);
+  EXPECT_EQ(ds->num_attributes(), 9u);
+  EXPECT_EQ(ds->num_classes(), 2u);
+  EXPECT_EQ(ds->class_name(0), "groupA");
+}
+
+TEST(AgrawalTest, DeterministicForSeed) {
+  AgrawalParams params;
+  params.num_records = 200;
+  auto a = GenerateAgrawal(params, 7);
+  auto b = GenerateAgrawal(params, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->num_rows(); ++i) {
+    EXPECT_EQ(a->Label(i), b->Label(i));
+    EXPECT_DOUBLE_EQ(a->Numeric(i, 0), b->Numeric(i, 0));
+  }
+}
+
+TEST(AgrawalTest, AttributeRangesRespected) {
+  AgrawalParams params;
+  params.num_records = 2000;
+  auto ds = GenerateAgrawal(params, 3);
+  ASSERT_TRUE(ds.ok());
+  for (size_t i = 0; i < ds->num_rows(); ++i) {
+    double salary = ds->Numeric(i, 0);
+    double commission = ds->Numeric(i, 1);
+    double age = ds->Numeric(i, 2);
+    double loan = ds->Numeric(i, 8);
+    EXPECT_GE(salary, 20000.0);
+    EXPECT_LE(salary, 150000.0);
+    EXPECT_GE(age, 20.0);
+    EXPECT_LE(age, 80.0);
+    EXPECT_GE(loan, 0.0);
+    EXPECT_LE(loan, 500000.0);
+    if (salary >= 75000.0) {
+      EXPECT_DOUBLE_EQ(commission, 0.0);
+    } else {
+      EXPECT_GE(commission, 10000.0);
+      EXPECT_LE(commission, 75000.0);
+    }
+  }
+}
+
+TEST(AgrawalTest, Function1MatchesPredicateExactly) {
+  AgrawalParams params;
+  params.function = 1;
+  params.num_records = 3000;
+  auto ds = GenerateAgrawal(params, 11);
+  ASSERT_TRUE(ds.ok());
+  for (size_t i = 0; i < ds->num_rows(); ++i) {
+    double age = ds->Numeric(i, 2);
+    bool group_a = age < 40.0 || age >= 60.0;
+    EXPECT_EQ(ds->Label(i), group_a ? 0u : 1u);
+  }
+}
+
+TEST(AgrawalTest, EveryFunctionProducesBothClasses) {
+  for (int function = 1; function <= 10; ++function) {
+    AgrawalParams params;
+    params.function = function;
+    params.num_records = 5000;
+    auto ds = GenerateAgrawal(params, 100 + function);
+    ASSERT_TRUE(ds.ok());
+    auto counts = ds->ClassCounts();
+    EXPECT_GT(counts[0], 50u) << "function " << function;
+    // F10's published predicate is heavily skewed toward group A (group B
+    // needs low income, high education, and no home equity at once); only
+    // require that the minority class exists there.
+    size_t minority_floor = function == 10 ? 1 : 50;
+    EXPECT_GE(counts[1], minority_floor) << "function " << function;
+  }
+}
+
+TEST(AgrawalTest, LabelNoiseFlipsRoughlyTheRequestedFraction) {
+  AgrawalParams clean;
+  clean.function = 1;
+  clean.num_records = 5000;
+  AgrawalParams noisy = clean;
+  noisy.label_noise = 0.2;
+  auto a = GenerateAgrawal(clean, 13);
+  auto b = GenerateAgrawal(noisy, 13);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  size_t flipped = 0;
+  for (size_t i = 0; i < a->num_rows(); ++i) {
+    // The draw order differs because noisy runs consume extra randomness;
+    // instead, verify against the deterministic predicate on age.
+    double age = b->Numeric(i, 2);
+    bool group_a = age < 40.0 || age >= 60.0;
+    if (b->Label(i) != (group_a ? 0u : 1u)) ++flipped;
+  }
+  double rate = static_cast<double>(flipped) / 5000.0;
+  EXPECT_NEAR(rate, 0.2, 0.03);
+}
+
+TEST(AgrawalTest, PerturbationKeepsRangesAndChangesValues) {
+  AgrawalParams params;
+  params.num_records = 1000;
+  params.perturbation = 0.1;
+  auto ds = GenerateAgrawal(params, 17);
+  ASSERT_TRUE(ds.ok());
+  for (size_t i = 0; i < ds->num_rows(); ++i) {
+    EXPECT_GE(ds->Numeric(i, 0), 20000.0);
+    EXPECT_LE(ds->Numeric(i, 0), 150000.0);
+    EXPECT_GE(ds->Numeric(i, 2), 20.0);
+    EXPECT_LE(ds->Numeric(i, 2), 80.0);
+  }
+}
+
+TEST(AgrawalTest, ValidatesParameters) {
+  AgrawalParams params;
+  params.function = 0;
+  EXPECT_FALSE(GenerateAgrawal(params, 1).ok());
+  params.function = 11;
+  EXPECT_FALSE(GenerateAgrawal(params, 1).ok());
+  params.function = 1;
+  params.num_records = 0;
+  EXPECT_FALSE(GenerateAgrawal(params, 1).ok());
+  params.num_records = 10;
+  params.perturbation = 2.0;
+  EXPECT_FALSE(GenerateAgrawal(params, 1).ok());
+  params.perturbation = 0.0;
+  params.label_noise = -0.5;
+  EXPECT_FALSE(GenerateAgrawal(params, 1).ok());
+}
+
+TEST(AgrawalTest, CategoricalAttributesHaveExpectedCardinality) {
+  AgrawalParams params;
+  params.num_records = 100;
+  auto ds = GenerateAgrawal(params, 19);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->attribute(3).name, "elevel");
+  EXPECT_EQ(ds->attribute(3).num_categories(), 5u);
+  EXPECT_EQ(ds->attribute(4).num_categories(), 20u);
+  EXPECT_EQ(ds->attribute(5).num_categories(), 9u);
+  EXPECT_EQ(ds->attribute(3).type, AttributeType::kCategorical);
+}
+
+}  // namespace
+}  // namespace dmt::gen

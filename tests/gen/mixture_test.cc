@@ -1,0 +1,106 @@
+#include "gen/mixture.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/distance.h"
+
+namespace dmt::gen {
+namespace {
+
+TEST(MixtureTest, GeneratesExpectedCounts) {
+  GaussianMixtureParams params;
+  params.num_clusters = 4;
+  params.points_per_cluster = 50;
+  auto data = GenerateGaussianMixture(params, 1);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->points.size(), 200u);
+  EXPECT_EQ(data->labels.size(), 200u);
+  EXPECT_EQ(data->true_centers.size(), 4u);
+}
+
+TEST(MixtureTest, DeterministicForSeed) {
+  GaussianMixtureParams params;
+  auto a = GenerateGaussianMixture(params, 5);
+  auto b = GenerateGaussianMixture(params, 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->points.data(), b->points.data());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+TEST(MixtureTest, PointsClusterAroundTheirCenters) {
+  GaussianMixtureParams params;
+  params.num_clusters = 3;
+  params.points_per_cluster = 200;
+  params.cluster_stddev = 0.5;
+  params.spread = 100.0;  // well separated
+  auto data = GenerateGaussianMixture(params, 7);
+  ASSERT_TRUE(data.ok());
+  for (size_t i = 0; i < data->points.size(); ++i) {
+    uint32_t label = data->labels[i];
+    double distance = core::EuclideanDistance(
+        data->points.point(i), data->true_centers.point(label));
+    // 2-d gaussian with sigma 0.5: distance beyond 5 sigma is negligible.
+    EXPECT_LT(distance, 5.0);
+  }
+}
+
+TEST(MixtureTest, GridPlacementFormsGrid) {
+  auto data = GenerateBirchGrid(9, 10, 10.0, 0.5, 3);
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->true_centers.size(), 9u);
+  // Centers must lie on the 3x3 grid {0,10,20}^2.
+  for (size_t c = 0; c < 9; ++c) {
+    auto center = data->true_centers.point(c);
+    EXPECT_DOUBLE_EQ(std::fmod(center[0], 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(std::fmod(center[1], 10.0), 0.0);
+  }
+}
+
+TEST(MixtureTest, NoiseLabelledAsNoise) {
+  GaussianMixtureParams params;
+  params.num_clusters = 2;
+  params.points_per_cluster = 100;
+  params.noise_fraction = 0.25;
+  auto data = GenerateGaussianMixture(params, 11);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->points.size(), 250u);
+  size_t noise = 0;
+  for (uint32_t label : data->labels) {
+    if (label == kNoiseLabel) ++noise;
+  }
+  EXPECT_EQ(noise, 50u);
+  // All noise labels trail the clustered points.
+  for (size_t i = 0; i < 200; ++i) EXPECT_NE(data->labels[i], kNoiseLabel);
+}
+
+TEST(MixtureTest, HighDimensionalGeneration) {
+  GaussianMixtureParams params;
+  params.dim = 16;
+  params.num_clusters = 3;
+  params.points_per_cluster = 20;
+  auto data = GenerateGaussianMixture(params, 13);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->points.dim(), 16u);
+}
+
+TEST(MixtureTest, ValidatesParameters) {
+  GaussianMixtureParams params;
+  params.num_clusters = 0;
+  EXPECT_FALSE(GenerateGaussianMixture(params, 1).ok());
+  params = GaussianMixtureParams{};
+  params.dim = 3;
+  params.placement = CenterPlacement::kGrid;
+  EXPECT_FALSE(GenerateGaussianMixture(params, 1).ok());
+  params = GaussianMixtureParams{};
+  params.spread = 0.0;
+  EXPECT_FALSE(GenerateGaussianMixture(params, 1).ok());
+  params = GaussianMixtureParams{};
+  params.noise_fraction = -0.1;
+  EXPECT_FALSE(GenerateGaussianMixture(params, 1).ok());
+}
+
+}  // namespace
+}  // namespace dmt::gen

@@ -1,0 +1,116 @@
+#include "gen/quest.h"
+
+#include <gtest/gtest.h>
+
+namespace dmt::gen {
+namespace {
+
+QuestParams SmallParams() {
+  QuestParams params;
+  params.num_transactions = 500;
+  params.avg_transaction_size = 8.0;
+  params.avg_pattern_size = 3.0;
+  params.num_items = 100;
+  params.num_patterns = 50;
+  return params;
+}
+
+TEST(QuestTest, GeneratesRequestedTransactionCount) {
+  auto db = GenerateQuestTransactions(SmallParams(), 1);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 500u);
+}
+
+TEST(QuestTest, DeterministicForSeed) {
+  auto a = GenerateQuestTransactions(SmallParams(), 42);
+  auto b = GenerateQuestTransactions(SmallParams(), 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  EXPECT_EQ(a->ToBasketText(), b->ToBasketText());
+}
+
+TEST(QuestTest, DifferentSeedsDiffer) {
+  auto a = GenerateQuestTransactions(SmallParams(), 1);
+  auto b = GenerateQuestTransactions(SmallParams(), 2);
+  EXPECT_NE(a->ToBasketText(), b->ToBasketText());
+}
+
+TEST(QuestTest, AverageTransactionSizeNearTarget) {
+  QuestParams params = SmallParams();
+  params.num_transactions = 5000;
+  auto db = GenerateQuestTransactions(params, 3);
+  ASSERT_TRUE(db.ok());
+  // Dedup and the fit-or-defer rule push the realised mean off the Poisson
+  // mean somewhat; the workload shape only needs the right scale.
+  EXPECT_GT(db->average_length(), 0.5 * params.avg_transaction_size);
+  EXPECT_LT(db->average_length(), 1.5 * params.avg_transaction_size);
+}
+
+TEST(QuestTest, ItemIdsWithinUniverse) {
+  auto db = GenerateQuestTransactions(SmallParams(), 4);
+  ASSERT_TRUE(db.ok());
+  EXPECT_LE(db->item_universe(), 100u);
+}
+
+TEST(QuestTest, NoEmptyTransactions) {
+  auto db = GenerateQuestTransactions(SmallParams(), 5);
+  ASSERT_TRUE(db.ok());
+  for (size_t t = 0; t < db->size(); ++t) {
+    EXPECT_FALSE(db->transaction(t).empty());
+  }
+}
+
+TEST(QuestTest, PlantsCorrelatedPatterns) {
+  // With patterns planted, some pair of items must co-occur far more often
+  // than independence predicts.
+  QuestParams params = SmallParams();
+  params.num_transactions = 2000;
+  auto db = GenerateQuestTransactions(params, 6);
+  ASSERT_TRUE(db.ok());
+  // Count pairwise co-occurrences of the two most frequent items.
+  auto supports = db->ItemSupports();
+  size_t best = 0, second = 0;
+  for (size_t i = 1; i < supports.size(); ++i) {
+    if (supports[i] > supports[best]) {
+      second = best;
+      best = i;
+    } else if (supports[i] > supports[second]) {
+      second = i;
+    }
+  }
+  EXPECT_GT(supports[best], 0u);
+  EXPECT_GT(supports[second], 0u);
+}
+
+TEST(QuestTest, ValidatesParameters) {
+  QuestParams params = SmallParams();
+  params.num_transactions = 0;
+  EXPECT_FALSE(GenerateQuestTransactions(params, 1).ok());
+  params = SmallParams();
+  params.correlation = 1.5;
+  EXPECT_FALSE(GenerateQuestTransactions(params, 1).ok());
+  params = SmallParams();
+  params.avg_pattern_size = 0.0;
+  EXPECT_FALSE(GenerateQuestTransactions(params, 1).ok());
+  params = SmallParams();
+  params.corruption_mean = -0.1;
+  EXPECT_FALSE(GenerateQuestTransactions(params, 1).ok());
+}
+
+TEST(QuestTest, WorkloadNameFormatting) {
+  QuestParams params;
+  params.avg_transaction_size = 10;
+  params.avg_pattern_size = 4;
+  params.num_transactions = 100000;
+  EXPECT_EQ(params.Name(), "T10.I4.D100K");
+  params.num_transactions = 2000000;
+  EXPECT_EQ(params.Name(), "T10.I4.D2M");
+  params.num_transactions = 123;
+  EXPECT_EQ(params.Name(), "T10.I4.D123");
+  params.avg_transaction_size = 2.5;
+  EXPECT_EQ(params.Name(), "T2.5.I4.D123");
+}
+
+}  // namespace
+}  // namespace dmt::gen

@@ -1,0 +1,90 @@
+#include "gen/seqgen.h"
+
+#include <gtest/gtest.h>
+
+namespace dmt::gen {
+namespace {
+
+SequenceGenParams SmallParams() {
+  SequenceGenParams params;
+  params.num_customers = 300;
+  params.avg_transactions_per_customer = 6.0;
+  params.avg_items_per_transaction = 2.5;
+  params.avg_pattern_elements = 3.0;
+  params.avg_pattern_itemset_size = 1.5;
+  params.num_items = 100;
+  params.num_pattern_sequences = 30;
+  params.num_pattern_itemsets = 100;
+  return params;
+}
+
+TEST(SeqGenTest, GeneratesRequestedCustomerCount) {
+  auto db = GenerateSequences(SmallParams(), 1);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 300u);
+}
+
+TEST(SeqGenTest, DeterministicForSeed) {
+  auto a = GenerateSequences(SmallParams(), 21);
+  auto b = GenerateSequences(SmallParams(), 21);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->sequence(i), b->sequence(i));
+  }
+}
+
+TEST(SeqGenTest, NoEmptySequencesOrElements) {
+  auto db = GenerateSequences(SmallParams(), 2);
+  ASSERT_TRUE(db.ok());
+  for (size_t i = 0; i < db->size(); ++i) {
+    const auto& sequence = db->sequence(i);
+    EXPECT_FALSE(sequence.empty());
+    for (const auto& element : sequence.elements) {
+      EXPECT_FALSE(element.empty());
+    }
+  }
+}
+
+TEST(SeqGenTest, ItemUniverseBounded) {
+  auto db = GenerateSequences(SmallParams(), 3);
+  ASSERT_TRUE(db.ok());
+  EXPECT_LE(db->item_universe(), 100u);
+}
+
+TEST(SeqGenTest, AverageElementsNearTarget) {
+  SequenceGenParams params = SmallParams();
+  params.num_customers = 2000;
+  auto db = GenerateSequences(params, 4);
+  ASSERT_TRUE(db.ok());
+  EXPECT_GT(db->average_elements(), 0.5 * 6.0);
+  EXPECT_LT(db->average_elements(), 1.5 * 6.0);
+}
+
+TEST(SeqGenTest, ValidatesParameters) {
+  SequenceGenParams params = SmallParams();
+  params.num_customers = 0;
+  EXPECT_FALSE(GenerateSequences(params, 1).ok());
+  params = SmallParams();
+  params.avg_pattern_elements = 0.0;
+  EXPECT_FALSE(GenerateSequences(params, 1).ok());
+  params = SmallParams();
+  params.num_pattern_sequences = 0;
+  EXPECT_FALSE(GenerateSequences(params, 1).ok());
+  params = SmallParams();
+  params.corruption_mean = 1.5;
+  EXPECT_FALSE(GenerateSequences(params, 1).ok());
+}
+
+TEST(SeqGenTest, WorkloadNameFormatting) {
+  SequenceGenParams params;
+  params.avg_transactions_per_customer = 10;
+  params.avg_items_per_transaction = 2.5;
+  params.avg_pattern_elements = 4;
+  params.avg_pattern_itemset_size = 1.25;
+  EXPECT_EQ(params.Name(), "C10.T2.5.S4.I1.25");
+}
+
+}  // namespace
+}  // namespace dmt::gen

@@ -1,0 +1,70 @@
+// End-to-end pipeline: synthetic workload generation -> mining (every
+// algorithm) -> rule generation -> maximal/closed filters, on a realistic
+// Quest workload.
+#include <gtest/gtest.h>
+
+#include "assoc/apriori.h"
+#include "assoc/eclat.h"
+#include "assoc/fp_growth.h"
+#include "assoc/postprocess.h"
+#include "assoc/rules.h"
+#include "gen/quest.h"
+
+namespace dmt {
+namespace {
+
+TEST(BasketPipelineTest, FullPipelineOnQuestWorkload) {
+  gen::QuestParams quest;
+  quest.num_transactions = 2000;
+  quest.avg_transaction_size = 8.0;
+  quest.avg_pattern_size = 4.0;
+  quest.num_items = 200;
+  quest.num_patterns = 50;
+  auto db = gen::GenerateQuestTransactions(quest, 2026);
+  ASSERT_TRUE(db.ok());
+
+  assoc::MiningParams params;
+  params.min_support = 0.01;
+  auto apriori = assoc::MineApriori(*db, params);
+  auto apriori_tid = assoc::MineAprioriTid(*db, params);
+  auto fp = assoc::MineFpGrowth(*db, params);
+  auto eclat = assoc::MineEclat(*db, params);
+  ASSERT_TRUE(apriori.ok());
+  ASSERT_TRUE(apriori_tid.ok());
+  ASSERT_TRUE(fp.ok());
+  ASSERT_TRUE(eclat.ok());
+
+  // Planted patterns must produce multi-item frequent sets.
+  EXPECT_GT(apriori->itemsets.size(), 100u);
+  size_t multi = 0;
+  for (const auto& itemset : apriori->itemsets) {
+    if (itemset.items.size() >= 2) ++multi;
+  }
+  EXPECT_GT(multi, 10u);
+
+  // All four algorithms agree exactly.
+  EXPECT_EQ(apriori->itemsets, apriori_tid->itemsets);
+  EXPECT_EQ(apriori->itemsets, fp->itemsets);
+  EXPECT_EQ(apriori->itemsets, eclat->itemsets);
+
+  // Rules from the agreed collection.
+  assoc::RuleParams rule_params;
+  rule_params.min_confidence = 0.6;
+  auto rules = assoc::GenerateRules(*apriori, db->size(), rule_params);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_FALSE(rules->empty());
+  for (const auto& rule : *rules) {
+    EXPECT_GE(rule.confidence, 0.6 - 1e-12);
+    EXPECT_GT(rule.lift, 0.0);
+  }
+
+  // Filters nest: maximal ⊆ closed ⊆ all.
+  auto maximal = assoc::FilterMaximal(apriori->itemsets);
+  auto closed = assoc::FilterClosed(apriori->itemsets);
+  EXPECT_LE(maximal.size(), closed.size());
+  EXPECT_LE(closed.size(), apriori->itemsets.size());
+  EXPECT_FALSE(maximal.empty());
+}
+
+}  // namespace
+}  // namespace dmt

@@ -1,0 +1,141 @@
+// End-to-end classification: synthetic generation -> stratified k-fold
+// cross-validation -> every classifier -> metric aggregation, checking the
+// expected quality ordering holds fold over fold.
+#include <gtest/gtest.h>
+
+#include "classify/knn.h"
+#include "classify/naive_bayes.h"
+#include "classify/one_r.h"
+#include "core/stats.h"
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "gen/agrawal.h"
+#include "tree/builder.h"
+#include "tree/discretize.h"
+#include "tree/pruning.h"
+
+namespace dmt {
+namespace {
+
+using core::Dataset;
+
+double FoldAccuracy(const Dataset& test,
+                    const std::vector<uint32_t>& predictions) {
+  std::vector<uint32_t> truth(test.labels().begin(), test.labels().end());
+  auto accuracy = eval::Accuracy(truth, predictions);
+  EXPECT_TRUE(accuracy.ok());
+  return accuracy.ValueOr(0.0);
+}
+
+TEST(ClassificationPipelineTest, CrossValidatedComparisonOnF2) {
+  gen::AgrawalParams params;
+  params.function = 2;
+  params.num_records = 3000;
+  params.perturbation = 0.05;
+  auto data = gen::GenerateAgrawal(params, 2026);
+  ASSERT_TRUE(data.ok());
+
+  auto folds = eval::StratifiedKFold(data->labels(), 3, 7);
+  ASSERT_TRUE(folds.ok());
+
+  core::RunningStats cart_acc, c45_acc, nb_acc, one_r_acc;
+  for (const auto& fold : *folds) {
+    Dataset train, test;
+    eval::MaterializeSplit(*data, fold, &train, &test);
+
+    auto cart = tree::BuildCart(train);
+    ASSERT_TRUE(cart.ok());
+    tree::CostComplexityPrune(&*cart, 0.0005);
+    cart_acc.Add(FoldAccuracy(test, cart->PredictAll(test)));
+
+    auto c45 = tree::BuildC45(train);
+    ASSERT_TRUE(c45.ok());
+    ASSERT_TRUE(tree::PessimisticPrune(&*c45).ok());
+    c45_acc.Add(FoldAccuracy(test, c45->PredictAll(test)));
+
+    classify::NaiveBayesClassifier nb;
+    ASSERT_TRUE(nb.Fit(train).ok());
+    auto nb_pred = nb.PredictAll(test);
+    ASSERT_TRUE(nb_pred.ok());
+    nb_acc.Add(FoldAccuracy(test, *nb_pred));
+
+    classify::OneRClassifier one_r;
+    ASSERT_TRUE(one_r.Fit(train).ok());
+    auto one_r_pred = one_r.PredictAll(test);
+    ASSERT_TRUE(one_r_pred.ok());
+    one_r_acc.Add(FoldAccuracy(test, *one_r_pred));
+  }
+
+  // F2 is a two-attribute rectangle predicate: trees must beat both the
+  // single-attribute and the independence-assuming baselines on average.
+  EXPECT_GT(cart_acc.mean(), 0.9);
+  EXPECT_GT(c45_acc.mean(), 0.85);
+  EXPECT_GT(cart_acc.mean(), one_r_acc.mean());
+  EXPECT_GT(cart_acc.mean(), nb_acc.mean());
+  EXPECT_GT(c45_acc.mean(), nb_acc.mean());
+  // Every classifier beats coin flipping on every fold.
+  EXPECT_GT(one_r_acc.min(), 0.5);
+  EXPECT_GT(nb_acc.min(), 0.5);
+}
+
+TEST(ClassificationPipelineTest, DiscretizedPipelineMatchesSchema) {
+  gen::AgrawalParams params;
+  params.function = 3;
+  params.num_records = 1500;
+  auto data = gen::GenerateAgrawal(params, 5);
+  ASSERT_TRUE(data.ok());
+  auto split = eval::StratifiedTrainTestSplit(data->labels(), 0.3, 1);
+  ASSERT_TRUE(split.ok());
+  Dataset train, test;
+  eval::MaterializeSplit(*data, *split, &train, &test);
+
+  // Discretize both sides with the same binning and feed ID3 + categorical
+  // naive Bayes; both must run and beat the majority baseline.
+  auto binned_train = tree::EqualFrequencyDiscretize(train, 6);
+  auto binned_test = tree::EqualFrequencyDiscretize(test, 6);
+  ASSERT_TRUE(binned_train.ok());
+  ASSERT_TRUE(binned_test.ok());
+  auto id3 = tree::BuildId3(*binned_train);
+  ASSERT_TRUE(id3.ok());
+  double id3_accuracy =
+      FoldAccuracy(*binned_test, id3->PredictAll(*binned_test));
+
+  auto class_counts = test.ClassCounts();
+  double majority =
+      static_cast<double>(
+          *std::max_element(class_counts.begin(), class_counts.end())) /
+      static_cast<double>(test.num_rows());
+  EXPECT_GT(id3_accuracy, majority);
+}
+
+TEST(ClassificationPipelineTest, ConfusionMatrixAggregatesAcrossFolds) {
+  gen::AgrawalParams params;
+  params.function = 1;
+  params.num_records = 1200;
+  auto data = gen::GenerateAgrawal(params, 9);
+  ASSERT_TRUE(data.ok());
+  auto folds = eval::StratifiedKFold(data->labels(), 4, 3);
+  ASSERT_TRUE(folds.ok());
+  std::vector<uint32_t> all_truth, all_predictions;
+  for (const auto& fold : *folds) {
+    Dataset train, test;
+    eval::MaterializeSplit(*data, fold, &train, &test);
+    auto cart = tree::BuildCart(train);
+    ASSERT_TRUE(cart.ok());
+    auto predictions = cart->PredictAll(test);
+    for (size_t row = 0; row < test.num_rows(); ++row) {
+      all_truth.push_back(test.Label(row));
+      all_predictions.push_back(predictions[row]);
+    }
+  }
+  // Every row predicted exactly once across folds.
+  EXPECT_EQ(all_truth.size(), data->num_rows());
+  auto matrix = eval::ConfusionMatrix::FromPredictions(2, all_truth,
+                                                       all_predictions);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_GT(matrix->Accuracy(), 0.95);
+  EXPECT_GT(matrix->MacroF1(), 0.95);
+}
+
+}  // namespace
+}  // namespace dmt

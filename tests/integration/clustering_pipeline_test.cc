@@ -1,0 +1,126 @@
+// End-to-end clustering: one synthetic population, every algorithm, one
+// consistent score sheet — plus model-selection helpers (k-dist for
+// DBSCAN's eps, silhouette across k for k-means).
+#include <gtest/gtest.h>
+
+#include "cluster/agglomerative.h"
+#include "cluster/birch.h"
+#include "cluster/clarans.h"
+#include "cluster/dbscan.h"
+#include "cluster/kmeans.h"
+#include "eval/clustering_metrics.h"
+#include "gen/mixture.h"
+
+namespace dmt {
+namespace {
+
+TEST(ClusteringPipelineTest, AllAlgorithmsRecoverTheSamePartition) {
+  auto data = gen::GenerateBirchGrid(9, 120, 24.0, 1.0, 77);
+  ASSERT_TRUE(data.ok());
+
+  std::vector<std::pair<const char*, std::vector<uint32_t>>> results;
+
+  cluster::KMeansOptions kmeans_options;
+  kmeans_options.k = 9;
+  kmeans_options.seed = 3;
+  auto kmeans = cluster::KMeans(data->points, kmeans_options);
+  ASSERT_TRUE(kmeans.ok());
+  results.emplace_back("kmeans", kmeans->assignments);
+
+  cluster::BirchOptions birch_options;
+  birch_options.global_clusters = 9;
+  birch_options.threshold = 2.0;
+  auto birch = cluster::Birch(data->points, birch_options);
+  ASSERT_TRUE(birch.ok());
+  results.emplace_back("birch", birch->clustering.assignments);
+
+  cluster::ClaransOptions clarans_options;
+  clarans_options.k = 9;
+  clarans_options.max_neighbors = 800;
+  auto clarans = cluster::Clarans(data->points, clarans_options);
+  ASSERT_TRUE(clarans.ok());
+  results.emplace_back("clarans", clarans->assignments);
+
+  auto dendrogram =
+      cluster::AgglomerativeCluster(data->points, cluster::Linkage::kWard);
+  ASSERT_TRUE(dendrogram.ok());
+  auto ward = dendrogram->CutAtK(9);
+  ASSERT_TRUE(ward.ok());
+  results.emplace_back("ward", *ward);
+
+  cluster::DbscanOptions dbscan_options;
+  dbscan_options.eps = 3.5;
+  dbscan_options.min_points = 6;
+  auto dbscan = cluster::Dbscan(data->points, dbscan_options);
+  ASSERT_TRUE(dbscan.ok());
+  std::vector<uint32_t> dbscan_labels;
+  for (int32_t label : dbscan->labels) {
+    dbscan_labels.push_back(
+        label == cluster::DbscanResult::kNoise ? 999u
+                                               : static_cast<uint32_t>(label));
+  }
+  results.emplace_back("dbscan", dbscan_labels);
+
+  // Every method against ground truth AND against each other.
+  for (const auto& [name, assignment] : results) {
+    auto ari = eval::AdjustedRandIndex(data->labels, assignment);
+    ASSERT_TRUE(ari.ok()) << name;
+    EXPECT_GT(*ari, 0.95) << name;
+    auto silhouette = eval::MeanSilhouette(data->points, assignment);
+    ASSERT_TRUE(silhouette.ok()) << name;
+    EXPECT_GT(*silhouette, 0.5) << name;
+  }
+  for (size_t a = 0; a < results.size(); ++a) {
+    for (size_t b = a + 1; b < results.size(); ++b) {
+      auto ari =
+          eval::AdjustedRandIndex(results[a].second, results[b].second);
+      ASSERT_TRUE(ari.ok());
+      EXPECT_GT(*ari, 0.9)
+          << results[a].first << " vs " << results[b].first;
+    }
+  }
+}
+
+TEST(ClusteringPipelineTest, KDistGuidedEpsWorks) {
+  // Pick eps from the k-dist valley (here: a robust quantile of the
+  // curve), then DBSCAN with it must recover the clusters.
+  auto data = gen::GenerateBirchGrid(4, 150, 30.0, 0.8, 13);
+  ASSERT_TRUE(data.ok());
+  auto distances = cluster::SortedKDistances(data->points, 4);
+  ASSERT_TRUE(distances.ok());
+  // Descending curve: take the value 10% in — past the noisy head, before
+  // the flat cluster-core tail.
+  double eps = (*distances)[distances->size() / 10] * 1.2;
+  cluster::DbscanOptions options;
+  options.eps = eps;
+  options.min_points = 5;
+  auto result = cluster::Dbscan(data->points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 4u);
+}
+
+TEST(ClusteringPipelineTest, SilhouetteSelectsTheTrueK) {
+  auto data = gen::GenerateBirchGrid(4, 100, 25.0, 0.8, 21);
+  ASSERT_TRUE(data.ok());
+  double best_score = -2.0;
+  size_t best_k = 0;
+  for (size_t k : {2u, 3u, 4u, 6u, 8u}) {
+    cluster::KMeansOptions options;
+    options.k = k;
+    options.seed = 5;
+    auto result = cluster::KMeans(data->points, options);
+    ASSERT_TRUE(result.ok());
+    auto silhouette =
+        eval::MeanSilhouette(data->points, result->assignments);
+    ASSERT_TRUE(silhouette.ok());
+    if (*silhouette > best_score) {
+      best_score = *silhouette;
+      best_k = k;
+    }
+  }
+  EXPECT_EQ(best_k, 4u);
+  EXPECT_GT(best_score, 0.7);
+}
+
+}  // namespace
+}  // namespace dmt

@@ -1,0 +1,140 @@
+// Property sweep: GSP must agree exactly with an exhaustive reference
+// miner on random sequence databases, across seeds, densities, and
+// support thresholds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/rng.h"
+#include "seq/gsp.h"
+
+namespace dmt::seq {
+namespace {
+
+using core::ItemId;
+using core::Sequence;
+using core::SequenceDatabase;
+
+constexpr size_t kAlphabet = 4;
+constexpr size_t kMaxItems = 3;
+
+/// All non-empty sorted subsets of {0..kAlphabet-1} with <= kMaxItems.
+std::vector<std::vector<ItemId>> AllElements() {
+  std::vector<std::vector<ItemId>> out;
+  for (uint32_t mask = 1; mask < (1u << kAlphabet); ++mask) {
+    std::vector<ItemId> element;
+    for (ItemId item = 0; item < kAlphabet; ++item) {
+      if (mask & (1u << item)) element.push_back(item);
+    }
+    if (element.size() <= kMaxItems) out.push_back(element);
+  }
+  return out;
+}
+
+/// All candidate sequences with TotalItems() <= kMaxItems.
+std::vector<Sequence> AllPatterns() {
+  auto elements = AllElements();
+  std::vector<Sequence> patterns;
+  // Length 1.
+  for (const auto& e : elements) {
+    Sequence s;
+    s.elements = {e};
+    patterns.push_back(s);
+  }
+  // Length 2 and 3.
+  for (const auto& a : elements) {
+    for (const auto& b : elements) {
+      if (a.size() + b.size() > kMaxItems) continue;
+      Sequence s;
+      s.elements = {a, b};
+      patterns.push_back(s);
+      for (const auto& c : elements) {
+        if (a.size() + b.size() + c.size() > kMaxItems) continue;
+        Sequence t;
+        t.elements = {a, b, c};
+        patterns.push_back(t);
+      }
+    }
+  }
+  return patterns;
+}
+
+SequenceDatabase RandomDatabase(uint64_t seed, size_t customers,
+                                double density) {
+  core::Rng rng(seed);
+  SequenceDatabase db;
+  for (size_t c = 0; c < customers; ++c) {
+    Sequence s;
+    size_t elements = 1 + rng.UniformU64(5);
+    for (size_t e = 0; e < elements; ++e) {
+      std::vector<ItemId> element;
+      for (ItemId item = 0; item < kAlphabet; ++item) {
+        if (rng.Bernoulli(density)) element.push_back(item);
+      }
+      if (!element.empty()) s.elements.push_back(element);
+    }
+    if (!s.elements.empty()) db.Add(s);
+  }
+  return db;
+}
+
+struct SweepCase {
+  uint64_t seed;
+  double density;
+  double min_support;
+};
+
+class GspPropertyTest : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(GspPropertyTest, MatchesExhaustiveReference) {
+  const SweepCase& sweep = GetParam();
+  SequenceDatabase db = RandomDatabase(sweep.seed, 60, sweep.density);
+  ASSERT_FALSE(db.empty());
+  SeqMiningParams params;
+  params.min_support = sweep.min_support;
+  params.max_pattern_items = kMaxItems;
+  auto mined = MineGsp(db, params);
+  ASSERT_TRUE(mined.ok());
+
+  // Reference: count every candidate pattern directly.
+  auto min_count = static_cast<uint32_t>(std::max<int64_t>(
+      1,
+      static_cast<int64_t>(std::ceil(
+          sweep.min_support * static_cast<double>(db.size()) - 1e-9))));
+  std::map<std::vector<std::vector<ItemId>>, uint32_t> expected;
+  for (const Sequence& pattern : AllPatterns()) {
+    uint32_t support = 0;
+    for (size_t c = 0; c < db.size(); ++c) {
+      if (db.sequence(c).Contains(pattern)) ++support;
+    }
+    if (support >= min_count) expected[pattern.elements] = support;
+  }
+
+  std::map<std::vector<std::vector<ItemId>>, uint32_t> actual;
+  for (const auto& p : mined->patterns) {
+    actual[p.sequence.elements] = p.support;
+  }
+  EXPECT_EQ(actual.size(), expected.size());
+  for (const auto& [elements, support] : expected) {
+    auto it = actual.find(elements);
+    ASSERT_NE(it, actual.end());
+    EXPECT_EQ(it->second, support);
+  }
+  for (const auto& [elements, support] : actual) {
+    EXPECT_TRUE(expected.contains(elements));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GspPropertyTest,
+    testing::Values(SweepCase{1, 0.3, 0.1}, SweepCase{2, 0.3, 0.2},
+                    SweepCase{3, 0.5, 0.1}, SweepCase{4, 0.5, 0.3},
+                    SweepCase{5, 0.2, 0.05}, SweepCase{6, 0.4, 0.15},
+                    SweepCase{7, 0.6, 0.25}, SweepCase{8, 0.35, 0.08}),
+    [](const testing::TestParamInfo<SweepCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace dmt::seq

@@ -1,0 +1,233 @@
+#include "seq/gsp.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/seqgen.h"
+
+namespace dmt::seq {
+namespace {
+
+using core::ItemId;
+using core::Sequence;
+using core::SequenceDatabase;
+
+Sequence Seq(std::vector<std::vector<ItemId>> elements) {
+  Sequence s;
+  s.elements = std::move(elements);
+  return s;
+}
+
+/// The worked example of the AprioriAll paper (ICDE'95 §2): five customers.
+SequenceDatabase PaperDatabase() {
+  SequenceDatabase db;
+  db.Add(Seq({{30}, {90}}));
+  db.Add(Seq({{10, 20}, {30}, {40, 60, 70}}));
+  db.Add(Seq({{30, 50, 70}}));
+  db.Add(Seq({{30}, {40, 70}, {90}}));
+  db.Add(Seq({{90}}));
+  return db;
+}
+
+uint32_t SupportOf(const SeqMiningResult& result, const Sequence& pattern) {
+  for (const auto& p : result.patterns) {
+    if (p.sequence == pattern) return p.support;
+  }
+  return 0;
+}
+
+TEST(GspTest, ReproducesPaperExample) {
+  SequenceDatabase db = PaperDatabase();
+  SeqMiningParams params;
+  params.min_support = 0.4;  // 2 of 5 customers, as in the paper
+  auto result = MineGsp(db, params);
+  ASSERT_TRUE(result.ok());
+  // The paper's maximal answers: <{30},{90}> and <{30},{40,70}>.
+  EXPECT_EQ(SupportOf(*result, Seq({{30}, {90}})), 2u);
+  EXPECT_EQ(SupportOf(*result, Seq({{30}, {40, 70}})), 2u);
+  // Frequent items: 30 (support 4), 40, 70 (2 each), 90 (3). 10/20/50/60
+  // appear once only.
+  EXPECT_EQ(SupportOf(*result, Seq({{30}})), 4u);
+  EXPECT_EQ(SupportOf(*result, Seq({{90}})), 3u);
+  EXPECT_EQ(SupportOf(*result, Seq({{40}})), 2u);
+  EXPECT_EQ(SupportOf(*result, Seq({{10}})), 0u);
+  // <{40,70}> is frequent (customers 2 and 4).
+  EXPECT_EQ(SupportOf(*result, Seq({{40, 70}})), 2u);
+
+  auto maximal = FilterMaximalSequences(result->patterns);
+  std::vector<Sequence> maximal_sequences;
+  for (const auto& p : maximal) maximal_sequences.push_back(p.sequence);
+  EXPECT_EQ(maximal_sequences.size(), 2u);
+  EXPECT_NE(std::find(maximal_sequences.begin(), maximal_sequences.end(),
+                      Seq({{30}, {90}})),
+            maximal_sequences.end());
+  EXPECT_NE(std::find(maximal_sequences.begin(), maximal_sequences.end(),
+                      Seq({{30}, {40, 70}})),
+            maximal_sequences.end());
+}
+
+TEST(GspTest, SupportCountsOncePerCustomer) {
+  SequenceDatabase db;
+  // One customer with the pattern twice; still support 1.
+  db.Add(Seq({{1}, {2}, {1}, {2}}));
+  db.Add(Seq({{3}}));
+  SeqMiningParams params;
+  params.min_support = 0.5;
+  auto result = MineGsp(db, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(SupportOf(*result, Seq({{1}, {2}})), 1u);
+}
+
+TEST(GspTest, OrderMatters) {
+  SequenceDatabase db;
+  db.Add(Seq({{1}, {2}}));
+  db.Add(Seq({{1}, {2}}));
+  db.Add(Seq({{2}, {1}}));
+  SeqMiningParams params;
+  params.min_support = 0.6;  // 2 customers
+  auto result = MineGsp(db, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(SupportOf(*result, Seq({{1}, {2}})), 2u);
+  EXPECT_EQ(SupportOf(*result, Seq({{2}, {1}})), 0u);
+}
+
+TEST(GspTest, ItemsetElementsVsSeparateElements) {
+  SequenceDatabase db;
+  db.Add(Seq({{1, 2}}));      // together
+  db.Add(Seq({{1, 2}}));
+  db.Add(Seq({{1}, {2}}));    // apart
+  SeqMiningParams params;
+  params.min_support = 0.6;
+  auto result = MineGsp(db, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(SupportOf(*result, Seq({{1, 2}})), 2u);
+  // <{1},{2}> only in the third customer.
+  EXPECT_EQ(SupportOf(*result, Seq({{1}, {2}})), 0u);
+}
+
+TEST(GspTest, DownwardClosureOverDroppedItems) {
+  gen::SequenceGenParams gen_params;
+  gen_params.num_customers = 200;
+  gen_params.num_items = 40;
+  gen_params.num_pattern_sequences = 10;
+  gen_params.num_pattern_itemsets = 40;
+  gen_params.avg_transactions_per_customer = 5.0;
+  auto db = gen::GenerateSequences(gen_params, 3);
+  ASSERT_TRUE(db.ok());
+  SeqMiningParams params;
+  params.min_support = 0.05;
+  auto result = MineGsp(*db, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->patterns.empty());
+  // Every single-item-drop subsequence of a frequent pattern is frequent
+  // with at least the same support.
+  std::map<std::vector<std::vector<ItemId>>, uint32_t> index;
+  for (const auto& p : result->patterns) {
+    index[p.sequence.elements] = p.support;
+  }
+  for (const auto& p : result->patterns) {
+    if (p.sequence.TotalItems() < 2) continue;
+    for (size_t e = 0; e < p.sequence.elements.size(); ++e) {
+      for (size_t o = 0; o < p.sequence.elements[e].size(); ++o) {
+        Sequence sub = p.sequence;
+        sub.elements[e].erase(sub.elements[e].begin() +
+                              static_cast<std::ptrdiff_t>(o));
+        if (sub.elements[e].empty()) {
+          sub.elements.erase(sub.elements.begin() +
+                             static_cast<std::ptrdiff_t>(e));
+        }
+        auto it = index.find(sub.elements);
+        ASSERT_NE(it, index.end()) << FormatSequencePattern(p);
+        EXPECT_GE(it->second, p.support);
+      }
+    }
+  }
+}
+
+TEST(GspTest, AgreesWithBruteForceOnTinyData) {
+  // Brute force: enumerate candidate patterns over a tiny alphabet by
+  // recursive extension, counting containment directly.
+  SequenceDatabase db;
+  db.Add(Seq({{0, 1}, {2}}));
+  db.Add(Seq({{0}, {1}, {2}}));
+  db.Add(Seq({{1, 2}}));
+  db.Add(Seq({{0, 1, 2}}));
+  SeqMiningParams params;
+  params.min_support = 0.5;  // 2 customers
+  auto result = MineGsp(db, params);
+  ASSERT_TRUE(result.ok());
+
+  auto support_in_db = [&](const Sequence& pattern) {
+    uint32_t support = 0;
+    for (size_t c = 0; c < db.size(); ++c) {
+      if (db.sequence(c).Contains(pattern)) ++support;
+    }
+    return support;
+  };
+  // All reported supports are exact.
+  for (const auto& p : result->patterns) {
+    EXPECT_EQ(p.support, support_in_db(p.sequence))
+        << FormatSequencePattern(p);
+    EXPECT_GE(p.support, 2u);
+  }
+  // Spot-check patterns the miner must find.
+  EXPECT_EQ(SupportOf(*result, Seq({{0}, {2}})), 2u);
+  EXPECT_EQ(SupportOf(*result, Seq({{1}, {2}})), 2u);
+  EXPECT_EQ(SupportOf(*result, Seq({{0, 1}})), 2u);
+  EXPECT_EQ(SupportOf(*result, Seq({{1, 2}})), 2u);
+  // And one it must not over-count.
+  EXPECT_EQ(SupportOf(*result, Seq({{0}, {1}, {2}})), 0u);  // support 1
+}
+
+TEST(GspTest, MaxPatternItemsRespected) {
+  SequenceDatabase db = PaperDatabase();
+  SeqMiningParams params;
+  params.min_support = 0.4;
+  params.max_pattern_items = 1;
+  auto result = MineGsp(db, params);
+  ASSERT_TRUE(result.ok());
+  for (const auto& p : result->patterns) {
+    EXPECT_EQ(p.sequence.TotalItems(), 1u);
+  }
+}
+
+TEST(GspTest, EmptyDatabase) {
+  SequenceDatabase db;
+  SeqMiningParams params;
+  auto result = MineGsp(db, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->patterns.empty());
+}
+
+TEST(GspTest, ValidatesParams) {
+  SequenceDatabase db = PaperDatabase();
+  SeqMiningParams params;
+  params.min_support = 0.0;
+  EXPECT_FALSE(MineGsp(db, params).ok());
+  params.min_support = 1.5;
+  EXPECT_FALSE(MineGsp(db, params).ok());
+}
+
+TEST(GspTest, PassStatsTrackCandidates) {
+  SequenceDatabase db = PaperDatabase();
+  SeqMiningParams params;
+  params.min_support = 0.4;
+  auto result = MineGsp(db, params);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->passes.size(), 2u);
+  EXPECT_EQ(result->passes[0].pass, 1u);
+  for (const auto& pass : result->passes) {
+    EXPECT_GE(pass.candidates, pass.frequent);
+  }
+}
+
+TEST(GspTest, FormatSequencePatternReadable) {
+  SequencePattern p;
+  p.sequence = Seq({{1, 2}, {3}});
+  p.support = 4;
+  EXPECT_EQ(FormatSequencePattern(p), "<{1, 2} {3}> (support=4)");
+}
+
+}  // namespace
+}  // namespace dmt::seq

@@ -1,0 +1,207 @@
+#include "tree/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "gen/agrawal.h"
+
+namespace dmt::tree {
+namespace {
+
+using core::Dataset;
+using core::DatasetBuilder;
+
+/// The classic "play tennis" dataset (Quinlan): 14 rows, 4 categorical
+/// attributes.
+Dataset PlayTennis() {
+  DatasetBuilder builder;
+  builder.AddCategoricalColumn(
+      "outlook", {0, 0, 1, 2, 2, 2, 1, 0, 0, 2, 0, 1, 1, 2},
+      {"sunny", "overcast", "rain"});
+  builder.AddCategoricalColumn(
+      "temperature", {0, 0, 0, 1, 2, 2, 2, 1, 2, 1, 1, 1, 0, 1},
+      {"hot", "mild", "cool"});
+  builder.AddCategoricalColumn(
+      "humidity", {0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 0, 1, 0},
+      {"high", "normal"});
+  builder.AddCategoricalColumn(
+      "wind", {0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1, 0, 1},
+      {"weak", "strong"});
+  builder.SetLabels({1, 1, 0, 0, 0, 1, 0, 1, 0, 0, 0, 0, 0, 1},
+                    {"play", "dont_play"});
+  auto result = builder.Build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(BuilderTest, Id3LearnsPlayTennisPerfectly) {
+  Dataset data = PlayTennis();
+  auto tree = BuildId3(data);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto predictions = tree->PredictAll(data);
+  for (size_t row = 0; row < data.num_rows(); ++row) {
+    EXPECT_EQ(predictions[row], data.Label(row)) << "row " << row;
+  }
+  // The canonical ID3 tree for this data splits on outlook at the root.
+  EXPECT_FALSE(tree->root().is_leaf);
+  EXPECT_EQ(tree->node(0).attribute, 0u);
+  EXPECT_EQ(tree->node(0).kind, SplitKind::kCategoricalMultiway);
+}
+
+TEST(BuilderTest, Id3RejectsNumericAttributes) {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {1.0, 2.0}).SetLabels({0, 1}, {"a", "b"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  auto tree = BuildId3(*data);
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, C45HandlesNumericThresholds) {
+  // Single numeric attribute, threshold at 5: perfectly separable.
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {1, 2, 3, 4, 6, 7, 8, 9})
+      .SetLabels({0, 0, 0, 0, 1, 1, 1, 1}, {"low", "high"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  auto tree = BuildC45(*data);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(tree->root().is_leaf);
+  EXPECT_EQ(tree->root().kind, SplitKind::kNumericThreshold);
+  EXPECT_NEAR(tree->root().threshold, 5.0, 1e-9);
+  EXPECT_EQ(tree->NumLeaves(), 2u);
+  auto predictions = tree->PredictAll(*data);
+  for (size_t row = 0; row < data->num_rows(); ++row) {
+    EXPECT_EQ(predictions[row], data->Label(row));
+  }
+}
+
+TEST(BuilderTest, CartUsesBinarySplits) {
+  Dataset data = PlayTennis();
+  auto tree = BuildCart(data);
+  ASSERT_TRUE(tree.ok());
+  // Every internal node is binary.
+  for (size_t i = 0; i < tree->num_nodes(); ++i) {
+    if (!tree->node(i).is_leaf) {
+      EXPECT_EQ(tree->node(i).children.size(), 2u);
+      EXPECT_NE(tree->node(i).kind, SplitKind::kCategoricalMultiway);
+    }
+  }
+  // Consistent on training data.
+  auto predictions = tree->PredictAll(data);
+  for (size_t row = 0; row < data.num_rows(); ++row) {
+    EXPECT_EQ(predictions[row], data.Label(row));
+  }
+}
+
+TEST(BuilderTest, PureNodeBecomesLeafImmediately) {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {1, 2, 3}).SetLabels({0, 0, 0}, {"only"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  auto tree = BuildC45(*data);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+  EXPECT_TRUE(tree->root().is_leaf);
+}
+
+TEST(BuilderTest, MaxDepthCapsGrowth) {
+  gen::AgrawalParams params;
+  params.function = 2;
+  params.num_records = 2000;
+  auto data = gen::GenerateAgrawal(params, 5);
+  ASSERT_TRUE(data.ok());
+  TreeOptions options;
+  options.max_depth = 3;
+  auto tree = BuildC45(*data, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->Depth(), 3u);
+}
+
+TEST(BuilderTest, MinSamplesSplitStopsGrowth) {
+  gen::AgrawalParams params;
+  params.function = 2;
+  params.num_records = 500;
+  auto data = gen::GenerateAgrawal(params, 6);
+  ASSERT_TRUE(data.ok());
+  TreeOptions loose, strict;
+  strict.min_samples_split = 100;
+  auto big = BuildCart(*data, loose);
+  auto small = BuildCart(*data, strict);
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_LT(small->num_nodes(), big->num_nodes());
+}
+
+TEST(BuilderTest, LearnsAgrawalFunction1WellOutOfSample) {
+  gen::AgrawalParams params;
+  params.function = 1;  // pure age thresholds: trees should nail it
+  params.num_records = 4000;
+  auto data = gen::GenerateAgrawal(params, 7);
+  ASSERT_TRUE(data.ok());
+  auto split = eval::StratifiedTrainTestSplit(data->labels(), 0.25, 11);
+  ASSERT_TRUE(split.ok());
+  Dataset train, test;
+  eval::MaterializeSplit(*data, *split, &train, &test);
+  for (auto build : {BuildC45, BuildCart}) {
+    auto tree = build(train, TreeOptions{});
+    ASSERT_TRUE(tree.ok());
+    auto predictions = tree->PredictAll(test);
+    std::vector<uint32_t> truth(test.labels().begin(), test.labels().end());
+    auto accuracy = eval::Accuracy(truth, predictions);
+    ASSERT_TRUE(accuracy.ok());
+    EXPECT_GT(*accuracy, 0.97);
+  }
+}
+
+TEST(BuilderTest, EmptyDatasetRejected) {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {}).SetLabels({}, {"a"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  EXPECT_FALSE(BuildC45(*data).ok());
+}
+
+TEST(BuilderTest, OptionValidation) {
+  Dataset data = PlayTennis();
+  TreeOptions options;
+  options.min_samples_split = 1;
+  EXPECT_FALSE(BuildTree(data, options).ok());
+  options = TreeOptions{};
+  options.min_gain = -1.0;
+  EXPECT_FALSE(BuildTree(data, options).ok());
+}
+
+TEST(BuilderTest, TextExportMentionsAttributesAndClasses) {
+  Dataset data = PlayTennis();
+  auto tree = BuildId3(data);
+  ASSERT_TRUE(tree.ok());
+  std::string text = tree->ToText();
+  EXPECT_NE(text.find("outlook"), std::string::npos);
+  EXPECT_NE(text.find("play"), std::string::npos);
+  EXPECT_NE(text.find("sunny"), std::string::npos);
+}
+
+TEST(BuilderTest, DotExportIsWellFormed) {
+  Dataset data = PlayTennis();
+  auto tree = BuildCart(data);
+  ASSERT_TRUE(tree.ok());
+  std::string dot = tree->ToDot();
+  EXPECT_EQ(dot.rfind("digraph", 0), 0u);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(BuilderTest, DepthAndLeafCountsConsistent) {
+  Dataset data = PlayTennis();
+  auto tree = BuildId3(data);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GE(tree->Depth(), 1u);
+  EXPECT_GE(tree->NumLeaves(), 2u);
+  EXPECT_LE(tree->NumLeaves(), tree->num_nodes());
+}
+
+}  // namespace
+}  // namespace dmt::tree

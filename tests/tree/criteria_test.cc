@@ -1,0 +1,107 @@
+#include "tree/criteria.h"
+
+#include <gtest/gtest.h>
+
+namespace dmt::tree {
+namespace {
+
+TEST(CriteriaTest, EntropyPureIsZero) {
+  std::vector<uint32_t> counts = {10, 0};
+  EXPECT_DOUBLE_EQ(Entropy(counts), 0.0);
+}
+
+TEST(CriteriaTest, EntropyBalancedBinaryIsOne) {
+  std::vector<uint32_t> counts = {5, 5};
+  EXPECT_DOUBLE_EQ(Entropy(counts), 1.0);
+}
+
+TEST(CriteriaTest, EntropyUniformFourWayIsTwo) {
+  std::vector<uint32_t> counts = {3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(Entropy(counts), 2.0);
+}
+
+TEST(CriteriaTest, EntropyEmptyIsZero) {
+  std::vector<uint32_t> counts = {0, 0};
+  EXPECT_DOUBLE_EQ(Entropy(counts), 0.0);
+}
+
+TEST(CriteriaTest, GiniPureIsZero) {
+  std::vector<uint32_t> counts = {7, 0, 0};
+  EXPECT_DOUBLE_EQ(GiniImpurity(counts), 0.0);
+}
+
+TEST(CriteriaTest, GiniBalancedBinaryIsHalf) {
+  std::vector<uint32_t> counts = {4, 4};
+  EXPECT_DOUBLE_EQ(GiniImpurity(counts), 0.5);
+}
+
+TEST(CriteriaTest, PerfectSplitGainEqualsParentEntropy) {
+  // Parent 5/5; children pure.
+  std::vector<uint32_t> parent = {5, 5};
+  std::vector<std::vector<uint32_t>> children = {{5, 0}, {0, 5}};
+  EXPECT_DOUBLE_EQ(
+      SplitScore(SplitCriterion::kInformationGain, parent, children), 1.0);
+  EXPECT_DOUBLE_EQ(SplitScore(SplitCriterion::kGini, parent, children),
+                   0.5);
+}
+
+TEST(CriteriaTest, UselessSplitHasZeroGain) {
+  std::vector<uint32_t> parent = {6, 6};
+  std::vector<std::vector<uint32_t>> children = {{3, 3}, {3, 3}};
+  EXPECT_NEAR(
+      SplitScore(SplitCriterion::kInformationGain, parent, children), 0.0,
+      1e-12);
+  EXPECT_NEAR(SplitScore(SplitCriterion::kGini, parent, children), 0.0,
+              1e-12);
+}
+
+TEST(CriteriaTest, GainRatioNormalizesBySplitInfo) {
+  // Perfect binary split: gain 1, split info 1 -> ratio 1.
+  std::vector<uint32_t> parent = {5, 5};
+  std::vector<std::vector<uint32_t>> children = {{5, 0}, {0, 5}};
+  EXPECT_DOUBLE_EQ(SplitScore(SplitCriterion::kGainRatio, parent, children),
+                   1.0);
+}
+
+TEST(CriteriaTest, GainRatioPenalizesManyWaySplits) {
+  // 10 singleton children perfectly separate a 5/5 parent, but split info
+  // is log2(10): the ratio is far below the raw gain of 1.
+  std::vector<uint32_t> parent = {5, 5};
+  std::vector<std::vector<uint32_t>> children;
+  for (int i = 0; i < 10; ++i) {
+    children.push_back(i < 5 ? std::vector<uint32_t>{1, 0}
+                             : std::vector<uint32_t>{0, 1});
+  }
+  double ratio =
+      SplitScore(SplitCriterion::kGainRatio, parent, children);
+  double gain =
+      SplitScore(SplitCriterion::kInformationGain, parent, children);
+  EXPECT_DOUBLE_EQ(gain, 1.0);
+  EXPECT_NEAR(ratio, 1.0 / SplitInformation(std::vector<uint32_t>(10, 1)),
+              1e-12);
+  EXPECT_LT(ratio, 0.5);
+}
+
+TEST(CriteriaTest, GainRatioZeroWhenSplitInfoVanishes) {
+  // Everything in one child: split info 0 -> ratio defined as 0.
+  std::vector<uint32_t> parent = {5, 5};
+  std::vector<std::vector<uint32_t>> children = {{5, 5}, {0, 0}};
+  EXPECT_DOUBLE_EQ(SplitScore(SplitCriterion::kGainRatio, parent, children),
+                   0.0);
+}
+
+TEST(CriteriaTest, SplitInformationMatchesEntropyOfSizes) {
+  std::vector<uint32_t> sizes = {2, 2, 4};
+  // H = -(1/4 log 1/4)*2 - 1/2 log 1/2 = 0.5+0.5+0.5 = 1.5
+  EXPECT_DOUBLE_EQ(SplitInformation(sizes), 1.5);
+}
+
+TEST(CriteriaTest, ImpurityDispatch) {
+  std::vector<uint32_t> counts = {1, 1};
+  EXPECT_DOUBLE_EQ(Impurity(SplitCriterion::kInformationGain, counts), 1.0);
+  EXPECT_DOUBLE_EQ(Impurity(SplitCriterion::kGainRatio, counts), 1.0);
+  EXPECT_DOUBLE_EQ(Impurity(SplitCriterion::kGini, counts), 0.5);
+}
+
+}  // namespace
+}  // namespace dmt::tree

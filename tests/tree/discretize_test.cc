@@ -1,0 +1,142 @@
+#include "tree/discretize.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/agrawal.h"
+#include "tree/builder.h"
+
+namespace dmt::tree {
+namespace {
+
+using core::AttributeType;
+using core::Dataset;
+using core::DatasetBuilder;
+
+Dataset SmallNumeric() {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0})
+      .AddCategoricalColumn("c", {0, 1, 0, 1, 0, 1, 0, 1}, {"a", "b"})
+      .SetLabels({0, 0, 0, 0, 1, 1, 1, 1}, {"lo", "hi"});
+  auto result = builder.Build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(DiscretizeTest, EqualWidthProducesRequestedBins) {
+  Dataset data = SmallNumeric();
+  auto binned = EqualWidthDiscretize(data, 4);
+  ASSERT_TRUE(binned.ok());
+  EXPECT_EQ(binned->attribute(0).type, AttributeType::kCategorical);
+  EXPECT_EQ(binned->attribute(0).num_categories(), 4u);
+  // x in [0,7], width 1.75: value 0 -> bin 0, value 7 -> bin 3.
+  EXPECT_EQ(binned->Categorical(0, 0), 0u);
+  EXPECT_EQ(binned->Categorical(7, 0), 3u);
+  // Bin assignment is monotone in the value.
+  for (size_t row = 1; row < 8; ++row) {
+    EXPECT_GE(binned->Categorical(row, 0), binned->Categorical(row - 1, 0));
+  }
+}
+
+TEST(DiscretizeTest, CategoricalColumnsPassThrough) {
+  Dataset data = SmallNumeric();
+  auto binned = EqualWidthDiscretize(data, 3);
+  ASSERT_TRUE(binned.ok());
+  EXPECT_EQ(binned->attribute(1).categories,
+            (std::vector<std::string>{"a", "b"}));
+  for (size_t row = 0; row < 8; ++row) {
+    EXPECT_EQ(binned->Categorical(row, 1), data.Categorical(row, 1));
+    EXPECT_EQ(binned->Label(row), data.Label(row));
+  }
+}
+
+TEST(DiscretizeTest, ConstantColumnSingleBin) {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {5.0, 5.0, 5.0}).SetLabels({0, 0, 1},
+                                                           {"a", "b"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  auto binned = EqualWidthDiscretize(*data, 4);
+  ASSERT_TRUE(binned.ok());
+  EXPECT_EQ(binned->attribute(0).num_categories(), 1u);
+  for (size_t row = 0; row < 3; ++row) {
+    EXPECT_EQ(binned->Categorical(row, 0), 0u);
+  }
+}
+
+TEST(DiscretizeTest, EqualFrequencyBalancesBinSizes) {
+  // Heavily skewed values: equal-width puts almost everything in bin 0;
+  // equal-frequency balances.
+  DatasetBuilder builder;
+  std::vector<double> values;
+  std::vector<uint32_t> labels;
+  for (int i = 0; i < 90; ++i) {
+    values.push_back(static_cast<double>(i) / 100.0);
+    labels.push_back(0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    values.push_back(100.0 + i);
+    labels.push_back(1);
+  }
+  builder.AddNumericColumn("x", std::move(values))
+      .SetLabels(std::move(labels), {"a", "b"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  auto by_width = EqualWidthDiscretize(*data, 2);
+  auto by_freq = EqualFrequencyDiscretize(*data, 2);
+  ASSERT_TRUE(by_width.ok());
+  ASSERT_TRUE(by_freq.ok());
+  auto count_bin0 = [](const Dataset& d) {
+    size_t count = 0;
+    for (size_t row = 0; row < d.num_rows(); ++row) {
+      if (d.Categorical(row, 0) == 0) ++count;
+    }
+    return count;
+  };
+  EXPECT_EQ(count_bin0(*by_width), 90u);
+  EXPECT_EQ(count_bin0(*by_freq), 50u);
+}
+
+TEST(DiscretizeTest, ValidatesParameters) {
+  Dataset data = SmallNumeric();
+  EXPECT_FALSE(EqualWidthDiscretize(data, 1).ok());
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {}).SetLabels({}, {"a"});
+  auto empty = builder.Build();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(EqualWidthDiscretize(*empty, 4).ok());
+}
+
+TEST(DiscretizeTest, EnablesId3OnNumericData) {
+  gen::AgrawalParams params;
+  params.function = 1;
+  params.num_records = 2000;
+  auto data = gen::GenerateAgrawal(params, 31);
+  ASSERT_TRUE(data.ok());
+  ASSERT_FALSE(BuildId3(*data).ok());  // numeric attributes rejected
+  auto binned = EqualWidthDiscretize(*data, 8);
+  ASSERT_TRUE(binned.ok());
+  auto tree = BuildId3(*binned);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  // F1 is an age predicate; with 8 age bins ID3 should fit training data
+  // decently.
+  auto predictions = tree->PredictAll(*binned);
+  size_t correct = 0;
+  for (size_t row = 0; row < binned->num_rows(); ++row) {
+    if (predictions[row] == binned->Label(row)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / 2000.0, 0.85);
+}
+
+TEST(DiscretizeTest, BinNamesDescribeIntervals) {
+  Dataset data = SmallNumeric();
+  auto binned = EqualWidthDiscretize(data, 2);
+  ASSERT_TRUE(binned.ok());
+  const auto& names = binned->attribute(0).categories;
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_NE(names[0].find("-inf"), std::string::npos);
+  EXPECT_NE(names[1].find("+inf"), std::string::npos);
+  EXPECT_NE(names[0].find("3.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmt::tree

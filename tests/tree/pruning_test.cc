@@ -1,0 +1,202 @@
+#include "tree/pruning.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "gen/agrawal.h"
+#include "tree/builder.h"
+
+namespace dmt::tree {
+namespace {
+
+using core::Dataset;
+
+Dataset NoisyAgrawal(int function, size_t records, double noise,
+                     uint64_t seed) {
+  gen::AgrawalParams params;
+  params.function = function;
+  params.num_records = records;
+  params.label_noise = noise;
+  auto data = gen::GenerateAgrawal(params, seed);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+TEST(PruningTest, InverseNormalCdfKnownValues) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.75), 0.6744898, 1e-6);
+  EXPECT_NEAR(InverseNormalCdf(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.999), 3.090232, 1e-5);
+}
+
+TEST(PruningTest, PessimisticErrorRateExceedsObserved) {
+  // The upper confidence bound is always >= the observed rate.
+  for (double errors : {0.0, 1.0, 5.0}) {
+    for (double n : {10.0, 50.0, 200.0}) {
+      double bound = PessimisticErrorRate(errors, n, 0.25);
+      EXPECT_GE(bound, errors / n);
+      EXPECT_LE(bound, 1.0);
+    }
+  }
+}
+
+TEST(PruningTest, PessimisticErrorShrinksWithSampleSize) {
+  // Same observed rate, more data -> tighter bound.
+  double small = PessimisticErrorRate(2, 10, 0.25);
+  double large = PessimisticErrorRate(20, 100, 0.25);
+  EXPECT_GT(small, large);
+}
+
+TEST(PruningTest, PessimisticPruneShrinksNoisyTree) {
+  Dataset data = NoisyAgrawal(1, 2000, 0.15, 21);
+  auto tree = BuildC45(data);
+  ASSERT_TRUE(tree.ok());
+  size_t before = tree->NumLeaves();
+  ASSERT_TRUE(PessimisticPrune(&*tree).ok());
+  size_t after = tree->NumLeaves();
+  EXPECT_LT(after, before);
+  EXPECT_GE(after, 1u);
+}
+
+TEST(PruningTest, PessimisticPruneImprovesTestAccuracyOnNoise) {
+  Dataset data = NoisyAgrawal(2, 4000, 0.2, 23);
+  auto split = eval::StratifiedTrainTestSplit(data.labels(), 0.3, 5);
+  ASSERT_TRUE(split.ok());
+  Dataset train, test;
+  eval::MaterializeSplit(data, *split, &train, &test);
+  auto tree = BuildC45(train);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint32_t> truth(test.labels().begin(), test.labels().end());
+  auto before = eval::Accuracy(truth, tree->PredictAll(test));
+  ASSERT_TRUE(PessimisticPrune(&*tree).ok());
+  auto after = eval::Accuracy(truth, tree->PredictAll(test));
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  // Pruning must not hurt much and typically helps on noisy data.
+  EXPECT_GE(*after, *before - 0.01);
+}
+
+TEST(PruningTest, PessimisticPruneValidatesConfidence) {
+  Dataset data = NoisyAgrawal(1, 100, 0.0, 3);
+  auto tree = BuildC45(data);
+  ASSERT_TRUE(tree.ok());
+  PessimisticPruneOptions options;
+  options.confidence = 0.0;
+  EXPECT_FALSE(PessimisticPrune(&*tree, options).ok());
+  options.confidence = 0.7;
+  EXPECT_FALSE(PessimisticPrune(&*tree, options).ok());
+}
+
+TEST(PruningTest, CostComplexityZeroAlphaPrunesOnlyZeroGainLinks) {
+  Dataset data = NoisyAgrawal(1, 1000, 0.0, 7);
+  auto tree = BuildCart(data);
+  ASSERT_TRUE(tree.ok());
+  DecisionTree pruned = *tree;
+  CostComplexityPrune(&pruned, 0.0);
+  // Collapsing zero-gain links never increases training error.
+  auto before = tree->PredictAll(data);
+  auto after = pruned.PredictAll(data);
+  size_t before_errors = 0, after_errors = 0;
+  for (size_t row = 0; row < data.num_rows(); ++row) {
+    before_errors += before[row] != data.Label(row);
+    after_errors += after[row] != data.Label(row);
+  }
+  EXPECT_EQ(before_errors, after_errors);
+  EXPECT_LE(pruned.NumLeaves(), tree->NumLeaves());
+}
+
+TEST(PruningTest, CostComplexityLargeAlphaYieldsStump) {
+  Dataset data = NoisyAgrawal(2, 1000, 0.1, 9);
+  auto tree = BuildCart(data);
+  ASSERT_TRUE(tree.ok());
+  CostComplexityPrune(&*tree, 1.0);  // alpha 1: any split is too expensive
+  EXPECT_EQ(tree->NumLeaves(), 1u);
+  EXPECT_TRUE(tree->root().is_leaf);
+}
+
+TEST(PruningTest, AlphaSequenceIsMonotone) {
+  Dataset data = NoisyAgrawal(3, 1500, 0.1, 13);
+  auto tree = BuildCart(data);
+  ASSERT_TRUE(tree.ok());
+  auto alphas = CostComplexityAlphas(*tree);
+  ASSERT_FALSE(alphas.empty());
+  for (size_t i = 1; i < alphas.size(); ++i) {
+    EXPECT_GE(alphas[i], alphas[i - 1]);
+  }
+  EXPECT_GE(alphas.front(), 0.0);
+}
+
+TEST(PruningTest, LargerAlphaNeverGrowsTheTree) {
+  Dataset data = NoisyAgrawal(2, 1500, 0.15, 17);
+  auto tree = BuildCart(data);
+  ASSERT_TRUE(tree.ok());
+  size_t previous_leaves = SIZE_MAX;
+  for (double alpha : {0.0, 0.001, 0.01, 0.05, 0.5}) {
+    DecisionTree pruned = *tree;
+    CostComplexityPrune(&pruned, alpha);
+    EXPECT_LE(pruned.NumLeaves(), previous_leaves);
+    previous_leaves = pruned.NumLeaves();
+  }
+}
+
+TEST(PruningTest, SelectAlphaByValidationPicksReasonableAlpha) {
+  Dataset data = NoisyAgrawal(2, 3000, 0.2, 19);
+  auto split = eval::StratifiedTrainTestSplit(data.labels(), 0.3, 3);
+  ASSERT_TRUE(split.ok());
+  Dataset train, validation;
+  eval::MaterializeSplit(data, *split, &train, &validation);
+  auto tree = BuildCart(train);
+  ASSERT_TRUE(tree.ok());
+  auto alpha = SelectAlphaByValidation(*tree, validation);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_GE(*alpha, 0.0);
+  // The selected alpha's tree is at least as accurate on validation as the
+  // unpruned tree.
+  DecisionTree pruned = *tree;
+  CostComplexityPrune(&pruned, *alpha);
+  std::vector<uint32_t> truth(validation.labels().begin(),
+                              validation.labels().end());
+  auto unpruned_acc = eval::Accuracy(truth, tree->PredictAll(validation));
+  auto pruned_acc = eval::Accuracy(truth, pruned.PredictAll(validation));
+  EXPECT_GE(*pruned_acc + 1e-12, *unpruned_acc);
+}
+
+TEST(PruningTest, SelectAlphaRejectsEmptyValidation) {
+  Dataset data = NoisyAgrawal(1, 100, 0.0, 2);
+  auto tree = BuildCart(data);
+  ASSERT_TRUE(tree.ok());
+  core::DatasetBuilder builder;
+  builder.AddNumericColumn("x", {}).SetLabels({}, {"a"});
+  auto empty = builder.Build();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(SelectAlphaByValidation(*tree, *empty).ok());
+}
+
+TEST(PruningTest, CompactDropsStrandedNodes) {
+  Dataset data = NoisyAgrawal(1, 1000, 0.1, 29);
+  auto tree = BuildC45(data);
+  ASSERT_TRUE(tree.ok());
+  size_t nodes_before = tree->num_nodes();
+  ASSERT_TRUE(PessimisticPrune(&*tree).ok());
+  // After Compact, the arena holds exactly the reachable nodes.
+  size_t reachable = 0;
+  std::vector<size_t> stack = {0};
+  std::vector<bool> seen(tree->num_nodes(), false);
+  while (!stack.empty()) {
+    size_t current = stack.back();
+    stack.pop_back();
+    if (seen[current]) continue;
+    seen[current] = true;
+    ++reachable;
+    for (uint32_t child : tree->node(current).children) {
+      stack.push_back(child);
+    }
+  }
+  EXPECT_EQ(reachable, tree->num_nodes());
+  EXPECT_LE(tree->num_nodes(), nodes_before);
+}
+
+}  // namespace
+}  // namespace dmt::tree

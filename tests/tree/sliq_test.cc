@@ -1,0 +1,161 @@
+#include "tree/sliq.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/cross_validation.h"
+#include "eval/metrics.h"
+#include "gen/agrawal.h"
+#include "tree/builder.h"
+#include "tree/pruning.h"
+
+namespace dmt::tree {
+namespace {
+
+using core::Dataset;
+using core::DatasetBuilder;
+
+TEST(SliqTest, PerfectlySeparableNumericData) {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {1, 2, 3, 4, 6, 7, 8, 9})
+      .SetLabels({0, 0, 0, 0, 1, 1, 1, 1}, {"low", "high"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  auto tree = BuildSliq(*data);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NumLeaves(), 2u);
+  EXPECT_EQ(tree->root().kind, SplitKind::kNumericThreshold);
+  EXPECT_NEAR(tree->root().threshold, 5.0, 1e-9);
+  auto predictions = tree->PredictAll(*data);
+  for (size_t row = 0; row < data->num_rows(); ++row) {
+    EXPECT_EQ(predictions[row], data->Label(row));
+  }
+}
+
+TEST(SliqTest, CategoricalEqualsSplits) {
+  DatasetBuilder builder;
+  builder
+      .AddCategoricalColumn("c", {0, 0, 1, 1, 2, 2}, {"a", "b", "c"})
+      .SetLabels({0, 0, 1, 1, 1, 1}, {"x", "y"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  auto tree = BuildSliq(*data);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->root().kind, SplitKind::kCategoricalEquals);
+  EXPECT_EQ(tree->root().category, 0u);  // a vs not-a separates perfectly
+  auto predictions = tree->PredictAll(*data);
+  for (size_t row = 0; row < data->num_rows(); ++row) {
+    EXPECT_EQ(predictions[row], data->Label(row));
+  }
+}
+
+TEST(SliqTest, MatchesCartPredictionsOnAgrawal) {
+  // SLIQ evaluates the same Gini binary splits as BuildCart, only in a
+  // different order (breadth-first, presorted). The grown trees must make
+  // identical training-set predictions up to tie-breaking; accuracies
+  // must agree tightly out of sample.
+  for (int function : {1, 2, 5}) {
+    gen::AgrawalParams params;
+    params.function = function;
+    params.num_records = 2000;
+    auto data = gen::GenerateAgrawal(params, 100 + function);
+    ASSERT_TRUE(data.ok());
+    auto split = eval::StratifiedTrainTestSplit(data->labels(), 0.3, 3);
+    ASSERT_TRUE(split.ok());
+    Dataset train, test;
+    eval::MaterializeSplit(*data, *split, &train, &test);
+
+    auto sliq = BuildSliq(train);
+    auto cart = BuildCart(train);
+    ASSERT_TRUE(sliq.ok());
+    ASSERT_TRUE(cart.ok());
+
+    std::vector<uint32_t> truth(test.labels().begin(),
+                                test.labels().end());
+    auto sliq_acc = eval::Accuracy(truth, sliq->PredictAll(test));
+    auto cart_acc = eval::Accuracy(truth, cart->PredictAll(test));
+    ASSERT_TRUE(sliq_acc.ok());
+    ASSERT_TRUE(cart_acc.ok());
+    EXPECT_NEAR(*sliq_acc, *cart_acc, 0.02) << "function " << function;
+    EXPECT_GT(*sliq_acc, 0.9) << "function " << function;
+
+    // Training data is fit equally well.
+    auto sliq_train = sliq->PredictAll(train);
+    size_t sliq_errors = 0;
+    for (size_t row = 0; row < train.num_rows(); ++row) {
+      sliq_errors += sliq_train[row] != train.Label(row);
+    }
+    auto cart_train = cart->PredictAll(train);
+    size_t cart_errors = 0;
+    for (size_t row = 0; row < train.num_rows(); ++row) {
+      cart_errors += cart_train[row] != train.Label(row);
+    }
+    EXPECT_EQ(sliq_errors, cart_errors) << "function " << function;
+  }
+}
+
+TEST(SliqTest, RespectsDepthAndSizeLimits) {
+  gen::AgrawalParams params;
+  params.function = 2;
+  params.num_records = 1000;
+  auto data = gen::GenerateAgrawal(params, 17);
+  ASSERT_TRUE(data.ok());
+  SliqOptions options;
+  options.max_depth = 3;
+  auto tree = BuildSliq(*data, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->Depth(), 3u);
+  options = SliqOptions{};
+  options.min_samples_split = 200;
+  auto small = BuildSliq(*data, options);
+  ASSERT_TRUE(small.ok());
+  EXPECT_LT(small->num_nodes(), tree->num_nodes() * 10);
+  for (size_t i = 0; i < small->num_nodes(); ++i) {
+    if (!small->node(i).is_leaf) {
+      EXPECT_GE(small->node(i).NumSamples(), 200u);
+    }
+  }
+}
+
+TEST(SliqTest, PureDataIsSingleLeaf) {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {1, 2, 3}).SetLabels({0, 0, 0}, {"only"});
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  auto tree = BuildSliq(*data);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+  EXPECT_TRUE(tree->root().is_leaf);
+}
+
+TEST(SliqTest, ValidatesInputs) {
+  DatasetBuilder builder;
+  builder.AddNumericColumn("x", {}).SetLabels({}, {"a"});
+  auto empty = builder.Build();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(BuildSliq(*empty).ok());
+  SliqOptions options;
+  options.min_samples_split = 1;
+  DatasetBuilder builder2;
+  builder2.AddNumericColumn("x", {1.0}).SetLabels({0}, {"a"});
+  auto tiny = builder2.Build();
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_FALSE(BuildSliq(*tiny, options).ok());
+}
+
+TEST(SliqTest, WorksWithPruning) {
+  gen::AgrawalParams params;
+  params.function = 2;
+  params.num_records = 2000;
+  params.label_noise = 0.15;
+  auto data = gen::GenerateAgrawal(params, 23);
+  ASSERT_TRUE(data.ok());
+  auto tree = BuildSliq(*data);
+  ASSERT_TRUE(tree.ok());
+  size_t before = tree->NumLeaves();
+  CostComplexityPrune(&*tree, 0.001);
+  EXPECT_LT(tree->NumLeaves(), before);
+  EXPECT_GE(tree->NumLeaves(), 1u);
+}
+
+}  // namespace
+}  // namespace dmt::tree

@@ -1,0 +1,135 @@
+#include "tseries/dft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/rng.h"
+
+namespace dmt::tseries {
+namespace {
+
+TEST(DftTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(1023));
+}
+
+TEST(DftTest, EmptyInput) {
+  EXPECT_TRUE(Dft({}).empty());
+  EXPECT_TRUE(DftFeatures({}, 3).empty());
+}
+
+TEST(DftTest, ConstantSeriesConcentratesInDc) {
+  std::vector<double> values(16, 2.0);
+  auto coefficients = Dft(values);
+  ASSERT_EQ(coefficients.size(), 16u);
+  // DC coefficient: 16 * 2 / sqrt(16) = 8.
+  EXPECT_NEAR(coefficients[0].real(), 8.0, 1e-12);
+  EXPECT_NEAR(coefficients[0].imag(), 0.0, 1e-12);
+  for (size_t f = 1; f < 16; ++f) {
+    EXPECT_NEAR(std::abs(coefficients[f]), 0.0, 1e-12) << f;
+  }
+}
+
+TEST(DftTest, PureToneAppearsAtItsFrequency) {
+  const size_t n = 64;
+  std::vector<double> values(n);
+  for (size_t t = 0; t < n; ++t) {
+    values[t] = std::cos(2.0 * std::numbers::pi * 5.0 *
+                         static_cast<double>(t) / static_cast<double>(n));
+  }
+  auto coefficients = Dft(values);
+  // cos splits between frequencies 5 and n-5, each sqrt(n)/2 magnitude.
+  EXPECT_NEAR(std::abs(coefficients[5]), std::sqrt(64.0) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(coefficients[59]), std::sqrt(64.0) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(coefficients[4]), 0.0, 1e-9);
+}
+
+TEST(DftTest, FftMatchesNaiveDefinition) {
+  core::Rng rng(7);
+  // 32 is a power of two: exercised by the FFT path. Compare against the
+  // O(n^2) definition evaluated on a 33-length zero-padless basis by
+  // forcing the naive path with a prime length slice check instead:
+  // compute both on the same power-of-two input via the formula here.
+  std::vector<double> values(32);
+  for (auto& v : values) v = rng.UniformDouble(-1.0, 1.0);
+  auto fast = Dft(values);
+  // Naive reference computed inline.
+  const size_t n = values.size();
+  for (size_t f = 0; f < n; ++f) {
+    std::complex<double> sum(0.0, 0.0);
+    for (size_t t = 0; t < n; ++t) {
+      double angle = -2.0 * std::numbers::pi * static_cast<double>(f) *
+                     static_cast<double>(t) / static_cast<double>(n);
+      sum += values[t] *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    sum /= std::sqrt(static_cast<double>(n));
+    EXPECT_NEAR(fast[f].real(), sum.real(), 1e-9) << f;
+    EXPECT_NEAR(fast[f].imag(), sum.imag(), 1e-9) << f;
+  }
+}
+
+TEST(DftTest, NonPowerOfTwoLengthsWork) {
+  core::Rng rng(9);
+  std::vector<double> values(17);
+  for (auto& v : values) v = rng.Normal();
+  auto coefficients = Dft(values);
+  EXPECT_EQ(coefficients.size(), 17u);
+}
+
+TEST(DftTest, ParsevalEnergyPreserved) {
+  core::Rng rng(11);
+  for (size_t n : {16u, 21u, 64u}) {
+    std::vector<double> values(n);
+    double time_energy = 0.0;
+    for (auto& v : values) {
+      v = rng.Normal();
+      time_energy += v * v;
+    }
+    auto coefficients = Dft(values);
+    double frequency_energy = 0.0;
+    for (const auto& c : coefficients) frequency_energy += std::norm(c);
+    EXPECT_NEAR(time_energy, frequency_energy, 1e-9 * time_energy + 1e-12)
+        << n;
+  }
+}
+
+TEST(DftTest, FeatureVectorLayout) {
+  std::vector<double> values(8, 1.0);
+  auto features = DftFeatures(values, 2);
+  ASSERT_EQ(features.size(), 4u);
+  EXPECT_NEAR(features[0], 8.0 / std::sqrt(8.0), 1e-12);  // DC real
+  EXPECT_NEAR(features[1], 0.0, 1e-12);                   // DC imag
+}
+
+TEST(DftTest, FeatureCountClampedToLength) {
+  std::vector<double> values(4, 1.0);
+  auto features = DftFeatures(values, 100);
+  EXPECT_EQ(features.size(), 8u);  // 4 coefficients * 2
+}
+
+TEST(DftTest, LinearityHolds) {
+  core::Rng rng(13);
+  std::vector<double> a(32), b(32), sum(32);
+  for (size_t i = 0; i < 32; ++i) {
+    a[i] = rng.Normal();
+    b[i] = rng.Normal();
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  auto fa = Dft(a);
+  auto fb = Dft(b);
+  auto fsum = Dft(sum);
+  for (size_t f = 0; f < 32; ++f) {
+    std::complex<double> expected = fa[f] + 2.0 * fb[f];
+    EXPECT_NEAR(std::abs(fsum[f] - expected), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dmt::tseries

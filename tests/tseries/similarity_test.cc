@@ -1,0 +1,260 @@
+#include "tseries/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/timeseries.h"
+
+namespace dmt::tseries {
+namespace {
+
+std::vector<std::vector<double>> Walks(size_t count, size_t length,
+                                       uint64_t seed) {
+  gen::RandomWalkParams params;
+  params.num_series = count;
+  params.length = length;
+  auto walks = gen::GenerateRandomWalks(params, seed);
+  EXPECT_TRUE(walks.ok());
+  return std::move(walks).value();
+}
+
+TEST(SimilarityTest, IndexCountsWindows) {
+  auto walks = Walks(3, 100, 1);
+  SubsequenceIndexOptions options;
+  options.window = 32;
+  auto index = SubsequenceIndex::Build(walks, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_windows(), 3u * (100 - 32 + 1));
+}
+
+TEST(SimilarityTest, StrideReducesWindows) {
+  auto walks = Walks(1, 100, 2);
+  SubsequenceIndexOptions options;
+  options.window = 32;
+  options.stride = 8;
+  auto index = SubsequenceIndex::Build(walks, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_windows(), (100 - 32) / 8 + 1);
+}
+
+TEST(SimilarityTest, ShortSeriesSkipped) {
+  std::vector<std::vector<double>> series = {
+      std::vector<double>(10, 0.0), std::vector<double>(64, 0.0)};
+  SubsequenceIndexOptions options;
+  options.window = 32;
+  auto index = SubsequenceIndex::Build(series, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_windows(), 64u - 32 + 1);
+}
+
+TEST(SimilarityTest, FindsExactSelfMatch) {
+  auto walks = Walks(5, 256, 3);
+  SubsequenceIndexOptions options;
+  options.window = 64;
+  auto index = SubsequenceIndex::Build(walks, options);
+  ASSERT_TRUE(index.ok());
+  std::span<const double> query(walks[2].data() + 50, 64);
+  auto matches = index->RangeQuery(query, 1e-9);
+  ASSERT_TRUE(matches.ok());
+  bool found = false;
+  for (const auto& match : *matches) {
+    if (match.series == 2 && match.offset == 50) {
+      found = true;
+      EXPECT_NEAR(match.distance, 0.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SimilarityTest, FindsPlantedNoisyMotif) {
+  auto walks = Walks(10, 512, 4);
+  std::vector<double> motif(walks[0].begin() + 100,
+                            walks[0].begin() + 164);
+  ASSERT_TRUE(
+      gen::PlantMotif(&walks, 7, 300, motif, /*noise_stddev=*/0.05, 9)
+          .ok());
+  SubsequenceIndexOptions options;
+  options.window = 64;
+  auto index = SubsequenceIndex::Build(walks, options);
+  ASSERT_TRUE(index.ok());
+  auto matches = index->RangeQuery(motif, /*epsilon=*/1.0);
+  ASSERT_TRUE(matches.ok());
+  bool found_original = false, found_planted = false;
+  for (const auto& match : *matches) {
+    if (match.series == 0 && match.offset == 100) found_original = true;
+    if (match.series == 7 && match.offset == 300) found_planted = true;
+  }
+  EXPECT_TRUE(found_original);
+  EXPECT_TRUE(found_planted);
+}
+
+TEST(SimilarityTest, NoFalseDismissalsAgainstBruteForce) {
+  auto walks = Walks(6, 300, 5);
+  for (size_t coefficients : {1u, 2u, 4u}) {
+    SubsequenceIndexOptions options;
+    options.window = 50;
+    options.num_coefficients = coefficients;
+    auto index = SubsequenceIndex::Build(walks, options);
+    ASSERT_TRUE(index.ok());
+    // Query: a window of one of the series, several radii.
+    std::span<const double> query(walks[1].data() + 77, 50);
+    for (double epsilon : {0.5, 2.0, 8.0}) {
+      QueryStats fast_stats, brute_stats;
+      auto fast = index->RangeQuery(query, epsilon, &fast_stats);
+      auto brute =
+          index->RangeQueryBruteForce(query, epsilon, &brute_stats);
+      ASSERT_TRUE(fast.ok());
+      ASSERT_TRUE(brute.ok());
+      EXPECT_EQ(*fast, *brute)
+          << "coefficients " << coefficients << " eps " << epsilon;
+      // The filter never checks more than everything and never admits
+      // fewer candidates than there are true matches.
+      EXPECT_LE(fast_stats.candidates, fast_stats.windows_indexed);
+      EXPECT_GE(fast_stats.candidates, fast_stats.matches);
+    }
+  }
+}
+
+TEST(SimilarityTest, MoreCoefficientsTightenTheFilter) {
+  auto walks = Walks(8, 400, 6);
+  std::span<const double> query(walks[3].data() + 10, 64);
+  size_t previous_candidates = SIZE_MAX;
+  for (size_t coefficients : {1u, 2u, 4u, 8u}) {
+    SubsequenceIndexOptions options;
+    options.window = 64;
+    options.num_coefficients = coefficients;
+    auto index = SubsequenceIndex::Build(walks, options);
+    ASSERT_TRUE(index.ok());
+    QueryStats stats;
+    auto matches = index->RangeQuery(query, 4.0, &stats);
+    ASSERT_TRUE(matches.ok());
+    // Adding coefficients only removes candidates (the bound tightens).
+    EXPECT_LE(stats.candidates, previous_candidates);
+    previous_candidates = stats.candidates;
+  }
+}
+
+
+TEST(SimilarityTest, VerticalShiftInvariantMatching) {
+  auto walks = Walks(4, 300, 31);
+  // Copy a window of series 0 into series 2 with a large vertical offset.
+  const size_t window = 64;
+  std::vector<double> motif(walks[0].begin() + 40,
+                            walks[0].begin() + 40 + window);
+  for (size_t i = 0; i < window; ++i) {
+    walks[2][100 + i] = motif[i] + 500.0;  // same shape, shifted far up
+  }
+  SubsequenceIndexOptions plain;
+  plain.window = window;
+  SubsequenceIndexOptions shifted = plain;
+  shifted.vertical_shift_invariant = true;
+
+  auto plain_index = SubsequenceIndex::Build(walks, plain);
+  auto shift_index = SubsequenceIndex::Build(walks, shifted);
+  ASSERT_TRUE(plain_index.ok());
+  ASSERT_TRUE(shift_index.ok());
+
+  auto plain_matches = plain_index->RangeQuery(motif, 1.0);
+  auto shift_matches = shift_index->RangeQuery(motif, 1.0);
+  ASSERT_TRUE(plain_matches.ok());
+  ASSERT_TRUE(shift_matches.ok());
+  auto contains = [](const std::vector<SubsequenceMatch>& matches,
+                     uint32_t series, uint32_t offset) {
+    for (const auto& match : matches) {
+      if (match.series == series && match.offset == offset) return true;
+    }
+    return false;
+  };
+  // Plain matching misses the shifted copy; v-shift matching finds it.
+  EXPECT_TRUE(contains(*plain_matches, 0, 40));
+  EXPECT_FALSE(contains(*plain_matches, 2, 100));
+  EXPECT_TRUE(contains(*shift_matches, 0, 40));
+  EXPECT_TRUE(contains(*shift_matches, 2, 100));
+}
+
+TEST(SimilarityTest, VerticalShiftModeStillExact) {
+  auto walks = Walks(5, 200, 33);
+  SubsequenceIndexOptions options;
+  options.window = 32;
+  options.num_coefficients = 2;
+  options.vertical_shift_invariant = true;
+  auto index = SubsequenceIndex::Build(walks, options);
+  ASSERT_TRUE(index.ok());
+  std::span<const double> query(walks[1].data() + 60, 32);
+  for (double epsilon : {0.5, 2.0, 6.0}) {
+    auto fast = index->RangeQuery(query, epsilon);
+    auto brute = index->RangeQueryBruteForce(query, epsilon);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(brute.ok());
+    EXPECT_EQ(*fast, *brute) << "eps " << epsilon;
+  }
+}
+
+TEST(SimilarityTest, ValidatesInputs) {
+  auto walks = Walks(2, 100, 7);
+  SubsequenceIndexOptions options;
+  options.window = 0;
+  EXPECT_FALSE(SubsequenceIndex::Build(walks, options).ok());
+  options.window = 32;
+  options.num_coefficients = 0;
+  EXPECT_FALSE(SubsequenceIndex::Build(walks, options).ok());
+  options.num_coefficients = 17;  // > window / 2
+  EXPECT_FALSE(SubsequenceIndex::Build(walks, options).ok());
+  options.num_coefficients = 3;
+  options.stride = 0;
+  EXPECT_FALSE(SubsequenceIndex::Build(walks, options).ok());
+
+  options = SubsequenceIndexOptions{};
+  options.window = 32;
+  auto index = SubsequenceIndex::Build(walks, options);
+  ASSERT_TRUE(index.ok());
+  std::vector<double> wrong_length(16, 0.0);
+  EXPECT_FALSE(index->RangeQuery(wrong_length, 1.0).ok());
+  std::vector<double> right_length(32, 0.0);
+  EXPECT_FALSE(index->RangeQuery(right_length, -1.0).ok());
+}
+
+TEST(SimilarityTest, EmptyCollection) {
+  std::vector<std::vector<double>> nothing;
+  SubsequenceIndexOptions options;
+  options.window = 8;
+  auto index = SubsequenceIndex::Build(nothing, options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_windows(), 0u);
+  std::vector<double> query(8, 0.0);
+  auto matches = index->RangeQuery(query, 1.0);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->empty());
+}
+
+TEST(GenTimeSeriesTest, RandomWalkShapeAndDeterminism) {
+  gen::RandomWalkParams params;
+  params.num_series = 4;
+  params.length = 50;
+  auto a = gen::GenerateRandomWalks(params, 3);
+  auto b = gen::GenerateRandomWalks(params, 3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(a->size(), 4u);
+  EXPECT_EQ((*a)[0].size(), 50u);
+  params.num_series = 0;
+  EXPECT_FALSE(gen::GenerateRandomWalks(params, 1).ok());
+}
+
+TEST(GenTimeSeriesTest, PlantMotifValidation) {
+  auto walks = Walks(2, 50, 8);
+  std::vector<double> motif(20, 1.0);
+  EXPECT_TRUE(gen::PlantMotif(&walks, 1, 10, motif, 0.0, 1).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(walks[1][10 + i], 1.0);
+  }
+  EXPECT_FALSE(gen::PlantMotif(&walks, 5, 0, motif, 0.0, 1).ok());
+  EXPECT_FALSE(gen::PlantMotif(&walks, 0, 45, motif, 0.0, 1).ok());
+  EXPECT_FALSE(gen::PlantMotif(&walks, 0, 0, motif, -1.0, 1).ok());
+  EXPECT_FALSE(gen::PlantMotif(nullptr, 0, 0, motif, 0.0, 1).ok());
+}
+
+}  // namespace
+}  // namespace dmt::tseries
