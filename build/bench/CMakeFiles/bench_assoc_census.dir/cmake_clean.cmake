@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_assoc_census.dir/bench_assoc_census.cc.o"
+  "CMakeFiles/bench_assoc_census.dir/bench_assoc_census.cc.o.d"
+  "bench_assoc_census"
+  "bench_assoc_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_assoc_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

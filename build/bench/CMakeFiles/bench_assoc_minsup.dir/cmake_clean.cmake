@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_assoc_minsup.dir/bench_assoc_minsup.cc.o"
+  "CMakeFiles/bench_assoc_minsup.dir/bench_assoc_minsup.cc.o.d"
+  "bench_assoc_minsup"
+  "bench_assoc_minsup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_assoc_minsup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

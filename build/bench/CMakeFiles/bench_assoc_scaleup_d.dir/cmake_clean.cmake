@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_assoc_scaleup_d.dir/bench_assoc_scaleup_d.cc.o"
+  "CMakeFiles/bench_assoc_scaleup_d.dir/bench_assoc_scaleup_d.cc.o.d"
+  "bench_assoc_scaleup_d"
+  "bench_assoc_scaleup_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_assoc_scaleup_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

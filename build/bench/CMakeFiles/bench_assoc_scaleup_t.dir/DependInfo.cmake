@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_assoc_scaleup_t.cc" "bench/CMakeFiles/bench_assoc_scaleup_t.dir/bench_assoc_scaleup_t.cc.o" "gcc" "bench/CMakeFiles/bench_assoc_scaleup_t.dir/bench_assoc_scaleup_t.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assoc/CMakeFiles/dmt_assoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/dmt_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/dmt_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/dmt_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dmt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dmt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tseries/CMakeFiles/dmt_tseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/dmt_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dmt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

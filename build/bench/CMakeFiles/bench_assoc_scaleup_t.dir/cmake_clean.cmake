@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_assoc_scaleup_t.dir/bench_assoc_scaleup_t.cc.o"
+  "CMakeFiles/bench_assoc_scaleup_t.dir/bench_assoc_scaleup_t.cc.o.d"
+  "bench_assoc_scaleup_t"
+  "bench_assoc_scaleup_t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_assoc_scaleup_t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_assoc_scaleup_t.
+# This may be replaced when dependencies are built.

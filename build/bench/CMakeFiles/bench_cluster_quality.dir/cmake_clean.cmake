@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_quality.dir/bench_cluster_quality.cc.o"
+  "CMakeFiles/bench_cluster_quality.dir/bench_cluster_quality.cc.o.d"
+  "bench_cluster_quality"
+  "bench_cluster_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

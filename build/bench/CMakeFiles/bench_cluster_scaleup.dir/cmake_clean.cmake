@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_scaleup.dir/bench_cluster_scaleup.cc.o"
+  "CMakeFiles/bench_cluster_scaleup.dir/bench_cluster_scaleup.cc.o.d"
+  "bench_cluster_scaleup"
+  "bench_cluster_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gsp_minsup.dir/bench_gsp_minsup.cc.o"
+  "CMakeFiles/bench_gsp_minsup.dir/bench_gsp_minsup.cc.o.d"
+  "bench_gsp_minsup"
+  "bench_gsp_minsup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gsp_minsup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_gsp_minsup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gsp_scaleup.dir/bench_gsp_scaleup.cc.o"
+  "CMakeFiles/bench_gsp_scaleup.dir/bench_gsp_scaleup.cc.o.d"
+  "bench_gsp_scaleup"
+  "bench_gsp_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gsp_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

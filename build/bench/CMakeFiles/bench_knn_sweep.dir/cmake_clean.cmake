@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_knn_sweep.dir/bench_knn_sweep.cc.o"
+  "CMakeFiles/bench_knn_sweep.dir/bench_knn_sweep.cc.o.d"
+  "bench_knn_sweep"
+  "bench_knn_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_knn_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

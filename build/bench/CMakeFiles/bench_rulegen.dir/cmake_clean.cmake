@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rulegen.dir/bench_rulegen.cc.o"
+  "CMakeFiles/bench_rulegen.dir/bench_rulegen.cc.o.d"
+  "bench_rulegen"
+  "bench_rulegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rulegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

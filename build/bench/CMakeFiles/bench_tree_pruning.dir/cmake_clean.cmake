@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_pruning.dir/bench_tree_pruning.cc.o"
+  "CMakeFiles/bench_tree_pruning.dir/bench_tree_pruning.cc.o.d"
+  "bench_tree_pruning"
+  "bench_tree_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

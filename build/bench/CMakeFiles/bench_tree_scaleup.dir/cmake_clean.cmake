@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_scaleup.dir/bench_tree_scaleup.cc.o"
+  "CMakeFiles/bench_tree_scaleup.dir/bench_tree_scaleup.cc.o.d"
+  "bench_tree_scaleup"
+  "bench_tree_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

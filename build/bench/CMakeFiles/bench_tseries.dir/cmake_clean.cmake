@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tseries.dir/bench_tseries.cc.o"
+  "CMakeFiles/bench_tseries.dir/bench_tseries.cc.o.d"
+  "bench_tseries"
+  "bench_tseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

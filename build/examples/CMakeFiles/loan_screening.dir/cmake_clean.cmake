@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loan_screening.dir/loan_screening.cpp.o"
+  "CMakeFiles/loan_screening.dir/loan_screening.cpp.o.d"
+  "loan_screening"
+  "loan_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loan_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purchase_sequences.dir/purchase_sequences.cpp.o"
+  "CMakeFiles/purchase_sequences.dir/purchase_sequences.cpp.o.d"
+  "purchase_sequences"
+  "purchase_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purchase_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for purchase_sequences.
+# This may be replaced when dependencies are built.

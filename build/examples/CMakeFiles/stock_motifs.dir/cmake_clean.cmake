@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_motifs.dir/stock_motifs.cpp.o"
+  "CMakeFiles/stock_motifs.dir/stock_motifs.cpp.o.d"
+  "stock_motifs"
+  "stock_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assoc/apriori.cc" "src/assoc/CMakeFiles/dmt_assoc.dir/apriori.cc.o" "gcc" "src/assoc/CMakeFiles/dmt_assoc.dir/apriori.cc.o.d"
+  "/root/repo/src/assoc/candidate_gen.cc" "src/assoc/CMakeFiles/dmt_assoc.dir/candidate_gen.cc.o" "gcc" "src/assoc/CMakeFiles/dmt_assoc.dir/candidate_gen.cc.o.d"
+  "/root/repo/src/assoc/eclat.cc" "src/assoc/CMakeFiles/dmt_assoc.dir/eclat.cc.o" "gcc" "src/assoc/CMakeFiles/dmt_assoc.dir/eclat.cc.o.d"
+  "/root/repo/src/assoc/fp_growth.cc" "src/assoc/CMakeFiles/dmt_assoc.dir/fp_growth.cc.o" "gcc" "src/assoc/CMakeFiles/dmt_assoc.dir/fp_growth.cc.o.d"
+  "/root/repo/src/assoc/hash_tree.cc" "src/assoc/CMakeFiles/dmt_assoc.dir/hash_tree.cc.o" "gcc" "src/assoc/CMakeFiles/dmt_assoc.dir/hash_tree.cc.o.d"
+  "/root/repo/src/assoc/itemset.cc" "src/assoc/CMakeFiles/dmt_assoc.dir/itemset.cc.o" "gcc" "src/assoc/CMakeFiles/dmt_assoc.dir/itemset.cc.o.d"
+  "/root/repo/src/assoc/postprocess.cc" "src/assoc/CMakeFiles/dmt_assoc.dir/postprocess.cc.o" "gcc" "src/assoc/CMakeFiles/dmt_assoc.dir/postprocess.cc.o.d"
+  "/root/repo/src/assoc/rules.cc" "src/assoc/CMakeFiles/dmt_assoc.dir/rules.cc.o" "gcc" "src/assoc/CMakeFiles/dmt_assoc.dir/rules.cc.o.d"
+  "/root/repo/src/assoc/sampling.cc" "src/assoc/CMakeFiles/dmt_assoc.dir/sampling.cc.o" "gcc" "src/assoc/CMakeFiles/dmt_assoc.dir/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dmt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

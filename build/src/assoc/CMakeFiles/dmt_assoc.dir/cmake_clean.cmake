@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_assoc.dir/apriori.cc.o"
+  "CMakeFiles/dmt_assoc.dir/apriori.cc.o.d"
+  "CMakeFiles/dmt_assoc.dir/candidate_gen.cc.o"
+  "CMakeFiles/dmt_assoc.dir/candidate_gen.cc.o.d"
+  "CMakeFiles/dmt_assoc.dir/eclat.cc.o"
+  "CMakeFiles/dmt_assoc.dir/eclat.cc.o.d"
+  "CMakeFiles/dmt_assoc.dir/fp_growth.cc.o"
+  "CMakeFiles/dmt_assoc.dir/fp_growth.cc.o.d"
+  "CMakeFiles/dmt_assoc.dir/hash_tree.cc.o"
+  "CMakeFiles/dmt_assoc.dir/hash_tree.cc.o.d"
+  "CMakeFiles/dmt_assoc.dir/itemset.cc.o"
+  "CMakeFiles/dmt_assoc.dir/itemset.cc.o.d"
+  "CMakeFiles/dmt_assoc.dir/postprocess.cc.o"
+  "CMakeFiles/dmt_assoc.dir/postprocess.cc.o.d"
+  "CMakeFiles/dmt_assoc.dir/rules.cc.o"
+  "CMakeFiles/dmt_assoc.dir/rules.cc.o.d"
+  "CMakeFiles/dmt_assoc.dir/sampling.cc.o"
+  "CMakeFiles/dmt_assoc.dir/sampling.cc.o.d"
+  "libdmt_assoc.a"
+  "libdmt_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/knn.cc" "src/classify/CMakeFiles/dmt_classify.dir/knn.cc.o" "gcc" "src/classify/CMakeFiles/dmt_classify.dir/knn.cc.o.d"
+  "/root/repo/src/classify/naive_bayes.cc" "src/classify/CMakeFiles/dmt_classify.dir/naive_bayes.cc.o" "gcc" "src/classify/CMakeFiles/dmt_classify.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/classify/one_r.cc" "src/classify/CMakeFiles/dmt_classify.dir/one_r.cc.o" "gcc" "src/classify/CMakeFiles/dmt_classify.dir/one_r.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dmt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

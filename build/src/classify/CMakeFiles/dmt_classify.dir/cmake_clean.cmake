@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_classify.dir/knn.cc.o"
+  "CMakeFiles/dmt_classify.dir/knn.cc.o.d"
+  "CMakeFiles/dmt_classify.dir/naive_bayes.cc.o"
+  "CMakeFiles/dmt_classify.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/dmt_classify.dir/one_r.cc.o"
+  "CMakeFiles/dmt_classify.dir/one_r.cc.o.d"
+  "libdmt_classify.a"
+  "libdmt_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_cluster.dir/agglomerative.cc.o"
+  "CMakeFiles/dmt_cluster.dir/agglomerative.cc.o.d"
+  "CMakeFiles/dmt_cluster.dir/birch.cc.o"
+  "CMakeFiles/dmt_cluster.dir/birch.cc.o.d"
+  "CMakeFiles/dmt_cluster.dir/clarans.cc.o"
+  "CMakeFiles/dmt_cluster.dir/clarans.cc.o.d"
+  "CMakeFiles/dmt_cluster.dir/dbscan.cc.o"
+  "CMakeFiles/dmt_cluster.dir/dbscan.cc.o.d"
+  "CMakeFiles/dmt_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/dmt_cluster.dir/kmeans.cc.o.d"
+  "libdmt_cluster.a"
+  "libdmt_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bitset.cc" "src/core/CMakeFiles/dmt_core.dir/bitset.cc.o" "gcc" "src/core/CMakeFiles/dmt_core.dir/bitset.cc.o.d"
+  "/root/repo/src/core/csv.cc" "src/core/CMakeFiles/dmt_core.dir/csv.cc.o" "gcc" "src/core/CMakeFiles/dmt_core.dir/csv.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/core/CMakeFiles/dmt_core.dir/dataset.cc.o" "gcc" "src/core/CMakeFiles/dmt_core.dir/dataset.cc.o.d"
+  "/root/repo/src/core/item_dictionary.cc" "src/core/CMakeFiles/dmt_core.dir/item_dictionary.cc.o" "gcc" "src/core/CMakeFiles/dmt_core.dir/item_dictionary.cc.o.d"
+  "/root/repo/src/core/kd_tree.cc" "src/core/CMakeFiles/dmt_core.dir/kd_tree.cc.o" "gcc" "src/core/CMakeFiles/dmt_core.dir/kd_tree.cc.o.d"
+  "/root/repo/src/core/point_set.cc" "src/core/CMakeFiles/dmt_core.dir/point_set.cc.o" "gcc" "src/core/CMakeFiles/dmt_core.dir/point_set.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/core/CMakeFiles/dmt_core.dir/rng.cc.o" "gcc" "src/core/CMakeFiles/dmt_core.dir/rng.cc.o.d"
+  "/root/repo/src/core/sequence.cc" "src/core/CMakeFiles/dmt_core.dir/sequence.cc.o" "gcc" "src/core/CMakeFiles/dmt_core.dir/sequence.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/core/CMakeFiles/dmt_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/dmt_core.dir/status.cc.o.d"
+  "/root/repo/src/core/string_util.cc" "src/core/CMakeFiles/dmt_core.dir/string_util.cc.o" "gcc" "src/core/CMakeFiles/dmt_core.dir/string_util.cc.o.d"
+  "/root/repo/src/core/thread_pool.cc" "src/core/CMakeFiles/dmt_core.dir/thread_pool.cc.o" "gcc" "src/core/CMakeFiles/dmt_core.dir/thread_pool.cc.o.d"
+  "/root/repo/src/core/transaction.cc" "src/core/CMakeFiles/dmt_core.dir/transaction.cc.o" "gcc" "src/core/CMakeFiles/dmt_core.dir/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

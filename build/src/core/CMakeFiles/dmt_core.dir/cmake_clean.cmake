@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_core.dir/bitset.cc.o"
+  "CMakeFiles/dmt_core.dir/bitset.cc.o.d"
+  "CMakeFiles/dmt_core.dir/csv.cc.o"
+  "CMakeFiles/dmt_core.dir/csv.cc.o.d"
+  "CMakeFiles/dmt_core.dir/dataset.cc.o"
+  "CMakeFiles/dmt_core.dir/dataset.cc.o.d"
+  "CMakeFiles/dmt_core.dir/item_dictionary.cc.o"
+  "CMakeFiles/dmt_core.dir/item_dictionary.cc.o.d"
+  "CMakeFiles/dmt_core.dir/kd_tree.cc.o"
+  "CMakeFiles/dmt_core.dir/kd_tree.cc.o.d"
+  "CMakeFiles/dmt_core.dir/point_set.cc.o"
+  "CMakeFiles/dmt_core.dir/point_set.cc.o.d"
+  "CMakeFiles/dmt_core.dir/rng.cc.o"
+  "CMakeFiles/dmt_core.dir/rng.cc.o.d"
+  "CMakeFiles/dmt_core.dir/sequence.cc.o"
+  "CMakeFiles/dmt_core.dir/sequence.cc.o.d"
+  "CMakeFiles/dmt_core.dir/status.cc.o"
+  "CMakeFiles/dmt_core.dir/status.cc.o.d"
+  "CMakeFiles/dmt_core.dir/string_util.cc.o"
+  "CMakeFiles/dmt_core.dir/string_util.cc.o.d"
+  "CMakeFiles/dmt_core.dir/thread_pool.cc.o"
+  "CMakeFiles/dmt_core.dir/thread_pool.cc.o.d"
+  "CMakeFiles/dmt_core.dir/transaction.cc.o"
+  "CMakeFiles/dmt_core.dir/transaction.cc.o.d"
+  "libdmt_core.a"
+  "libdmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

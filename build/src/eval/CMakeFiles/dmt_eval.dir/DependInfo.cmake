@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/clustering_metrics.cc" "src/eval/CMakeFiles/dmt_eval.dir/clustering_metrics.cc.o" "gcc" "src/eval/CMakeFiles/dmt_eval.dir/clustering_metrics.cc.o.d"
+  "/root/repo/src/eval/cross_validation.cc" "src/eval/CMakeFiles/dmt_eval.dir/cross_validation.cc.o" "gcc" "src/eval/CMakeFiles/dmt_eval.dir/cross_validation.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/dmt_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/dmt_eval.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dmt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

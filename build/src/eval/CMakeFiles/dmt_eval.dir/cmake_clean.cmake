@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_eval.dir/clustering_metrics.cc.o"
+  "CMakeFiles/dmt_eval.dir/clustering_metrics.cc.o.d"
+  "CMakeFiles/dmt_eval.dir/cross_validation.cc.o"
+  "CMakeFiles/dmt_eval.dir/cross_validation.cc.o.d"
+  "CMakeFiles/dmt_eval.dir/metrics.cc.o"
+  "CMakeFiles/dmt_eval.dir/metrics.cc.o.d"
+  "libdmt_eval.a"
+  "libdmt_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

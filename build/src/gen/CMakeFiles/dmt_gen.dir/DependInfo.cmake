@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/agrawal.cc" "src/gen/CMakeFiles/dmt_gen.dir/agrawal.cc.o" "gcc" "src/gen/CMakeFiles/dmt_gen.dir/agrawal.cc.o.d"
+  "/root/repo/src/gen/mixture.cc" "src/gen/CMakeFiles/dmt_gen.dir/mixture.cc.o" "gcc" "src/gen/CMakeFiles/dmt_gen.dir/mixture.cc.o.d"
+  "/root/repo/src/gen/quest.cc" "src/gen/CMakeFiles/dmt_gen.dir/quest.cc.o" "gcc" "src/gen/CMakeFiles/dmt_gen.dir/quest.cc.o.d"
+  "/root/repo/src/gen/seqgen.cc" "src/gen/CMakeFiles/dmt_gen.dir/seqgen.cc.o" "gcc" "src/gen/CMakeFiles/dmt_gen.dir/seqgen.cc.o.d"
+  "/root/repo/src/gen/timeseries.cc" "src/gen/CMakeFiles/dmt_gen.dir/timeseries.cc.o" "gcc" "src/gen/CMakeFiles/dmt_gen.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dmt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

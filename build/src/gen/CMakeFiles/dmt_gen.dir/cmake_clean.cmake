@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_gen.dir/agrawal.cc.o"
+  "CMakeFiles/dmt_gen.dir/agrawal.cc.o.d"
+  "CMakeFiles/dmt_gen.dir/mixture.cc.o"
+  "CMakeFiles/dmt_gen.dir/mixture.cc.o.d"
+  "CMakeFiles/dmt_gen.dir/quest.cc.o"
+  "CMakeFiles/dmt_gen.dir/quest.cc.o.d"
+  "CMakeFiles/dmt_gen.dir/seqgen.cc.o"
+  "CMakeFiles/dmt_gen.dir/seqgen.cc.o.d"
+  "CMakeFiles/dmt_gen.dir/timeseries.cc.o"
+  "CMakeFiles/dmt_gen.dir/timeseries.cc.o.d"
+  "libdmt_gen.a"
+  "libdmt_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_seq.dir/gsp.cc.o"
+  "CMakeFiles/dmt_seq.dir/gsp.cc.o.d"
+  "libdmt_seq.a"
+  "libdmt_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/builder.cc" "src/tree/CMakeFiles/dmt_tree.dir/builder.cc.o" "gcc" "src/tree/CMakeFiles/dmt_tree.dir/builder.cc.o.d"
+  "/root/repo/src/tree/criteria.cc" "src/tree/CMakeFiles/dmt_tree.dir/criteria.cc.o" "gcc" "src/tree/CMakeFiles/dmt_tree.dir/criteria.cc.o.d"
+  "/root/repo/src/tree/decision_tree.cc" "src/tree/CMakeFiles/dmt_tree.dir/decision_tree.cc.o" "gcc" "src/tree/CMakeFiles/dmt_tree.dir/decision_tree.cc.o.d"
+  "/root/repo/src/tree/discretize.cc" "src/tree/CMakeFiles/dmt_tree.dir/discretize.cc.o" "gcc" "src/tree/CMakeFiles/dmt_tree.dir/discretize.cc.o.d"
+  "/root/repo/src/tree/pruning.cc" "src/tree/CMakeFiles/dmt_tree.dir/pruning.cc.o" "gcc" "src/tree/CMakeFiles/dmt_tree.dir/pruning.cc.o.d"
+  "/root/repo/src/tree/sliq.cc" "src/tree/CMakeFiles/dmt_tree.dir/sliq.cc.o" "gcc" "src/tree/CMakeFiles/dmt_tree.dir/sliq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dmt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_tree.dir/builder.cc.o"
+  "CMakeFiles/dmt_tree.dir/builder.cc.o.d"
+  "CMakeFiles/dmt_tree.dir/criteria.cc.o"
+  "CMakeFiles/dmt_tree.dir/criteria.cc.o.d"
+  "CMakeFiles/dmt_tree.dir/decision_tree.cc.o"
+  "CMakeFiles/dmt_tree.dir/decision_tree.cc.o.d"
+  "CMakeFiles/dmt_tree.dir/discretize.cc.o"
+  "CMakeFiles/dmt_tree.dir/discretize.cc.o.d"
+  "CMakeFiles/dmt_tree.dir/pruning.cc.o"
+  "CMakeFiles/dmt_tree.dir/pruning.cc.o.d"
+  "CMakeFiles/dmt_tree.dir/sliq.cc.o"
+  "CMakeFiles/dmt_tree.dir/sliq.cc.o.d"
+  "libdmt_tree.a"
+  "libdmt_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tseries/dft.cc" "src/tseries/CMakeFiles/dmt_tseries.dir/dft.cc.o" "gcc" "src/tseries/CMakeFiles/dmt_tseries.dir/dft.cc.o.d"
+  "/root/repo/src/tseries/similarity.cc" "src/tseries/CMakeFiles/dmt_tseries.dir/similarity.cc.o" "gcc" "src/tseries/CMakeFiles/dmt_tseries.dir/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dmt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

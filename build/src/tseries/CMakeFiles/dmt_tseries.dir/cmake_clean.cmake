@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmt_tseries.dir/dft.cc.o"
+  "CMakeFiles/dmt_tseries.dir/dft.cc.o.d"
+  "CMakeFiles/dmt_tseries.dir/similarity.cc.o"
+  "CMakeFiles/dmt_tseries.dir/similarity.cc.o.d"
+  "libdmt_tseries.a"
+  "libdmt_tseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmt_tseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

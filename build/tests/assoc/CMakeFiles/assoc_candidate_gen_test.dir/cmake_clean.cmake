@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assoc_candidate_gen_test.dir/candidate_gen_test.cc.o"
+  "CMakeFiles/assoc_candidate_gen_test.dir/candidate_gen_test.cc.o.d"
+  "assoc_candidate_gen_test"
+  "assoc_candidate_gen_test.pdb"
+  "assoc_candidate_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assoc_candidate_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

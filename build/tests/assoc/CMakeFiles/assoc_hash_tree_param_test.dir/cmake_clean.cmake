@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assoc_hash_tree_param_test.dir/hash_tree_param_test.cc.o"
+  "CMakeFiles/assoc_hash_tree_param_test.dir/hash_tree_param_test.cc.o.d"
+  "assoc_hash_tree_param_test"
+  "assoc_hash_tree_param_test.pdb"
+  "assoc_hash_tree_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assoc_hash_tree_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

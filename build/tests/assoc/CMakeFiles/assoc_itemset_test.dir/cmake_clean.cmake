@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assoc_itemset_test.dir/itemset_test.cc.o"
+  "CMakeFiles/assoc_itemset_test.dir/itemset_test.cc.o.d"
+  "assoc_itemset_test"
+  "assoc_itemset_test.pdb"
+  "assoc_itemset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assoc_itemset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

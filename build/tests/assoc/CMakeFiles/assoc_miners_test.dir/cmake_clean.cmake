@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assoc_miners_test.dir/miners_test.cc.o"
+  "CMakeFiles/assoc_miners_test.dir/miners_test.cc.o.d"
+  "assoc_miners_test"
+  "assoc_miners_test.pdb"
+  "assoc_miners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assoc_miners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

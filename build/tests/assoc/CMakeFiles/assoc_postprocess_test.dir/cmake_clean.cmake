@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assoc_postprocess_test.dir/postprocess_test.cc.o"
+  "CMakeFiles/assoc_postprocess_test.dir/postprocess_test.cc.o.d"
+  "assoc_postprocess_test"
+  "assoc_postprocess_test.pdb"
+  "assoc_postprocess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assoc_postprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assoc_rules_test.dir/rules_test.cc.o"
+  "CMakeFiles/assoc_rules_test.dir/rules_test.cc.o.d"
+  "assoc_rules_test"
+  "assoc_rules_test.pdb"
+  "assoc_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assoc_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assoc_sampling_test.dir/sampling_test.cc.o"
+  "CMakeFiles/assoc_sampling_test.dir/sampling_test.cc.o.d"
+  "assoc_sampling_test"
+  "assoc_sampling_test.pdb"
+  "assoc_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assoc_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/assoc
+# Build directory: /root/repo/build/tests/assoc
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/assoc/assoc_itemset_test[1]_include.cmake")
+include("/root/repo/build/tests/assoc/assoc_candidate_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/assoc/assoc_hash_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/assoc/assoc_miners_test[1]_include.cmake")
+include("/root/repo/build/tests/assoc/assoc_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/assoc/assoc_postprocess_test[1]_include.cmake")
+include("/root/repo/build/tests/assoc/assoc_sampling_test[1]_include.cmake")
+include("/root/repo/build/tests/assoc/assoc_hash_tree_param_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_kd_tree_test.dir/kd_tree_test.cc.o"
+  "CMakeFiles/classify_kd_tree_test.dir/kd_tree_test.cc.o.d"
+  "classify_kd_tree_test"
+  "classify_kd_tree_test.pdb"
+  "classify_kd_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_kd_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

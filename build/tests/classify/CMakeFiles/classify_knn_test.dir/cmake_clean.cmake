@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_knn_test.dir/knn_test.cc.o"
+  "CMakeFiles/classify_knn_test.dir/knn_test.cc.o.d"
+  "classify_knn_test"
+  "classify_knn_test.pdb"
+  "classify_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_naive_bayes_test.dir/naive_bayes_test.cc.o"
+  "CMakeFiles/classify_naive_bayes_test.dir/naive_bayes_test.cc.o.d"
+  "classify_naive_bayes_test"
+  "classify_naive_bayes_test.pdb"
+  "classify_naive_bayes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_naive_bayes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

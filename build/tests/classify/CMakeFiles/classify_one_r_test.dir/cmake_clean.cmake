@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_one_r_test.dir/one_r_test.cc.o"
+  "CMakeFiles/classify_one_r_test.dir/one_r_test.cc.o.d"
+  "classify_one_r_test"
+  "classify_one_r_test.pdb"
+  "classify_one_r_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_one_r_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

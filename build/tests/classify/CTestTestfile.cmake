@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/classify
+# Build directory: /root/repo/build/tests/classify
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/classify/classify_naive_bayes_test[1]_include.cmake")
+include("/root/repo/build/tests/classify/classify_knn_test[1]_include.cmake")
+include("/root/repo/build/tests/classify/classify_kd_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/classify/classify_one_r_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_agglomerative_test.dir/agglomerative_test.cc.o"
+  "CMakeFiles/cluster_agglomerative_test.dir/agglomerative_test.cc.o.d"
+  "cluster_agglomerative_test"
+  "cluster_agglomerative_test.pdb"
+  "cluster_agglomerative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_agglomerative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

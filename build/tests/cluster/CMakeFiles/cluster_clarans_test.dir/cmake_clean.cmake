@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_clarans_test.dir/clarans_test.cc.o"
+  "CMakeFiles/cluster_clarans_test.dir/clarans_test.cc.o.d"
+  "cluster_clarans_test"
+  "cluster_clarans_test.pdb"
+  "cluster_clarans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_clarans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cluster_recovery_property_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/cluster
+# Build directory: /root/repo/build/tests/cluster
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cluster/cluster_kmeans_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster/cluster_birch_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster/cluster_dbscan_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster/cluster_agglomerative_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster/cluster_clarans_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster/cluster_recovery_property_test[1]_include.cmake")

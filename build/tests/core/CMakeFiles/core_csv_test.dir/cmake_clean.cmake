@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_csv_test.dir/csv_test.cc.o"
+  "CMakeFiles/core_csv_test.dir/csv_test.cc.o.d"
+  "core_csv_test"
+  "core_csv_test.pdb"
+  "core_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

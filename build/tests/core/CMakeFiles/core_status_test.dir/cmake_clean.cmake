@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_status_test.dir/status_test.cc.o"
+  "CMakeFiles/core_status_test.dir/status_test.cc.o.d"
+  "core_status_test"
+  "core_status_test.pdb"
+  "core_status_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_status_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

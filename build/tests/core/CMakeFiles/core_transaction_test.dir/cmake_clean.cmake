@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_transaction_test.dir/transaction_test.cc.o"
+  "CMakeFiles/core_transaction_test.dir/transaction_test.cc.o.d"
+  "core_transaction_test"
+  "core_transaction_test.pdb"
+  "core_transaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_transaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

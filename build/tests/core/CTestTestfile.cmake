@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/core_status_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_csv_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_transaction_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_util_test[1]_include.cmake")

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/eval
+# Build directory: /root/repo/build/tests/eval
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/eval/eval_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/eval/eval_clustering_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/eval/eval_cross_validation_test[1]_include.cmake")

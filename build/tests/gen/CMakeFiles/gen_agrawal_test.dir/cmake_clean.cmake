@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_agrawal_test.dir/agrawal_test.cc.o"
+  "CMakeFiles/gen_agrawal_test.dir/agrawal_test.cc.o.d"
+  "gen_agrawal_test"
+  "gen_agrawal_test.pdb"
+  "gen_agrawal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_agrawal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

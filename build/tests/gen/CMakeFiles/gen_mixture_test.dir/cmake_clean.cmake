@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_mixture_test.dir/mixture_test.cc.o"
+  "CMakeFiles/gen_mixture_test.dir/mixture_test.cc.o.d"
+  "gen_mixture_test"
+  "gen_mixture_test.pdb"
+  "gen_mixture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_mixture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_quest_test.dir/quest_test.cc.o"
+  "CMakeFiles/gen_quest_test.dir/quest_test.cc.o.d"
+  "gen_quest_test"
+  "gen_quest_test.pdb"
+  "gen_quest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_quest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

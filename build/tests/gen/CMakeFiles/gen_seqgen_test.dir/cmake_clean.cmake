@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_seqgen_test.dir/seqgen_test.cc.o"
+  "CMakeFiles/gen_seqgen_test.dir/seqgen_test.cc.o.d"
+  "gen_seqgen_test"
+  "gen_seqgen_test.pdb"
+  "gen_seqgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_seqgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

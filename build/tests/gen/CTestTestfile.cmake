@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/gen
+# Build directory: /root/repo/build/tests/gen
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gen/gen_quest_test[1]_include.cmake")
+include("/root/repo/build/tests/gen/gen_agrawal_test[1]_include.cmake")
+include("/root/repo/build/tests/gen/gen_mixture_test[1]_include.cmake")
+include("/root/repo/build/tests/gen/gen_seqgen_test[1]_include.cmake")

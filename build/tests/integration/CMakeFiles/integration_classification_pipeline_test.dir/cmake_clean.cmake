@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_classification_pipeline_test.dir/classification_pipeline_test.cc.o"
+  "CMakeFiles/integration_classification_pipeline_test.dir/classification_pipeline_test.cc.o.d"
+  "integration_classification_pipeline_test"
+  "integration_classification_pipeline_test.pdb"
+  "integration_classification_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_classification_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

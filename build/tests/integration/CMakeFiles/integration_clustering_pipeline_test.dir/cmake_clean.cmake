@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_clustering_pipeline_test.dir/clustering_pipeline_test.cc.o"
+  "CMakeFiles/integration_clustering_pipeline_test.dir/clustering_pipeline_test.cc.o.d"
+  "integration_clustering_pipeline_test"
+  "integration_clustering_pipeline_test.pdb"
+  "integration_clustering_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_clustering_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

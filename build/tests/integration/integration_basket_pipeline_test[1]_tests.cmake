@@ -1,0 +1,3 @@
+add_test([=[BasketPipelineTest.FullPipelineOnQuestWorkload]=]  /root/repo/build/tests/integration/integration_basket_pipeline_test [==[--gtest_filter=BasketPipelineTest.FullPipelineOnQuestWorkload]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[BasketPipelineTest.FullPipelineOnQuestWorkload]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests/integration SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_basket_pipeline_test_TESTS BasketPipelineTest.FullPipelineOnQuestWorkload)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_gsp_test.dir/gsp_test.cc.o"
+  "CMakeFiles/seq_gsp_test.dir/gsp_test.cc.o.d"
+  "seq_gsp_test"
+  "seq_gsp_test.pdb"
+  "seq_gsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_gsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/seq
+# Build directory: /root/repo/build/tests/seq
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/seq/seq_gsp_test[1]_include.cmake")
+include("/root/repo/build/tests/seq/seq_gsp_property_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_builder_test.dir/builder_test.cc.o"
+  "CMakeFiles/tree_builder_test.dir/builder_test.cc.o.d"
+  "tree_builder_test"
+  "tree_builder_test.pdb"
+  "tree_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

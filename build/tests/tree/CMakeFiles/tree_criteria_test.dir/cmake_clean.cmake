@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_criteria_test.dir/criteria_test.cc.o"
+  "CMakeFiles/tree_criteria_test.dir/criteria_test.cc.o.d"
+  "tree_criteria_test"
+  "tree_criteria_test.pdb"
+  "tree_criteria_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_criteria_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_discretize_test.dir/discretize_test.cc.o"
+  "CMakeFiles/tree_discretize_test.dir/discretize_test.cc.o.d"
+  "tree_discretize_test"
+  "tree_discretize_test.pdb"
+  "tree_discretize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_discretize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

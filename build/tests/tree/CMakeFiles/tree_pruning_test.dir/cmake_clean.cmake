@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_pruning_test.dir/pruning_test.cc.o"
+  "CMakeFiles/tree_pruning_test.dir/pruning_test.cc.o.d"
+  "tree_pruning_test"
+  "tree_pruning_test.pdb"
+  "tree_pruning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_pruning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

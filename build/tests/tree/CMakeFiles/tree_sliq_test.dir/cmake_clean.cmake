@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_sliq_test.dir/sliq_test.cc.o"
+  "CMakeFiles/tree_sliq_test.dir/sliq_test.cc.o.d"
+  "tree_sliq_test"
+  "tree_sliq_test.pdb"
+  "tree_sliq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_sliq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

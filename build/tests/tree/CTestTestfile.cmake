@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tree
+# Build directory: /root/repo/build/tests/tree
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tree/tree_criteria_test[1]_include.cmake")
+include("/root/repo/build/tests/tree/tree_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/tree/tree_pruning_test[1]_include.cmake")
+include("/root/repo/build/tests/tree/tree_discretize_test[1]_include.cmake")
+include("/root/repo/build/tests/tree/tree_sliq_test[1]_include.cmake")
+include("/root/repo/build/tests/tree/tree_builder_property_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tseries_dft_test.dir/dft_test.cc.o"
+  "CMakeFiles/tseries_dft_test.dir/dft_test.cc.o.d"
+  "tseries_dft_test"
+  "tseries_dft_test.pdb"
+  "tseries_dft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tseries_dft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

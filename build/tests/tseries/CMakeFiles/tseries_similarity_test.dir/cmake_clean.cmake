@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tseries_similarity_test.dir/similarity_test.cc.o"
+  "CMakeFiles/tseries_similarity_test.dir/similarity_test.cc.o.d"
+  "tseries_similarity_test"
+  "tseries_similarity_test.pdb"
+  "tseries_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tseries_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
