@@ -30,9 +30,10 @@ struct Workload {
 constexpr Workload kWorkloads[] = {
     {"T5.I2.D10K", 5, 2}, {"T10.I4.D10K", 10, 4}, {"T20.I6.D10K", 20, 6}};
 
-dmt::assoc::MiningParams ParamsFor(int64_t minsup_bp) {
+dmt::assoc::MiningParams ParamsFor(int64_t minsup_bp, int64_t threads) {
   dmt::assoc::MiningParams params;
   params.min_support = static_cast<double>(minsup_bp) / 10000.0;
+  params.num_threads = static_cast<size_t>(threads);
   return params;
 }
 
@@ -40,7 +41,7 @@ template <typename Runner>
 void RunCase(benchmark::State& state, const Runner& runner) {
   const Workload& workload = kWorkloads[state.range(0)];
   const auto& db = QuestWorkload(workload.t, workload.i, kTransactions);
-  auto params = ParamsFor(state.range(1));
+  auto params = ParamsFor(state.range(1), state.range(2));
   size_t itemsets = 0;
   for (auto _ : state) {
     auto result = runner(db, params);
@@ -49,8 +50,10 @@ void RunCase(benchmark::State& state, const Runner& runner) {
     benchmark::DoNotOptimize(result);
   }
   state.counters["itemsets"] = static_cast<double>(itemsets);
+  state.counters["threads"] = static_cast<double>(state.range(2));
   state.SetLabel(std::string(workload.name) + " minsup=" +
-                 std::to_string(state.range(1)) + "bp");
+                 std::to_string(state.range(1)) + "bp t=" +
+                 std::to_string(state.range(2)));
 }
 
 void BM_Apriori(benchmark::State& state) {
@@ -80,14 +83,26 @@ void BM_Eclat(benchmark::State& state) {
 void AllCases(benchmark::internal::Benchmark* bench) {
   for (int64_t workload = 0; workload < 3; ++workload) {
     for (int64_t minsup : kMinsupBp) {
-      bench->Args({workload, minsup});
+      bench->Args({workload, minsup, 0});
     }
   }
   bench->Unit(benchmark::kMillisecond)->Iterations(2);
 }
 
-BENCHMARK(BM_Apriori)->Apply(AllCases);
-BENCHMARK(BM_AprioriTid)->Apply(AllCases);
+/// Thread-scaling column for the miners that honor num_threads: the
+/// T10.I4 workload at the two lowest (slowest) thresholds, at 1/2/4
+/// worker threads, so the speedup over the t=0 serial rows is visible.
+void ThreadCases(benchmark::internal::Benchmark* bench) {
+  for (int64_t minsup : {50, 25}) {
+    for (int64_t threads : {1, 2, 4}) {
+      bench->Args({1, minsup, threads});
+    }
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(2);
+}
+
+BENCHMARK(BM_Apriori)->Apply(AllCases)->Apply(ThreadCases);
+BENCHMARK(BM_AprioriTid)->Apply(AllCases)->Apply(ThreadCases);
 BENCHMARK(BM_FpGrowth)->Apply(AllCases);
 BENCHMARK(BM_Eclat)->Apply(AllCases);
 

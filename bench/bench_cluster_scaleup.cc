@@ -24,6 +24,7 @@ void BM_KMeans(benchmark::State& state) {
   options.k = kClusters;
   options.seed = 3;
   options.max_iterations = 20;
+  options.num_threads = static_cast<size_t>(state.range(1));
   for (auto _ : state) {
     auto result = dmt::cluster::KMeans(data.points, options);
     DMT_CHECK(result.ok());
@@ -31,6 +32,7 @@ void BM_KMeans(benchmark::State& state) {
   }
   state.counters["points"] =
       static_cast<double>(data.points.size());
+  state.counters["threads"] = static_cast<double>(state.range(1));
 }
 
 void BM_Birch(benchmark::State& state) {
@@ -50,16 +52,27 @@ void BM_Birch(benchmark::State& state) {
       static_cast<double>(data.points.size());
 }
 
-void Sizes(benchmark::internal::Benchmark* bench) {
-  // points per cluster: total = 100 * arg.
+void KMeansSizes(benchmark::internal::Benchmark* bench) {
+  // points per cluster: total = 100 * arg; second arg = worker threads
+  // (0 = serial) so the scale-up figure gains a speedup column.
+  for (int64_t per_cluster : {100, 200, 500, 1000, 2000}) {
+    bench->Args({per_cluster, 0});
+  }
+  for (int64_t threads : {2, 4}) {
+    bench->Args({2000, threads});
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+void BirchSizes(benchmark::internal::Benchmark* bench) {
   for (int64_t per_cluster : {100, 200, 500, 1000, 2000}) {
     bench->Arg(per_cluster);
   }
   bench->Unit(benchmark::kMillisecond)->Iterations(1);
 }
 
-BENCHMARK(BM_KMeans)->Apply(Sizes);
-BENCHMARK(BM_Birch)->Apply(Sizes);
+BENCHMARK(BM_KMeans)->Apply(KMeansSizes);
+BENCHMARK(BM_Birch)->Apply(BirchSizes);
 
 }  // namespace
 

@@ -91,6 +91,7 @@ void RunDbscan(benchmark::State& state) {
   options.eps = 1.4;
   options.min_points = 8;
   options.neighbors = neighbors;
+  options.num_threads = static_cast<size_t>(state.range(1));
   size_t clusters = 0;
   for (auto _ : state) {
     auto result = dmt::cluster::Dbscan(data.points, options);
@@ -100,6 +101,7 @@ void RunDbscan(benchmark::State& state) {
   }
   state.counters["points"] = static_cast<double>(data.points.size());
   state.counters["clusters"] = static_cast<double>(clusters);
+  state.counters["threads"] = static_cast<double>(state.range(1));
 }
 
 void BM_DbscanKdTree(benchmark::State& state) {
@@ -110,8 +112,14 @@ void BM_DbscanBrute(benchmark::State& state) {
 }
 
 void Sizes(benchmark::internal::Benchmark* bench) {
+  // Second arg = worker threads for the batched region queries (0 =
+  // serial); the largest size also runs at 2 and 4 threads for the
+  // speedup column.
   for (int64_t per_cluster : {200, 400, 800, 1600}) {
-    bench->Arg(per_cluster);
+    bench->Args({per_cluster, 0});
+  }
+  for (int64_t threads : {2, 4}) {
+    bench->Args({1600, threads});
   }
   bench->Unit(benchmark::kMillisecond)->Iterations(1);
 }

@@ -18,6 +18,7 @@ void BM_Gsp(benchmark::State& state) {
   const auto& db = SequenceWorkload(5000);
   dmt::seq::SeqMiningParams params;
   params.min_support = static_cast<double>(state.range(0)) / 10000.0;
+  params.num_threads = static_cast<size_t>(state.range(1));
   size_t patterns = 0;
   for (auto _ : state) {
     auto result = dmt::seq::MineGsp(db, params);
@@ -26,15 +27,25 @@ void BM_Gsp(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
   state.counters["patterns"] = static_cast<double>(patterns);
+  state.counters["threads"] = static_cast<double>(state.range(1));
 }
 
-BENCHMARK(BM_Gsp)
-    ->Arg(100)
-    ->Arg(75)
-    ->Arg(50)
-    ->Arg(33)
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+void Cases(benchmark::internal::Benchmark* bench) {
+  // Second arg = worker threads for support counting (0 = serial); the
+  // two slowest thresholds also run at 2 and 4 threads for the speedup
+  // column.
+  for (int64_t minsup : {100, 75, 50, 33}) {
+    bench->Args({minsup, 0});
+  }
+  for (int64_t minsup : {50, 33}) {
+    for (int64_t threads : {2, 4}) {
+      bench->Args({minsup, threads});
+    }
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Gsp)->Apply(Cases);
 
 }  // namespace
 

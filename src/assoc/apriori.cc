@@ -6,6 +6,7 @@
 #include "assoc/candidate_gen.h"
 #include "assoc/hash_tree.h"
 #include "core/check.h"
+#include "core/parallel.h"
 
 namespace dmt::assoc {
 
@@ -89,6 +90,7 @@ Result<MiningResult> MineApriori(const TransactionDatabase& db,
   DMT_RETURN_NOT_OK(params.Validate());
   DMT_RETURN_NOT_OK(options.Validate());
   const uint32_t min_count = AbsoluteMinSupport(db, params.min_support);
+  const core::ParallelContext ctx(params.num_threads);
 
   MiningResult result;
   size_t num_singles = 0;
@@ -108,16 +110,20 @@ Result<MiningResult> MineApriori(const TransactionDatabase& db,
     if (options.counting == AprioriOptions::CountingMethod::kHashTree) {
       HashTree tree(gen.candidates, k, options.hash_tree_fanout,
                     options.hash_tree_leaf_size);
-      tree.CountDatabase(db, counts);
+      tree.CountDatabase(db, counts, ctx);
     } else {
       std::unordered_map<Itemset, uint32_t, ItemsetHash> index;
       index.reserve(gen.candidates.size());
       for (uint32_t c = 0; c < gen.candidates.size(); ++c) {
         index.emplace(gen.candidates[c], c);
       }
-      for (size_t t = 0; t < db.size(); ++t) {
-        CountBySubsetLookup(db.transaction(t), k, index, counts);
-      }
+      core::CountPartitioned(
+          ctx, db.size(), counts,
+          [&](size_t begin, size_t end, std::span<uint32_t> local) {
+            for (size_t t = begin; t < end; ++t) {
+              CountBySubsetLookup(db.transaction(t), k, index, local);
+            }
+          });
     }
     std::vector<FrequentItemset> next_layer;
     for (uint32_t c = 0; c < gen.candidates.size(); ++c) {
@@ -138,6 +144,7 @@ Result<MiningResult> MineAprioriTid(const TransactionDatabase& db,
                                     const MiningParams& params) {
   DMT_RETURN_NOT_OK(params.Validate());
   const uint32_t min_count = AbsoluteMinSupport(db, params.min_support);
+  const core::ParallelContext ctx(params.num_threads);
 
   MiningResult result;
   size_t num_singles = 0;
@@ -164,11 +171,6 @@ Result<MiningResult> MineAprioriTid(const TransactionDatabase& db,
     }
   }
 
-  // Stamp array marking which frequent (k-1) ids the current transaction
-  // contains.
-  std::vector<uint32_t> present_stamp;
-  uint32_t serial = 0;
-
   for (size_t k = 2; !layer.empty(); ++k) {
     if (params.max_itemset_size != 0 && k > params.max_itemset_size) break;
     CandidateGenResult gen =
@@ -185,22 +187,29 @@ Result<MiningResult> MineAprioriTid(const TransactionDatabase& db,
 
     std::vector<uint32_t> counts(gen.candidates.size(), 0);
     std::vector<std::vector<uint32_t>> next_entries(db.size());
-    present_stamp.assign(layer.size(), 0);
-    serial = 0;
-    for (size_t t = 0; t < db.size(); ++t) {
-      const auto& entry = entries[t];
-      if (entry.size() < 2) continue;
-      ++serial;
-      for (uint32_t id : entry) present_stamp[id] = serial;
-      for (uint32_t id : entry) {
-        for (uint32_t c : candidates_by_parent1[id]) {
-          if (present_stamp[gen.parents[c].second] == serial) {
-            ++counts[c];
-            next_entries[t].push_back(c);
+    // Each chunk owns a stamp array marking which frequent (k-1) ids the
+    // current transaction contains, and writes only its own transactions'
+    // next_entries slots.
+    core::CountPartitioned(
+        ctx, db.size(), counts,
+        [&](size_t begin, size_t end, std::span<uint32_t> local) {
+          std::vector<uint32_t> present_stamp(layer.size(), 0);
+          uint32_t serial = 0;
+          for (size_t t = begin; t < end; ++t) {
+            const auto& entry = entries[t];
+            if (entry.size() < 2) continue;
+            ++serial;
+            for (uint32_t id : entry) present_stamp[id] = serial;
+            for (uint32_t id : entry) {
+              for (uint32_t c : candidates_by_parent1[id]) {
+                if (present_stamp[gen.parents[c].second] == serial) {
+                  ++local[c];
+                  next_entries[t].push_back(c);
+                }
+              }
+            }
           }
-        }
-      }
-    }
+        });
 
     std::vector<FrequentItemset> next_layer;
     // Remap candidate ids to next-layer (frequent) ids.

@@ -72,6 +72,23 @@ void HashTree::CountDatabase(const core::TransactionDatabase& db,
   }
 }
 
+void HashTree::CountDatabase(const core::TransactionDatabase& db,
+                             std::span<uint32_t> counts,
+                             const core::ParallelContext& ctx) const {
+  if (!ctx.parallel()) {
+    CountDatabase(db, counts);
+    return;
+  }
+  core::CountPartitioned(
+      ctx, db.size(), counts,
+      [&](size_t begin, size_t end, std::span<uint32_t> local) {
+        CountingState state(candidates_.size());
+        for (size_t t = begin; t < end; ++t) {
+          CountTransaction(db.transaction(t), state, local);
+        }
+      });
+}
+
 void HashTree::Descend(const Node* node, size_t depth,
                        std::span<const core::ItemId> transaction,
                        size_t start, CountingState& state,

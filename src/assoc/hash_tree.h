@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "assoc/itemset.h"
+#include "core/parallel.h"
 #include "core/transaction.h"
 
 namespace dmt::assoc {
@@ -50,6 +51,15 @@ class HashTree {
   /// Counts every transaction of `db` into `counts`.
   void CountDatabase(const core::TransactionDatabase& db,
                      std::span<uint32_t> counts) const;
+
+  /// Parallel variant: partitions the database across `ctx`, counting each
+  /// chunk into a private buffer with its own CountingState, then merges
+  /// buffers in chunk order. Bit-identical to the serial overload (counts
+  /// are integers, so the merge order cannot change the result); a serial
+  /// context delegates to it directly.
+  void CountDatabase(const core::TransactionDatabase& db,
+                     std::span<uint32_t> counts,
+                     const core::ParallelContext& ctx) const;
 
   /// Number of nodes, for introspection/tests.
   size_t num_nodes() const { return num_nodes_; }

@@ -64,6 +64,10 @@ struct MiningParams {
   double min_support = 0.01;
   /// Largest itemset size to mine; 0 means unlimited.
   size_t max_itemset_size = 0;
+  /// Worker threads for support counting; 0 or 1 = serial. Honored by
+  /// MineApriori and MineAprioriTid (other miners run serially); parallel
+  /// runs produce bit-identical results to serial runs.
+  size_t num_threads = 0;
 
   core::Status Validate() const;
 };

@@ -8,6 +8,7 @@
 
 #include "core/distance.h"
 #include "core/kd_tree.h"
+#include "core/parallel.h"
 
 namespace dmt::cluster {
 
@@ -51,10 +52,29 @@ Result<DbscanResult> Dbscan(const PointSet& points,
     index = std::make_unique<core::KdTree>(points);
   }
   const double eps_sq = options.eps * options.eps;
-  auto region_query = [&](size_t center) {
+  auto query_point = [&](size_t center) {
     return index != nullptr
                ? index->RadiusSearch(points.point(center), options.eps)
                : BruteRegionQuery(points, center, eps_sq);
+  };
+
+  // Parallel mode: batch all neighbourhood queries up front. Each query
+  // depends only on the point set, so the serial expansion below consumes
+  // identical neighbour lists and produces identical labels; the sweep
+  // queries each point at most once, so handing the list out by move is
+  // safe.
+  const core::ParallelContext ctx(options.num_threads);
+  std::vector<std::vector<uint32_t>> batched;
+  if (ctx.parallel()) {
+    batched.resize(points.size());
+    core::ParallelForChunks(
+        ctx.pool(), 0, points.size(), [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) batched[i] = query_point(i);
+        });
+  }
+  auto region_query = [&](size_t center) {
+    return batched.empty() ? query_point(center)
+                           : std::move(batched[center]);
   };
 
   std::vector<bool> visited(points.size(), false);

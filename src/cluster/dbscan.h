@@ -21,6 +21,12 @@ struct DbscanOptions {
   /// baseline).
   enum class Neighbors { kKdTree, kBruteForce };
   Neighbors neighbors = Neighbors::kKdTree;
+  /// Worker threads for region queries; 0 or 1 = serial. Parallel mode
+  /// batches every point's neighbourhood query up front (queries are
+  /// independent of traversal order, so labels are bit-identical to the
+  /// serial sweep) and then runs the cluster expansion serially; it trades
+  /// O(sum of neighbourhood sizes) memory for the speedup.
+  size_t num_threads = 0;
 
   core::Status Validate() const;
 };

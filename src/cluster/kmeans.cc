@@ -6,6 +6,7 @@
 
 #include "core/check.h"
 #include "core/distance.h"
+#include "core/parallel.h"
 #include "core/rng.h"
 
 namespace dmt::cluster {
@@ -43,7 +44,8 @@ namespace {
 /// Picks initial centers; weights bias both strategies toward heavy points.
 PointSet SeedCenters(const PointSet& points,
                      const std::vector<double>& weights, size_t k,
-                     KMeansInit init, Rng& rng) {
+                     KMeansInit init, Rng& rng,
+                     const core::ParallelContext& ctx) {
   PointSet centers(points.dim());
   if (init == KMeansInit::kForgy) {
     auto picks = rng.SampleWithoutReplacement(points.size(), k);
@@ -58,11 +60,15 @@ PointSet SeedCenters(const PointSet& points,
   std::vector<double> sampling_weight(points.size(), 0.0);
   while (centers.size() < k) {
     auto latest = centers.point(centers.size() - 1);
-    for (size_t i = 0; i < points.size(); ++i) {
-      double d = core::SquaredEuclideanDistance(points.point(i), latest);
-      if (d < min_dist_sq[i]) min_dist_sq[i] = d;
-      sampling_weight[i] = min_dist_sq[i] * weights[i];
-    }
+    core::ParallelForChunks(
+        ctx.pool(), 0, points.size(), [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            double d =
+                core::SquaredEuclideanDistance(points.point(i), latest);
+            if (d < min_dist_sq[i]) min_dist_sq[i] = d;
+            sampling_weight[i] = min_dist_sq[i] * weights[i];
+          }
+        });
     double total = 0.0;
     for (double w : sampling_weight) total += w;
     size_t next;
@@ -90,10 +96,40 @@ Result<ClusteringResult> Run(const PointSet& points,
   const size_t n = points.size();
   const size_t dim = points.dim();
   Rng rng(options.seed);
+  const core::ParallelContext ctx(options.num_threads);
 
   ClusteringResult result;
-  result.centers = SeedCenters(points, weights, options.k, options.init, rng);
+  result.centers =
+      SeedCenters(points, weights, options.k, options.init, rng, ctx);
   result.assignments.assign(n, 0);
+
+  // Assignment step: per-point nearest centers are data-parallel; the SSE
+  // reduction runs on this thread in index order so parallel runs are
+  // bit-identical to serial ones.
+  std::vector<double> dist_sq(n, 0.0);
+  auto assign_points = [&]() {
+    core::ParallelForChunks(
+        ctx.pool(), 0, n, [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            double best_d = std::numeric_limits<double>::infinity();
+            uint32_t best_c = 0;
+            auto p = points.point(i);
+            for (uint32_t c = 0; c < options.k; ++c) {
+              double d = core::SquaredEuclideanDistance(
+                  p, result.centers.point(c));
+              if (d < best_d) {
+                best_d = d;
+                best_c = c;
+              }
+            }
+            result.assignments[i] = best_c;
+            dist_sq[i] = best_d;
+          }
+        });
+    double sse = 0.0;
+    for (size_t i = 0; i < n; ++i) sse += dist_sq[i] * weights[i];
+    return sse;
+  };
 
   std::vector<double> sums(options.k * dim, 0.0);
   std::vector<double> cluster_weight(options.k, 0.0);
@@ -102,23 +138,7 @@ Result<ClusteringResult> Run(const PointSet& points,
   for (size_t iteration = 0; iteration < options.max_iterations;
        ++iteration) {
     result.iterations = iteration + 1;
-    // Assignment step.
-    double sse = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      double best_d = std::numeric_limits<double>::infinity();
-      uint32_t best_c = 0;
-      auto p = points.point(i);
-      for (uint32_t c = 0; c < options.k; ++c) {
-        double d = core::SquaredEuclideanDistance(p, result.centers.point(c));
-        if (d < best_d) {
-          best_d = d;
-          best_c = c;
-        }
-      }
-      result.assignments[i] = best_c;
-      sse += best_d * weights[i];
-    }
-    result.sse = sse;
+    result.sse = assign_points();
 
     // Update step.
     std::fill(sums.begin(), sums.end(), 0.0);
@@ -156,31 +176,16 @@ Result<ClusteringResult> Run(const PointSet& points,
     }
 
     if (std::isfinite(previous_sse) &&
-        previous_sse - sse <=
+        previous_sse - result.sse <=
             options.tolerance * std::max(previous_sse, 1e-30)) {
       break;
     }
-    previous_sse = sse;
+    previous_sse = result.sse;
   }
 
   // Final assignment against the last centers (keeps assignments and
   // centers mutually consistent).
-  double sse = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    double best_d = std::numeric_limits<double>::infinity();
-    uint32_t best_c = 0;
-    auto p = points.point(i);
-    for (uint32_t c = 0; c < options.k; ++c) {
-      double d = core::SquaredEuclideanDistance(p, result.centers.point(c));
-      if (d < best_d) {
-        best_d = d;
-        best_c = c;
-      }
-    }
-    result.assignments[i] = best_c;
-    sse += best_d * weights[i];
-  }
-  result.sse = sse;
+  result.sse = assign_points();
   return result;
 }
 

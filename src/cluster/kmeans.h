@@ -26,6 +26,11 @@ struct KMeansOptions {
   /// Stop when the SSE improvement falls below this relative amount.
   double tolerance = 1e-6;
   uint64_t seed = 1;
+  /// Worker threads for the assignment and seeding distance loops; 0 or 1
+  /// = serial. Parallel runs are bit-identical to serial runs: per-point
+  /// distances are data-parallel and every floating-point reduction stays
+  /// on the calling thread in point-index order.
+  size_t num_threads = 0;
 
   core::Status Validate() const;
 };

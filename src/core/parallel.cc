@@ -1,0 +1,56 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace dmt::core {
+
+size_t ParallelContext::NumChunks(size_t n) const {
+  if (n == 0) return 0;
+  if (pool_ == nullptr) return 1;
+  return std::min(n, pool_->num_threads() * 2);
+}
+
+void ParallelContext::ForEachChunk(
+    size_t n,
+    const std::function<void(size_t, size_t, size_t)>& body) const {
+  const size_t chunks = NumChunks(n);
+  if (chunks == 0) return;
+  if (chunks == 1) {
+    body(0, 0, n);
+    return;
+  }
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = n * c / chunks;
+    const size_t end = n * (c + 1) / chunks;
+    pool_->Submit([&body, c, begin, end] { body(c, begin, end); });
+  }
+  pool_->Wait();
+}
+
+void MergeCounts(const std::vector<std::vector<uint32_t>>& partials,
+                 std::span<uint32_t> totals) {
+  for (const auto& partial : partials) {
+    DMT_CHECK_EQ(partial.size(), totals.size());
+    for (size_t i = 0; i < totals.size(); ++i) totals[i] += partial[i];
+  }
+}
+
+void CountPartitioned(
+    const ParallelContext& ctx, size_t n, std::span<uint32_t> counts,
+    const std::function<void(size_t, size_t, std::span<uint32_t>)>&
+        count_range) {
+  if (!ctx.parallel() || n == 0) {
+    count_range(0, n, counts);
+    return;
+  }
+  std::vector<std::vector<uint32_t>> partials(
+      ctx.NumChunks(n), std::vector<uint32_t>(counts.size(), 0));
+  ctx.ForEachChunk(n, [&](size_t chunk, size_t begin, size_t end) {
+    count_range(begin, end, partials[chunk]);
+  });
+  MergeCounts(partials, counts);
+}
+
+}  // namespace dmt::core

@@ -27,6 +27,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   DMT_CHECK(task != nullptr);
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    // Submitting to a shutting-down pool would either lose the task or
+    // race the worker joins; fail loudly instead (see header contract).
     DMT_CHECK(!shutting_down_);
     queue_.push_back(std::move(task));
   }

@@ -24,10 +24,21 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
+  /// Enqueues a task for execution. Safe to call from any thread,
+  /// including from inside a running task (Wait() then also covers the
+  /// nested task, because the parent is still active when it enqueues).
+  /// Submitting to a pool whose destructor has begun is a programming
+  /// error and aborts via DMT_CHECK; because the destructor joins all
+  /// workers, reaching that check from outside means the caller is racing
+  /// a destroyed pool.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until the pool is idle: the queue is empty and no task is
+  /// running. Tasks submitted concurrently with a Wait() in progress (by
+  /// other threads or by running tasks) extend that Wait(); a Submit that
+  /// happens after Wait() observed the pool idle is covered by the next
+  /// Wait() instead. Must not be called from inside a task — the calling
+  /// task counts as active, so it would deadlock.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }

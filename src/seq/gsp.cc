@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "core/check.h"
+#include "core/parallel.h"
 #include "core/string_util.h"
 
 namespace dmt::seq {
@@ -157,7 +158,8 @@ bool SurvivesPrune(const Sequence& candidate, const SeqKeySet& frequent) {
 /// ordered pair, and scans elements for unordered pairs.
 void CountPass2(const SequenceDatabase& db,
                 const std::vector<Sequence>& candidates,
-                std::span<uint32_t> counts) {
+                std::span<uint32_t> counts,
+                const core::ParallelContext& ctx) {
   auto pair_key = [](ItemId x, ItemId y) {
     return (static_cast<uint64_t>(x) << 32) | y;
   };
@@ -174,49 +176,57 @@ void CountPass2(const SequenceDatabase& db,
     }
   }
   const size_t universe = db.item_universe();
-  std::vector<uint32_t> first_seen(universe, 0), last_seen(universe, 0);
-  std::vector<uint32_t> first_pos(universe, 0), last_pos(universe, 0);
-  std::vector<uint32_t> element_stamp(candidates.size(), 0);
-  std::vector<ItemId> present;
-  uint32_t serial = 0;
-  for (size_t cust = 0; cust < db.size(); ++cust) {
-    const Sequence& customer = db.sequence(cust);
-    ++serial;
-    present.clear();
-    for (uint32_t e = 0; e < customer.elements.size(); ++e) {
-      for (ItemId item : customer.elements[e]) {
-        if (first_seen[item] != serial) {
-          first_seen[item] = serial;
-          first_pos[item] = e;
-          present.push_back(item);
-        }
-        last_seen[item] = serial;
-        last_pos[item] = e;
-      }
-    }
-    // Ordered pairs: x strictly before y in element position.
-    for (ItemId x : present) {
-      for (ItemId y : present) {
-        if (first_pos[x] < last_pos[y]) {
-          auto it = ordered_index.find(pair_key(x, y));
-          if (it != ordered_index.end()) ++counts[it->second];
-        }
-      }
-    }
-    // Same-element pairs, deduplicated per customer.
-    for (const auto& element : customer.elements) {
-      for (size_t i = 0; i < element.size(); ++i) {
-        for (size_t j = i + 1; j < element.size(); ++j) {
-          auto it = element_index.find(pair_key(element[i], element[j]));
-          if (it != element_index.end() &&
-              element_stamp[it->second] != serial) {
-            element_stamp[it->second] = serial;
-            ++counts[it->second];
+  // The indexes above are shared read-only; every stamp/position scratch
+  // array is chunk-local, so customers partition cleanly across chunks.
+  core::CountPartitioned(
+      ctx, db.size(), counts,
+      [&](size_t chunk_begin, size_t chunk_end, std::span<uint32_t> local) {
+        std::vector<uint32_t> first_seen(universe, 0),
+            last_seen(universe, 0);
+        std::vector<uint32_t> first_pos(universe, 0), last_pos(universe, 0);
+        std::vector<uint32_t> element_stamp(candidates.size(), 0);
+        std::vector<ItemId> present;
+        uint32_t serial = 0;
+        for (size_t cust = chunk_begin; cust < chunk_end; ++cust) {
+          const Sequence& customer = db.sequence(cust);
+          ++serial;
+          present.clear();
+          for (uint32_t e = 0; e < customer.elements.size(); ++e) {
+            for (ItemId item : customer.elements[e]) {
+              if (first_seen[item] != serial) {
+                first_seen[item] = serial;
+                first_pos[item] = e;
+                present.push_back(item);
+              }
+              last_seen[item] = serial;
+              last_pos[item] = e;
+            }
+          }
+          // Ordered pairs: x strictly before y in element position.
+          for (ItemId x : present) {
+            for (ItemId y : present) {
+              if (first_pos[x] < last_pos[y]) {
+                auto it = ordered_index.find(pair_key(x, y));
+                if (it != ordered_index.end()) ++local[it->second];
+              }
+            }
+          }
+          // Same-element pairs, deduplicated per customer.
+          for (const auto& element : customer.elements) {
+            for (size_t i = 0; i < element.size(); ++i) {
+              for (size_t j = i + 1; j < element.size(); ++j) {
+                auto it =
+                    element_index.find(pair_key(element[i], element[j]));
+                if (it != element_index.end() &&
+                    element_stamp[it->second] != serial) {
+                  element_stamp[it->second] = serial;
+                  ++local[it->second];
+                }
+              }
+            }
           }
         }
-      }
-    }
-  }
+      });
 }
 
 void SortCanonicalSequences(std::vector<SequencePattern>* patterns) {
@@ -237,6 +247,7 @@ Result<SeqMiningResult> MineGsp(const SequenceDatabase& db,
   DMT_RETURN_NOT_OK(params.Validate());
   SeqMiningResult result;
   if (db.empty()) return result;
+  const core::ParallelContext ctx(params.num_threads);
   const auto min_count = static_cast<uint32_t>(std::max<int64_t>(
       1, static_cast<int64_t>(std::ceil(
              params.min_support * static_cast<double>(db.size()) - 1e-9))));
@@ -286,15 +297,20 @@ Result<SeqMiningResult> MineGsp(const SequenceDatabase& db,
     }
     std::vector<uint32_t> counts(candidates.size(), 0);
     if (k == 2) {
-      CountPass2(db, candidates, counts);
+      CountPass2(db, candidates, counts, ctx);
     } else {
-      for (size_t c = 0; c < db.size(); ++c) {
-        const Sequence& customer = db.sequence(c);
-        if (customer.TotalItems() < k) continue;
-        for (size_t cand = 0; cand < candidates.size(); ++cand) {
-          if (customer.Contains(candidates[cand])) ++counts[cand];
-        }
-      }
+      core::CountPartitioned(
+          ctx, db.size(), counts,
+          [&](size_t chunk_begin, size_t chunk_end,
+              std::span<uint32_t> local) {
+            for (size_t c = chunk_begin; c < chunk_end; ++c) {
+              const Sequence& customer = db.sequence(c);
+              if (customer.TotalItems() < k) continue;
+              for (size_t cand = 0; cand < candidates.size(); ++cand) {
+                if (customer.Contains(candidates[cand])) ++local[cand];
+              }
+            }
+          });
     }
     std::vector<SequencePattern> next_layer;
     for (size_t cand = 0; cand < candidates.size(); ++cand) {

@@ -43,6 +43,10 @@ struct SeqMiningParams {
   double min_support = 0.01;
   /// Largest pattern size in total items; 0 = unlimited.
   size_t max_pattern_items = 0;
+  /// Worker threads for candidate-support counting (the per-customer
+  /// containment scans); 0 or 1 = serial. Parallel runs produce
+  /// bit-identical results to serial runs.
+  size_t num_threads = 0;
 
   core::Status Validate() const;
 };

@@ -1,0 +1,117 @@
+// Differential tests for the parallel Apriori kernels: mining with
+// num_threads in {2, 4} must produce results bit-identical to the serial
+// run on seeded Quest workloads — same frequent itemsets, same supports,
+// same per-pass census.
+#include <gtest/gtest.h>
+
+#include "assoc/apriori.h"
+#include "core/check.h"
+#include "gen/quest.h"
+
+namespace dmt::assoc {
+namespace {
+
+core::TransactionDatabase Workload(uint64_t seed) {
+  gen::QuestParams params;
+  params.num_transactions = 2000;
+  params.avg_transaction_size = 8;
+  params.avg_pattern_size = 3;
+  params.num_items = 200;
+  params.num_patterns = 100;
+  auto db = gen::GenerateQuestTransactions(params, seed);
+  DMT_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+void ExpectSameResult(const MiningResult& serial,
+                      const MiningResult& parallel, size_t threads) {
+  EXPECT_EQ(serial.itemsets, parallel.itemsets)
+      << "itemsets diverged at num_threads=" << threads;
+  ASSERT_EQ(serial.passes.size(), parallel.passes.size());
+  for (size_t p = 0; p < serial.passes.size(); ++p) {
+    EXPECT_EQ(serial.passes[p].pass, parallel.passes[p].pass);
+    EXPECT_EQ(serial.passes[p].candidates, parallel.passes[p].candidates);
+    EXPECT_EQ(serial.passes[p].frequent, parallel.passes[p].frequent);
+  }
+}
+
+TEST(AprioriParallelDiffTest, HashTreeCountingMatchesSerial) {
+  auto db = Workload(/*seed=*/41);
+  MiningParams params;
+  params.min_support = 0.01;
+  auto serial = MineApriori(db, params);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_FALSE(serial->itemsets.empty());
+  for (size_t threads : {2u, 4u}) {
+    params.num_threads = threads;
+    auto parallel = MineApriori(db, params);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameResult(*serial, *parallel, threads);
+  }
+}
+
+TEST(AprioriParallelDiffTest, SubsetLookupCountingMatchesSerial) {
+  auto db = Workload(/*seed=*/42);
+  MiningParams params;
+  params.min_support = 0.015;
+  AprioriOptions options;
+  options.counting = AprioriOptions::CountingMethod::kSubsetLookup;
+  auto serial = MineApriori(db, params, options);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_FALSE(serial->itemsets.empty());
+  for (size_t threads : {2u, 4u}) {
+    params.num_threads = threads;
+    auto parallel = MineApriori(db, params, options);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameResult(*serial, *parallel, threads);
+  }
+}
+
+TEST(AprioriParallelDiffTest, AprioriTidMatchesSerial) {
+  auto db = Workload(/*seed=*/43);
+  MiningParams params;
+  params.min_support = 0.01;
+  auto serial = MineAprioriTid(db, params);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_FALSE(serial->itemsets.empty());
+  for (size_t threads : {2u, 4u}) {
+    params.num_threads = threads;
+    auto parallel = MineAprioriTid(db, params);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameResult(*serial, *parallel, threads);
+  }
+}
+
+TEST(AprioriParallelDiffTest, ParallelRunsAreRepeatable) {
+  // Two parallel runs with the same thread count must also agree with each
+  // other (scheduling must never leak into results).
+  auto db = Workload(/*seed=*/44);
+  MiningParams params;
+  params.min_support = 0.01;
+  params.num_threads = 4;
+  auto first = MineApriori(db, params);
+  auto second = MineApriori(db, params);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->itemsets, second->itemsets);
+}
+
+TEST(AprioriParallelDiffTest, MoreThreadsThanTransactions) {
+  // Degenerate chunking: thread count exceeding the database size must not
+  // change results (chunks cap at one transaction each).
+  core::TransactionDatabase tiny;
+  tiny.Add(std::vector<core::ItemId>{0, 1, 2});
+  tiny.Add(std::vector<core::ItemId>{0, 1, 3});
+  tiny.Add(std::vector<core::ItemId>{0, 2, 3});
+  MiningParams params;
+  params.min_support = 0.5;
+  auto serial = MineApriori(tiny, params);
+  params.num_threads = 8;
+  auto parallel = MineApriori(tiny, params);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->itemsets, parallel->itemsets);
+}
+
+}  // namespace
+}  // namespace dmt::assoc

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Full pre-merge check: tier-1 build + tests, then a ThreadSanitizer build
+# that runs the thread-pool unit tests and the serial-vs-parallel
+# differential tests for every parallelized miner.
+#
+# Usage: tools/check.sh [jobs]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${1:-$(nproc)}"
+
+echo "== tier 1: regular build + full test suite =="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$JOBS"
+ctest --test-dir "$ROOT/build" --output-on-failure
+
+echo
+echo "== tier 2: ThreadSanitizer build (DMT_SANITIZE=thread) =="
+cmake -B "$ROOT/build-tsan" -S "$ROOT" \
+  -DDMT_SANITIZE=thread \
+  -DDMT_BUILD_BENCHMARKS=OFF \
+  -DDMT_BUILD_EXAMPLES=OFF
+TSAN_TARGETS=(
+  core_thread_pool_test
+  assoc_parallel_diff_test
+  cluster_parallel_diff_test
+  seq_parallel_diff_test
+)
+cmake --build "$ROOT/build-tsan" -j "$JOBS" --target "${TSAN_TARGETS[@]}"
+
+# halt_on_error so a single race fails the script immediately.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+"$ROOT/build-tsan/tests/core/core_thread_pool_test"
+"$ROOT/build-tsan/tests/assoc/assoc_parallel_diff_test"
+"$ROOT/build-tsan/tests/cluster/cluster_parallel_diff_test"
+"$ROOT/build-tsan/tests/seq/seq_parallel_diff_test"
+
+echo
+echo "All checks passed."
