@@ -13,6 +13,7 @@
 
 #include "assoc/apriori.h"
 #include "assoc/fp_growth.h"
+#include "bench_main.h"
 #include "bench_util.h"
 
 namespace {
@@ -97,8 +98,5 @@ BENCHMARK(BM_AprioriSubsetLookup)
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  PrintCensus();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dmt::bench::BenchMain("assoc_census", argc, argv, PrintCensus);
 }

@@ -11,6 +11,7 @@
 #include "assoc/apriori.h"
 #include "assoc/eclat.h"
 #include "assoc/fp_growth.h"
+#include "bench_main.h"
 #include "bench_util.h"
 
 namespace {
@@ -108,4 +109,6 @@ BENCHMARK(BM_Eclat)->Apply(AllCases);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dmt::bench::BenchMain("assoc_minsup", argc, argv);
+}

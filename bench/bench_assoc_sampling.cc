@@ -16,6 +16,7 @@
 
 #include "assoc/fp_growth.h"
 #include "assoc/sampling.h"
+#include "bench_main.h"
 #include "bench_util.h"
 #include "core/timer.h"
 
@@ -94,8 +95,5 @@ BENCHMARK(BM_SamplingMine)
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  PrintSamplingTable();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dmt::bench::BenchMain("assoc_sampling", argc, argv, PrintSamplingTable);
 }

@@ -10,6 +10,7 @@
 #include "assoc/apriori.h"
 #include "assoc/eclat.h"
 #include "assoc/fp_growth.h"
+#include "bench_main.h"
 #include "bench_util.h"
 
 namespace {
@@ -73,4 +74,6 @@ BENCHMARK(BM_Eclat)->Apply(Sizes);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dmt::bench::BenchMain("assoc_scaleup_t", argc, argv);
+}

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_main.h"
 #include "bench_util.h"
 #include "classify/knn.h"
 #include "classify/naive_bayes.h"
@@ -150,8 +151,5 @@ BENCHMARK(BM_TrainNaiveBayes)->Arg(2)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  PrintAccuracyTable();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dmt::bench::BenchMain("classify_functions", argc, argv, PrintAccuracyTable);
 }

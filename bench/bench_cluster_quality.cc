@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "bench_main.h"
 #include "bench_util.h"
 #include "cluster/agglomerative.h"
 #include "cluster/birch.h"
@@ -31,28 +32,46 @@ void PrintQualityTable() {
   const auto& data = GridWorkload(kClusters, kPerCluster);
   std::printf("# TAB-B1: DS1-style grid, %zu points in %zu clusters\n",
               data.points.size(), kClusters);
-  std::printf("# method, time_ms, sse, ari, nmi\n");
+  std::printf("# method, time_ms, sse, ari, nmi, dist_comps\n");
   auto report = [&](const char* name, double millis, double sse,
                     const std::vector<uint32_t>& assignments,
-                    const std::vector<uint32_t>& truth) {
+                    const std::vector<uint32_t>& truth,
+                    uint64_t dist_comps) {
     auto ari = dmt::eval::AdjustedRandIndex(truth, assignments);
     auto nmi = dmt::eval::NormalizedMutualInformation(truth, assignments);
     DMT_CHECK(ari.ok());
     DMT_CHECK(nmi.ok());
-    std::printf("quality,%s,%.1f,%.1f,%.4f,%.4f\n", name, millis, sse,
-                *ari, *nmi);
+    std::printf("quality,%s,%.1f,%.1f,%.4f,%.4f,%llu\n", name, millis,
+                sse, *ari, *nmi,
+                static_cast<unsigned long long>(dist_comps));
   };
 
+  // Assignment-engine ablation: all three rows must report the same SSE
+  // and ARI (the pruned engines are exact); only time and dist_comps
+  // move.
   {
-    dmt::cluster::KMeansOptions options;
-    options.k = kClusters;
-    options.init = dmt::cluster::KMeansInit::kPlusPlus;
-    options.seed = 17;
-    dmt::core::WallTimer timer;
-    auto result = dmt::cluster::KMeans(data.points, options);
-    DMT_CHECK(result.ok());
-    report("kmeans++", timer.ElapsedMillis(), result->sse,
-           result->assignments, data.labels);
+    using Assignment = dmt::cluster::KMeansOptions::Assignment;
+    constexpr struct {
+      const char* name;
+      Assignment assignment;
+    } kEngines[] = {
+        {"kmeans++", Assignment::kLloyd},
+        {"kmeans++_hamerly", Assignment::kHamerly},
+        {"kmeans++_elkan", Assignment::kElkan},
+    };
+    for (const auto& engine : kEngines) {
+      dmt::cluster::KMeansOptions options;
+      options.k = kClusters;
+      options.init = dmt::cluster::KMeansInit::kPlusPlus;
+      options.assignment = engine.assignment;
+      options.seed = 17;
+      dmt::core::WallTimer timer;
+      auto result = dmt::cluster::KMeans(data.points, options);
+      DMT_CHECK(result.ok());
+      report(engine.name, timer.ElapsedMillis(), result->sse,
+             result->assignments, data.labels,
+             result->distance_computations);
+    }
   }
   {
     dmt::cluster::KMeansOptions options;
@@ -63,7 +82,8 @@ void PrintQualityTable() {
     auto result = dmt::cluster::KMeans(data.points, options);
     DMT_CHECK(result.ok());
     report("kmeans_forgy", timer.ElapsedMillis(), result->sse,
-           result->assignments, data.labels);
+           result->assignments, data.labels,
+           result->distance_computations);
   }
   {
     dmt::cluster::BirchOptions options;
@@ -75,7 +95,8 @@ void PrintQualityTable() {
     auto result = dmt::cluster::Birch(data.points, options);
     DMT_CHECK(result.ok());
     report("birch", timer.ElapsedMillis(), result->clustering.sse,
-           result->clustering.assignments, data.labels);
+           result->clustering.assignments, data.labels,
+           result->clustering.distance_computations);
     std::printf("# birch summary: %zu leaf entries, threshold %.2f, "
                 "%zu rebuilds\n",
                 result->num_leaf_entries, result->final_threshold,
@@ -135,11 +156,14 @@ void BM_KMeansPlusPlus(benchmark::State& state) {
   dmt::cluster::KMeansOptions options;
   options.k = kClusters;
   options.seed = 17;
+  double dist_comps = 0.0;
   for (auto _ : state) {
     auto result = dmt::cluster::KMeans(data.points, options);
     DMT_CHECK(result.ok());
+    dist_comps = static_cast<double>(result->distance_computations);
     benchmark::DoNotOptimize(result);
   }
+  state.counters["dist_comps"] = dist_comps;
 }
 
 void BM_Birch(benchmark::State& state) {
@@ -162,8 +186,6 @@ BENCHMARK(BM_Birch)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  PrintQualityTable();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dmt::bench::BenchMain("cluster_quality", argc, argv,
+                               PrintQualityTable);
 }

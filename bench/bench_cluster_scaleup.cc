@@ -5,8 +5,13 @@
 // into bounded CF summaries, then clustering the summaries); direct
 // k-means grows linearly with a much larger constant (k distance
 // computations per point per Lloyd iteration), so the gap widens with n.
+// The assignment column ablates that constant: the Hamerly/Elkan engines
+// return bit-identical clusterings while pruning most of the k distances
+// per point (dist_comps counter), so pruned k-means scales with cluster
+// count instead of n*k.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "bench_util.h"
 #include "cluster/birch.h"
 #include "cluster/kmeans.h"
@@ -17,22 +22,71 @@ using dmt::bench::GridWorkload;
 
 constexpr size_t kClusters = 100;
 
-void BM_KMeans(benchmark::State& state) {
-  const auto& data =
-      GridWorkload(kClusters, static_cast<size_t>(state.range(0)));
+dmt::cluster::KMeansOptions::Assignment AssignmentFromArg(int64_t arg) {
+  using Assignment = dmt::cluster::KMeansOptions::Assignment;
+  switch (arg) {
+    case 1: return Assignment::kHamerly;
+    case 2: return Assignment::kElkan;
+    default: return Assignment::kLloyd;
+  }
+}
+
+void RunKMeans(benchmark::State& state, size_t clusters,
+               size_t per_cluster) {
+  const auto& data = GridWorkload(clusters, per_cluster);
   dmt::cluster::KMeansOptions options;
-  options.k = kClusters;
+  options.k = clusters;
   options.seed = 3;
   options.max_iterations = 20;
   options.num_threads = static_cast<size_t>(state.range(1));
+  options.assignment = AssignmentFromArg(state.range(2));
+  double sse = 0.0;
+  double dist_comps = 0.0;
   for (auto _ : state) {
     auto result = dmt::cluster::KMeans(data.points, options);
     DMT_CHECK(result.ok());
+    sse = result->sse;
+    dist_comps = static_cast<double>(result->distance_computations);
     benchmark::DoNotOptimize(result);
   }
-  state.counters["points"] =
-      static_cast<double>(data.points.size());
+  state.counters["points"] = static_cast<double>(data.points.size());
   state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["assignment"] = static_cast<double>(state.range(2));
+  state.counters["sse"] = sse;
+  state.counters["dist_comps"] = dist_comps;
+}
+
+// args: points per cluster (total = 100 * arg), worker threads,
+// assignment engine (0 = Lloyd, 1 = Hamerly, 2 = Elkan).
+void BM_KMeans(benchmark::State& state) {
+  RunKMeans(state, kClusters, static_cast<size_t>(state.range(0)));
+}
+
+// Acceptance sweep at n = 100K, k = 50: args = (threads, assignment).
+// Identical SSE across the assignment column with a >= 3x drop in
+// dist_comps is the exactness-plus-pruning check.
+void BM_KMeansPruning(benchmark::State& state) {
+  const auto& data = GridWorkload(50, 2000);
+  dmt::cluster::KMeansOptions options;
+  options.k = 50;
+  options.seed = 3;
+  options.max_iterations = 20;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  options.assignment = AssignmentFromArg(state.range(1));
+  double sse = 0.0;
+  double dist_comps = 0.0;
+  for (auto _ : state) {
+    auto result = dmt::cluster::KMeans(data.points, options);
+    DMT_CHECK(result.ok());
+    sse = result->sse;
+    dist_comps = static_cast<double>(result->distance_computations);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["points"] = static_cast<double>(data.points.size());
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["assignment"] = static_cast<double>(state.range(1));
+  state.counters["sse"] = sse;
+  state.counters["dist_comps"] = dist_comps;
 }
 
 void BM_Birch(benchmark::State& state) {
@@ -54,13 +108,27 @@ void BM_Birch(benchmark::State& state) {
 
 void KMeansSizes(benchmark::internal::Benchmark* bench) {
   // points per cluster: total = 100 * arg; second arg = worker threads
-  // (0 = serial) so the scale-up figure gains a speedup column.
+  // (0 = serial) so the scale-up figure gains a speedup column; third
+  // arg = assignment engine, ablated on the largest size.
   for (int64_t per_cluster : {100, 200, 500, 1000, 2000}) {
-    bench->Args({per_cluster, 0});
+    bench->Args({per_cluster, 0, 0});
   }
   for (int64_t threads : {2, 4}) {
-    bench->Args({2000, threads});
+    bench->Args({2000, threads, 0});
   }
+  for (int64_t assignment : {1, 2}) {
+    bench->Args({2000, 0, assignment});
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+void PruningSweep(benchmark::internal::Benchmark* bench) {
+  for (int64_t assignment : {0, 1, 2}) {
+    bench->Args({0, assignment});
+  }
+  // Pruning composes with threading: the bound arrays are chunked
+  // through the same deterministic parallel contract.
+  bench->Args({4, 1});
   bench->Unit(benchmark::kMillisecond)->Iterations(1);
 }
 
@@ -72,8 +140,11 @@ void BirchSizes(benchmark::internal::Benchmark* bench) {
 }
 
 BENCHMARK(BM_KMeans)->Apply(KMeansSizes);
+BENCHMARK(BM_KMeansPruning)->Apply(PruningSweep);
 BENCHMARK(BM_Birch)->Apply(BirchSizes);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dmt::bench::BenchMain("cluster_scaleup", argc, argv);
+}

@@ -8,6 +8,9 @@
 // vs the brute-force quadratic.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+#include "bench_util.h"
+
 #include <cstdio>
 
 #include "cluster/dbscan.h"
@@ -130,8 +133,5 @@ BENCHMARK(BM_DbscanBrute)->Apply(Sizes);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  PrintQualitySeries();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dmt::bench::BenchMain("dbscan", argc, argv, PrintQualitySeries);
 }

@@ -7,6 +7,7 @@
 // lower thresholds push the frequent frontier to longer sequences.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "bench_util.h"
 #include "seq/gsp.h"
 
@@ -49,4 +50,6 @@ BENCHMARK(BM_Gsp)->Apply(Cases);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dmt::bench::BenchMain("gsp_minsup", argc, argv);
+}

@@ -6,6 +6,7 @@
 // counting dominates.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "bench_util.h"
 #include "seq/gsp.h"
 
@@ -35,4 +36,6 @@ BENCHMARK(BM_Gsp)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dmt::bench::BenchMain("gsp_scaleup", argc, argv);
+}

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_main.h"
 #include "bench_util.h"
 #include "classify/knn.h"
 #include "eval/cross_validation.h"
@@ -85,8 +86,5 @@ BENCHMARK(BM_KnnBrute)->Apply(Sizes);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  PrintAccuracySeries();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dmt::bench::BenchMain("knn_sweep", argc, argv, PrintAccuracySeries);
 }

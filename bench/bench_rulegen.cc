@@ -12,6 +12,7 @@
 
 #include "assoc/fp_growth.h"
 #include "assoc/rules.h"
+#include "bench_main.h"
 #include "bench_util.h"
 
 namespace {
@@ -71,8 +72,5 @@ BENCHMARK(BM_GenerateRules)
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  PrintRuleTable();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dmt::bench::BenchMain("rulegen", argc, argv, PrintRuleTable);
 }

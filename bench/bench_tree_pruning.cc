@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "bench_util.h"
+#include "bench_main.h"
 #include "eval/cross_validation.h"
 #include "eval/metrics.h"
 #include "gen/agrawal.h"
@@ -118,8 +118,5 @@ BENCHMARK(BM_CostComplexityPrune)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  PrintSeries();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dmt::bench::BenchMain("tree_pruning", argc, argv, PrintSeries);
 }

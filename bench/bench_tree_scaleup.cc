@@ -9,6 +9,7 @@
 // scalability claim.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "bench_util.h"
 #include "tree/builder.h"
 #include "tree/sliq.h"
@@ -61,4 +62,6 @@ BENCHMARK(BM_Sliq)->Apply(Sizes);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dmt::bench::BenchMain("tree_scaleup", argc, argv);
+}

@@ -11,6 +11,8 @@
 // cost with a shallow minimum around f = 2-4.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <cstdio>
 
 #include "core/check.h"
@@ -115,8 +117,5 @@ BENCHMARK(BM_BruteForceQuery)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  PrintSelectivityTable();
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return dmt::bench::BenchMain("tseries", argc, argv, PrintSelectivityTable);
 }

@@ -1,5 +1,8 @@
 // Shared helpers for the benchmark harness: cached synthetic workloads so
 // repeated benchmark cases do not regenerate data inside the timing loop.
+// The shared bench entry point (JSON output, flag parsing) lives in
+// bench_main.h so this header stays free of the benchmark-library
+// dependency (tests include it for the workload caches).
 #ifndef DMT_BENCH_BENCH_UTIL_H_
 #define DMT_BENCH_BENCH_UTIL_H_
 

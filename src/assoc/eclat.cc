@@ -1,6 +1,7 @@
 #include "assoc/eclat.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/bitset.h"
 #include "core/check.h"
@@ -24,9 +25,6 @@ std::vector<uint32_t> IntersectTids(const std::vector<uint32_t>& a,
   return out;
 }
 
-size_t SizeOf(const std::vector<uint32_t>& tids) { return tids.size(); }
-size_t SizeOf(const DynamicBitset& tids) { return tids.Count(); }
-
 template <typename Tidset>
 struct ClassMember {
   ItemId item;
@@ -36,10 +34,13 @@ struct ClassMember {
 
 /// Depth-first walk over one equivalence class (all itemsets sharing
 /// `prefix`); members are ordered by item id so output is deterministic.
-template <typename Tidset, typename IntersectFn>
+/// `probe(a, b)` returns {support, tidset}; a representation may leave
+/// the tidset empty for candidates below min_count (they are discarded
+/// without ever materializing an intersection).
+template <typename Tidset, typename ProbeFn>
 void Walk(const Itemset& prefix,
           const std::vector<ClassMember<Tidset>>& members, uint32_t min_count,
-          size_t max_size, const IntersectFn& intersect, MiningResult* result,
+          size_t max_size, const ProbeFn& probe, MiningResult* result,
           size_t depth) {
   if (result->passes.size() < depth + 1) {
     result->passes.push_back({depth + 1, 0, 0});
@@ -57,15 +58,14 @@ void Walk(const Itemset& prefix,
         result->passes.push_back({depth + 2, 0, 0});
       }
       ++result->passes[depth + 1].candidates;
-      Tidset shared = intersect(members[i].tids, members[j].tids);
-      uint32_t support = static_cast<uint32_t>(SizeOf(shared));
+      auto [support, shared] = probe(members[i].tids, members[j].tids);
       if (support >= min_count) {
         extensions.push_back(
             {members[j].item, std::move(shared), support});
       }
     }
     if (!extensions.empty()) {
-      Walk(items, extensions, min_count, max_size, intersect, result,
+      Walk(items, extensions, min_count, max_size, probe, result,
            depth + 1);
     }
   }
@@ -104,13 +104,15 @@ Result<MiningResult> MineEclat(const TransactionDatabase& db,
       }
     }
     result.passes[0].frequent = 0;  // filled by the walk at depth 0
-    auto intersect = [](const std::vector<uint32_t>& a,
-                        const std::vector<uint32_t>& b) {
-      return IntersectTids(a, b);
+    auto probe = [](const std::vector<uint32_t>& a,
+                    const std::vector<uint32_t>& b) {
+      std::vector<uint32_t> shared = IntersectTids(a, b);
+      uint32_t support = static_cast<uint32_t>(shared.size());
+      return std::pair(support, std::move(shared));
     };
     if (!roots.empty()) {
       Walk<std::vector<uint32_t>>({}, roots, min_count,
-                                  params.max_itemset_size, intersect,
+                                  params.max_itemset_size, probe,
                                   &result, 0);
     }
   } else {
@@ -131,12 +133,17 @@ Result<MiningResult> MineEclat(const TransactionDatabase& db,
         }
       }
     }
-    auto intersect = [](const DynamicBitset& a, const DynamicBitset& b) {
-      return a.Intersect(b);
+    // Probe support with a popcount pass first; only survivors pay for a
+    // materialized intersection, so rejected candidates allocate nothing.
+    auto probe = [min_count](const DynamicBitset& a,
+                             const DynamicBitset& b) {
+      uint32_t support = static_cast<uint32_t>(a.IntersectionCount(b));
+      if (support < min_count) return std::pair(support, DynamicBitset());
+      return std::pair(support, a.Intersect(b));
     };
     if (!roots.empty()) {
       Walk<DynamicBitset>({}, roots, min_count, params.max_itemset_size,
-                          intersect, &result, 0);
+                          probe, &result, 0);
     }
   }
   // Depth d of the walk emits (d+1)-itemsets; relabel passes accordingly

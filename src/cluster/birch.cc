@@ -286,6 +286,7 @@ Result<BirchResult> Birch(const PointSet& points,
   }
   KMeansOptions kmeans;
   kmeans.k = std::min(options.global_clusters, centroids.size());
+  kmeans.assignment = options.global_assignment;
   kmeans.seed = options.seed;
   DMT_ASSIGN_OR_RETURN(ClusteringResult global,
                        WeightedKMeans(centroids, weights, kmeans));
@@ -293,6 +294,9 @@ Result<BirchResult> Birch(const PointSet& points,
   // Label original points by their nearest global center.
   result.clustering.centers = std::move(global.centers);
   result.clustering.iterations = global.iterations;
+  result.clustering.distance_computations =
+      global.distance_computations +
+      points.size() * result.clustering.centers.size();
   result.clustering.assignments.resize(points.size());
   double sse = 0.0;
   for (size_t i = 0; i < points.size(); ++i) {

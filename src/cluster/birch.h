@@ -29,6 +29,10 @@ struct BirchOptions {
   /// Number of clusters produced by the global phase (weighted k-means over
   /// leaf-entry centroids).
   size_t global_clusters = 8;
+  /// Assignment engine for the global-phase k-means. Exact (bit-identical
+  /// clustering for any choice), so the pruned default only affects speed.
+  KMeansOptions::Assignment global_assignment =
+      KMeansOptions::Assignment::kHamerly;
   uint64_t seed = 1;
 
   core::Status Validate() const;
@@ -45,7 +49,8 @@ struct BirchResult {
   size_t rebuilds = 0;
 };
 
-/// Clusters `points` with BIRCH.
+/// Clusters `points` with BIRCH. `clustering.distance_computations`
+/// covers the global phase plus the final point-labeling pass.
 core::Result<BirchResult> Birch(const core::PointSet& points,
                                 const BirchOptions& options);
 

@@ -41,11 +41,26 @@ double ComputeSse(const PointSet& points,
 
 namespace {
 
-/// Picks initial centers; weights bias both strategies toward heavy points.
+using Assignment = KMeansOptions::Assignment;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Relative safety margin on every pruning test and bound update. The
+// triangle-inequality bounds are maintained in floating point, so a few
+// ulps of rounding could otherwise let a bound claim slightly more than
+// the truth and skip a center the Lloyd scan would pick on a near-exact
+// tie. A 1e-10 relative margin dwarfs the achievable rounding error while
+// costing a negligible amount of pruning, so pruned runs stay
+// bit-identical to Lloyd.
+constexpr double kBoundSlack = 1.0 + 1e-10;
+
+/// Picks initial centers; weights bias both strategies toward heavy
+/// points. Distance evaluations are tallied into `distance_computations`.
 PointSet SeedCenters(const PointSet& points,
                      const std::vector<double>& weights, size_t k,
                      KMeansInit init, Rng& rng,
-                     const core::ParallelContext& ctx) {
+                     const core::ParallelContext& ctx,
+                     uint64_t* distance_computations) {
   PointSet centers(points.dim());
   if (init == KMeansInit::kForgy) {
     auto picks = rng.SampleWithoutReplacement(points.size(), k);
@@ -69,6 +84,7 @@ PointSet SeedCenters(const PointSet& points,
             sampling_weight[i] = min_dist_sq[i] * weights[i];
           }
         });
+    *distance_computations += points.size();
     double total = 0.0;
     for (double w : sampling_weight) total += w;
     size_t next;
@@ -82,6 +98,300 @@ PointSet SeedCenters(const PointSet& points,
   }
   return centers;
 }
+
+/// Nearest-center assignment with three interchangeable engines. All
+/// three follow Lloyd's tie-breaking (strict `<`, lowest center index
+/// wins) and produce bit-identical assignments and per-point squared
+/// distances; the pruned engines merely skip distance evaluations the
+/// triangle inequality proves irrelevant. Every point computes the exact
+/// distance to its assigned center each iteration, so the SSE reduction
+/// (done by the caller in index order) matches Lloyd to the last bit and
+/// the convergence test takes identical branches.
+class AssignmentEngine {
+ public:
+  AssignmentEngine(const PointSet& points, const KMeansOptions& options,
+                   const core::ParallelContext& ctx)
+      : points_(points),
+        options_(options),
+        ctx_(ctx),
+        n_(points.size()),
+        k_(options.k),
+        dist_sq_(points.size(), 0.0),
+        chunk_comps_(ctx.NumChunks(points.size()), 0) {
+    if (options_.assignment != Assignment::kLloyd) {
+      half_nearest_.assign(k_, 0.0);
+      if (options_.assignment == Assignment::kHamerly) {
+        lower_.assign(n_, 0.0);
+      } else {
+        center_dist_.assign(k_ * k_, 0.0);
+        lower_per_center_.assign(n_ * k_, 0.0);
+      }
+    }
+  }
+
+  /// Writes the nearest center of every point into `assignments` and its
+  /// exact squared distance into dist_sq().
+  void Assign(const PointSet& centers, std::vector<uint32_t>* assignments) {
+    if (options_.assignment == Assignment::kLloyd) {
+      AssignLloyd(centers, assignments);
+      return;
+    }
+    if (!initialized_) {
+      InitScan(centers, assignments);
+      initialized_ = true;
+    } else {
+      ComputeCenterGeometry(centers);
+      if (options_.assignment == Assignment::kHamerly) {
+        AssignHamerly(centers, assignments);
+      } else {
+        AssignElkan(centers, assignments);
+      }
+    }
+    MergeChunkComps();
+  }
+
+  /// Folds one update step's center movement into the maintained lower
+  /// bounds: a center that moved by delta can shrink any point's distance
+  /// to it by at most delta (triangle inequality). Valid for arbitrary
+  /// movement, including empty-cluster restarts that teleport a center.
+  void ApplyMovement(const PointSet& before, const PointSet& after,
+                     const std::vector<uint32_t>& assignments) {
+    if (options_.assignment == Assignment::kLloyd || !initialized_) return;
+    std::vector<double> delta(k_);
+    double max1 = 0.0, max2 = 0.0;
+    uint32_t argmax = 0;
+    for (uint32_t c = 0; c < k_; ++c) {
+      // Inflated a hair so accumulated rounding can never make a
+      // maintained bound claim more than the true distance.
+      double m = core::EuclideanDistance(before.point(c), after.point(c)) *
+                 kBoundSlack;
+      delta[c] = m;
+      if (m > max1) {
+        max2 = max1;
+        max1 = m;
+        argmax = c;
+      } else if (m > max2) {
+        max2 = m;
+      }
+    }
+    comps_ += k_;
+    if (options_.assignment == Assignment::kHamerly) {
+      // lower_[i] bounds the distance to every center except the
+      // assigned one, so the assigned center's movement never applies;
+      // when it happens to be the biggest mover, the runner-up does.
+      ctx_.ForEachChunk(n_, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          lower_[i] -= assignments[i] == argmax ? max2 : max1;
+        }
+      });
+    } else {
+      ctx_.ForEachChunk(n_, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          double* lb = lower_per_center_.data() + i * k_;
+          for (uint32_t c = 0; c < k_; ++c) lb[c] -= delta[c];
+        }
+      });
+    }
+  }
+
+  /// Exact squared distance of each point to its assigned center, as of
+  /// the latest Assign() call (bit-identical across engines).
+  const std::vector<double>& dist_sq() const { return dist_sq_; }
+
+  uint64_t distance_computations() const { return comps_; }
+  void CountExternal(uint64_t comps) { comps_ += comps; }
+
+ private:
+  void AssignLloyd(const PointSet& centers,
+                   std::vector<uint32_t>* assignments) {
+    ctx_.ForEachChunk(n_, [&](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        double best_d = kInf;
+        uint32_t best_c = 0;
+        auto p = points_.point(i);
+        for (uint32_t c = 0; c < k_; ++c) {
+          double d = core::SquaredEuclideanDistance(p, centers.point(c));
+          if (d < best_d) {
+            best_d = d;
+            best_c = c;
+          }
+        }
+        (*assignments)[i] = best_c;
+        dist_sq_[i] = best_d;
+      }
+    });
+    comps_ += static_cast<uint64_t>(n_) * k_;
+  }
+
+  /// First pruned-engine pass: a full Lloyd scan that also captures the
+  /// second-closest distance (Hamerly's initial lower bound) or every
+  /// center's distance (Elkan's initial per-center bounds).
+  void InitScan(const PointSet& centers,
+                std::vector<uint32_t>* assignments) {
+    const bool elkan = options_.assignment == Assignment::kElkan;
+    ctx_.ForEachChunk(n_, [&](size_t chunk, size_t begin, size_t end) {
+      uint64_t comps = 0;
+      for (size_t i = begin; i < end; ++i) {
+        auto p = points_.point(i);
+        double best_d2 = kInf, second_d2 = kInf;
+        uint32_t best = 0;
+        for (uint32_t c = 0; c < k_; ++c) {
+          double d2 = core::SquaredEuclideanDistance(p, centers.point(c));
+          ++comps;
+          if (elkan) lower_per_center_[i * k_ + c] = std::sqrt(d2);
+          if (d2 < best_d2) {
+            second_d2 = best_d2;
+            best_d2 = d2;
+            best = c;
+          } else if (d2 < second_d2) {
+            second_d2 = d2;
+          }
+        }
+        (*assignments)[i] = best;
+        dist_sq_[i] = best_d2;
+        if (!elkan) lower_[i] = std::sqrt(second_d2);
+      }
+      chunk_comps_[chunk] = comps;
+    });
+  }
+
+  void AssignHamerly(const PointSet& centers,
+                     std::vector<uint32_t>* assignments) {
+    ctx_.ForEachChunk(n_, [&](size_t chunk, size_t begin, size_t end) {
+      uint64_t comps = 0;
+      for (size_t i = begin; i < end; ++i) {
+        auto p = points_.point(i);
+        uint32_t a = (*assignments)[i];
+        // Exact distance to the assigned center: needed regardless of
+        // pruning so the SSE reduction stays bit-identical to Lloyd.
+        double d2 = core::SquaredEuclideanDistance(p, centers.point(a));
+        ++comps;
+        dist_sq_[i] = d2;
+        double d = std::sqrt(d2);
+        // Prune when d is strictly below both the maintained bound on
+        // every other center and half the distance to the nearest other
+        // center: either proves every rival is strictly farther, so the
+        // Lloyd scan would keep `a` too (ties cannot survive a strict
+        // inequality with slack).
+        if (d * kBoundSlack < std::max(lower_[i], half_nearest_[a])) {
+          continue;
+        }
+        // Bound failed: full Lloyd-identical rescan, which also yields
+        // the exact second-closest distance to re-tighten the bound.
+        double best_d2 = kInf, second_d2 = kInf;
+        uint32_t best = 0;
+        for (uint32_t c = 0; c < k_; ++c) {
+          double dd2 = core::SquaredEuclideanDistance(p, centers.point(c));
+          ++comps;
+          if (dd2 < best_d2) {
+            second_d2 = best_d2;
+            best_d2 = dd2;
+            best = c;
+          } else if (dd2 < second_d2) {
+            second_d2 = dd2;
+          }
+        }
+        (*assignments)[i] = best;
+        dist_sq_[i] = best_d2;
+        lower_[i] = std::sqrt(second_d2);
+      }
+      chunk_comps_[chunk] = comps;
+    });
+  }
+
+  void AssignElkan(const PointSet& centers,
+                   std::vector<uint32_t>* assignments) {
+    ctx_.ForEachChunk(n_, [&](size_t chunk, size_t begin, size_t end) {
+      uint64_t comps = 0;
+      for (size_t i = begin; i < end; ++i) {
+        auto p = points_.point(i);
+        uint32_t a = (*assignments)[i];
+        double* lb = lower_per_center_.data() + i * k_;
+        double d2 = core::SquaredEuclideanDistance(p, centers.point(a));
+        ++comps;
+        double d = std::sqrt(d2);
+        lb[a] = d;
+        dist_sq_[i] = d2;
+        if (d * kBoundSlack < half_nearest_[a]) continue;
+        // Per-center pruned scan. The incumbent distance is always
+        // exact, so a skipped center is provably *strictly* farther and
+        // an evaluated one is compared exactly like Lloyd's scan, with
+        // (distance, index) lexicographic order breaking ties toward the
+        // lowest index.
+        double best_d2 = d2, best_d = d;
+        uint32_t best = a;
+        for (uint32_t c = 0; c < k_; ++c) {
+          if (c == a) continue;
+          if (best_d * kBoundSlack < lb[c]) continue;
+          if (best_d * kBoundSlack < 0.5 * center_dist_[best * k_ + c]) {
+            continue;
+          }
+          double dd2 = core::SquaredEuclideanDistance(p, centers.point(c));
+          ++comps;
+          double dd = std::sqrt(dd2);
+          lb[c] = dd;
+          if (dd2 < best_d2 || (dd2 == best_d2 && c < best)) {
+            best_d2 = dd2;
+            best_d = dd;
+            best = c;
+          }
+        }
+        (*assignments)[i] = best;
+        dist_sq_[i] = best_d2;
+      }
+      chunk_comps_[chunk] = comps;
+    });
+  }
+
+  /// Half the distance from every center to its nearest other center
+  /// (both pruned engines), plus the full inter-center matrix (Elkan).
+  void ComputeCenterGeometry(const PointSet& centers) {
+    const bool elkan = options_.assignment == Assignment::kElkan;
+    std::fill(half_nearest_.begin(), half_nearest_.end(), kInf);
+    for (uint32_t a = 0; a + 1 < k_; ++a) {
+      for (uint32_t b = a + 1; b < k_; ++b) {
+        double d = core::EuclideanDistance(centers.point(a),
+                                           centers.point(b));
+        if (elkan) {
+          center_dist_[a * k_ + b] = d;
+          center_dist_[b * k_ + a] = d;
+        }
+        double half = 0.5 * d;
+        if (half < half_nearest_[a]) half_nearest_[a] = half;
+        if (half < half_nearest_[b]) half_nearest_[b] = half;
+      }
+    }
+    comps_ += static_cast<uint64_t>(k_) * (k_ - 1) / 2;
+  }
+
+  /// Ascending chunk order per the determinism contract (integer sums,
+  /// so any order would match, but the contract keeps it auditable).
+  void MergeChunkComps() {
+    for (uint64_t& c : chunk_comps_) {
+      comps_ += c;
+      c = 0;
+    }
+  }
+
+  const PointSet& points_;
+  const KMeansOptions& options_;
+  const core::ParallelContext& ctx_;
+  const size_t n_;
+  const uint32_t k_;
+  bool initialized_ = false;
+  std::vector<double> dist_sq_;
+  /// Hamerly: per-point lower bound on the distance to every non-assigned
+  /// center.
+  std::vector<double> lower_;
+  /// Elkan: per-point, per-center lower bounds (n * k).
+  std::vector<double> lower_per_center_;
+  /// Elkan: inter-center distances (k * k).
+  std::vector<double> center_dist_;
+  /// Both pruned engines: 0.5 * distance to the nearest other center.
+  std::vector<double> half_nearest_;
+  std::vector<uint64_t> chunk_comps_;
+  uint64_t comps_ = 0;
+};
 
 Result<ClusteringResult> Run(const PointSet& points,
                              const std::vector<double>& weights,
@@ -99,40 +409,26 @@ Result<ClusteringResult> Run(const PointSet& points,
   const core::ParallelContext ctx(options.num_threads);
 
   ClusteringResult result;
-  result.centers =
-      SeedCenters(points, weights, options.k, options.init, rng, ctx);
+  uint64_t seeding_comps = 0;
+  result.centers = SeedCenters(points, weights, options.k, options.init,
+                               rng, ctx, &seeding_comps);
   result.assignments.assign(n, 0);
 
-  // Assignment step: per-point nearest centers are data-parallel; the SSE
-  // reduction runs on this thread in index order so parallel runs are
-  // bit-identical to serial ones.
-  std::vector<double> dist_sq(n, 0.0);
+  AssignmentEngine engine(points, options, ctx);
+  engine.CountExternal(seeding_comps);
+
+  // The SSE reduction runs on this thread in index order so parallel
+  // runs are bit-identical to serial ones.
   auto assign_points = [&]() {
-    core::ParallelForChunks(
-        ctx.pool(), 0, n, [&](size_t begin, size_t end) {
-          for (size_t i = begin; i < end; ++i) {
-            double best_d = std::numeric_limits<double>::infinity();
-            uint32_t best_c = 0;
-            auto p = points.point(i);
-            for (uint32_t c = 0; c < options.k; ++c) {
-              double d = core::SquaredEuclideanDistance(
-                  p, result.centers.point(c));
-              if (d < best_d) {
-                best_d = d;
-                best_c = c;
-              }
-            }
-            result.assignments[i] = best_c;
-            dist_sq[i] = best_d;
-          }
-        });
+    engine.Assign(result.centers, &result.assignments);
     double sse = 0.0;
-    for (size_t i = 0; i < n; ++i) sse += dist_sq[i] * weights[i];
+    for (size_t i = 0; i < n; ++i) sse += engine.dist_sq()[i] * weights[i];
     return sse;
   };
 
   std::vector<double> sums(options.k * dim, 0.0);
   std::vector<double> cluster_weight(options.k, 0.0);
+  PointSet previous_centers;
   double previous_sse = std::numeric_limits<double>::infinity();
 
   for (size_t iteration = 0; iteration < options.max_iterations;
@@ -140,7 +436,8 @@ Result<ClusteringResult> Run(const PointSet& points,
     result.iterations = iteration + 1;
     result.sse = assign_points();
 
-    // Update step.
+    // Update step (weights scale only the sums, never the assignment).
+    previous_centers = result.centers;
     std::fill(sums.begin(), sums.end(), 0.0);
     std::fill(cluster_weight.begin(), cluster_weight.end(), 0.0);
     for (size_t i = 0; i < n; ++i) {
@@ -150,30 +447,43 @@ Result<ClusteringResult> Run(const PointSet& points,
       for (size_t d = 0; d < dim; ++d) target[d] += w * p[d];
       cluster_weight[result.assignments[i]] += w;
     }
+    std::vector<uint32_t> empty_clusters;
     for (uint32_t c = 0; c < options.k; ++c) {
-      auto center = result.centers.mutable_point(c);
       if (cluster_weight[c] > 0.0) {
+        auto center = result.centers.mutable_point(c);
         const double* source = sums.data() + c * dim;
         for (size_t d = 0; d < dim; ++d) {
           center[d] = source[d] / cluster_weight[c];
         }
       } else {
-        // Empty cluster: restart it at the point farthest from its center.
-        size_t farthest = 0;
-        double farthest_d = -1.0;
-        for (size_t i = 0; i < n; ++i) {
-          double d = core::SquaredEuclideanDistance(
-              points.point(i),
-              result.centers.point(result.assignments[i]));
-          if (d > farthest_d) {
-            farthest_d = d;
-            farthest = i;
-          }
-        }
-        auto p = points.point(farthest);
-        std::copy(p.begin(), p.end(), center.begin());
+        empty_clusters.push_back(c);
       }
     }
+    // Empty clusters restart at the points farthest from their assigned
+    // centers, measured with the assignment step's distances (dist_sq)
+    // so partially updated centers cannot skew the scan, and never
+    // reusing one point for two restarts in the same iteration.
+    std::vector<size_t> chosen;
+    for (uint32_t c : empty_clusters) {
+      size_t farthest = 0;
+      double farthest_d = -1.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (std::find(chosen.begin(), chosen.end(), i) != chosen.end()) {
+          continue;
+        }
+        if (engine.dist_sq()[i] > farthest_d) {
+          farthest_d = engine.dist_sq()[i];
+          farthest = i;
+        }
+      }
+      chosen.push_back(farthest);
+      auto p = points.point(farthest);
+      auto center = result.centers.mutable_point(c);
+      std::copy(p.begin(), p.end(), center.begin());
+    }
+
+    engine.ApplyMovement(previous_centers, result.centers,
+                         result.assignments);
 
     if (std::isfinite(previous_sse) &&
         previous_sse - result.sse <=
@@ -186,6 +496,7 @@ Result<ClusteringResult> Run(const PointSet& points,
   // Final assignment against the last centers (keeps assignments and
   // centers mutually consistent).
   result.sse = assign_points();
+  result.distance_computations = engine.distance_computations();
   return result;
 }
 

@@ -152,6 +152,146 @@ TEST(KMeansTest, WeightedValidatesWeights) {
   EXPECT_FALSE(WeightedKMeans(points, {-1.0}, options).ok());
 }
 
+using Assignment = KMeansOptions::Assignment;
+
+void ExpectBitIdentical(const ClusteringResult& lloyd,
+                        const ClusteringResult& pruned,
+                        Assignment method) {
+  EXPECT_EQ(lloyd.assignments, pruned.assignments)
+      << "assignments diverged for method "
+      << static_cast<int>(method);
+  // Bit-identical, not approximately equal: the pruned engines compute
+  // the exact distance to the assigned center every iteration, so the
+  // SSE reduction runs over identical values in identical order.
+  EXPECT_EQ(lloyd.sse, pruned.sse);
+  EXPECT_EQ(lloyd.iterations, pruned.iterations);
+  EXPECT_EQ(lloyd.centers.data(), pruned.centers.data());
+}
+
+TEST(KMeansAssignmentTest, PrunedEnginesMatchLloydBitExact) {
+  auto data = WellSeparated(12, 21);
+  for (auto init : {KMeansInit::kForgy, KMeansInit::kPlusPlus}) {
+    KMeansOptions options;
+    options.k = 12;
+    options.seed = 7;
+    options.init = init;
+    auto lloyd = KMeans(data.points, options);
+    ASSERT_TRUE(lloyd.ok());
+    for (auto method : {Assignment::kHamerly, Assignment::kElkan}) {
+      options.assignment = method;
+      auto pruned = KMeans(data.points, options);
+      ASSERT_TRUE(pruned.ok());
+      ExpectBitIdentical(*lloyd, *pruned, method);
+      EXPECT_LT(pruned->distance_computations,
+                lloyd->distance_computations);
+    }
+  }
+}
+
+TEST(KMeansAssignmentTest, WeightedPrunedMatchesLloyd) {
+  auto data = WellSeparated(8, 22);
+  std::vector<double> weights(data.points.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 + static_cast<double>(i % 5);
+  }
+  for (auto init : {KMeansInit::kForgy, KMeansInit::kPlusPlus}) {
+    KMeansOptions options;
+    options.k = 8;
+    options.seed = 13;
+    options.init = init;
+    auto lloyd = WeightedKMeans(data.points, weights, options);
+    ASSERT_TRUE(lloyd.ok());
+    for (auto method : {Assignment::kHamerly, Assignment::kElkan}) {
+      options.assignment = method;
+      auto pruned = WeightedKMeans(data.points, weights, options);
+      ASSERT_TRUE(pruned.ok());
+      ExpectBitIdentical(*lloyd, *pruned, method);
+    }
+  }
+}
+
+TEST(KMeansAssignmentTest, LloydDistanceCountHasClosedForm) {
+  auto data = WellSeparated(4, 23);
+  KMeansOptions options;
+  options.k = 4;
+  options.seed = 3;
+  options.init = KMeansInit::kForgy;  // no seeding distances
+  auto result = KMeans(data.points, options);
+  ASSERT_TRUE(result.ok());
+  // One assignment pass per iteration plus the final consistency pass,
+  // k distances per point each.
+  EXPECT_EQ(result->distance_computations,
+            (result->iterations + 1) * data.points.size() * options.k);
+}
+
+TEST(KMeansAssignmentTest, HamerlyPrunesMostDistancesWhenSeparated) {
+  auto data = WellSeparated(16, 24);
+  KMeansOptions options;
+  options.k = 16;
+  options.seed = 5;
+  auto lloyd = KMeans(data.points, options);
+  options.assignment = Assignment::kHamerly;
+  auto hamerly = KMeans(data.points, options);
+  ASSERT_TRUE(lloyd.ok());
+  ASSERT_TRUE(hamerly.ok());
+  EXPECT_EQ(lloyd->sse, hamerly->sse);
+  // Well-separated clusters are the best case for the bounds: the vast
+  // majority of full scans are pruned away.
+  EXPECT_LE(hamerly->distance_computations * 3,
+            lloyd->distance_computations);
+}
+
+// Exact duplicates force distance ties (lowest-index tie-breaking) and
+// duplicate initial centers force empty-cluster restarts; the pruned
+// engines must track Lloyd through both.
+TEST(KMeansAssignmentTest, PrunedEnginesMatchLloydOnDegenerateTies) {
+  PointSet points(2);
+  for (int i = 0; i < 30; ++i) points.Add(std::vector<double>{0.0, 0.0});
+  points.Add(std::vector<double>{10.0, 0.0});
+  points.Add(std::vector<double>{20.0, 0.0});
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    KMeansOptions options;
+    options.k = 3;
+    options.seed = seed;
+    options.init = KMeansInit::kForgy;
+    auto lloyd = KMeans(points, options);
+    ASSERT_TRUE(lloyd.ok());
+    for (auto method : {Assignment::kHamerly, Assignment::kElkan}) {
+      options.assignment = method;
+      auto pruned = KMeans(points, options);
+      ASSERT_TRUE(pruned.ok());
+      ExpectBitIdentical(*lloyd, *pruned, method);
+    }
+  }
+}
+
+TEST(KMeansTest, EmptyClusterRestartsSeparateAllLocations) {
+  // 30 coincident points and two lone outliers: duplicate initial
+  // centers empty out, and the restart must place the empty clusters on
+  // *distinct* farthest points (measured against the pre-update
+  // centers), so the three distinct locations always end up with one
+  // center each and the SSE reaches exactly zero.
+  PointSet points(2);
+  for (int i = 0; i < 30; ++i) points.Add(std::vector<double>{0.0, 0.0});
+  points.Add(std::vector<double>{10.0, 0.0});
+  points.Add(std::vector<double>{20.0, 0.0});
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    KMeansOptions options;
+    options.k = 3;
+    options.seed = seed;
+    options.init = KMeansInit::kForgy;
+    auto result = KMeans(points, options);
+    ASSERT_TRUE(result.ok()) << "seed " << seed;
+    EXPECT_LE(result->sse, 1e-12) << "seed " << seed;
+    for (uint32_t a = 0; a < 3; ++a) {
+      for (uint32_t b = a + 1; b < 3; ++b) {
+        EXPECT_NE(result->centers.point(a)[0], result->centers.point(b)[0])
+            << "duplicate centers for seed " << seed;
+      }
+    }
+  }
+}
+
 TEST(KMeansTest, IterationsReported) {
   auto data = WellSeparated(3, 8);
   KMeansOptions options;

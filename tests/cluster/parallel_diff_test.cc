@@ -35,6 +35,9 @@ void ExpectSameClustering(const ClusteringResult& serial,
   EXPECT_EQ(serial.sse, parallel.sse);
   ASSERT_EQ(serial.centers.size(), parallel.centers.size());
   EXPECT_EQ(serial.centers.data(), parallel.centers.data());
+  // Pruning decisions are per-point, so the distance-evaluation tally
+  // must not depend on the chunking either.
+  EXPECT_EQ(serial.distance_computations, parallel.distance_computations);
 }
 
 TEST(KMeansParallelDiffTest, PlusPlusSeedingMatchesSerial) {
@@ -84,6 +87,77 @@ TEST(KMeansParallelDiffTest, WeightedMatchesSerial) {
     auto parallel = WeightedKMeans(data.points, weights, options);
     ASSERT_TRUE(parallel.ok());
     ExpectSameClustering(*serial, *parallel, threads);
+  }
+}
+
+// The bound-pruned assignment engines keep per-point bound arrays that
+// are maintained chunk-parallel; serial and threaded runs must agree
+// bit-for-bit with each other *and* with serial Lloyd.
+TEST(KMeansParallelDiffTest, PrunedEnginesMatchSerialAndLloyd) {
+  auto data = Mixture(9, 0.0, /*seed=*/37);
+  KMeansOptions options;
+  options.k = 9;
+  options.seed = 5;
+  auto lloyd = KMeans(data.points, options);
+  ASSERT_TRUE(lloyd.ok());
+  for (auto method : {KMeansOptions::Assignment::kHamerly,
+                      KMeansOptions::Assignment::kElkan}) {
+    options.assignment = method;
+    options.num_threads = 0;
+    auto serial = KMeans(data.points, options);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(lloyd->assignments, serial->assignments);
+    EXPECT_EQ(lloyd->sse, serial->sse);
+    EXPECT_EQ(lloyd->iterations, serial->iterations);
+    for (size_t threads : {2u, 4u}) {
+      options.num_threads = threads;
+      auto parallel = KMeans(data.points, options);
+      ASSERT_TRUE(parallel.ok());
+      ExpectSameClustering(*serial, *parallel, threads);
+    }
+  }
+}
+
+TEST(KMeansParallelDiffTest, PrunedForgySeedingMatchesSerial) {
+  auto data = Mixture(6, 0.0, /*seed=*/38);
+  for (auto method : {KMeansOptions::Assignment::kHamerly,
+                      KMeansOptions::Assignment::kElkan}) {
+    KMeansOptions options;
+    options.k = 6;
+    options.seed = 11;
+    options.init = KMeansInit::kForgy;
+    options.assignment = method;
+    auto serial = KMeans(data.points, options);
+    ASSERT_TRUE(serial.ok());
+    for (size_t threads : {2u, 4u}) {
+      options.num_threads = threads;
+      auto parallel = KMeans(data.points, options);
+      ASSERT_TRUE(parallel.ok());
+      ExpectSameClustering(*serial, *parallel, threads);
+    }
+  }
+}
+
+TEST(KMeansParallelDiffTest, WeightedPrunedMatchesSerial) {
+  auto data = Mixture(5, 0.0, /*seed=*/39);
+  std::vector<double> weights(data.points.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 + static_cast<double>(i % 7);
+  }
+  for (auto method : {KMeansOptions::Assignment::kHamerly,
+                      KMeansOptions::Assignment::kElkan}) {
+    KMeansOptions options;
+    options.k = 5;
+    options.seed = 23;
+    options.assignment = method;
+    auto serial = WeightedKMeans(data.points, weights, options);
+    ASSERT_TRUE(serial.ok());
+    for (size_t threads : {2u, 4u}) {
+      options.num_threads = threads;
+      auto parallel = WeightedKMeans(data.points, weights, options);
+      ASSERT_TRUE(parallel.ok());
+      ExpectSameClustering(*serial, *parallel, threads);
+    }
   }
 }
 

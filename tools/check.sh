@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full pre-merge check: tier-1 build + tests, then a ThreadSanitizer build
 # that runs the thread-pool unit tests and the serial-vs-parallel
-# differential tests for every parallelized miner.
+# differential tests for every parallelized miner, then a bench smoke
+# stage that runs the cluster benches at a tiny configuration and checks
+# the emitted --json records parse.
 #
 # Usage: tools/check.sh [jobs]
 set -euo pipefail
@@ -34,6 +36,48 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$ROOT/build-tsan/tests/assoc/assoc_parallel_diff_test"
 "$ROOT/build-tsan/tests/cluster/cluster_parallel_diff_test"
 "$ROOT/build-tsan/tests/seq/seq_parallel_diff_test"
+
+echo
+echo "== tier 3: bench smoke (tiny configs, --json must parse) =="
+BENCH_DIR="$ROOT/build/bench"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+# json_check <path>: the bench harness must have written a parseable
+# record with a non-empty runs array.
+json_check() {
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$1" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    record = json.load(f)
+assert record["bench"], "missing bench name"
+assert record["runs"], "empty runs array"
+for run in record["runs"]:
+    assert "real_time" in run and "counters" in run, "malformed run"
+print(f"  {sys.argv[1]}: {record['bench']}, {len(record['runs'])} run(s) ok")
+PY
+  else
+    # Fallback: at least require the expected top-level keys.
+    grep -q '"bench"' "$1" && grep -q '"runs"' "$1"
+    echo "  $1: keys present (python3 unavailable, skipped full parse)"
+  fi
+}
+
+# Smallest meaningful cases: one Lloyd k-means point, the BIRCH quality
+# row, and one DBSCAN size. --no-table skips the slow prologue tables.
+"$BENCH_DIR/bench_cluster_scaleup" \
+  --benchmark_filter='BM_KMeans/100/0/0' \
+  --json "$SMOKE_DIR/scaleup.json" >/dev/null
+json_check "$SMOKE_DIR/scaleup.json"
+"$BENCH_DIR/bench_cluster_quality" --no-table \
+  --benchmark_filter='BM_Birch' \
+  --json "$SMOKE_DIR/quality.json" >/dev/null
+json_check "$SMOKE_DIR/quality.json"
+"$BENCH_DIR/bench_dbscan" --no-table \
+  --benchmark_filter='BM_DbscanKdTree/200/0' \
+  --json "$SMOKE_DIR/dbscan.json" >/dev/null
+json_check "$SMOKE_DIR/dbscan.json"
 
 echo
 echo "All checks passed."
