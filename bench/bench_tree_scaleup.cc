@@ -1,12 +1,20 @@
 // FIG-C2 (TKDE'93 scale-up): tree-induction time vs training-set size
-// (1K to 50K records of Agrawal F2).
+// (1K to 100K records of Agrawal F2), plus the EXT-5 split-search
+// ablation: naive re-sorting vs presorted attribute indices vs the
+// threaded presorted search.
 //
-// Expected shape: O(n log n)-ish growth for both C4.5 and CART (sorting
-// for numeric thresholds dominates); CART's binary categorical scan adds
-// a constant factor over C4.5's multiway scan. SLIQ (EDBT'96) presorts
-// each attribute once and grows breadth-first, so it pulls ahead of the
-// sort-per-node CART as n (and tree depth) grows — the paper's central
-// scalability claim.
+// Expected shape: the naive engine re-sorts every numeric attribute at
+// every node — O(depth * attrs * n log n) — while the presorted engine
+// sorts once and partitions, so their gap widens with n and tree depth.
+// SLIQ (EDBT'96) applies the same presorting breadth-first with a class
+// list. Thread rows measure the deterministic chunk-parallel split search
+// (bit-identical trees at any thread count); on a single-core host they
+// record dispatch overhead, not speedup (EXT-3 caveat).
+//
+// Each case reports `split_scan_rows` — (row, attribute) visits during
+// candidate-split evaluation — which is invariant across engines and
+// thread counts: the engines do the same statistical work, only cheaper
+// per visit.
 #include <benchmark/benchmark.h>
 
 #include "bench_main.h"
@@ -18,47 +26,92 @@ namespace {
 
 using dmt::bench::AgrawalWorkload;
 
-void BM_C45(benchmark::State& state) {
+/// Runs BuildTree on Agrawal F2 with state.range(0) records and
+/// state.range(1) worker threads, exporting the shared counters.
+void RunGreedy(benchmark::State& state, dmt::tree::TreeOptions options) {
   const auto& data =
       AgrawalWorkload(2, static_cast<size_t>(state.range(0)));
+  options.num_threads = static_cast<size_t>(state.range(1));
+  dmt::tree::TreeBuildStats stats;
   for (auto _ : state) {
-    auto tree = dmt::tree::BuildC45(data);
+    auto tree = dmt::tree::BuildTree(data, options, &stats);
     DMT_CHECK(tree.ok());
     benchmark::DoNotOptimize(tree);
   }
   state.counters["records"] = static_cast<double>(state.range(0));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["split_scan_rows"] =
+      static_cast<double>(stats.split_scan_rows);
+}
+
+void BM_C45(benchmark::State& state) {
+  dmt::tree::TreeOptions options;  // C4.5 defaults: gain ratio, multiway.
+  RunGreedy(state, options);
+}
+
+void BM_C45Naive(benchmark::State& state) {
+  dmt::tree::TreeOptions options;
+  options.split_search = dmt::tree::SplitSearch::kNaive;
+  RunGreedy(state, options);
 }
 
 void BM_Cart(benchmark::State& state) {
-  const auto& data =
-      AgrawalWorkload(2, static_cast<size_t>(state.range(0)));
-  for (auto _ : state) {
-    auto tree = dmt::tree::BuildCart(data);
-    DMT_CHECK(tree.ok());
-    benchmark::DoNotOptimize(tree);
-  }
-  state.counters["records"] = static_cast<double>(state.range(0));
+  dmt::tree::TreeOptions options;
+  options.criterion = dmt::tree::SplitCriterion::kGini;
+  options.categorical_style = dmt::tree::CategoricalSplitStyle::kBinary;
+  RunGreedy(state, options);
+}
+
+void BM_CartNaive(benchmark::State& state) {
+  dmt::tree::TreeOptions options;
+  options.criterion = dmt::tree::SplitCriterion::kGini;
+  options.categorical_style = dmt::tree::CategoricalSplitStyle::kBinary;
+  options.split_search = dmt::tree::SplitSearch::kNaive;
+  RunGreedy(state, options);
 }
 
 void BM_Sliq(benchmark::State& state) {
   const auto& data =
       AgrawalWorkload(2, static_cast<size_t>(state.range(0)));
+  dmt::tree::SliqOptions options;
+  options.num_threads = static_cast<size_t>(state.range(1));
+  dmt::tree::TreeBuildStats stats;
   for (auto _ : state) {
-    auto tree = dmt::tree::BuildSliq(data);
+    auto tree = dmt::tree::BuildSliq(data, options, &stats);
     DMT_CHECK(tree.ok());
     benchmark::DoNotOptimize(tree);
   }
   state.counters["records"] = static_cast<double>(state.range(0));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["split_scan_rows"] =
+      static_cast<double>(stats.split_scan_rows);
 }
 
+/// Serial scale-up sweep: {records, 0 threads}.
 void Sizes(benchmark::internal::Benchmark* bench) {
-  for (int64_t n : {1000, 2000, 5000, 10000, 20000, 50000}) bench->Arg(n);
+  for (int64_t n : {1000, 2000, 5000, 10000, 20000, 50000, 100000}) {
+    bench->Args({n, 0});
+  }
   bench->Unit(benchmark::kMillisecond)->Iterations(1);
 }
 
-BENCHMARK(BM_C45)->Apply(Sizes);
-BENCHMARK(BM_Cart)->Apply(Sizes);
-BENCHMARK(BM_Sliq)->Apply(Sizes);
+/// Thread sweep at the largest size (deterministic-merge overhead row).
+void Threads(benchmark::internal::Benchmark* bench) {
+  for (int64_t threads : {2, 4}) bench->Args({100000, threads});
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_C45)->Apply(Sizes)->Apply(Threads);
+BENCHMARK(BM_Cart)->Apply(Sizes)->Apply(Threads);
+BENCHMARK(BM_Sliq)->Apply(Sizes)->Apply(Threads);
+// Ablation baselines: the naive engines only need the endpoints of the
+// sweep to expose the widening gap.
+void AblationSizes(benchmark::internal::Benchmark* bench) {
+  for (int64_t n : {1000, 10000, 100000}) bench->Args({n, 0});
+  bench->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+BENCHMARK(BM_C45Naive)->Apply(AblationSizes);
+BENCHMARK(BM_CartNaive)->Apply(AblationSizes);
 
 }  // namespace
 

@@ -1,5 +1,7 @@
 #include "tree/criteria.h"
 
+#include <array>
+
 #include "core/stats.h"
 
 namespace dmt::tree {
@@ -9,6 +11,57 @@ uint64_t Total(std::span<const uint32_t> counts) {
   uint64_t total = 0;
   for (uint32_t c : counts) total += c;
   return total;
+}
+
+/// Shared scoring core: `child(c)` yields child c's class histogram,
+/// `sizes` receives the partition sizes (>= num_children entries). All
+/// three public scorers route through this so they agree bit for bit.
+template <typename ChildSpanFn>
+double ScoreChildren(SplitCriterion criterion,
+                     std::span<const uint32_t> parent_counts,
+                     size_t num_children, const ChildSpanFn& child,
+                     std::span<uint32_t> sizes) {
+  uint64_t parent_total = Total(parent_counts);
+  if (parent_total == 0) return 0.0;
+  double weighted_child_impurity = 0.0;
+  for (size_t c = 0; c < num_children; ++c) {
+    std::span<const uint32_t> counts = child(c);
+    uint64_t child_total = Total(counts);
+    sizes[c] = static_cast<uint32_t>(child_total);
+    if (child_total == 0) continue;
+    double weight = static_cast<double>(child_total) /
+                    static_cast<double>(parent_total);
+    weighted_child_impurity += weight * Impurity(criterion, counts);
+  }
+  double gain = Impurity(criterion, parent_counts) - weighted_child_impurity;
+  if (criterion != SplitCriterion::kGainRatio) return gain;
+  double split_info = SplitInformation(sizes.first(num_children));
+  if (split_info <= 1e-12) return 0.0;
+  return gain / split_info;
+}
+
+/// Impurity() with the histogram total supplied by the caller. Runs the
+/// same per-class arithmetic as GiniImpurity/Entropy, so given the true
+/// total it returns the identical double.
+double ImpurityWithTotal(SplitCriterion criterion,
+                         std::span<const uint32_t> class_counts,
+                         uint64_t total) {
+  if (total == 0) return 0.0;
+  if (criterion == SplitCriterion::kGini) {
+    double sum_sq = 0.0;
+    for (uint32_t count : class_counts) {
+      double p = static_cast<double>(count) / static_cast<double>(total);
+      sum_sq += p * p;
+    }
+    return 1.0 - sum_sq;
+  }
+  double entropy = 0.0;
+  for (uint32_t count : class_counts) {
+    if (count == 0) continue;
+    double p = static_cast<double>(count) / static_cast<double>(total);
+    entropy -= core::XLog2X(p);
+  }
+  return entropy;
 }
 
 }  // namespace
@@ -49,22 +102,67 @@ double SplitInformation(std::span<const uint32_t> partition_sizes) {
 double SplitScore(SplitCriterion criterion,
                   std::span<const uint32_t> parent_counts,
                   const std::vector<std::vector<uint32_t>>& child_counts) {
-  uint64_t parent_total = Total(parent_counts);
-  if (parent_total == 0) return 0.0;
+  std::vector<uint32_t> partition_sizes(child_counts.size(), 0);
+  return ScoreChildren(
+      criterion, parent_counts, child_counts.size(),
+      [&](size_t c) { return std::span<const uint32_t>(child_counts[c]); },
+      partition_sizes);
+}
+
+double SplitScoreBinary(SplitCriterion criterion,
+                        std::span<const uint32_t> parent_counts,
+                        std::span<const uint32_t> left_counts,
+                        std::span<const uint32_t> right_counts) {
+  std::array<uint32_t, 2> sizes = {0, 0};
+  return ScoreChildren(
+      criterion, parent_counts, 2,
+      [&](size_t c) { return c == 0 ? left_counts : right_counts; }, sizes);
+}
+
+double SplitScoreFlat(SplitCriterion criterion,
+                      std::span<const uint32_t> parent_counts,
+                      std::span<const uint32_t> flat_child_counts,
+                      size_t num_classes, std::span<uint32_t> size_scratch) {
+  const size_t num_children = flat_child_counts.size() / num_classes;
+  return ScoreChildren(
+      criterion, parent_counts, num_children,
+      [&](size_t c) {
+        return flat_child_counts.subspan(c * num_classes, num_classes);
+      },
+      size_scratch);
+}
+
+BinarySplitScorer::BinarySplitScorer(SplitCriterion criterion,
+                                     std::span<const uint32_t> parent_counts)
+    : criterion_(criterion),
+      parent_total_(Total(parent_counts)),
+      parent_impurity_(Impurity(criterion, parent_counts)) {}
+
+double BinarySplitScorer::Score(std::span<const uint32_t> left_counts,
+                                uint64_t left_total,
+                                std::span<const uint32_t> right_counts,
+                                uint64_t right_total) const {
+  // Mirrors ScoreChildren over {left, right}: children accumulate in that
+  // order, empty children are skipped, gain ratio normalizes at the end.
+  if (parent_total_ == 0) return 0.0;
   double weighted_child_impurity = 0.0;
-  std::vector<uint32_t> partition_sizes;
-  partition_sizes.reserve(child_counts.size());
-  for (const auto& child : child_counts) {
-    uint64_t child_total = Total(child);
-    partition_sizes.push_back(static_cast<uint32_t>(child_total));
-    if (child_total == 0) continue;
-    double weight = static_cast<double>(child_total) /
-                    static_cast<double>(parent_total);
-    weighted_child_impurity += weight * Impurity(criterion, child);
+  if (left_total != 0) {
+    double weight = static_cast<double>(left_total) /
+                    static_cast<double>(parent_total_);
+    weighted_child_impurity +=
+        weight * ImpurityWithTotal(criterion_, left_counts, left_total);
   }
-  double gain = Impurity(criterion, parent_counts) - weighted_child_impurity;
-  if (criterion != SplitCriterion::kGainRatio) return gain;
-  double split_info = SplitInformation(partition_sizes);
+  if (right_total != 0) {
+    double weight = static_cast<double>(right_total) /
+                    static_cast<double>(parent_total_);
+    weighted_child_impurity +=
+        weight * ImpurityWithTotal(criterion_, right_counts, right_total);
+  }
+  double gain = parent_impurity_ - weighted_child_impurity;
+  if (criterion_ != SplitCriterion::kGainRatio) return gain;
+  std::array<uint32_t, 2> sizes = {static_cast<uint32_t>(left_total),
+                                   static_cast<uint32_t>(right_total)};
+  double split_info = SplitInformation(sizes);
   if (split_info <= 1e-12) return 0.0;
   return gain / split_info;
 }

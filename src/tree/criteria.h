@@ -40,6 +40,48 @@ double SplitScore(SplitCriterion criterion,
                   std::span<const uint32_t> parent_counts,
                   const std::vector<std::vector<uint32_t>>& child_counts);
 
+/// Two-child scorer over caller-owned histograms. Arithmetically identical
+/// to SplitScore with child_counts = {left, right} (same operations in the
+/// same order, so results agree bit for bit) but performs no allocations:
+/// the numeric boundary sweeps call it once per candidate threshold.
+double SplitScoreBinary(SplitCriterion criterion,
+                        std::span<const uint32_t> parent_counts,
+                        std::span<const uint32_t> left_counts,
+                        std::span<const uint32_t> right_counts);
+
+/// Multiway scorer over a flat child-major histogram
+/// (`flat_child_counts[child * num_classes + cls]`, with
+/// `flat_child_counts.size() == num_children * num_classes`).
+/// `size_scratch` must hold at least num_children entries and is
+/// clobbered with the partition sizes. Arithmetically identical to
+/// SplitScore on the equivalent vector-of-vectors, without allocating.
+double SplitScoreFlat(SplitCriterion criterion,
+                      std::span<const uint32_t> parent_counts,
+                      std::span<const uint32_t> flat_child_counts,
+                      size_t num_classes, std::span<uint32_t> size_scratch);
+
+/// Repeated-evaluation form of SplitScoreBinary for boundary sweeps: the
+/// parent-side terms (total and impurity) are computed once at
+/// construction, and Score() takes the child totals the sweep already
+/// maintains instead of re-summing the histograms. Score(l, lt, r, rt)
+/// returns bit for bit the same value as SplitScoreBinary(criterion,
+/// parent, l, r) whenever lt/rt are the true histogram totals — the same
+/// operations run in the same order, only hoisted out of the loop.
+class BinarySplitScorer {
+ public:
+  BinarySplitScorer(SplitCriterion criterion,
+                    std::span<const uint32_t> parent_counts);
+
+  double Score(std::span<const uint32_t> left_counts, uint64_t left_total,
+               std::span<const uint32_t> right_counts,
+               uint64_t right_total) const;
+
+ private:
+  SplitCriterion criterion_;
+  uint64_t parent_total_;
+  double parent_impurity_;
+};
+
 }  // namespace dmt::tree
 
 #endif  // DMT_TREE_CRITERIA_H_

@@ -55,6 +55,16 @@ struct TreeNode {
   }
 };
 
+/// Work counters reported by the tree builders (the tree-pillar analogue
+/// of ClusteringResult::distance_computations). `split_scan_rows` counts
+/// every (row, attribute) visit made while evaluating candidate splits —
+/// the numeric boundary sweeps and the categorical histogram passes — and
+/// is covered by the determinism contract: it is identical across
+/// split-search engines and across num_threads settings.
+struct TreeBuildStats {
+  uint64_t split_scan_rows = 0;
+};
+
 /// A trained classification tree. Nodes live in a flat arena; node 0 is the
 /// root.
 class DecisionTree {

@@ -18,15 +18,22 @@ struct SliqOptions {
   size_t min_samples_split = 2;
   size_t max_depth = 0;
   double min_gain = 1e-9;
+  /// Worker threads for the per-attribute list scans; 0 (default) or 1 =
+  /// serial. Threaded runs grow bit-identical trees: attribute lists are
+  /// scanned in contiguous attribute chunks and each open leaf's candidate
+  /// splits merge in attribute order with the serial tie-breaking.
+  size_t num_threads = 0;
 
   core::Status Validate() const;
 };
 
 /// Grows a CART-equivalent (Gini, binary splits) tree breadth-first with
 /// presorted attribute lists. Produces the same DecisionTree type as the
-/// recursive builders.
+/// recursive builders. When `stats` is non-null it receives the
+/// split-search work counters (active-row visits of the list scans).
 core::Result<DecisionTree> BuildSliq(const core::Dataset& data,
-                                     const SliqOptions& options = {});
+                                     const SliqOptions& options = {},
+                                     TreeBuildStats* stats = nullptr);
 
 }  // namespace dmt::tree
 

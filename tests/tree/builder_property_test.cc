@@ -17,7 +17,18 @@ namespace {
 
 using core::Dataset;
 
-enum class Builder { kC45, kCart, kSliq, kId3Binned };
+enum class Builder {
+  kC45,
+  kCart,
+  kSliq,
+  kId3Binned,
+  /// Ablation/diff variants of the greedy engine: the naive re-sorting
+  /// split search and the threaded presorted search must satisfy every
+  /// property the defaults do (and grow the very same trees — pinned
+  /// node-for-node by parallel_diff_test).
+  kC45Naive,
+  kCartThreaded,
+};
 
 std::string BuilderName(Builder builder) {
   switch (builder) {
@@ -29,6 +40,10 @@ std::string BuilderName(Builder builder) {
       return "Sliq";
     case Builder::kId3Binned:
       return "Id3Binned";
+    case Builder::kC45Naive:
+      return "C45Naive";
+    case Builder::kCartThreaded:
+      return "CartThreaded";
   }
   return "?";
 }
@@ -70,6 +85,18 @@ core::Result<Fitted> Fit(Builder builder, int function, uint64_t seed) {
       out.train = std::move(binned_train);
       out.test = std::move(binned_test);
       DMT_ASSIGN_OR_RETURN(out.tree, BuildId3(out.train));
+      return out;
+    }
+    case Builder::kC45Naive: {
+      TreeOptions options;
+      options.split_search = SplitSearch::kNaive;
+      DMT_ASSIGN_OR_RETURN(out.tree, BuildC45(out.train, options));
+      return out;
+    }
+    case Builder::kCartThreaded: {
+      TreeOptions options;
+      options.num_threads = 4;
+      DMT_ASSIGN_OR_RETURN(out.tree, BuildCart(out.train, options));
       return out;
     }
   }
@@ -135,11 +162,13 @@ TEST_P(TreePropertyTest, LeafHistogramsSumToTrainingRows) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, TreePropertyTest,
     testing::Combine(testing::Values(Builder::kC45, Builder::kCart,
-                                     Builder::kSliq, Builder::kId3Binned),
+                                     Builder::kSliq, Builder::kId3Binned,
+                                     Builder::kC45Naive,
+                                     Builder::kCartThreaded),
                      testing::Range(1, 11)),
-    [](const testing::TestParamInfo<PropertyParam>& info) {
-      return BuilderName(std::get<0>(info.param)) + "_F" +
-             std::to_string(std::get<1>(info.param));
+    [](const testing::TestParamInfo<PropertyParam>& param_info) {
+      return BuilderName(std::get<0>(param_info.param)) + "_F" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

@@ -103,5 +103,68 @@ TEST(CriteriaTest, ImpurityDispatch) {
   EXPECT_DOUBLE_EQ(Impurity(SplitCriterion::kGini, counts), 0.5);
 }
 
+// The allocation-free scorers are what the boundary sweeps call in the hot
+// loop; the builders' bit-identical-trees contract rests on them agreeing
+// with SplitScore EXACTLY (==, not nearly) on every histogram.
+TEST(CriteriaTest, BinaryScorersMatchSplitScoreBitForBit) {
+  // A deterministic spread of lopsided, pure, empty, and balanced splits.
+  uint32_t state = 12345;
+  auto next = [&]() { return state = state * 1664525u + 1013904223u; };
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t num_classes = 2 + next() % 3;
+    std::vector<uint32_t> left(num_classes);
+    std::vector<uint32_t> right(num_classes);
+    std::vector<uint32_t> parent(num_classes);
+    uint64_t left_total = 0;
+    uint64_t right_total = 0;
+    for (size_t c = 0; c < num_classes; ++c) {
+      left[c] = next() % 20;
+      right[c] = next() % 20;
+      if (trial % 7 == 0) right[c] = 0;  // empty-child edge case
+      parent[c] = left[c] + right[c];
+      left_total += left[c];
+      right_total += right[c];
+    }
+    for (SplitCriterion criterion :
+         {SplitCriterion::kInformationGain, SplitCriterion::kGainRatio,
+          SplitCriterion::kGini}) {
+      double expected = SplitScore(criterion, parent, {left, right});
+      EXPECT_EQ(SplitScoreBinary(criterion, parent, left, right), expected);
+      BinarySplitScorer scorer(criterion, parent);
+      EXPECT_EQ(scorer.Score(left, left_total, right, right_total),
+                expected);
+    }
+  }
+}
+
+TEST(CriteriaTest, FlatScorerMatchesSplitScoreBitForBit) {
+  uint32_t state = 99;
+  auto next = [&]() { return state = state * 1664525u + 1013904223u; };
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t num_classes = 2 + next() % 3;
+    size_t num_children = 2 + next() % 4;
+    std::vector<std::vector<uint32_t>> children(num_children);
+    std::vector<uint32_t> flat;
+    std::vector<uint32_t> parent(num_classes, 0);
+    for (size_t k = 0; k < num_children; ++k) {
+      children[k].resize(num_classes);
+      for (size_t c = 0; c < num_classes; ++c) {
+        children[k][c] = next() % 9;
+        if (trial % 5 == 0 && k == 0) children[k][c] = 0;
+        parent[c] += children[k][c];
+        flat.push_back(children[k][c]);
+      }
+    }
+    std::vector<uint32_t> size_scratch(num_children);
+    for (SplitCriterion criterion :
+         {SplitCriterion::kInformationGain, SplitCriterion::kGainRatio,
+          SplitCriterion::kGini}) {
+      EXPECT_EQ(
+          SplitScoreFlat(criterion, parent, flat, num_classes, size_scratch),
+          SplitScore(criterion, parent, children));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dmt::tree

@@ -27,6 +27,7 @@ TSAN_TARGETS=(
   assoc_parallel_diff_test
   cluster_parallel_diff_test
   seq_parallel_diff_test
+  tree_parallel_diff_test
 )
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target "${TSAN_TARGETS[@]}"
 
@@ -36,6 +37,7 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$ROOT/build-tsan/tests/assoc/assoc_parallel_diff_test"
 "$ROOT/build-tsan/tests/cluster/cluster_parallel_diff_test"
 "$ROOT/build-tsan/tests/seq/seq_parallel_diff_test"
+"$ROOT/build-tsan/tests/tree/tree_parallel_diff_test"
 
 echo
 echo "== tier 3: bench smoke (tiny configs, --json must parse) =="
@@ -78,6 +80,16 @@ json_check "$SMOKE_DIR/quality.json"
   --benchmark_filter='BM_DbscanKdTree/200/0' \
   --json "$SMOKE_DIR/dbscan.json" >/dev/null
 json_check "$SMOKE_DIR/dbscan.json"
+# Tree benches: one serial presorted case each (smallest size / the
+# fixture grow row), exercising the threads + split_scan_rows counters.
+"$BENCH_DIR/bench_tree_scaleup" --no-table \
+  --benchmark_filter='BM_Cart/1000/0' \
+  --json "$SMOKE_DIR/tree_scaleup.json" >/dev/null
+json_check "$SMOKE_DIR/tree_scaleup.json"
+"$BENCH_DIR/bench_tree_pruning" --no-table \
+  --benchmark_filter='BM_GrowC45Presorted/0' \
+  --json "$SMOKE_DIR/tree_pruning.json" >/dev/null
+json_check "$SMOKE_DIR/tree_pruning.json"
 
 echo
 echo "All checks passed."
