@@ -18,8 +18,6 @@ namespace {
 
 using dmt::bench::QuestWorkload;
 
-constexpr size_t kTransactions = 10000;
-
 // Support thresholds in basis points (100 = 1%).
 constexpr int64_t kMinsupBp[] = {200, 150, 100, 75, 50, 33, 25};
 
@@ -27,9 +25,15 @@ struct Workload {
   const char* name;
   double t;
   double i;
+  size_t d;
 };
 constexpr Workload kWorkloads[] = {
-    {"T5.I2.D10K", 5, 2}, {"T10.I4.D10K", 10, 4}, {"T20.I6.D10K", 20, 6}};
+    {"T5.I2.D10K", 5, 2, 10000},
+    {"T10.I4.D10K", 10, 4, 10000},
+    {"T20.I6.D10K", 20, 6, 10000},
+    // Thread-scaling workload for the pattern-growth miners (the VLDB'94
+    // scale the paper's headline tables use).
+    {"T10.I4.D100K", 10, 4, 100000}};
 
 dmt::assoc::MiningParams ParamsFor(int64_t minsup_bp, int64_t threads) {
   dmt::assoc::MiningParams params;
@@ -41,17 +45,26 @@ dmt::assoc::MiningParams ParamsFor(int64_t minsup_bp, int64_t threads) {
 template <typename Runner>
 void RunCase(benchmark::State& state, const Runner& runner) {
   const Workload& workload = kWorkloads[state.range(0)];
-  const auto& db = QuestWorkload(workload.t, workload.i, kTransactions);
+  const auto& db = QuestWorkload(workload.t, workload.i, workload.d);
   auto params = ParamsFor(state.range(1), state.range(2));
   size_t itemsets = 0;
+  dmt::assoc::MiningResult last;
   for (auto _ : state) {
     auto result = runner(db, params);
     DMT_CHECK(result.ok());
     itemsets = result->itemsets.size();
-    benchmark::DoNotOptimize(result);
+    last = *std::move(result);
+    benchmark::DoNotOptimize(last);
   }
   state.counters["itemsets"] = static_cast<double>(itemsets);
   state.counters["threads"] = static_cast<double>(state.range(2));
+  // Pattern-growth work counters (0 for the counting miners); identical
+  // at every thread count by the determinism contract.
+  state.counters["cond_trees"] =
+      static_cast<double>(last.conditional_trees_built);
+  state.counters["fp_nodes"] = static_cast<double>(last.fp_nodes_allocated);
+  state.counters["intersections"] =
+      static_cast<double>(last.tidset_intersections);
   state.SetLabel(std::string(workload.name) + " minsup=" +
                  std::to_string(state.range(1)) + "bp t=" +
                  std::to_string(state.range(2)));
@@ -90,9 +103,9 @@ void AllCases(benchmark::internal::Benchmark* bench) {
   bench->Unit(benchmark::kMillisecond)->Iterations(2);
 }
 
-/// Thread-scaling column for the miners that honor num_threads: the
-/// T10.I4 workload at the two lowest (slowest) thresholds, at 1/2/4
-/// worker threads, so the speedup over the t=0 serial rows is visible.
+/// Thread-scaling column for the counting miners: the T10.I4.D10K
+/// workload at the two lowest (slowest) thresholds, at 1/2/4 worker
+/// threads, so the speedup over the t=0 serial rows is visible.
 void ThreadCases(benchmark::internal::Benchmark* bench) {
   for (int64_t minsup : {50, 25}) {
     for (int64_t threads : {1, 2, 4}) {
@@ -102,10 +115,20 @@ void ThreadCases(benchmark::internal::Benchmark* bench) {
   bench->Unit(benchmark::kMillisecond)->Iterations(2);
 }
 
+/// Thread-scaling column for the pattern-growth miners: T10.I4.D100K at
+/// the lowest threshold (their dominant regime), serial plus 1/2/4
+/// threads, with the work counters as the thread-invariance signal.
+void PatternGrowthThreadCases(benchmark::internal::Benchmark* bench) {
+  for (int64_t threads : {0, 1, 2, 4}) {
+    bench->Args({3, 25, threads});
+  }
+  bench->Unit(benchmark::kMillisecond)->Iterations(2);
+}
+
 BENCHMARK(BM_Apriori)->Apply(AllCases)->Apply(ThreadCases);
 BENCHMARK(BM_AprioriTid)->Apply(AllCases)->Apply(ThreadCases);
-BENCHMARK(BM_FpGrowth)->Apply(AllCases);
-BENCHMARK(BM_Eclat)->Apply(AllCases);
+BENCHMARK(BM_FpGrowth)->Apply(AllCases)->Apply(PatternGrowthThreadCases);
+BENCHMARK(BM_Eclat)->Apply(AllCases)->Apply(PatternGrowthThreadCases);
 
 }  // namespace
 

@@ -5,6 +5,7 @@
 
 #include "core/bitset.h"
 #include "core/check.h"
+#include "core/parallel.h"
 
 namespace dmt::assoc {
 
@@ -32,43 +33,61 @@ struct ClassMember {
   uint32_t support;
 };
 
-/// Depth-first walk over one equivalence class (all itemsets sharing
-/// `prefix`); members are ordered by item id so output is deterministic.
-/// `probe(a, b)` returns {support, tidset}; a representation may leave
-/// the tidset empty for candidates below min_count (they are discarded
-/// without ever materializing an intersection).
+/// Depth-first walk below one member of an equivalence class (all itemsets
+/// sharing `prefix`): emits prefix + members[i].item, then extends it with
+/// every later member via a tidset intersection. `probe(a, b)` returns
+/// {support, tidset}; a representation may leave the tidset empty for
+/// candidates below min_count (they are discarded without ever
+/// materializing an intersection). Members are ordered by item id and the
+/// recursion visits them in order, so output is deterministic.
 template <typename Tidset, typename ProbeFn>
-void Walk(const Itemset& prefix,
-          const std::vector<ClassMember<Tidset>>& members, uint32_t min_count,
-          size_t max_size, const ProbeFn& probe, MiningResult* result,
-          size_t depth) {
+void WalkMember(const Itemset& prefix,
+                const std::vector<ClassMember<Tidset>>& members, size_t i,
+                uint32_t min_count, size_t max_size, const ProbeFn& probe,
+                MiningResult* result, size_t depth) {
   if (result->passes.size() < depth + 1) {
     result->passes.push_back({depth + 1, 0, 0});
   }
-  for (size_t i = 0; i < members.size(); ++i) {
-    Itemset items = prefix;
-    items.push_back(members[i].item);
-    result->itemsets.push_back({items, members[i].support});
-    ++result->passes[depth].frequent;
-    if (max_size != 0 && items.size() >= max_size) continue;
-    std::vector<ClassMember<Tidset>> extensions;
-    for (size_t j = i + 1; j < members.size(); ++j) {
-      // This intersection proposes a (depth+2)-item candidate.
-      if (result->passes.size() < depth + 2) {
-        result->passes.push_back({depth + 2, 0, 0});
-      }
-      ++result->passes[depth + 1].candidates;
-      auto [support, shared] = probe(members[i].tids, members[j].tids);
-      if (support >= min_count) {
-        extensions.push_back(
-            {members[j].item, std::move(shared), support});
-      }
+  Itemset items = prefix;
+  items.push_back(members[i].item);
+  result->itemsets.push_back({items, members[i].support});
+  ++result->passes[depth].frequent;
+  if (max_size != 0 && items.size() >= max_size) return;
+  std::vector<ClassMember<Tidset>> extensions;
+  for (size_t j = i + 1; j < members.size(); ++j) {
+    // This intersection proposes a (depth+2)-item candidate.
+    if (result->passes.size() < depth + 2) {
+      result->passes.push_back({depth + 2, 0, 0});
     }
-    if (!extensions.empty()) {
-      Walk(items, extensions, min_count, max_size, probe, result,
-           depth + 1);
+    ++result->passes[depth + 1].candidates;
+    ++result->tidset_intersections;
+    auto [support, shared] = probe(members[i].tids, members[j].tids);
+    if (support >= min_count) {
+      extensions.push_back({members[j].item, std::move(shared), support});
     }
   }
+  for (size_t e = 0; e < extensions.size(); ++e) {
+    WalkMember(items, extensions, e, min_count, max_size, probe, result,
+               depth + 1);
+  }
+}
+
+/// Walks the root equivalence classes. Root members only read each
+/// other's tidsets, so MinePartitioned mines contiguous chunks of the
+/// root range into per-chunk scratch merged in ascending order — the
+/// serial left-to-right root order, at any thread count.
+template <typename Tidset, typename ProbeFn>
+void WalkRoots(const core::ParallelContext& ctx,
+               const std::vector<ClassMember<Tidset>>& roots,
+               uint32_t min_count, size_t max_size, const ProbeFn& probe,
+               MiningResult* result) {
+  MinePartitioned(ctx, roots.size(), result,
+                  [&](size_t begin, size_t end, MiningResult* out) {
+                    for (size_t i = begin; i < end; ++i) {
+                      WalkMember({}, roots, i, min_count, max_size, probe,
+                                 out, 0);
+                    }
+                  });
 }
 
 }  // namespace
@@ -78,6 +97,7 @@ Result<MiningResult> MineEclat(const TransactionDatabase& db,
                                const EclatOptions& options) {
   DMT_RETURN_NOT_OK(params.Validate());
   const uint32_t min_count = AbsoluteMinSupport(db, params.min_support);
+  const core::ParallelContext ctx(params.num_threads);
   MiningResult result;
   result.passes.push_back({1, db.item_universe(), 0});
 
@@ -110,11 +130,9 @@ Result<MiningResult> MineEclat(const TransactionDatabase& db,
       uint32_t support = static_cast<uint32_t>(shared.size());
       return std::pair(support, std::move(shared));
     };
-    if (!roots.empty()) {
-      Walk<std::vector<uint32_t>>({}, roots, min_count,
-                                  params.max_itemset_size, probe,
-                                  &result, 0);
-    }
+    WalkRoots<std::vector<uint32_t>>(ctx, roots, min_count,
+                                     params.max_itemset_size, probe,
+                                     &result);
   } else {
     std::vector<ClassMember<DynamicBitset>> roots;
     for (ItemId item = 0; item < supports.size(); ++item) {
@@ -141,10 +159,8 @@ Result<MiningResult> MineEclat(const TransactionDatabase& db,
       if (support < min_count) return std::pair(support, DynamicBitset());
       return std::pair(support, a.Intersect(b));
     };
-    if (!roots.empty()) {
-      Walk<DynamicBitset>({}, roots, min_count, params.max_itemset_size,
-                          probe, &result, 0);
-    }
+    WalkRoots<DynamicBitset>(ctx, roots, min_count, params.max_itemset_size,
+                             probe, &result);
   }
   // Depth d of the walk emits (d+1)-itemsets; relabel passes accordingly
   // and drop the placeholder first entry.

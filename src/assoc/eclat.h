@@ -1,6 +1,10 @@
 // Eclat frequent-itemset miner (Zaki et al., KDD'97): vertical layout —
 // each itemset carries the set of transaction ids containing it; supports
 // come from tidset intersections in a depth-first equivalence-class walk.
+// `MiningParams::num_threads` walks the root equivalence classes on a
+// thread pool under the deterministic chunk-merge contract of
+// core::ParallelContext: any thread count reproduces the serial output bit
+// for bit, including pass stats and the tidset_intersections work counter.
 #ifndef DMT_ASSOC_ECLAT_H_
 #define DMT_ASSOC_ECLAT_H_
 

@@ -31,6 +31,34 @@ uint32_t AbsoluteMinSupport(const core::TransactionDatabase& db,
   return static_cast<uint32_t>(count);
 }
 
+void MinePartitioned(
+    const core::ParallelContext& ctx, size_t n, MiningResult* result,
+    const std::function<void(size_t, size_t, MiningResult*)>& mine_range) {
+  if (!ctx.parallel() || n == 0) {
+    mine_range(0, n, result);
+    return;
+  }
+  std::vector<MiningResult> partials(ctx.NumChunks(n));
+  ctx.ForEachChunk(n, [&](size_t chunk, size_t begin, size_t end) {
+    mine_range(begin, end, &partials[chunk]);
+  });
+  for (const MiningResult& partial : partials) {
+    result->itemsets.insert(result->itemsets.end(),
+                            partial.itemsets.begin(),
+                            partial.itemsets.end());
+    for (size_t d = 0; d < partial.passes.size(); ++d) {
+      if (result->passes.size() <= d) {
+        result->passes.push_back({partial.passes[d].pass, 0, 0});
+      }
+      result->passes[d].candidates += partial.passes[d].candidates;
+      result->passes[d].frequent += partial.passes[d].frequent;
+    }
+    result->conditional_trees_built += partial.conditional_trees_built;
+    result->fp_nodes_allocated += partial.fp_nodes_allocated;
+    result->tidset_intersections += partial.tidset_intersections;
+  }
+}
+
 void SortCanonical(std::vector<FrequentItemset>* itemsets) {
   std::sort(itemsets->begin(), itemsets->end(),
             [](const FrequentItemset& a, const FrequentItemset& b) {

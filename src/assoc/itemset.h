@@ -3,11 +3,13 @@
 #define DMT_ASSOC_ITEMSET_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/item_dictionary.h"
+#include "core/parallel.h"
 #include "core/status.h"
 #include "core/transaction.h"
 
@@ -54,6 +56,18 @@ struct MiningResult {
   /// One entry per pass / recursion depth.
   std::vector<PassStats> passes;
 
+  /// Pattern-growth work counters, the association analogue of
+  /// `ClusteringResult::distance_computations` / `TreeBuildStats::
+  /// split_scan_rows`: algorithm-intrinsic effort tallies, invariant
+  /// across thread counts (per-chunk tallies merged in chunk order).
+  /// Conditional FP-trees constructed (FP-Growth; 0 for other miners).
+  uint64_t conditional_trees_built = 0;
+  /// FP-tree nodes allocated across the root and all conditional trees,
+  /// excluding each tree's root sentinel (FP-Growth).
+  uint64_t fp_nodes_allocated = 0;
+  /// Tidset intersections probed, materialized or not (Eclat).
+  uint64_t tidset_intersections = 0;
+
   /// Number of frequent itemsets of the given size.
   size_t CountOfSize(size_t k) const;
 };
@@ -64,9 +78,12 @@ struct MiningParams {
   double min_support = 0.01;
   /// Largest itemset size to mine; 0 means unlimited.
   size_t max_itemset_size = 0;
-  /// Worker threads for support counting; 0 or 1 = serial. Honored by
-  /// MineApriori and MineAprioriTid (other miners run serially); parallel
-  /// runs produce bit-identical results to serial runs.
+  /// Worker threads; 0 or 1 = serial. Honored by all four miners —
+  /// MineApriori / MineAprioriTid (support counting), MineFpGrowth
+  /// (top-level conditional-tree projection), MineEclat (root
+  /// equivalence classes) — and by MineWithSampling's verification scan.
+  /// Parallel runs produce bit-identical results to serial runs,
+  /// including pass stats and work counters.
   size_t num_threads = 0;
 
   core::Status Validate() const;
@@ -80,6 +97,19 @@ uint32_t AbsoluteMinSupport(const core::TransactionDatabase& db,
 /// Sorts itemsets canonically: by size, then lexicographically by items.
 /// Every miner returns this order so results are directly comparable.
 void SortCanonical(std::vector<FrequentItemset>* itemsets);
+
+/// Deterministic task-parallel mining driver (the pattern-growth analogue
+/// of core::CountPartitioned): runs mine_range(begin, end, out) over a
+/// fixed partition of the task range [0, n) into contiguous chunks, giving
+/// each chunk a private MiningResult scratch, then merges the chunks into
+/// `result` in ascending chunk order — itemsets are concatenated, per-depth
+/// pass stats and the work counters are summed. A serial context mines
+/// straight into `result` with no copies, so with chunk boundaries fixed by
+/// (n, num_threads) alone, any thread count reproduces the serial itemset
+/// order bit for bit *before* the final SortCanonical.
+void MinePartitioned(
+    const core::ParallelContext& ctx, size_t n, MiningResult* result,
+    const std::function<void(size_t, size_t, MiningResult*)>& mine_range);
 
 /// True if `subset` ⊆ `superset` (both sorted).
 bool IsSubsetOf(std::span<const core::ItemId> subset,

@@ -8,6 +8,7 @@
 #include "assoc/fp_growth.h"
 #include "assoc/hash_tree.h"
 #include "core/check.h"
+#include "core/parallel.h"
 #include "core/rng.h"
 
 namespace dmt::assoc {
@@ -58,9 +59,10 @@ std::vector<Itemset> NegativeBorder(
 namespace {
 
 /// Exact supports of arbitrary itemsets against the full database, one
-/// hash tree per size layer.
+/// hash tree per size layer, each counted across `ctx`.
 std::vector<uint32_t> CountExact(const TransactionDatabase& db,
-                                 const std::vector<Itemset>& itemsets) {
+                                 const std::vector<Itemset>& itemsets,
+                                 const core::ParallelContext& ctx) {
   std::vector<uint32_t> supports(itemsets.size(), 0);
   std::map<size_t, std::vector<uint32_t>> ids_by_size;
   for (uint32_t i = 0; i < itemsets.size(); ++i) {
@@ -81,7 +83,7 @@ std::vector<uint32_t> CountExact(const TransactionDatabase& db,
     for (uint32_t id : ids) layer.push_back(itemsets[id]);
     HashTree tree(layer, size);
     std::vector<uint32_t> counts(layer.size(), 0);
-    tree.CountDatabase(db, counts);
+    tree.CountDatabase(db, counts, ctx);
     for (size_t slot = 0; slot < ids.size(); ++slot) {
       supports[ids[slot]] = counts[slot];
     }
@@ -97,6 +99,7 @@ Result<MiningResult> MineWithSampling(const TransactionDatabase& db,
                                       SamplingStats* stats) {
   DMT_RETURN_NOT_OK(params.Validate());
   DMT_RETURN_NOT_OK(options.Validate());
+  const core::ParallelContext ctx(params.num_threads);
   SamplingStats local_stats;
   SamplingStats* out_stats = stats != nullptr ? stats : &local_stats;
   *out_stats = SamplingStats{};
@@ -132,18 +135,29 @@ Result<MiningResult> MineWithSampling(const TransactionDatabase& db,
   size_t num_sample_frequent = candidates.size();
   std::vector<Itemset> border =
       NegativeBorder(sample_result.itemsets, db.item_universe());
-  candidates.insert(candidates.end(), border.begin(), border.end());
+  for (auto& border_set : border) {
+    // Border sets beyond the size cap cannot contribute to the capped
+    // result, and neither can any superset — a frequent one is not a
+    // miss, so filter *before* the miss accounting below or it would
+    // force a pointless full-database remine.
+    if (params.max_itemset_size != 0 &&
+        border_set.size() > params.max_itemset_size) {
+      continue;
+    }
+    candidates.push_back(std::move(border_set));
+  }
   out_stats->candidates_checked = candidates.size();
 
-  std::vector<uint32_t> supports = CountExact(db, candidates);
+  std::vector<uint32_t> supports = CountExact(db, candidates, ctx);
   const uint32_t min_count = AbsoluteMinSupport(db, params.min_support);
 
   MiningResult result;
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (supports[i] < min_count) continue;
-    if (i >= num_sample_frequent) ++out_stats->border_misses;
-    if (params.max_itemset_size != 0 &&
-        candidates[i].size() > params.max_itemset_size) {
+    if (i >= num_sample_frequent) {
+      // A frequent negative-border set: some superset may be frequent
+      // too, so the one-scan result is not provably complete.
+      ++out_stats->border_misses;
       continue;
     }
     result.itemsets.push_back({candidates[i], supports[i]});

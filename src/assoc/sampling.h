@@ -39,7 +39,11 @@ struct SamplingStats {
 
 /// Mines all frequent itemsets of `db`. Always exact: when the negative
 /// border check fails, the function transparently falls back to a full
-/// mine and records it in `stats`.
+/// mine and records it in `stats`. Under a `max_itemset_size` cap, border
+/// sets larger than the cap are excluded before miss accounting (they
+/// cannot contribute to the capped result, nor can their supersets).
+/// `MiningParams::num_threads` is honored by both the verification scan
+/// and the FP-Growth mines.
 core::Result<MiningResult> MineWithSampling(
     const core::TransactionDatabase& db, const MiningParams& params,
     const SamplingOptions& options = {}, SamplingStats* stats = nullptr);

@@ -1,6 +1,9 @@
-// Cross-algorithm correctness: all four miners must produce exactly the
-// same frequent-itemset collection as a brute-force reference on random
-// databases, across support thresholds and database shapes.
+// Cross-algorithm correctness: every miner — the four core algorithms in
+// all their ablation variants plus sampling-based mining — must produce
+// exactly the same frequent-itemset collection as a brute-force reference
+// on random databases, across support thresholds (including exact
+// absolute-count boundaries), database shapes (including tie-heavy
+// supports), and max_itemset_size caps.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -9,6 +12,7 @@
 #include "assoc/apriori.h"
 #include "assoc/eclat.h"
 #include "assoc/fp_growth.h"
+#include "assoc/sampling.h"
 #include "core/rng.h"
 #include "gen/quest.h"
 
@@ -68,6 +72,8 @@ enum class Algorithm {
   kFpGrowthNoSinglePath,
   kEclat,
   kEclatBitset,
+  kSampling,
+  kSamplingTinySample,
 };
 
 std::string AlgorithmName(Algorithm algorithm) {
@@ -86,6 +92,10 @@ std::string AlgorithmName(Algorithm algorithm) {
       return "Eclat";
     case Algorithm::kEclatBitset:
       return "EclatBitset";
+    case Algorithm::kSampling:
+      return "Sampling";
+    case Algorithm::kSamplingTinySample:
+      return "SamplingTinySample";
   }
   return "?";
 }
@@ -117,6 +127,24 @@ core::Result<MiningResult> RunMiner(Algorithm algorithm,
       options.representation = EclatOptions::TidsetRepr::kBitsets;
       return MineEclat(db, params, options);
     }
+    case Algorithm::kSampling: {
+      // Comfortable sample with a lowered threshold; the usual no-fallback
+      // regime. Exactness must hold either way.
+      SamplingOptions options;
+      options.sample_fraction = 0.3;
+      options.threshold_scaling = 0.5;
+      options.seed = 23;
+      return MineWithSampling(db, params, options);
+    }
+    case Algorithm::kSamplingTinySample: {
+      // Starved sample at full threshold: border misses (and the full
+      // remine they force) are the expected path.
+      SamplingOptions options;
+      options.sample_fraction = 0.05;
+      options.threshold_scaling = 1.0;
+      options.seed = 29;
+      return MineWithSampling(db, params, options);
+    }
   }
   return core::Status::Internal("unknown algorithm");
 }
@@ -126,6 +154,7 @@ constexpr Algorithm kAllAlgorithms[] = {
     Algorithm::kAprioriTid,     Algorithm::kFpGrowth,
     Algorithm::kFpGrowthNoSinglePath,
     Algorithm::kEclat,          Algorithm::kEclatBitset,
+    Algorithm::kSampling,       Algorithm::kSamplingTinySample,
 };
 
 struct SweepCase {
@@ -159,11 +188,17 @@ TEST_P(MinerAgreementTest, MatchesBruteForceReference) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, MinerAgreementTest,
     testing::Combine(testing::ValuesIn(kAllAlgorithms),
+                     // The last two thresholds hit the absolute-count
+                     // boundary exactly on the 80-transaction database
+                     // (0.125*80 = 10, 0.1*80 = 8), so itemsets with
+                     // support equal to the rounded-up count are in.
                      testing::Values(SweepCase{1, 0.2, 0.3},
                                      SweepCase{2, 0.1, 0.3},
                                      SweepCase{3, 0.05, 0.2},
                                      SweepCase{4, 0.3, 0.5},
-                                     SweepCase{5, 0.15, 0.4})),
+                                     SweepCase{5, 0.15, 0.4},
+                                     SweepCase{6, 0.125, 0.4},
+                                     SweepCase{7, 0.1, 0.5})),
     [](const testing::TestParamInfo<AgreementParam>& param_info) {
       return AlgorithmName(std::get<0>(param_info.param)) + "_seed" +
              std::to_string(std::get<1>(param_info.param).seed);
@@ -305,6 +340,104 @@ TEST(MinerPropertiesTest, InvalidParamsRejected) {
     EXPECT_FALSE(RunMiner(algorithm, db, params).ok())
         << AlgorithmName(algorithm);
   }
+}
+
+TEST(MinerPropertiesTest, TieHeavySupportsAgreeAcrossMinersAndThreads) {
+  // Blocks of identical transactions give many itemsets exactly equal
+  // supports, stressing every tie-dependent ordering decision (FP-tree
+  // header sorts, equivalence-class walks, canonical sort) — which must
+  // never leak into results, at any thread count.
+  TransactionDatabase db;
+  const std::vector<std::vector<ItemId>> blocks = {
+      {0, 1, 2}, {1, 2, 3}, {2, 3, 4}, {0, 2, 4}, {0, 1, 3, 4}};
+  for (int repeat = 0; repeat < 12; ++repeat) {
+    for (const auto& block : blocks) db.Add(block);
+  }
+  MiningParams params;
+  params.min_support = 0.2;  // exactly 12 transactions: every block count
+  auto expected = BruteForceMine(db, params.min_support);
+  ASSERT_FALSE(expected.empty());
+  for (Algorithm algorithm : kAllAlgorithms) {
+    auto result = RunMiner(algorithm, db, params);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_EQ(result->itemsets, expected) << AlgorithmName(algorithm);
+  }
+  for (size_t threads : {2u, 4u}) {
+    params.num_threads = threads;
+    for (Algorithm algorithm :
+         {Algorithm::kFpGrowth, Algorithm::kEclat,
+          Algorithm::kEclatBitset}) {
+      auto result = RunMiner(algorithm, db, params);
+      ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+      EXPECT_EQ(result->itemsets, expected)
+          << AlgorithmName(algorithm) << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(MinerPropertiesTest, FpGrowthAppliesSinglePathFastPathAtRoot) {
+  // Regression: the root-level IsSinglePath() check used to select
+  // between two identical branches, so the advertised fast path never ran
+  // at the root. On a single-chain database the optimized run must emit
+  // the path combinations directly — zero conditional trees — and match
+  // the naive recursion exactly.
+  TransactionDatabase db;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    db.Add(std::vector<ItemId>{0});
+    db.Add(std::vector<ItemId>{0, 1});
+    db.Add(std::vector<ItemId>{0, 1, 2});
+    db.Add(std::vector<ItemId>{0, 1, 2, 3});
+  }
+  MiningParams params;
+  params.min_support = 0.25;  // every chain item is frequent
+  auto optimized = MineFpGrowth(db, params);
+  FpGrowthOptions naive;
+  naive.single_path_optimization = false;
+  auto recursive = MineFpGrowth(db, params, naive);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(recursive.ok());
+  EXPECT_EQ(optimized->itemsets, recursive->itemsets);
+  EXPECT_EQ(optimized->itemsets, BruteForceMine(db, params.min_support));
+  // The fast path must actually have been taken at the root.
+  EXPECT_EQ(optimized->conditional_trees_built, 0u);
+  EXPECT_GT(recursive->conditional_trees_built, 0u);
+  // A size cap must hold on the fast path too.
+  params.max_itemset_size = 2;
+  auto capped = MineFpGrowth(db, params);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->conditional_trees_built, 0u);
+  for (const auto& itemset : capped->itemsets) {
+    EXPECT_LE(itemset.items.size(), 2u);
+  }
+  EXPECT_EQ(capped->itemsets.size(), 10u);  // C(4,1) + C(4,2)
+}
+
+TEST(MinerPropertiesTest, PatternGrowthWorkCountersAreConsistent) {
+  TransactionDatabase db = RandomDatabase(31, 200, 15, 0.3);
+  MiningParams params;
+  params.min_support = 0.05;
+  auto fp = MineFpGrowth(db, params);
+  ASSERT_TRUE(fp.ok());
+  EXPECT_GT(fp->conditional_trees_built, 0u);
+  EXPECT_GT(fp->fp_nodes_allocated, 0u);
+  EXPECT_EQ(fp->tidset_intersections, 0u);
+  auto eclat = MineEclat(db, params);
+  ASSERT_TRUE(eclat.ok());
+  EXPECT_GT(eclat->tidset_intersections, 0u);
+  EXPECT_EQ(eclat->conditional_trees_built, 0u);
+  // Both Eclat representations probe candidate-for-candidate identically.
+  EclatOptions bitsets;
+  bitsets.representation = EclatOptions::TidsetRepr::kBitsets;
+  auto eclat_bitset = MineEclat(db, params, bitsets);
+  ASSERT_TRUE(eclat_bitset.ok());
+  EXPECT_EQ(eclat->tidset_intersections,
+            eclat_bitset->tidset_intersections);
+  // Apriori-family results carry no pattern-growth work.
+  auto apriori = MineApriori(db, params);
+  ASSERT_TRUE(apriori.ok());
+  EXPECT_EQ(apriori->conditional_trees_built, 0u);
+  EXPECT_EQ(apriori->fp_nodes_allocated, 0u);
+  EXPECT_EQ(apriori->tidset_intersections, 0u);
 }
 
 TEST(MinerPropertiesTest, AprioriPassStatsConsistent) {

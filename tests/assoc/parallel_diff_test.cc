@@ -1,10 +1,15 @@
-// Differential tests for the parallel Apriori kernels: mining with
+// Differential tests for the parallel association kernels: mining with
 // num_threads in {2, 4} must produce results bit-identical to the serial
 // run on seeded Quest workloads — same frequent itemsets, same supports,
-// same per-pass census.
+// same per-pass census, same work counters. Covers the counting miners
+// (Apriori/AprioriTid), the pattern-growth miners (FP-Growth/Eclat), and
+// the sampling verification scan.
 #include <gtest/gtest.h>
 
 #include "assoc/apriori.h"
+#include "assoc/eclat.h"
+#include "assoc/fp_growth.h"
+#include "assoc/sampling.h"
 #include "core/check.h"
 #include "gen/quest.h"
 
@@ -33,6 +38,12 @@ void ExpectSameResult(const MiningResult& serial,
     EXPECT_EQ(serial.passes[p].candidates, parallel.passes[p].candidates);
     EXPECT_EQ(serial.passes[p].frequent, parallel.passes[p].frequent);
   }
+  EXPECT_EQ(serial.conditional_trees_built, parallel.conditional_trees_built)
+      << "conditional_trees_built diverged at num_threads=" << threads;
+  EXPECT_EQ(serial.fp_nodes_allocated, parallel.fp_nodes_allocated)
+      << "fp_nodes_allocated diverged at num_threads=" << threads;
+  EXPECT_EQ(serial.tidset_intersections, parallel.tidset_intersections)
+      << "tidset_intersections diverged at num_threads=" << threads;
 }
 
 TEST(AprioriParallelDiffTest, HashTreeCountingMatchesSerial) {
@@ -82,6 +93,113 @@ TEST(AprioriParallelDiffTest, AprioriTidMatchesSerial) {
   }
 }
 
+TEST(FpGrowthParallelDiffTest, ConditionalTreeMiningMatchesSerial) {
+  auto db = Workload(/*seed=*/45);
+  MiningParams params;
+  params.min_support = 0.005;
+  auto serial = MineFpGrowth(db, params);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_FALSE(serial->itemsets.empty());
+  EXPECT_GT(serial->conditional_trees_built, 0u);
+  EXPECT_GT(serial->fp_nodes_allocated, 0u);
+  for (size_t threads : {2u, 4u}) {
+    params.num_threads = threads;
+    auto parallel = MineFpGrowth(db, params);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameResult(*serial, *parallel, threads);
+  }
+}
+
+TEST(FpGrowthParallelDiffTest, NoSinglePathOptimizationMatchesSerial) {
+  auto db = Workload(/*seed=*/46);
+  MiningParams params;
+  params.min_support = 0.0075;
+  FpGrowthOptions options;
+  options.single_path_optimization = false;
+  auto serial = MineFpGrowth(db, params, options);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_FALSE(serial->itemsets.empty());
+  for (size_t threads : {2u, 4u}) {
+    params.num_threads = threads;
+    auto parallel = MineFpGrowth(db, params, options);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameResult(*serial, *parallel, threads);
+  }
+}
+
+TEST(FpGrowthParallelDiffTest, MaxItemsetSizeCapMatchesSerial) {
+  auto db = Workload(/*seed=*/47);
+  MiningParams params;
+  params.min_support = 0.005;
+  params.max_itemset_size = 3;
+  auto serial = MineFpGrowth(db, params);
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {2u, 4u}) {
+    params.num_threads = threads;
+    auto parallel = MineFpGrowth(db, params);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameResult(*serial, *parallel, threads);
+  }
+}
+
+TEST(EclatParallelDiffTest, SortedVectorWalkMatchesSerial) {
+  auto db = Workload(/*seed=*/48);
+  MiningParams params;
+  params.min_support = 0.005;
+  auto serial = MineEclat(db, params);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_FALSE(serial->itemsets.empty());
+  EXPECT_GT(serial->tidset_intersections, 0u);
+  for (size_t threads : {2u, 4u}) {
+    params.num_threads = threads;
+    auto parallel = MineEclat(db, params);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameResult(*serial, *parallel, threads);
+  }
+}
+
+TEST(EclatParallelDiffTest, BitsetWalkMatchesSerial) {
+  auto db = Workload(/*seed=*/49);
+  MiningParams params;
+  params.min_support = 0.005;
+  EclatOptions options;
+  options.representation = EclatOptions::TidsetRepr::kBitsets;
+  auto serial = MineEclat(db, params, options);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_FALSE(serial->itemsets.empty());
+  for (size_t threads : {2u, 4u}) {
+    params.num_threads = threads;
+    auto parallel = MineEclat(db, params, options);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameResult(*serial, *parallel, threads);
+  }
+}
+
+TEST(SamplingParallelDiffTest, VerificationScanMatchesSerial) {
+  auto db = Workload(/*seed=*/50);
+  MiningParams params;
+  params.min_support = 0.01;
+  SamplingOptions options;
+  options.sample_fraction = 0.25;
+  options.seed = 17;
+  SamplingStats serial_stats;
+  auto serial = MineWithSampling(db, params, options, &serial_stats);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_FALSE(serial->itemsets.empty());
+  for (size_t threads : {2u, 4u}) {
+    params.num_threads = threads;
+    SamplingStats parallel_stats;
+    auto parallel = MineWithSampling(db, params, options, &parallel_stats);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameResult(*serial, *parallel, threads);
+    EXPECT_EQ(serial_stats.sample_size, parallel_stats.sample_size);
+    EXPECT_EQ(serial_stats.candidates_checked,
+              parallel_stats.candidates_checked);
+    EXPECT_EQ(serial_stats.border_misses, parallel_stats.border_misses);
+    EXPECT_EQ(serial_stats.fell_back, parallel_stats.fell_back);
+  }
+}
+
 TEST(AprioriParallelDiffTest, ParallelRunsAreRepeatable) {
   // Two parallel runs with the same thread count must also agree with each
   // other (scheduling must never leak into results).
@@ -94,6 +212,30 @@ TEST(AprioriParallelDiffTest, ParallelRunsAreRepeatable) {
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(first->itemsets, second->itemsets);
+}
+
+TEST(FpGrowthParallelDiffTest, ParallelRunsAreRepeatable) {
+  auto db = Workload(/*seed=*/51);
+  MiningParams params;
+  params.min_support = 0.005;
+  params.num_threads = 4;
+  auto first = MineFpGrowth(db, params);
+  auto second = MineFpGrowth(db, params);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ExpectSameResult(*first, *second, 4);
+}
+
+TEST(EclatParallelDiffTest, ParallelRunsAreRepeatable) {
+  auto db = Workload(/*seed=*/52);
+  MiningParams params;
+  params.min_support = 0.005;
+  params.num_threads = 4;
+  auto first = MineEclat(db, params);
+  auto second = MineEclat(db, params);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ExpectSameResult(*first, *second, 4);
 }
 
 TEST(AprioriParallelDiffTest, MoreThreadsThanTransactions) {
@@ -111,6 +253,28 @@ TEST(AprioriParallelDiffTest, MoreThreadsThanTransactions) {
   ASSERT_TRUE(serial.ok());
   ASSERT_TRUE(parallel.ok());
   EXPECT_EQ(serial->itemsets, parallel->itemsets);
+}
+
+TEST(PatternGrowthParallelDiffTest, MoreThreadsThanTopLevelTasks) {
+  // The pattern-growth task ranges are header entries / root classes, of
+  // which this database has only four; 8 threads must change nothing.
+  core::TransactionDatabase tiny;
+  tiny.Add(std::vector<core::ItemId>{0, 1, 2});
+  tiny.Add(std::vector<core::ItemId>{0, 1, 3});
+  tiny.Add(std::vector<core::ItemId>{0, 2, 3});
+  MiningParams params;
+  params.min_support = 0.5;
+  auto fp_serial = MineFpGrowth(tiny, params);
+  auto eclat_serial = MineEclat(tiny, params);
+  params.num_threads = 8;
+  auto fp_parallel = MineFpGrowth(tiny, params);
+  auto eclat_parallel = MineEclat(tiny, params);
+  ASSERT_TRUE(fp_serial.ok());
+  ASSERT_TRUE(fp_parallel.ok());
+  ASSERT_TRUE(eclat_serial.ok());
+  ASSERT_TRUE(eclat_parallel.ok());
+  ExpectSameResult(*fp_serial, *fp_parallel, 8);
+  ExpectSameResult(*eclat_serial, *eclat_parallel, 8);
 }
 
 }  // namespace

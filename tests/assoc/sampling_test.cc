@@ -167,6 +167,34 @@ TEST(SamplingTest, ValidatesOptions) {
   EXPECT_FALSE(MineWithSampling(db, params, options).ok());
 }
 
+TEST(SamplingTest, OversizedFrequentBorderSetDoesNotForceFallback) {
+  // Regression: border misses used to be counted before the
+  // max_itemset_size filter, so a *frequent* border set larger than the
+  // cap forced a full-database remine even though the capped result
+  // provably cannot contain it or any superset. Items 0 and 1 always
+  // co-occur, so with a cap of 1 the sample-frequent singletons put the
+  // (frequent) pair {0, 1} on the negative border.
+  TransactionDatabase db;
+  for (int t = 0; t < 60; ++t) db.Add(std::vector<ItemId>{0, 1});
+  for (int t = 0; t < 40; ++t) db.Add(std::vector<ItemId>{2});
+  MiningParams params;
+  params.min_support = 0.3;
+  params.max_itemset_size = 1;
+  SamplingOptions options;
+  options.sample_fraction = 0.5;
+  options.threshold_scaling = 0.5;
+  options.seed = 3;
+  SamplingStats stats;
+  auto sampled = MineWithSampling(db, params, options, &stats);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_EQ(stats.border_misses, 0u);
+  EXPECT_FALSE(stats.fell_back);
+  auto full = MineFpGrowth(db, params);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(sampled->itemsets, full->itemsets);
+  ASSERT_EQ(sampled->itemsets.size(), 3u);  // exactly the singletons
+}
+
 TEST(SamplingTest, MaxItemsetSizeRespected) {
   TransactionDatabase db = RandomDatabase(13, 1000, 12, 0.4);
   MiningParams params;

@@ -2,8 +2,9 @@
 # Full pre-merge check: tier-1 build + tests, then a ThreadSanitizer build
 # that runs the thread-pool unit tests and the serial-vs-parallel
 # differential tests for every parallelized miner, then a bench smoke
-# stage that runs the cluster benches at a tiny configuration and checks
-# the emitted --json records parse.
+# stage that runs the cluster, tree, and association benches at a tiny
+# configuration and checks the emitted --json records parse (including
+# the threads / work-counter columns).
 #
 # Usage: tools/check.sh [jobs]
 set -euo pipefail
@@ -45,11 +46,12 @@ BENCH_DIR="$ROOT/build/bench"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 
-# json_check <path>: the bench harness must have written a parseable
-# record with a non-empty runs array.
+# json_check <path> [required_counter...]: the bench harness must have
+# written a parseable record with a non-empty runs array; every listed
+# counter must be present in every run.
 json_check() {
   if command -v python3 >/dev/null 2>&1; then
-    python3 - "$1" <<'PY'
+    python3 - "$@" <<'PY'
 import json, sys
 with open(sys.argv[1]) as f:
     record = json.load(f)
@@ -57,6 +59,8 @@ assert record["bench"], "missing bench name"
 assert record["runs"], "empty runs array"
 for run in record["runs"]:
     assert "real_time" in run and "counters" in run, "malformed run"
+    for counter in sys.argv[2:]:
+        assert counter in run["counters"], f"missing counter {counter!r}"
 print(f"  {sys.argv[1]}: {record['bench']}, {len(record['runs'])} run(s) ok")
 PY
   else
@@ -90,6 +94,17 @@ json_check "$SMOKE_DIR/tree_scaleup.json"
   --benchmark_filter='BM_GrowC45Presorted/0' \
   --json "$SMOKE_DIR/tree_pruning.json" >/dev/null
 json_check "$SMOKE_DIR/tree_pruning.json"
+# Association benches: one parallel FP-growth point on the smallest
+# workload and the smallest scale-up row, asserting the threads and
+# pattern-growth work-counter columns are emitted.
+"$BENCH_DIR/bench_assoc_minsup" --no-table \
+  --benchmark_filter='BM_FpGrowth/0/200/0' \
+  --json "$SMOKE_DIR/assoc_minsup.json" >/dev/null
+json_check "$SMOKE_DIR/assoc_minsup.json" threads cond_trees fp_nodes
+"$BENCH_DIR/bench_assoc_scaleup_t" --no-table \
+  --benchmark_filter='BM_Eclat/5/0' \
+  --json "$SMOKE_DIR/assoc_scaleup_t.json" >/dev/null
+json_check "$SMOKE_DIR/assoc_scaleup_t.json" threads intersections
 
 echo
 echo "All checks passed."
