@@ -89,6 +89,27 @@ void BM_KMeansPruning(benchmark::State& state) {
   state.counters["dist_comps"] = dist_comps;
 }
 
+// EXT-7: instrumentation overhead on the hottest kernel. arg = 0 runs
+// with span collection disabled at runtime (registry counters stay on;
+// they always are), arg = 1 with in-memory span collection enabled.
+// The delta bounds what the observability layer costs a production run
+// that never sets DMT_TRACE.
+void BM_KMeansObsOverhead(benchmark::State& state) {
+  const auto& data = GridWorkload(kClusters, 1000);
+  dmt::cluster::KMeansOptions options;
+  options.k = kClusters;
+  options.seed = 3;
+  options.max_iterations = 20;
+  dmt::bench::ScopedTraceCollection trace(state.range(0) != 0);
+  for (auto _ : state) {
+    auto result = dmt::cluster::KMeans(data.points, options);
+    DMT_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["tracing"] = static_cast<double>(state.range(0));
+  state.counters["points"] = static_cast<double>(data.points.size());
+}
+
 void BM_Birch(benchmark::State& state) {
   const auto& data =
       GridWorkload(kClusters, static_cast<size_t>(state.range(0)));
@@ -141,6 +162,11 @@ void BirchSizes(benchmark::internal::Benchmark* bench) {
 
 BENCHMARK(BM_KMeans)->Apply(KMeansSizes);
 BENCHMARK(BM_KMeansPruning)->Apply(PruningSweep);
+BENCHMARK(BM_KMeansObsOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 BENCHMARK(BM_Birch)->Apply(BirchSizes);
 
 }  // namespace

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "core/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmt::bench {
 
@@ -97,7 +99,29 @@ inline void WriteJsonRecord(const std::string& path,
     }
     std::fprintf(f, "}}");
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  std::fprintf(f, "\n  ],");
+  // Span tree collected over the whole binary run: hierarchical phase
+  // names with call counts and wall/CPU totals, plus the final metrics
+  // registry — the instrumentation layer's view of the same runs.
+  std::fprintf(f, "\n  \"spans\": [");
+  const std::vector<obs::SpanAggregate> spans =
+      obs::TraceSink::Global().Aggregates();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"count\": %llu, "
+                 "\"wall_ms\": %.6f, \"cpu_ms\": %.6f}",
+                 i == 0 ? "" : ",", JsonEscape(spans[i].name).c_str(),
+                 static_cast<unsigned long long>(spans[i].count),
+                 spans[i].wall_ms, spans[i].cpu_ms);
+  }
+  std::fprintf(f, "\n  ],\n  \"registry\": {");
+  const auto counters = obs::Registry::Global().CounterSnapshot();
+  for (size_t i = 0; i < counters.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %llu", i == 0 ? "" : ",",
+                 JsonEscape(counters[i].first).c_str(),
+                 static_cast<unsigned long long>(counters[i].second));
+  }
+  std::fprintf(f, "\n  }\n}\n");
   std::fclose(f);
 }
 
@@ -134,6 +158,11 @@ inline int BenchMain(const char* bench_name, int argc, char** argv,
     return 1;
   }
   if (prologue && !no_table) prologue();
+  if (!json_path.empty()) {
+    // Collect spans in memory so the record can embed the span tree; no
+    // trace file is written unless DMT_TRACE asked for one.
+    obs::TraceSink::Global().StartCollection();
+  }
   internal::JsonTeeReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   if (!json_path.empty()) {

@@ -18,8 +18,28 @@
 #include "gen/mixture.h"
 #include "gen/quest.h"
 #include "gen/seqgen.h"
+#include "obs/trace.h"
 
 namespace dmt::bench {
+
+/// RAII toggle for runtime trace-span collection. Restores the prior
+/// state on scope exit so benchmark cases measuring the instrumentation
+/// on/off delta (EXT-7) do not leak the toggle into later cases.
+class ScopedTraceCollection {
+ public:
+  explicit ScopedTraceCollection(bool enabled)
+      : was_enabled_(obs::TraceSink::Global().enabled()) {
+    obs::TraceSink::Global().set_enabled(enabled);
+  }
+  ~ScopedTraceCollection() {
+    obs::TraceSink::Global().set_enabled(was_enabled_);
+  }
+  ScopedTraceCollection(const ScopedTraceCollection&) = delete;
+  ScopedTraceCollection& operator=(const ScopedTraceCollection&) = delete;
+
+ private:
+  bool was_enabled_;
+};
 
 /// Cached Quest transaction workload (keyed by T, I, D).
 inline const core::TransactionDatabase& QuestWorkload(double t, double i,

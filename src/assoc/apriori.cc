@@ -7,6 +7,8 @@
 #include "assoc/hash_tree.h"
 #include "core/check.h"
 #include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmt::assoc {
 
@@ -92,26 +94,42 @@ Result<MiningResult> MineApriori(const TransactionDatabase& db,
   const uint32_t min_count = AbsoluteMinSupport(db, params.min_support);
   const core::ParallelContext ctx(params.num_threads);
 
+  obs::Counter candidates_counter("assoc/apriori/candidates");
+  obs::Counter frequent_counter("assoc/apriori/frequent");
+  obs::Counter passes_counter("assoc/apriori/passes");
+  obs::Span mine_span("assoc/apriori/mine");
+  mine_span.AttachCounter(candidates_counter);
+  mine_span.AttachCounter(frequent_counter);
+  mine_span.AttachCounter(passes_counter);
+
   MiningResult result;
   size_t num_singles = 0;
   std::vector<FrequentItemset> layer =
       FrequentSingles(db, min_count, &num_singles);
   result.passes.push_back({1, num_singles, layer.size()});
+  candidates_counter.Add(num_singles);
+  frequent_counter.Add(layer.size());
+  passes_counter.Increment();
   result.itemsets = layer;
 
   for (size_t k = 2; !layer.empty(); ++k) {
     if (params.max_itemset_size != 0 && k > params.max_itemset_size) break;
+    obs::Span pass_span("assoc/apriori/pass");
+    pass_span.AddArg("k", k);
     CandidateGenResult gen = GenerateCandidates(ItemsetsOf(layer));
     if (gen.candidates.empty()) {
       result.passes.push_back({k, 0, 0});
+      passes_counter.Increment();
       break;
     }
     std::vector<uint32_t> counts(gen.candidates.size(), 0);
     if (options.counting == AprioriOptions::CountingMethod::kHashTree) {
+      obs::Span count_span("assoc/apriori/pass/count");
       HashTree tree(gen.candidates, k, options.hash_tree_fanout,
                     options.hash_tree_leaf_size);
       tree.CountDatabase(db, counts, ctx);
     } else {
+      obs::Span count_span("assoc/apriori/pass/count");
       std::unordered_map<Itemset, uint32_t, ItemsetHash> index;
       index.reserve(gen.candidates.size());
       for (uint32_t c = 0; c < gen.candidates.size(); ++c) {
@@ -132,6 +150,9 @@ Result<MiningResult> MineApriori(const TransactionDatabase& db,
       }
     }
     result.passes.push_back({k, gen.candidates.size(), next_layer.size()});
+    candidates_counter.Add(gen.candidates.size());
+    frequent_counter.Add(next_layer.size());
+    passes_counter.Increment();
     result.itemsets.insert(result.itemsets.end(), next_layer.begin(),
                            next_layer.end());
     layer = std::move(next_layer);
@@ -146,11 +167,22 @@ Result<MiningResult> MineAprioriTid(const TransactionDatabase& db,
   const uint32_t min_count = AbsoluteMinSupport(db, params.min_support);
   const core::ParallelContext ctx(params.num_threads);
 
+  obs::Counter candidates_counter("assoc/apriori_tid/candidates");
+  obs::Counter frequent_counter("assoc/apriori_tid/frequent");
+  obs::Counter passes_counter("assoc/apriori_tid/passes");
+  obs::Span mine_span("assoc/apriori_tid/mine");
+  mine_span.AttachCounter(candidates_counter);
+  mine_span.AttachCounter(frequent_counter);
+  mine_span.AttachCounter(passes_counter);
+
   MiningResult result;
   size_t num_singles = 0;
   std::vector<FrequentItemset> layer =
       FrequentSingles(db, min_count, &num_singles);
   result.passes.push_back({1, num_singles, layer.size()});
+  candidates_counter.Add(num_singles);
+  frequent_counter.Add(layer.size());
+  passes_counter.Increment();
   result.itemsets = layer;
 
   // Per-transaction lists of *frequent* (k-1)-itemset indices. For k=2 the
@@ -173,10 +205,13 @@ Result<MiningResult> MineAprioriTid(const TransactionDatabase& db,
 
   for (size_t k = 2; !layer.empty(); ++k) {
     if (params.max_itemset_size != 0 && k > params.max_itemset_size) break;
+    obs::Span pass_span("assoc/apriori_tid/pass");
+    pass_span.AddArg("k", k);
     CandidateGenResult gen =
         GenerateCandidates(ItemsetsOf(layer), /*record_parents=*/true);
     if (gen.candidates.empty()) {
       result.passes.push_back({k, 0, 0});
+      passes_counter.Increment();
       break;
     }
     // Group candidates by their first parent for set-oriented counting.
@@ -222,6 +257,9 @@ Result<MiningResult> MineAprioriTid(const TransactionDatabase& db,
       }
     }
     result.passes.push_back({k, gen.candidates.size(), next_layer.size()});
+    candidates_counter.Add(gen.candidates.size());
+    frequent_counter.Add(next_layer.size());
+    passes_counter.Increment();
     result.itemsets.insert(result.itemsets.end(), next_layer.begin(),
                            next_layer.end());
 

@@ -6,6 +6,8 @@
 #include "core/bitset.h"
 #include "core/check.h"
 #include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmt::assoc {
 
@@ -98,6 +100,12 @@ Result<MiningResult> MineEclat(const TransactionDatabase& db,
   DMT_RETURN_NOT_OK(params.Validate());
   const uint32_t min_count = AbsoluteMinSupport(db, params.min_support);
   const core::ParallelContext ctx(params.num_threads);
+
+  obs::Counter intersections_counter("assoc/eclat/tidset_intersections");
+  const obs::CounterDelta intersections_delta(intersections_counter);
+  obs::Span mine_span("assoc/eclat/mine");
+  mine_span.AttachCounter(intersections_counter);
+
   MiningResult result;
   result.passes.push_back({1, db.item_universe(), 0});
 
@@ -168,6 +176,10 @@ Result<MiningResult> MineEclat(const TransactionDatabase& db,
     result.passes[d].pass = d + 1;
   }
   result.passes[0].candidates = db.item_universe();
+  // Publish the chunk-order-merged tally and re-read the public field
+  // through the registry, which is the source of truth for work counters.
+  intersections_counter.Add(result.tidset_intersections);
+  result.tidset_intersections = intersections_delta.Value();
   SortCanonical(&result.itemsets);
   return result;
 }

@@ -4,6 +4,8 @@
 
 #include "core/check.h"
 #include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmt::assoc {
 
@@ -296,11 +298,23 @@ Result<MiningResult> MineFpGrowth(const TransactionDatabase& db,
   const uint32_t min_count = AbsoluteMinSupport(db, params.min_support);
   const core::ParallelContext ctx(params.num_threads);
 
+  obs::Counter trees_counter("assoc/fp_growth/conditional_trees_built");
+  obs::Counter nodes_counter("assoc/fp_growth/fp_nodes_allocated");
+  const obs::CounterDelta trees_delta(trees_counter);
+  const obs::CounterDelta nodes_delta(nodes_counter);
+  obs::Span mine_span("assoc/fp_growth/mine");
+  mine_span.AttachCounter(trees_counter);
+  mine_span.AttachCounter(nodes_counter);
+
   MiningResult result;
   size_t num_frequent_items = 0;
-  FpTree root = FpMiner::BuildRootTree(db, min_count, &num_frequent_items);
+  FpTree root = [&] {
+    obs::Span build_span("assoc/fp_growth/build_tree");
+    return FpMiner::BuildRootTree(db, min_count, &num_frequent_items);
+  }();
   result.fp_nodes_allocated += root.nodes.size() - 1;
   if (!root.header.empty()) {
+    obs::Span grow_span("assoc/fp_growth/grow");
     if (options.single_path_optimization && root.IsSinglePath()) {
       // Degenerate database: the whole tree is one chain, so every
       // frequent itemset is a combination of the chain's items.
@@ -324,6 +338,12 @@ Result<MiningResult> MineFpGrowth(const TransactionDatabase& db,
           });
     }
   }
+  // Publish the chunk-order-merged tallies and re-read the public fields
+  // through the registry, which is the source of truth for work counters.
+  trees_counter.Add(result.conditional_trees_built);
+  nodes_counter.Add(result.fp_nodes_allocated);
+  result.conditional_trees_built = trees_delta.Value();
+  result.fp_nodes_allocated = nodes_delta.Value();
   SortCanonical(&result.itemsets);
 
   // Reconstruct per-size pass stats (pattern growth has no candidates

@@ -10,6 +10,8 @@
 #include "core/check.h"
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmt::assoc {
 
@@ -104,18 +106,29 @@ Result<MiningResult> MineWithSampling(const TransactionDatabase& db,
   SamplingStats* out_stats = stats != nullptr ? stats : &local_stats;
   *out_stats = SamplingStats{};
 
+  obs::Counter candidates_counter("assoc/sampling/candidates_checked");
+  obs::Counter misses_counter("assoc/sampling/border_misses");
+  obs::Counter fallbacks_counter("assoc/sampling/fallbacks");
+  obs::Span mine_span("assoc/sampling/mine");
+  mine_span.AttachCounter(candidates_counter);
+  mine_span.AttachCounter(misses_counter);
+
   // Draw the sample.
   Rng rng(options.seed);
   TransactionDatabase sample;
-  for (size_t t = 0; t < db.size(); ++t) {
-    if (rng.Bernoulli(options.sample_fraction)) {
-      sample.Add(db.transaction(t));
+  {
+    obs::Span sample_span("assoc/sampling/draw_sample");
+    for (size_t t = 0; t < db.size(); ++t) {
+      if (rng.Bernoulli(options.sample_fraction)) {
+        sample.Add(db.transaction(t));
+      }
     }
   }
   out_stats->sample_size = sample.size();
   if (sample.empty()) {
     // Degenerate sample: mine the full database directly.
     out_stats->fell_back = true;
+    fallbacks_counter.Increment();
     return MineFpGrowth(db, params);
   }
 
@@ -147,8 +160,12 @@ Result<MiningResult> MineWithSampling(const TransactionDatabase& db,
     candidates.push_back(std::move(border_set));
   }
   out_stats->candidates_checked = candidates.size();
+  candidates_counter.Add(candidates.size());
 
-  std::vector<uint32_t> supports = CountExact(db, candidates, ctx);
+  std::vector<uint32_t> supports = [&] {
+    obs::Span verify_span("assoc/sampling/verify");
+    return CountExact(db, candidates, ctx);
+  }();
   const uint32_t min_count = AbsoluteMinSupport(db, params.min_support);
 
   MiningResult result;
@@ -158,6 +175,7 @@ Result<MiningResult> MineWithSampling(const TransactionDatabase& db,
       // A frequent negative-border set: some superset may be frequent
       // too, so the one-scan result is not provably complete.
       ++out_stats->border_misses;
+      misses_counter.Increment();
       continue;
     }
     result.itemsets.push_back({candidates[i], supports[i]});
@@ -166,6 +184,7 @@ Result<MiningResult> MineWithSampling(const TransactionDatabase& db,
     // Some frequent itemset may lie beyond the verified candidates; redo
     // exactly (Toivonen's second pass, implemented as a full remine).
     out_stats->fell_back = true;
+    fallbacks_counter.Increment();
     return MineFpGrowth(db, params);
   }
   SortCanonical(&result.itemsets);

@@ -5,6 +5,8 @@
 
 #include "core/check.h"
 #include "core/distance.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmt::classify {
 
@@ -48,6 +50,7 @@ Status KnnClassifier::Fit(const Dataset& train) {
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("cannot fit on an empty dataset");
   }
+  obs::Span fit_span("classify/knn/fit");
   DMT_ASSIGN_OR_RETURN(train_points_, train.ToPointSet(true));
   train_labels_.assign(train.labels().begin(), train.labels().end());
   num_classes_ = train.num_classes();
@@ -119,6 +122,10 @@ Result<std::vector<uint32_t>> KnnClassifier::PredictAll(
     return Status::InvalidArgument(
         "schema mismatch: test dimensionality differs from training");
   }
+  obs::Counter queries_counter("classify/knn/queries");
+  obs::Span predict_span("classify/knn/predict_all");
+  predict_span.AttachCounter(queries_counter);
+  queries_counter.Add(queries.size());
   std::vector<uint32_t> predictions;
   predictions.reserve(queries.size());
   std::vector<double> buffer(queries.dim());

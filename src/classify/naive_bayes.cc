@@ -5,6 +5,8 @@
 
 #include "core/check.h"
 #include "core/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmt::classify {
 
@@ -23,6 +25,7 @@ Status NaiveBayesClassifier::Fit(const Dataset& train) {
   if (options_.variance_floor <= 0.0) {
     return Status::InvalidArgument("variance_floor must be > 0");
   }
+  obs::Span fit_span("classify/naive_bayes/fit");
   num_attributes_ = train.num_attributes();
   num_classes_ = train.num_classes();
   attribute_types_.clear();
@@ -138,6 +141,10 @@ Result<std::vector<double>> NaiveBayesClassifier::LogScores(
 
 Result<std::vector<uint32_t>> NaiveBayesClassifier::PredictAll(
     const Dataset& test) const {
+  obs::Counter predictions_counter("classify/naive_bayes/predictions");
+  obs::Span predict_span("classify/naive_bayes/predict_all");
+  predict_span.AttachCounter(predictions_counter);
+  predictions_counter.Add(test.num_rows());
   std::vector<uint32_t> predictions;
   predictions.reserve(test.num_rows());
   for (size_t row = 0; row < test.num_rows(); ++row) {

@@ -8,6 +8,8 @@
 
 #include "core/check.h"
 #include "core/distance.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmt::cluster {
 
@@ -252,26 +254,42 @@ Result<BirchResult> Birch(const PointSet& points,
   }
   const size_t dim = points.dim();
 
+  // BIRCH's global phase delegates to k-means, so its distance work lands
+  // in the k-means counter; the delta below spans both phases and the
+  // final labeling scan.
+  obs::Counter comps_counter("cluster/kmeans/distance_computations");
+  const obs::CounterDelta comps_delta(comps_counter);
+  obs::Counter rebuilds_counter("cluster/birch/rebuilds");
+  obs::Gauge leaf_entries_gauge("cluster/birch/leaf_entries");
+  obs::Span run_span("cluster/birch/run");
+  run_span.AttachCounter(comps_counter);
+  run_span.AttachCounter(rebuilds_counter);
+
   BirchResult result;
   double threshold = options.threshold > 0.0 ? options.threshold : 1e-3;
   auto tree = std::make_unique<CfTree>(dim, threshold, options.branching,
                                        options.leaf_entries);
-  for (size_t i = 0; i < points.size(); ++i) {
-    tree->Insert(Cf::FromPoint(points.point(i)));
-    if (tree->num_leaf_entries() > options.max_leaf_entries_total) {
-      // Memory bound exceeded: rebuild with a doubled threshold by
-      // reinserting the existing summaries, then continue the scan.
-      std::vector<Cf> entries = tree->LeafEntries();
-      threshold *= 2.0;
-      ++result.rebuilds;
-      tree = std::make_unique<CfTree>(dim, threshold, options.branching,
-                                      options.leaf_entries);
-      for (const Cf& entry : entries) tree->Insert(entry);
+  {
+    obs::Span insert_span("cluster/birch/insert");
+    for (size_t i = 0; i < points.size(); ++i) {
+      tree->Insert(Cf::FromPoint(points.point(i)));
+      if (tree->num_leaf_entries() > options.max_leaf_entries_total) {
+        // Memory bound exceeded: rebuild with a doubled threshold by
+        // reinserting the existing summaries, then continue the scan.
+        std::vector<Cf> entries = tree->LeafEntries();
+        threshold *= 2.0;
+        ++result.rebuilds;
+        rebuilds_counter.Increment();
+        tree = std::make_unique<CfTree>(dim, threshold, options.branching,
+                                        options.leaf_entries);
+        for (const Cf& entry : entries) tree->Insert(entry);
+      }
     }
   }
 
   std::vector<Cf> entries = tree->LeafEntries();
   result.num_leaf_entries = entries.size();
+  leaf_entries_gauge.Set(static_cast<double>(entries.size()));
   result.final_threshold = threshold;
 
   // Global phase: weighted k-means over the entry centroids.
@@ -288,15 +306,18 @@ Result<BirchResult> Birch(const PointSet& points,
   kmeans.k = std::min(options.global_clusters, centroids.size());
   kmeans.assignment = options.global_assignment;
   kmeans.seed = options.seed;
-  DMT_ASSIGN_OR_RETURN(ClusteringResult global,
-                       WeightedKMeans(centroids, weights, kmeans));
+  ClusteringResult global;
+  {
+    obs::Span global_span("cluster/birch/global_kmeans");
+    DMT_ASSIGN_OR_RETURN(global, WeightedKMeans(centroids, weights, kmeans));
+  }
 
   // Label original points by their nearest global center.
+  obs::Span label_span("cluster/birch/label");
   result.clustering.centers = std::move(global.centers);
   result.clustering.iterations = global.iterations;
-  result.clustering.distance_computations =
-      global.distance_computations +
-      points.size() * result.clustering.centers.size();
+  comps_counter.Add(points.size() * result.clustering.centers.size());
+  result.clustering.distance_computations = comps_delta.Value();
   result.clustering.assignments.resize(points.size());
   double sse = 0.0;
   for (size_t i = 0; i < points.size(); ++i) {

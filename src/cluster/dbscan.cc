@@ -9,6 +9,8 @@
 #include "core/distance.h"
 #include "core/kd_tree.h"
 #include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmt::cluster {
 
@@ -47,8 +49,15 @@ Result<DbscanResult> Dbscan(const PointSet& points,
   result.labels.assign(points.size(), DbscanResult::kNoise);
   if (points.empty()) return result;
 
+  obs::Counter queries_counter("cluster/dbscan/region_queries");
+  obs::Counter neighbors_counter("cluster/dbscan/neighbors_returned");
+  obs::Span run_span("cluster/dbscan/run");
+  run_span.AttachCounter(queries_counter);
+  run_span.AttachCounter(neighbors_counter);
+
   std::unique_ptr<core::KdTree> index;
   if (options.neighbors == DbscanOptions::Neighbors::kKdTree) {
+    obs::Span index_span("cluster/dbscan/index_build");
     index = std::make_unique<core::KdTree>(points);
   }
   const double eps_sq = options.eps * options.eps;
@@ -66,17 +75,27 @@ Result<DbscanResult> Dbscan(const PointSet& points,
   const core::ParallelContext ctx(options.num_threads);
   std::vector<std::vector<uint32_t>> batched;
   if (ctx.parallel()) {
+    obs::Span batch_span("cluster/dbscan/batch_queries");
     batched.resize(points.size());
     core::ParallelForChunks(
         ctx.pool(), 0, points.size(), [&](size_t begin, size_t end) {
           for (size_t i = begin; i < end; ++i) batched[i] = query_point(i);
         });
   }
+  // Counted at the consumption site, on the orchestrating thread: the
+  // parallel mode prefetches every neighbourhood but the serial sweep
+  // queries lazily, so counting consumed queries is what keeps the totals
+  // identical at every thread count.
   auto region_query = [&](size_t center) {
-    return batched.empty() ? query_point(center)
-                           : std::move(batched[center]);
+    queries_counter.Increment();
+    std::vector<uint32_t> neighbours = batched.empty()
+                                           ? query_point(center)
+                                           : std::move(batched[center]);
+    neighbors_counter.Add(neighbours.size());
+    return neighbours;
   };
 
+  obs::Span expand_span("cluster/dbscan/expand");
   std::vector<bool> visited(points.size(), false);
   int32_t cluster_id = -1;
   std::deque<uint32_t> frontier;

@@ -8,6 +8,8 @@
 #include "core/distance.h"
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmt::cluster {
 
@@ -117,7 +119,9 @@ class AssignmentEngine {
         n_(points.size()),
         k_(options.k),
         dist_sq_(points.size(), 0.0),
-        chunk_comps_(ctx.NumChunks(points.size()), 0) {
+        comps_counter_("cluster/kmeans/distance_computations"),
+        comps_delta_(comps_counter_),
+        sharded_comps_(comps_counter_, ctx.NumChunks(points.size())) {
     if (options_.assignment != Assignment::kLloyd) {
       half_nearest_.assign(k_, 0.0);
       if (options_.assignment == Assignment::kHamerly) {
@@ -147,7 +151,9 @@ class AssignmentEngine {
         AssignElkan(centers, assignments);
       }
     }
-    MergeChunkComps();
+    // Ascending chunk order per the determinism contract (integer sums,
+    // so any order would match, but the contract keeps it auditable).
+    sharded_comps_.Drain();
   }
 
   /// Folds one update step's center movement into the maintained lower
@@ -174,7 +180,7 @@ class AssignmentEngine {
         max2 = m;
       }
     }
-    comps_ += k_;
+    comps_counter_.Add(k_);
     if (options_.assignment == Assignment::kHamerly) {
       // lower_[i] bounds the distance to every center except the
       // assigned one, so the assigned center's movement never applies;
@@ -198,8 +204,13 @@ class AssignmentEngine {
   /// the latest Assign() call (bit-identical across engines).
   const std::vector<double>& dist_sq() const { return dist_sq_; }
 
-  uint64_t distance_computations() const { return comps_; }
-  void CountExternal(uint64_t comps) { comps_ += comps; }
+  /// The engine's distance-evaluation tally, read back from the metrics
+  /// registry (the counter was snapshotted at engine construction, so
+  /// this is the work of this engine alone).
+  uint64_t distance_computations() const { return comps_delta_.Value(); }
+  void CountExternal(uint64_t comps) { comps_counter_.Add(comps); }
+
+  const obs::Counter& comps_counter() const { return comps_counter_; }
 
  private:
   void AssignLloyd(const PointSet& centers,
@@ -220,7 +231,7 @@ class AssignmentEngine {
         dist_sq_[i] = best_d;
       }
     });
-    comps_ += static_cast<uint64_t>(n_) * k_;
+    comps_counter_.Add(static_cast<uint64_t>(n_) * k_);
   }
 
   /// First pruned-engine pass: a full Lloyd scan that also captures the
@@ -251,7 +262,7 @@ class AssignmentEngine {
         dist_sq_[i] = best_d2;
         if (!elkan) lower_[i] = std::sqrt(second_d2);
       }
-      chunk_comps_[chunk] = comps;
+      sharded_comps_.Add(chunk, comps);
     });
   }
 
@@ -295,7 +306,7 @@ class AssignmentEngine {
         dist_sq_[i] = best_d2;
         lower_[i] = std::sqrt(second_d2);
       }
-      chunk_comps_[chunk] = comps;
+      sharded_comps_.Add(chunk, comps);
     });
   }
 
@@ -339,7 +350,7 @@ class AssignmentEngine {
         (*assignments)[i] = best;
         dist_sq_[i] = best_d2;
       }
-      chunk_comps_[chunk] = comps;
+      sharded_comps_.Add(chunk, comps);
     });
   }
 
@@ -361,16 +372,7 @@ class AssignmentEngine {
         if (half < half_nearest_[b]) half_nearest_[b] = half;
       }
     }
-    comps_ += static_cast<uint64_t>(k_) * (k_ - 1) / 2;
-  }
-
-  /// Ascending chunk order per the determinism contract (integer sums,
-  /// so any order would match, but the contract keeps it auditable).
-  void MergeChunkComps() {
-    for (uint64_t& c : chunk_comps_) {
-      comps_ += c;
-      c = 0;
-    }
+    comps_counter_.Add(static_cast<uint64_t>(k_) * (k_ - 1) / 2);
   }
 
   const PointSet& points_;
@@ -389,8 +391,13 @@ class AssignmentEngine {
   std::vector<double> center_dist_;
   /// Both pruned engines: 0.5 * distance to the nearest other center.
   std::vector<double> half_nearest_;
-  std::vector<uint64_t> chunk_comps_;
-  uint64_t comps_ = 0;
+  /// Distance evaluations flow into the registry: orchestrating-thread
+  /// bumps go straight to the counter, chunk-body tallies go through the
+  /// sharded slots and drain after the barrier. The delta (snapshotted at
+  /// construction) is the engine's own total.
+  obs::Counter comps_counter_;
+  obs::CounterDelta comps_delta_;
+  obs::ShardedCounter sharded_comps_;
 };
 
 Result<ClusteringResult> Run(const PointSet& points,
@@ -408,14 +415,22 @@ Result<ClusteringResult> Run(const PointSet& points,
   Rng rng(options.seed);
   const core::ParallelContext ctx(options.num_threads);
 
+  obs::Counter iterations_counter("cluster/kmeans/iterations");
+  obs::Span run_span("cluster/kmeans/run");
+  run_span.AttachCounter(iterations_counter);
+
   ClusteringResult result;
   uint64_t seeding_comps = 0;
-  result.centers = SeedCenters(points, weights, options.k, options.init,
-                               rng, ctx, &seeding_comps);
+  {
+    obs::Span seed_span("cluster/kmeans/seed");
+    result.centers = SeedCenters(points, weights, options.k, options.init,
+                                 rng, ctx, &seeding_comps);
+  }
   result.assignments.assign(n, 0);
 
   AssignmentEngine engine(points, options, ctx);
   engine.CountExternal(seeding_comps);
+  run_span.AttachCounter(engine.comps_counter());
 
   // The SSE reduction runs on this thread in index order so parallel
   // runs are bit-identical to serial ones.
@@ -431,9 +446,11 @@ Result<ClusteringResult> Run(const PointSet& points,
   PointSet previous_centers;
   double previous_sse = std::numeric_limits<double>::infinity();
 
+  obs::Span loop_span("cluster/kmeans/lloyd_loop");
   for (size_t iteration = 0; iteration < options.max_iterations;
        ++iteration) {
     result.iterations = iteration + 1;
+    iterations_counter.Increment();
     result.sse = assign_points();
 
     // Update step (weights scale only the sums, never the assignment).

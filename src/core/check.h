@@ -3,14 +3,16 @@
 #ifndef DMT_CORE_CHECK_H_
 #define DMT_CORE_CHECK_H_
 
-#include <cstdio>
 #include <cstdlib>
+
+#include "obs/log.h"
 
 namespace dmt::core::internal {
 
 [[noreturn]] inline void CheckFailed(const char* expr, const char* file,
                                      int line) {
-  std::fprintf(stderr, "dmt: CHECK failed: %s at %s:%d\n", expr, file, line);
+  obs::Log(obs::LogSeverity::kFatal, "CHECK failed: %s at %s:%d", expr,
+           file, line);
   std::abort();
 }
 

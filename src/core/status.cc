@@ -1,7 +1,8 @@
 #include "core/status.h"
 
-#include <cstdio>
 #include <cstdlib>
+
+#include "obs/log.h"
 
 namespace dmt::core {
 
@@ -38,8 +39,8 @@ std::string Status::ToString() const {
 namespace internal {
 
 void AbortWithStatus(const Status& status) {
-  std::fprintf(stderr, "dmt: Result accessed with error status: %s\n",
-               status.ToString().c_str());
+  obs::Log(obs::LogSeverity::kFatal, "Result accessed with error status: %s",
+           status.ToString().c_str());
   std::abort();
 }
 

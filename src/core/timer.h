@@ -1,8 +1,10 @@
-// Wall-clock timing helper for benchmarks and progress reporting.
+// Wall-clock and CPU-time stopwatches for benchmarks, trace spans, and
+// progress reporting.
 #ifndef DMT_CORE_TIMER_H_
 #define DMT_CORE_TIMER_H_
 
 #include <chrono>
+#include <ctime>
 
 namespace dmt::core {
 
@@ -25,6 +27,42 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Process CPU-time stopwatch (user + system, summed over all threads).
+/// Together with WallTimer this separates "time spent" from "work done":
+/// a span whose CPU time far exceeds its wall time ran parallel; one
+/// whose wall time far exceeds its CPU time was blocked.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Now(); }
+
+  /// Elapsed process CPU seconds since construction or the last Reset().
+  double ElapsedSeconds() const { return Now() - start_; }
+
+  /// Elapsed process CPU milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Current process CPU time in seconds, from clock_gettime's
+  /// per-process CPU clock where available, else std::clock (whose
+  /// CLOCKS_PER_SEC granularity is much coarser but portable).
+  static double Now() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return static_cast<double>(std::clock()) /
+           static_cast<double>(CLOCKS_PER_SEC);
+  }
+
+ private:
+  double start_;
 };
 
 }  // namespace dmt::core

@@ -1,0 +1,38 @@
+#include "obs/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dmt::obs {
+
+namespace internal {
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "[I]";
+    case LogSeverity::kWarning:
+      return "[W]";
+    case LogSeverity::kError:
+      return "[E]";
+    case LogSeverity::kFatal:
+      return "[F]";
+  }
+  return "[?]";
+}
+
+}  // namespace internal
+
+void Log(LogSeverity severity, const char* format, ...) {
+  // One fprintf per part keeps the line assembly allocation-free; the
+  // prefix/message interleaving risk under concurrent logging is no worse
+  // than the raw fprintf calls this helper replaced.
+  std::fprintf(stderr, "dmt %s ", internal::SeverityTag(severity));
+  std::va_list args;
+  va_start(args, format);
+  std::vfprintf(stderr, format, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace dmt::obs

@@ -1,0 +1,36 @@
+// Minimal severity-prefixed logging for library diagnostics. Every message
+// the library writes to stderr goes through obs::Log so error output has
+// one format: "dmt [<severity>] <message>\n". This header sits below
+// core/ in the layering (core/check.h and core/status.cc route through
+// it), so it must not include any dmt header.
+#ifndef DMT_OBS_LOG_H_
+#define DMT_OBS_LOG_H_
+
+namespace dmt::obs {
+
+enum class LogSeverity {
+  kInfo,
+  kWarning,
+  kError,
+  /// Fatal messages report unrecoverable programming errors; the caller
+  /// is expected to abort right after logging (obs::Log never aborts
+  /// itself, so call sites keep control of the termination path).
+  kFatal,
+};
+
+/// printf-style log line to stderr with a severity prefix.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void Log(LogSeverity severity, const char* format, ...);
+
+namespace internal {
+
+/// The "[I]" / "[W]" / "[E]" / "[F]" tag used in the line prefix
+/// (exposed for tests).
+const char* SeverityTag(LogSeverity severity);
+
+}  // namespace internal
+}  // namespace dmt::obs
+
+#endif  // DMT_OBS_LOG_H_

@@ -1,0 +1,104 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace dmt::obs {
+
+namespace {
+
+const std::string& EmptyName() {
+  static const std::string empty;
+  return empty;
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  // Leaked singleton: handles may be read during static destruction (a
+  // bench's trace flush, a test's atexit), so the registry must outlive
+  // every other static.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+internal::CounterSlot* Registry::CounterNamed(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return it->second;
+  internal::CounterSlot& slot = counters_.emplace_back();
+  slot.name = std::string(name);
+  counter_index_.emplace(slot.name, &slot);
+  return &slot;
+}
+
+internal::GaugeSlot* Registry::GaugeNamed(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return it->second;
+  internal::GaugeSlot& slot = gauges_.emplace_back();
+  slot.name = std::string(name);
+  gauge_index_.emplace(slot.name, &slot);
+  return &slot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (internal::CounterSlot& slot : counters_) {
+    slot.value.store(0, std::memory_order_relaxed);
+  }
+  for (internal::GaugeSlot& slot : gauges_) {
+    slot.value.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::CounterSnapshot()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(counters_.size());
+    for (const internal::CounterSlot& slot : counters_) {
+      out.emplace_back(slot.name,
+                       slot.value.load(std::memory_order_relaxed));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::GaugeSnapshot() const {
+  std::vector<std::pair<std::string, double>> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(gauges_.size());
+    for (const internal::GaugeSlot& slot : gauges_) {
+      out.emplace_back(slot.name,
+                       slot.value.load(std::memory_order_relaxed));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t Registry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counter_index_.find(name);
+  if (it == counter_index_.end()) return 0;
+  return it->second->value.load(std::memory_order_relaxed);
+}
+
+Counter::Counter(std::string_view name)
+    : slot_(Registry::Global().CounterNamed(name)) {}
+
+const std::string& Counter::name() const {
+  return slot_ != nullptr ? slot_->name : EmptyName();
+}
+
+Gauge::Gauge(std::string_view name)
+    : slot_(Registry::Global().GaugeNamed(name)) {}
+
+const std::string& Gauge::name() const {
+  return slot_ != nullptr ? slot_->name : EmptyName();
+}
+
+}  // namespace dmt::obs

@@ -1,0 +1,188 @@
+// Deterministic metrics registry: named Counter/Gauge handles backed by a
+// process-global registry, so every algorithm reports work through one
+// schema instead of ad-hoc side channels.
+//
+// Determinism contract (the PR-1 contract, applied to metrics): counter
+// totals must be bit-identical at every thread count. Counters are
+// therefore bumped either (a) on the orchestrating thread from
+// chunk-invariant quantities, or (b) through a ShardedCounter whose
+// per-chunk slots are merged in ascending chunk order after the pool
+// barrier — never concurrently from inside chunk bodies. The slots
+// themselves are plain (non-atomic) integers because each chunk owns its
+// slot exclusively; the registry values are atomics only so that
+// independent algorithm invocations on different application threads
+// remain race-free.
+//
+// The existing public stats fields (MiningResult work counters,
+// ClusteringResult::distance_computations, TreeBuildStats::
+// split_scan_rows) are views over these registry counters: the algorithm
+// publishes its merged tallies to the registry and fills the field from a
+// CounterDelta read, so the registry is the source of truth and no public
+// API changes.
+#ifndef DMT_OBS_METRICS_H_
+#define DMT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dmt::obs {
+
+namespace internal {
+
+struct CounterSlot {
+  std::string name;
+  std::atomic<uint64_t> value{0};
+};
+
+struct GaugeSlot {
+  std::string name;
+  std::atomic<double> value{0.0};
+};
+
+}  // namespace internal
+
+/// Handle to one named registry counter. Cheap to copy; a
+/// default-constructed handle is a no-op sink. Handles stay valid for the
+/// process lifetime (registry slots are never deallocated or moved).
+class Counter {
+ public:
+  Counter() = default;
+  /// Registers (or looks up) the counter named `name` in the global
+  /// registry. One mutex-guarded hash lookup — construct once per
+  /// algorithm invocation, not inside hot loops.
+  explicit Counter(std::string_view name);
+
+  void Add(uint64_t delta) {
+    if (slot_ != nullptr) {
+      slot_->value.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  void Increment() { Add(1); }
+
+  uint64_t value() const {
+    return slot_ != nullptr ? slot_->value.load(std::memory_order_relaxed)
+                            : 0;
+  }
+
+  /// The registered name, or "" for a default-constructed handle.
+  const std::string& name() const;
+
+ private:
+  internal::CounterSlot* slot_ = nullptr;
+};
+
+/// Handle to one named registry gauge (a last-written value, e.g. a
+/// configuration knob or a final quality number).
+class Gauge {
+ public:
+  Gauge() = default;
+  explicit Gauge(std::string_view name);
+
+  void Set(double value) {
+    if (slot_ != nullptr) {
+      slot_->value.store(value, std::memory_order_relaxed);
+    }
+  }
+  double value() const {
+    return slot_ != nullptr ? slot_->value.load(std::memory_order_relaxed)
+                            : 0.0;
+  }
+  const std::string& name() const;
+
+ private:
+  internal::GaugeSlot* slot_ = nullptr;
+};
+
+/// Snapshot of a counter at construction; Value() returns what has been
+/// added since. Algorithms use this to fill their public stats fields
+/// from the registry (the "view" half of the contract) without being
+/// confused by earlier runs' contributions.
+class CounterDelta {
+ public:
+  explicit CounterDelta(const Counter& counter)
+      : counter_(counter), start_(counter.value()) {}
+
+  uint64_t Value() const { return counter_.value() - start_; }
+
+ private:
+  Counter counter_;
+  uint64_t start_;
+};
+
+/// Per-chunk counter shards for parallel sections. Chunk bodies bump
+/// their own slot with plain integer arithmetic (the chunk owns the slot,
+/// so no synchronization is involved); Drain() folds the slots into the
+/// registry counter in ascending chunk order after the pool barrier —
+/// the fixed merge order of the determinism contract. Reusable across
+/// parallel regions: Drain() zeroes the slots.
+class ShardedCounter {
+ public:
+  ShardedCounter(Counter counter, size_t num_chunks)
+      : counter_(counter), shards_(num_chunks > 0 ? num_chunks : 1, 0) {}
+
+  /// The chunk-owned slot. Valid only between construction/Drain() and
+  /// the next Drain(); must not be touched after the owning chunk's task
+  /// finished.
+  void Add(size_t chunk, uint64_t delta) { shards_[chunk] += delta; }
+
+  /// Merges every shard into the registry counter in ascending chunk
+  /// order and resets the shards. Call from the orchestrating thread
+  /// after the parallel region's barrier.
+  void Drain() {
+    for (uint64_t& shard : shards_) {
+      counter_.Add(shard);
+      shard = 0;
+    }
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  Counter counter_;
+  std::vector<uint64_t> shards_;
+};
+
+/// Process-global registry of named counters and gauges.
+class Registry {
+ public:
+  static Registry& Global();
+
+  /// Zeroes every value (registrations and handles stay valid). Tests
+  /// call this between runs to compare absolute totals.
+  void Reset();
+
+  /// All counters as (name, value), sorted by name — the deterministic
+  /// order every serialization uses.
+  std::vector<std::pair<std::string, uint64_t>> CounterSnapshot() const;
+  /// All gauges as (name, value), sorted by name.
+  std::vector<std::pair<std::string, double>> GaugeSnapshot() const;
+
+  /// Value of the counter named `name`, or 0 if never registered.
+  uint64_t CounterValue(std::string_view name) const;
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+
+  internal::CounterSlot* CounterNamed(std::string_view name);
+  internal::GaugeSlot* GaugeNamed(std::string_view name);
+
+  mutable std::mutex mutex_;
+  // Deques never relocate elements, so handles hold stable pointers.
+  std::deque<internal::CounterSlot> counters_;
+  std::deque<internal::GaugeSlot> gauges_;
+  std::unordered_map<std::string_view, internal::CounterSlot*>
+      counter_index_;
+  std::unordered_map<std::string_view, internal::GaugeSlot*> gauge_index_;
+};
+
+}  // namespace dmt::obs
+
+#endif  // DMT_OBS_METRICS_H_

@@ -8,6 +8,8 @@
 #include "core/check.h"
 #include "core/parallel.h"
 #include "core/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmt::seq {
 
@@ -252,65 +254,88 @@ Result<SeqMiningResult> MineGsp(const SequenceDatabase& db,
       1, static_cast<int64_t>(std::ceil(
              params.min_support * static_cast<double>(db.size()) - 1e-9))));
 
+  obs::Counter candidates_counter("seq/gsp/candidates");
+  obs::Counter frequent_counter("seq/gsp/frequent");
+  obs::Counter passes_counter("seq/gsp/passes");
+  obs::Span mine_span("seq/gsp/mine");
+  mine_span.AttachCounter(candidates_counter);
+  mine_span.AttachCounter(frequent_counter);
+  mine_span.AttachCounter(passes_counter);
+
   // Pass 1: frequent items (customer support: once per customer).
   std::vector<uint32_t> item_support(db.item_universe(), 0);
-  std::unordered_set<ItemId> seen;
-  for (size_t c = 0; c < db.size(); ++c) {
-    seen.clear();
-    for (const auto& element : db.sequence(c).elements) {
-      for (ItemId item : element) seen.insert(item);
-    }
-    for (ItemId item : seen) ++item_support[item];
-  }
   std::vector<SequencePattern> layer;
-  for (ItemId item = 0; item < item_support.size(); ++item) {
-    if (item_support[item] >= min_count) {
-      Sequence s;
-      s.elements = {{item}};
-      layer.push_back({std::move(s), item_support[item]});
+  {
+    obs::Span pass1_span("seq/gsp/pass1");
+    std::unordered_set<ItemId> seen;
+    for (size_t c = 0; c < db.size(); ++c) {
+      seen.clear();
+      for (const auto& element : db.sequence(c).elements) {
+        for (ItemId item : element) seen.insert(item);
+      }
+      for (ItemId item : seen) ++item_support[item];
+    }
+    for (ItemId item = 0; item < item_support.size(); ++item) {
+      if (item_support[item] >= min_count) {
+        Sequence s;
+        s.elements = {{item}};
+        layer.push_back({std::move(s), item_support[item]});
+      }
     }
   }
   result.passes.push_back({1, db.item_universe(), layer.size()});
+  candidates_counter.Add(db.item_universe());
+  frequent_counter.Add(layer.size());
+  passes_counter.Increment();
   result.patterns = layer;
 
   for (size_t k = 2; !layer.empty(); ++k) {
     if (params.max_pattern_items != 0 && k > params.max_pattern_items) break;
-    std::vector<Sequence> candidates =
-        k == 2 ? JoinSingles(layer) : JoinPhase(layer);
-    if (k > 2) {
-      SeqKeySet frequent_keys;
-      for (const auto& pattern : layer) {
-        frequent_keys.insert(FlattenSequence(pattern.sequence));
-      }
-      std::vector<Sequence> pruned;
-      pruned.reserve(candidates.size());
-      for (auto& candidate : candidates) {
-        if (SurvivesPrune(candidate, frequent_keys)) {
-          pruned.push_back(std::move(candidate));
+    obs::Span pass_span("seq/gsp/pass");
+    pass_span.AddArg("k", k);
+    std::vector<Sequence> candidates;
+    {
+      obs::Span join_span("seq/gsp/pass/join");
+      candidates = k == 2 ? JoinSingles(layer) : JoinPhase(layer);
+      if (k > 2) {
+        SeqKeySet frequent_keys;
+        for (const auto& pattern : layer) {
+          frequent_keys.insert(FlattenSequence(pattern.sequence));
         }
+        std::vector<Sequence> pruned;
+        pruned.reserve(candidates.size());
+        for (auto& candidate : candidates) {
+          if (SurvivesPrune(candidate, frequent_keys)) {
+            pruned.push_back(std::move(candidate));
+          }
+        }
+        candidates = std::move(pruned);
       }
-      candidates = std::move(pruned);
     }
     if (candidates.empty()) {
       result.passes.push_back({k, 0, 0});
+      passes_counter.Increment();
       break;
     }
     std::vector<uint32_t> counts(candidates.size(), 0);
-    if (k == 2) {
-      CountPass2(db, candidates, counts, ctx);
-    } else {
-      core::CountPartitioned(
-          ctx, db.size(), counts,
-          [&](size_t chunk_begin, size_t chunk_end,
-              std::span<uint32_t> local) {
-            for (size_t c = chunk_begin; c < chunk_end; ++c) {
-              const Sequence& customer = db.sequence(c);
-              if (customer.TotalItems() < k) continue;
-              for (size_t cand = 0; cand < candidates.size(); ++cand) {
-                if (customer.Contains(candidates[cand])) ++local[cand];
+    {
+      obs::Span count_span("seq/gsp/pass/count");
+      if (k == 2) {
+        CountPass2(db, candidates, counts, ctx);
+      } else {
+        core::CountPartitioned(
+            ctx, db.size(), counts,
+            [&](size_t chunk_begin, size_t chunk_end,
+                std::span<uint32_t> local) {
+              for (size_t c = chunk_begin; c < chunk_end; ++c) {
+                const Sequence& customer = db.sequence(c);
+                if (customer.TotalItems() < k) continue;
+                for (size_t cand = 0; cand < candidates.size(); ++cand) {
+                  if (customer.Contains(candidates[cand])) ++local[cand];
+                }
               }
-            }
-          });
+            });
+      }
     }
     std::vector<SequencePattern> next_layer;
     for (size_t cand = 0; cand < candidates.size(); ++cand) {
@@ -319,6 +344,9 @@ Result<SeqMiningResult> MineGsp(const SequenceDatabase& db,
       }
     }
     result.passes.push_back({k, candidates.size(), next_layer.size()});
+    candidates_counter.Add(candidates.size());
+    frequent_counter.Add(next_layer.size());
+    passes_counter.Increment();
     result.patterns.insert(result.patterns.end(), next_layer.begin(),
                            next_layer.end());
     layer = std::move(next_layer);

@@ -7,6 +7,8 @@
 #include "core/check.h"
 #include "core/parallel.h"
 #include "core/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmt::tree {
 
@@ -94,6 +96,13 @@ class TreeBuilderImpl {
   }
 
   DecisionTree Build(TreeBuildStats* stats) {
+    obs::Counter scan_rows_counter("tree/greedy/split_scan_rows");
+    obs::Counter nodes_counter("tree/greedy/nodes");
+    const obs::CounterDelta scan_rows_delta(scan_rows_counter);
+    obs::Span build_span("tree/greedy/build");
+    build_span.AttachCounter(scan_rows_counter);
+    build_span.AttachCounter(nodes_counter);
+
     DecisionTree tree;
     // Capture rendering metadata.
     for (size_t a = 0; a < data_.num_attributes(); ++a) {
@@ -106,12 +115,21 @@ class TreeBuilderImpl {
     Workset root;
     root.rows.resize(data_.num_rows());
     std::iota(root.rows.begin(), root.rows.end(), 0u);
-    if (options_.split_search == SplitSearch::kPresorted) Presort(&root);
-    Grow(&tree, std::move(root), 0);
+    if (options_.split_search == SplitSearch::kPresorted) {
+      obs::Span presort_span("tree/greedy/presort");
+      Presort(&root);
+    }
+    {
+      obs::Span grow_span("tree/greedy/grow");
+      Grow(&tree, std::move(root), 0);
+    }
+    // Publish the per-chunk scan tallies in ascending chunk order (the
+    // determinism contract's merge order) and read the public stats field
+    // back through the registry.
+    for (const ScanScratch& s : scratch_) scan_rows_counter.Add(s.scan_rows);
+    nodes_counter.Add(internal::TreeAccess::Nodes(tree).size());
     if (stats != nullptr) {
-      uint64_t scan_rows = 0;
-      for (const ScanScratch& s : scratch_) scan_rows += s.scan_rows;
-      stats->split_scan_rows = scan_rows;
+      stats->split_scan_rows = scan_rows_delta.Value();
     }
     return tree;
   }

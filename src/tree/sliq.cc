@@ -7,6 +7,8 @@
 
 #include "core/check.h"
 #include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tree/criteria.h"
 
 namespace dmt::tree {
@@ -71,6 +73,13 @@ Result<DecisionTree> BuildSliq(const Dataset& data,
   const size_t num_attributes = data.num_attributes();
   core::ParallelContext ctx(options.num_threads);
 
+  obs::Counter scan_rows_counter("tree/sliq/split_scan_rows");
+  obs::Counter levels_counter("tree/sliq/levels");
+  const obs::CounterDelta scan_rows_delta(scan_rows_counter);
+  obs::Span build_span("tree/sliq/build");
+  build_span.AttachCounter(scan_rows_counter);
+  build_span.AttachCounter(levels_counter);
+
   DecisionTree tree;
   auto& nodes = internal::TreeAccess::Nodes(tree);
   for (size_t a = 0; a < num_attributes; ++a) {
@@ -87,19 +96,22 @@ Result<DecisionTree> BuildSliq(const Dataset& data,
   // pairs sort with contiguous comparator reads (lexicographic `<` is
   // exactly that order), and the per-attribute sorts run chunk-parallel.
   std::vector<std::vector<uint32_t>> sorted_rows(num_attributes);
-  ctx.ForEachChunk(num_attributes, [&](size_t, size_t begin, size_t end) {
-    std::vector<std::pair<double, uint32_t>> keyed(n);
-    for (size_t a = begin; a < end; ++a) {
-      if (data.attribute(a).type != AttributeType::kNumeric) continue;
-      auto column = data.NumericColumn(a);
-      for (size_t i = 0; i < n; ++i) {
-        keyed[i] = {column[i], static_cast<uint32_t>(i)};
+  {
+    obs::Span presort_span("tree/sliq/presort");
+    ctx.ForEachChunk(num_attributes, [&](size_t, size_t begin, size_t end) {
+      std::vector<std::pair<double, uint32_t>> keyed(n);
+      for (size_t a = begin; a < end; ++a) {
+        if (data.attribute(a).type != AttributeType::kNumeric) continue;
+        auto column = data.NumericColumn(a);
+        for (size_t i = 0; i < n; ++i) {
+          keyed[i] = {column[i], static_cast<uint32_t>(i)};
+        }
+        std::sort(keyed.begin(), keyed.end());
+        sorted_rows[a].resize(n);
+        for (size_t i = 0; i < n; ++i) sorted_rows[a][i] = keyed[i].second;
       }
-      std::sort(keyed.begin(), keyed.end());
-      sorted_rows[a].resize(n);
-      for (size_t i = 0; i < n; ++i) sorted_rows[a][i] = keyed[i].second;
-    }
-  });
+    });
+  }
 
   // Class list: every row starts at the root (slot 0 of level 0).
   std::vector<uint32_t> slot_of(n, 0);
@@ -117,6 +129,9 @@ Result<DecisionTree> BuildSliq(const Dataset& data,
   for (LevelScratch& s : scratch) s.right.resize(num_classes);
 
   while (!slot_node.empty()) {
+    obs::Span level_span("tree/sliq/level");
+    level_span.AddArg("depth", depth);
+    levels_counter.Increment();
     const size_t num_slots = slot_node.size();
     // Finalize majority classes for this level's nodes, and hoist the
     // parent-side split-score terms (totals, impurity) out of the list
@@ -289,10 +304,12 @@ Result<DecisionTree> BuildSliq(const Dataset& data,
     slot_counts = std::move(next_slot_counts);
     ++depth;
   }
+  // Publish the per-chunk scan tallies in ascending chunk order (the
+  // determinism contract's merge order) and read the public stats field
+  // back through the registry.
+  for (const LevelScratch& s : scratch) scan_rows_counter.Add(s.scan_rows);
   if (stats != nullptr) {
-    uint64_t scan_rows = 0;
-    for (const LevelScratch& s : scratch) scan_rows += s.scan_rows;
-    stats->split_scan_rows = scan_rows;
+    stats->split_scan_rows = scan_rows_delta.Value();
   }
   return tree;
 }

@@ -12,6 +12,7 @@
 #include "assoc/sampling.h"
 #include "core/check.h"
 #include "gen/quest.h"
+#include "obs/metrics.h"
 
 namespace dmt::assoc {
 namespace {
@@ -275,6 +276,40 @@ TEST(PatternGrowthParallelDiffTest, MoreThreadsThanTopLevelTasks) {
   ASSERT_TRUE(eclat_parallel.ok());
   ExpectSameResult(*fp_serial, *fp_parallel, 8);
   ExpectSameResult(*eclat_serial, *eclat_parallel, 8);
+}
+
+TEST(RegistryParallelDiffTest, CounterTotalsIdenticalAcrossThreadCounts) {
+  // The metrics registry is under the same determinism contract as the
+  // results: after identical work, every counter total must be
+  // bit-identical at every thread count — including more threads than
+  // top-level tasks (7 threads against a 3-transaction database).
+  auto db = Workload(/*seed=*/53);
+  core::TransactionDatabase tiny;
+  tiny.Add(std::vector<core::ItemId>{0, 1, 2});
+  tiny.Add(std::vector<core::ItemId>{0, 1, 3});
+  tiny.Add(std::vector<core::ItemId>{0, 2, 3});
+  std::vector<std::pair<std::string, uint64_t>> baseline;
+  for (size_t threads : {0u, 1u, 2u, 7u}) {
+    obs::Registry::Global().Reset();
+    MiningParams params;
+    params.min_support = 0.01;
+    params.num_threads = threads;
+    ASSERT_TRUE(MineApriori(db, params).ok());
+    ASSERT_TRUE(MineFpGrowth(db, params).ok());
+    ASSERT_TRUE(MineEclat(db, params).ok());
+    MiningParams tiny_params;
+    tiny_params.min_support = 0.5;
+    tiny_params.num_threads = threads;
+    ASSERT_TRUE(MineApriori(tiny, tiny_params).ok());
+    auto snapshot = obs::Registry::Global().CounterSnapshot();
+    if (threads == 0) {
+      baseline = snapshot;
+      EXPECT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(snapshot, baseline)
+          << "registry totals diverged at num_threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

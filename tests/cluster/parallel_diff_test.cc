@@ -8,6 +8,7 @@
 #include "cluster/kmeans.h"
 #include "core/check.h"
 #include "gen/mixture.h"
+#include "obs/metrics.h"
 
 namespace dmt::cluster {
 namespace {
@@ -210,6 +211,46 @@ TEST(DbscanParallelDiffTest, MoreThreadsThanPoints) {
   ASSERT_TRUE(serial.ok());
   ASSERT_TRUE(parallel.ok());
   EXPECT_EQ(serial->labels, parallel->labels);
+}
+
+TEST(RegistryParallelDiffTest, CounterTotalsIdenticalAcrossThreadCounts) {
+  // Registry totals (distance computations, iterations, region queries,
+  // neighbour counts) must be bit-identical at every thread count,
+  // including more threads than points (7 against a 3-point set).
+  auto data = Mixture(6, 0.05, /*seed=*/53);
+  core::PointSet tiny(2);
+  tiny.Add(std::vector<double>{0.0, 0.0});
+  tiny.Add(std::vector<double>{0.1, 0.0});
+  tiny.Add(std::vector<double>{10.0, 10.0});
+  std::vector<std::pair<std::string, uint64_t>> baseline;
+  for (size_t threads : {0u, 1u, 2u, 7u}) {
+    obs::Registry::Global().Reset();
+    KMeansOptions kmeans_options;
+    kmeans_options.k = 6;
+    kmeans_options.seed = 5;
+    kmeans_options.num_threads = threads;
+    ASSERT_TRUE(KMeans(data.points, kmeans_options).ok());
+    kmeans_options.assignment = KMeansOptions::Assignment::kElkan;
+    ASSERT_TRUE(KMeans(data.points, kmeans_options).ok());
+    DbscanOptions dbscan_options;
+    dbscan_options.eps = 1.2;
+    dbscan_options.min_points = 6;
+    dbscan_options.num_threads = threads;
+    ASSERT_TRUE(Dbscan(data.points, dbscan_options).ok());
+    DbscanOptions tiny_options;
+    tiny_options.eps = 0.5;
+    tiny_options.min_points = 2;
+    tiny_options.num_threads = threads;
+    ASSERT_TRUE(Dbscan(tiny, tiny_options).ok());
+    auto snapshot = obs::Registry::Global().CounterSnapshot();
+    if (threads == 0) {
+      baseline = snapshot;
+      EXPECT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(snapshot, baseline)
+          << "registry totals diverged at num_threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,52 @@
+#include "core/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace dmt::core {
+namespace {
+
+TEST(WallTimerTest, ElapsedAdvancesMonotonically) {
+  WallTimer timer;
+  double first = timer.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double second = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GT(second, first);
+  EXPECT_GE(second, 0.005);
+}
+
+TEST(WallTimerTest, ResetRewindsTheEpoch) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.005);
+}
+
+TEST(CpuTimerTest, NowIsNonNegativeAndMonotonic) {
+  double first = CpuTimer::Now();
+  // Burn a little CPU so the process clock must advance.
+  double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i) * 1e-9;
+  asm volatile("" : : "g"(&sink) : "memory");
+  double second = CpuTimer::Now();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+}
+
+TEST(CpuTimerTest, SleepCostsLittleCpuTime) {
+  // CPU time must not track wall time across a sleep: that is the whole
+  // point of reporting both clocks on a span.
+  double cpu_before = CpuTimer::Now();
+  WallTimer wall;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  double cpu_spent = CpuTimer::Now() - cpu_before;
+  double wall_spent = wall.ElapsedSeconds();
+  EXPECT_GE(wall_spent, 0.050);
+  EXPECT_LT(cpu_spent, wall_spent);
+}
+
+}  // namespace
+}  // namespace dmt::core

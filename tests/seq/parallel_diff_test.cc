@@ -6,6 +6,7 @@
 
 #include "core/check.h"
 #include "gen/seqgen.h"
+#include "obs/metrics.h"
 #include "seq/gsp.h"
 
 namespace dmt::seq {
@@ -99,6 +100,43 @@ TEST(GspParallelDiffTest, MoreThreadsThanCustomers) {
   ASSERT_TRUE(serial.ok());
   ASSERT_TRUE(parallel.ok());
   EXPECT_EQ(serial->patterns, parallel->patterns);
+}
+
+TEST(RegistryParallelDiffTest, CounterTotalsIdenticalAcrossThreadCounts) {
+  // GSP's registry totals (candidates, frequent, passes) must be
+  // bit-identical at every thread count, including more threads than
+  // customers (7 against a 3-sequence database).
+  auto db = Workload(/*seed=*/74);
+  core::SequenceDatabase tiny;
+  core::Sequence s1;
+  s1.elements = {{0, 1}, {2}};
+  core::Sequence s2;
+  s2.elements = {{0}, {1, 2}};
+  core::Sequence s3;
+  s3.elements = {{0, 1}, {1, 2}};
+  tiny.Add(s1);
+  tiny.Add(s2);
+  tiny.Add(s3);
+  std::vector<std::pair<std::string, uint64_t>> baseline;
+  for (size_t threads : {0u, 1u, 2u, 7u}) {
+    obs::Registry::Global().Reset();
+    SeqMiningParams params;
+    params.min_support = 0.04;
+    params.num_threads = threads;
+    ASSERT_TRUE(MineGsp(db, params).ok());
+    SeqMiningParams tiny_params;
+    tiny_params.min_support = 0.5;
+    tiny_params.num_threads = threads;
+    ASSERT_TRUE(MineGsp(tiny, tiny_params).ok());
+    auto snapshot = obs::Registry::Global().CounterSnapshot();
+    if (threads == 0) {
+      baseline = snapshot;
+      EXPECT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(snapshot, baseline)
+          << "registry totals diverged at num_threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "core/dataset.h"
 #include "gen/agrawal.h"
+#include "obs/metrics.h"
 #include "tree/builder.h"
 #include "tree/sliq.h"
 
@@ -200,6 +201,40 @@ TEST(TreeParallelDiffTest, StatsAreDeterministicAcrossRuns) {
   ASSERT_TRUE(BuildSliq(data, SliqOptions{}, &sliq_a).ok());
   ASSERT_TRUE(BuildSliq(data, SliqOptions{}, &sliq_b).ok());
   EXPECT_EQ(sliq_a.split_scan_rows, sliq_b.split_scan_rows);
+}
+
+TEST(RegistryParallelDiffTest, CounterTotalsIdenticalAcrossThreadCounts) {
+  // Both tree builders publish split-scan work through the registry; the
+  // totals must be bit-identical at every thread count, including more
+  // threads than attributes (7 against the tie-heavy 3-attribute set,
+  // whose split search has only 3 top-level tasks per node).
+  Dataset data = MakeAgrawal(2, 2000);
+  Dataset tiny = MakeTieHeavy(60);
+  std::vector<std::pair<std::string, uint64_t>> baseline;
+  for (size_t threads : {0u, 1u, 2u, 7u}) {
+    obs::Registry::Global().Reset();
+    TreeOptions options;
+    options.criterion = SplitCriterion::kGini;
+    options.categorical_style = CategoricalSplitStyle::kBinary;
+    options.num_threads = threads;
+    TreeBuildStats greedy_stats;
+    ASSERT_TRUE(BuildTree(data, options, &greedy_stats).ok());
+    SliqOptions sliq_options;
+    sliq_options.num_threads = threads;
+    TreeBuildStats sliq_stats;
+    ASSERT_TRUE(BuildSliq(data, sliq_options, &sliq_stats).ok());
+    options.num_threads = threads;
+    TreeBuildStats tiny_stats;
+    ASSERT_TRUE(BuildTree(tiny, options, &tiny_stats).ok());
+    auto snapshot = obs::Registry::Global().CounterSnapshot();
+    if (threads == 0) {
+      baseline = snapshot;
+      EXPECT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(snapshot, baseline)
+          << "registry totals diverged at num_threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

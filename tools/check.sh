@@ -4,7 +4,9 @@
 # differential tests for every parallelized miner, then a bench smoke
 # stage that runs the cluster, tree, and association benches at a tiny
 # configuration and checks the emitted --json records parse (including
-# the threads / work-counter columns).
+# the threads / work-counter columns), and finally a DMT_TRACE smoke
+# that runs one bench per algorithm family and validates the emitted
+# Chrome trace_event JSON.
 #
 # Usage: tools/check.sh [jobs]
 set -euo pipefail
@@ -25,6 +27,7 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DDMT_BUILD_EXAMPLES=OFF
 TSAN_TARGETS=(
   core_thread_pool_test
+  obs_metrics_test
   assoc_parallel_diff_test
   cluster_parallel_diff_test
   seq_parallel_diff_test
@@ -35,6 +38,7 @@ cmake --build "$ROOT/build-tsan" -j "$JOBS" --target "${TSAN_TARGETS[@]}"
 # halt_on_error so a single race fails the script immediately.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$ROOT/build-tsan/tests/core/core_thread_pool_test"
+"$ROOT/build-tsan/tests/obs/obs_metrics_test"
 "$ROOT/build-tsan/tests/assoc/assoc_parallel_diff_test"
 "$ROOT/build-tsan/tests/cluster/cluster_parallel_diff_test"
 "$ROOT/build-tsan/tests/seq/seq_parallel_diff_test"
@@ -105,6 +109,51 @@ json_check "$SMOKE_DIR/assoc_minsup.json" threads cond_trees fp_nodes
   --benchmark_filter='BM_Eclat/5/0' \
   --json "$SMOKE_DIR/assoc_scaleup_t.json" >/dev/null
 json_check "$SMOKE_DIR/assoc_scaleup_t.json" threads intersections
+
+echo
+echo "== tier 3b: DMT_TRACE smoke (one bench per family, trace must parse) =="
+# trace_check <path> <counter_prefix>: DMT_TRACE must have produced a
+# Chrome trace_event file with at least one complete event and a
+# dmtCounters section containing the family's registry counters.
+trace_check() {
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$@" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "empty traceEvents array"
+for event in events:
+    assert event["ph"] == "X", f"unexpected phase {event['ph']!r}"
+    assert event["name"] and event["dur"] >= 0 and event["ts"] >= 0
+prefix = sys.argv[2]
+matching = [k for k in trace["dmtCounters"] if k.startswith(prefix)]
+assert matching, f"no dmtCounters under {prefix!r}"
+assert trace["dmtDroppedEvents"] == 0, "trace dropped events"
+print(f"  {sys.argv[1]}: {len(events)} event(s), "
+      f"{len(matching)} {prefix}* counter(s) ok")
+PY
+  else
+    grep -q '"traceEvents"' "$1" && grep -q '"dmtCounters"' "$1"
+    echo "  $1: keys present (python3 unavailable, skipped full parse)"
+  fi
+}
+
+DMT_TRACE="$SMOKE_DIR/trace_assoc.json" "$BENCH_DIR/bench_assoc_minsup" \
+  --no-table --benchmark_filter='BM_FpGrowth/0/200/0' >/dev/null
+trace_check "$SMOKE_DIR/trace_assoc.json" assoc/
+DMT_TRACE="$SMOKE_DIR/trace_cluster.json" "$BENCH_DIR/bench_cluster_scaleup" \
+  --benchmark_filter='BM_KMeans/100/0/0' >/dev/null
+trace_check "$SMOKE_DIR/trace_cluster.json" cluster/
+DMT_TRACE="$SMOKE_DIR/trace_tree.json" "$BENCH_DIR/bench_tree_scaleup" \
+  --no-table --benchmark_filter='BM_Cart/1000/0' >/dev/null
+trace_check "$SMOKE_DIR/trace_tree.json" tree/
+DMT_TRACE="$SMOKE_DIR/trace_seq.json" "$BENCH_DIR/bench_gsp_minsup" \
+  --no-table --benchmark_filter='BM_Gsp/100/0' >/dev/null
+trace_check "$SMOKE_DIR/trace_seq.json" seq/
+DMT_TRACE="$SMOKE_DIR/trace_classify.json" "$BENCH_DIR/bench_knn_sweep" \
+  --no-table --benchmark_filter='BM_KnnKdTree/2000' >/dev/null
+trace_check "$SMOKE_DIR/trace_classify.json" classify/
 
 echo
 echo "All checks passed."
