@@ -1,0 +1,107 @@
+// EXT-8 (persistence layer): serialize / load / mmap throughput for the
+// binary container vs the basket-text parser on the same T10.I4 workload.
+//
+// Expected shape: binary load beats text parse by a wide margin (no
+// integer parsing, single structural validation pass) and mmap beats
+// binary load (zero-copy; validation only touches the offset array).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_main.h"
+#include "bench_util.h"
+#include "core/mmap_file.h"
+#include "io/serialize.h"
+
+namespace {
+
+using dmt::bench::QuestWorkload;
+
+std::string BenchPath(const char* tag) {
+  return "/tmp/dmt_bench_io_" + std::string(tag) + ".dmtb";
+}
+
+// Writes the workload once and returns its path; later cases reuse it.
+const std::string& WrittenWorkload(size_t transactions) {
+  static std::map<size_t, std::string> cache;
+  auto it = cache.find(transactions);
+  if (it == cache.end()) {
+    const auto& db = QuestWorkload(10, 4, transactions);
+    std::string path = BenchPath(std::to_string(transactions).c_str());
+    DMT_CHECK(dmt::io::WriteTransactionDatabase(db, path).ok());
+    it = cache.emplace(transactions, std::move(path)).first;
+  }
+  return it->second;
+}
+
+uint64_t FileBytes(const std::string& path) {
+  auto bytes = dmt::core::ReadFileString(path);
+  DMT_CHECK(bytes.ok());
+  return bytes->size();
+}
+
+void BM_WriteBinary(benchmark::State& state) {
+  const auto& db = QuestWorkload(10, 4, static_cast<size_t>(state.range(0)));
+  const std::string path = BenchPath("write");
+  for (auto _ : state) {
+    DMT_CHECK(dmt::io::WriteTransactionDatabase(db, path).ok());
+  }
+  state.counters["bytes"] = static_cast<double>(FileBytes(path));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(FileBytes(path)));
+}
+
+void BM_LoadBinary(benchmark::State& state) {
+  const std::string& path =
+      WrittenWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto db = dmt::io::LoadTransactionDatabase(path);
+    DMT_CHECK(db.ok());
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["bytes"] = static_cast<double>(FileBytes(path));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(FileBytes(path)));
+}
+
+void BM_MapBinary(benchmark::State& state) {
+  const std::string& path =
+      WrittenWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto view = dmt::io::MappedTransactionDatabase::Map(path);
+    DMT_CHECK(view.ok());
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["bytes"] = static_cast<double>(FileBytes(path));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(FileBytes(path)));
+}
+
+void BM_ParseText(benchmark::State& state) {
+  const auto& db = QuestWorkload(10, 4, static_cast<size_t>(state.range(0)));
+  const std::string text = db.ToBasketText();
+  for (auto _ : state) {
+    auto parsed = dmt::core::TransactionDatabase::FromBasketText(text);
+    DMT_CHECK(parsed.ok());
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.counters["bytes"] = static_cast<double>(text.size());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+
+void Sizes(benchmark::internal::Benchmark* bench) {
+  for (int64_t d : {5000, 20000}) bench->Arg(d);
+  bench->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_WriteBinary)->Apply(Sizes);
+BENCHMARK(BM_LoadBinary)->Apply(Sizes);
+BENCHMARK(BM_MapBinary)->Apply(Sizes);
+BENCHMARK(BM_ParseText)->Apply(Sizes);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dmt::bench::BenchMain("io", argc, argv);
+}

@@ -56,6 +56,8 @@ void MinePartitioned(
     result->conditional_trees_built += partial.conditional_trees_built;
     result->fp_nodes_allocated += partial.fp_nodes_allocated;
     result->tidset_intersections += partial.tidset_intersections;
+    result->partitions_mined += partial.partitions_mined;
+    result->bytes_mapped += partial.bytes_mapped;
   }
 }
 

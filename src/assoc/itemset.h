@@ -67,6 +67,11 @@ struct MiningResult {
   uint64_t fp_nodes_allocated = 0;
   /// Tidset intersections probed, materialized or not (Eclat).
   uint64_t tidset_intersections = 0;
+  /// On-disk partitions mined by the out-of-core miners (io library; 0
+  /// for the in-memory miners). Invariant across thread counts.
+  uint64_t partitions_mined = 0;
+  /// Container bytes mapped while mining out of core (0 in memory).
+  uint64_t bytes_mapped = 0;
 
   /// Number of frequent itemsets of the given size.
   size_t CountOfSize(size_t k) const;

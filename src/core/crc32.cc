@@ -1,0 +1,40 @@
+#include "core/crc32.h"
+
+#include <array>
+
+namespace dmt::core {
+
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrcTable = MakeCrcTable();
+
+}  // namespace
+
+uint32_t Crc32(std::span<const std::byte> data, uint32_t seed) {
+  uint32_t crc = ~seed;
+  for (std::byte b : data) {
+    crc = (crc >> 8) ^
+          kCrcTable[(crc ^ static_cast<uint32_t>(b)) & 0xFFu];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  return Crc32(
+      std::span<const std::byte>(static_cast<const std::byte*>(data), size),
+      seed);
+}
+
+}  // namespace dmt::core

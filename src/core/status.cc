@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

@@ -20,6 +20,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kAlreadyExists,
   kInternal,
+  /// Stored data failed an integrity check (bad magic, CRC mismatch,
+  /// truncated or out-of-bounds sections). Distinct from kIOError, which
+  /// covers the OS refusing to read/write at all.
+  kCorruption,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -54,6 +58,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

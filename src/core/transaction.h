@@ -49,6 +49,20 @@ class TransactionDatabase {
   /// Parses the basket text form produced by ToBasketText().
   static Result<TransactionDatabase> FromBasketText(std::string_view text);
 
+  /// Adopts a pre-built CSR layout (the binary-container load path).
+  /// Validates the structural invariants Add() establishes — offsets start
+  /// at 0, grow monotonically, end at items.size(), and every transaction
+  /// is strictly increasing — and returns Corruption when they fail, so a
+  /// malformed file can never produce a database that violates miner
+  /// preconditions.
+  static Result<TransactionDatabase> FromColumns(
+      std::vector<uint64_t> offsets, std::vector<ItemId> items);
+
+  /// The raw CSR arrays (offsets has size()+1 entries, the serialized
+  /// form of the database).
+  std::span<const uint64_t> offsets() const { return offsets_; }
+  std::span<const ItemId> items() const { return items_; }
+
  private:
   std::vector<uint64_t> offsets_;
   std::vector<ItemId> items_;

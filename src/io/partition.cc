@@ -1,0 +1,46 @@
+#include "io/partition.h"
+
+#include <utility>
+
+#include "io/serialize.h"
+#include "obs/trace.h"
+
+namespace dmt::io {
+
+core::Result<std::vector<std::string>> WritePartitions(
+    const core::TransactionDatabase& db, const std::string& prefix,
+    size_t num_partitions) {
+  if (num_partitions == 0) {
+    return core::Status::InvalidArgument(
+        "WritePartitions: num_partitions must be >= 1");
+  }
+  obs::Span span("io/partition/write");
+  span.AddArg("partitions", num_partitions);
+  span.AddArg("transactions", db.size());
+
+  const std::span<const uint64_t> offsets = db.offsets();
+  const std::span<const core::ItemId> items = db.items();
+  std::vector<std::string> paths;
+  paths.reserve(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    const size_t begin = db.size() * p / num_partitions;
+    const size_t end = db.size() * (p + 1) / num_partitions;
+    const uint64_t item_base = offsets[begin];
+    std::vector<uint64_t> part_offsets;
+    part_offsets.reserve(end - begin + 1);
+    for (size_t t = begin; t <= end; ++t) {
+      part_offsets.push_back(offsets[t] - item_base);
+    }
+    std::vector<core::ItemId> part_items(
+        items.begin() + item_base, items.begin() + offsets[end]);
+    DMT_ASSIGN_OR_RETURN(core::TransactionDatabase part,
+                         core::TransactionDatabase::FromColumns(
+                             std::move(part_offsets), std::move(part_items)));
+    std::string path = prefix + ".part" + std::to_string(p) + ".dmtb";
+    DMT_RETURN_NOT_OK(WriteTransactionDatabase(part, path));
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace dmt::io

@@ -1,0 +1,28 @@
+// Splits a transaction database into K on-disk container partitions — the
+// preparation step for the out-of-core miners (assoc/out_of_core.h).
+//
+// Partition p covers the contiguous transaction range
+// [n*p/K, n*(p+1)/K), the same boundary arithmetic as
+// core::ParallelContext chunking, so the split depends only on (n, K) and
+// concatenating the partitions in order reproduces the database exactly.
+#ifndef DMT_IO_PARTITION_H_
+#define DMT_IO_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/transaction.h"
+
+namespace dmt::io {
+
+/// Writes `db` as `num_partitions` TransactionDatabase container files
+/// named `<prefix>.part<i>.dmtb` and returns the paths in partition
+/// order. Partitions may be empty when num_partitions > db.size().
+core::Result<std::vector<std::string>> WritePartitions(
+    const core::TransactionDatabase& db, const std::string& prefix,
+    size_t num_partitions);
+
+}  // namespace dmt::io
+
+#endif  // DMT_IO_PARTITION_H_

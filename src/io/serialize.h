@@ -1,0 +1,108 @@
+// Writers and loaders mapping the library's core objects and trained
+// artifacts onto the binary container (io/container.h):
+//
+//   TransactionDatabase — CSR offsets/items as raw sections, mmap-able
+//   Dataset             — schema stream + per-column raw sections
+//   MiningResult        — frequent itemsets (CSR), supports, pass census,
+//                         work counters
+//   rule sets           — std::vector<assoc::AssociationRule>
+//   DecisionTree        — node arena + captured names
+//   k-means models      — cluster::ClusteringResult (centers, assignments)
+//
+// Every loader validates semantic invariants on top of the container's
+// envelope checks (sorted itemsets, monotone offsets, in-range codes) and
+// returns core::Status::Corruption instead of crashing. Loaded objects
+// are bit-identical to what was written: integer arrays round-trip
+// exactly and doubles are stored as raw IEEE-754 bit patterns.
+//
+// MappedTransactionDatabase additionally exposes a zero-copy view over a
+// mapped file — the streaming substrate of the out-of-core miners
+// (assoc/out_of_core.h): partitions are counted straight out of the page
+// cache without materializing a TransactionDatabase.
+#ifndef DMT_IO_SERIALIZE_H_
+#define DMT_IO_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "assoc/itemset.h"
+#include "assoc/rules.h"
+#include "cluster/kmeans.h"
+#include "core/dataset.h"
+#include "core/status.h"
+#include "core/transaction.h"
+#include "io/container.h"
+#include "tree/decision_tree.h"
+
+namespace dmt::io {
+
+// ---- TransactionDatabase ------------------------------------------------
+
+core::Status WriteTransactionDatabase(const core::TransactionDatabase& db,
+                                      const std::string& path);
+core::Result<core::TransactionDatabase> LoadTransactionDatabase(
+    const std::string& path);
+
+/// Zero-copy read-only view of a written TransactionDatabase: the offset
+/// and item arrays are used in place from the mapping. Map() runs the
+/// same structural validation as TransactionDatabase::FromColumns, so a
+/// valid view upholds every miner precondition (sorted, duplicate-free
+/// transactions).
+class MappedTransactionDatabase {
+ public:
+  static core::Result<MappedTransactionDatabase> Map(
+      const std::string& path);
+
+  size_t size() const { return offsets_.size() - 1; }
+  bool empty() const { return size() == 0; }
+  std::span<const core::ItemId> transaction(size_t t) const {
+    return items_.subspan(offsets_[t], offsets_[t + 1] - offsets_[t]);
+  }
+  size_t item_universe() const { return item_universe_; }
+  size_t total_items() const { return items_.size(); }
+
+  /// Bytes held mapped by this view (the container file size).
+  uint64_t bytes_mapped() const { return reader_.bytes_mapped(); }
+
+  /// Materializes an owning copy (the out-of-core miners use this to run
+  /// the in-memory miners on one partition at a time).
+  core::TransactionDatabase ToOwned() const;
+
+ private:
+  MappedTransactionDatabase() = default;
+
+  ContainerReader reader_;
+  std::span<const uint64_t> offsets_;
+  std::span<const core::ItemId> items_;
+  size_t item_universe_ = 0;
+};
+
+// ---- Dataset ------------------------------------------------------------
+
+core::Status WriteDataset(const core::Dataset& dataset,
+                          const std::string& path);
+core::Result<core::Dataset> LoadDataset(const std::string& path);
+
+// ---- Mined artifacts ----------------------------------------------------
+
+core::Status WriteMiningResult(const assoc::MiningResult& result,
+                               const std::string& path);
+core::Result<assoc::MiningResult> LoadMiningResult(const std::string& path);
+
+core::Status WriteRuleSet(const std::vector<assoc::AssociationRule>& rules,
+                          const std::string& path);
+core::Result<std::vector<assoc::AssociationRule>> LoadRuleSet(
+    const std::string& path);
+
+core::Status WriteDecisionTree(const tree::DecisionTree& tree,
+                               const std::string& path);
+core::Result<tree::DecisionTree> LoadDecisionTree(const std::string& path);
+
+core::Status WriteKMeansModel(const cluster::ClusteringResult& model,
+                              const std::string& path);
+core::Result<cluster::ClusteringResult> LoadKMeansModel(
+    const std::string& path);
+
+}  // namespace dmt::io
+
+#endif  // DMT_IO_SERIALIZE_H_

@@ -123,6 +123,19 @@ struct TreeAccess {
   static std::vector<std::string>& ClassNames(DecisionTree& tree) {
     return tree.class_names_;
   }
+  // Const views for serializers.
+  static const std::vector<std::string>& AttributeNames(
+      const DecisionTree& tree) {
+    return tree.attribute_names_;
+  }
+  static const std::vector<std::vector<std::string>>& AttributeCategories(
+      const DecisionTree& tree) {
+    return tree.attribute_categories_;
+  }
+  static const std::vector<std::string>& ClassNames(
+      const DecisionTree& tree) {
+    return tree.class_names_;
+  }
 };
 
 }  // namespace internal

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/point_set.h"
+#include "io/serialize.h"
 
 namespace dmt::core {
 namespace {
@@ -126,6 +127,54 @@ TEST(DatasetFromCsvTest, MixedColumnFallsBackToCategorical) {
   auto ds = DatasetFromCsv(*table, "y");
   ASSERT_TRUE(ds.ok());
   EXPECT_EQ(ds->attribute(0).type, AttributeType::kCategorical);
+}
+
+TEST(DatasetFromCsvTest, RaggedCsvIsRejectedBeforeDatasetConstruction) {
+  // A malformed text file must fail at parse; it can never reach
+  // DatasetFromCsv with rows of inconsistent width.
+  auto table = ParseCsv("a,b,label\n1,2,yes\n3,no\n");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetFromCsvTest, HeaderOnlyCsvYieldsEmptyDataset) {
+  auto table = ParseCsv("a,label\n");
+  ASSERT_TRUE(table.ok());
+  auto ds = DatasetFromCsv(*table, "label");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_rows(), 0u);
+  EXPECT_EQ(ds->num_classes(), 0u);
+}
+
+TEST(DatasetFromCsvTest, UnterminatedQuoteIsRejected) {
+  auto table = ParseCsv("a,label\n\"unterminated,yes\n");
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(DatasetBinaryTest, WriteLoadRoundTrip) {
+  Dataset ds = MakeToyDataset();
+  const std::string path = testing::TempDir() + "/dataset_rt.dmtb";
+  ASSERT_TRUE(io::WriteDataset(ds, path).ok());
+  auto loaded = io::LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), ds.num_rows());
+  ASSERT_EQ(loaded->num_attributes(), ds.num_attributes());
+  EXPECT_EQ(loaded->attribute(0).name, "age");
+  EXPECT_EQ(loaded->attribute(1).categories,
+            (std::vector<std::string>{"red", "blue"}));
+  for (size_t row = 0; row < ds.num_rows(); ++row) {
+    EXPECT_DOUBLE_EQ(loaded->Numeric(row, 0), ds.Numeric(row, 0));
+    EXPECT_EQ(loaded->Categorical(row, 1), ds.Categorical(row, 1));
+    EXPECT_EQ(loaded->Label(row), ds.Label(row));
+  }
+  EXPECT_EQ(loaded->class_name(0), "no");
+  EXPECT_EQ(loaded->class_name(1), "yes");
+}
+
+TEST(DatasetBinaryTest, LoadMissingFileIsIOError) {
+  auto loaded = io::LoadDataset(testing::TempDir() + "/no_such_dataset.dmtb");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
 }
 
 TEST(PointSetTest, AddAndAccess) {

@@ -28,6 +28,9 @@ TEST(StatusTest, EveryFactoryProducesItsCode) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Corruption("bad crc").ToString(),
+            "Corruption: bad crc");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

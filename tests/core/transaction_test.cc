@@ -4,6 +4,7 @@
 
 #include "core/item_dictionary.h"
 #include "core/sequence.h"
+#include "io/serialize.h"
 
 namespace dmt::core {
 namespace {
@@ -84,6 +85,79 @@ TEST(TransactionDatabaseTest, FromBasketTextRejectsGarbage) {
 TEST(TransactionDatabaseTest, FromBasketTextRejectsOversizedIds) {
   EXPECT_FALSE(
       TransactionDatabase::FromBasketText("99999999999999\n").ok());
+}
+
+TEST(TransactionDatabaseTest, FromBasketTextRejectsNegativeIds) {
+  EXPECT_FALSE(TransactionDatabase::FromBasketText("1 -2 3\n").ok());
+}
+
+TEST(TransactionDatabaseTest, FromBasketTextRejectsEmbeddedGarbageLine) {
+  // A malformed line in the middle must fail the whole parse, not
+  // silently drop the line.
+  EXPECT_FALSE(TransactionDatabase::FromBasketText("1 2\n3 four\n5\n").ok());
+}
+
+TEST(TransactionDatabaseTest, FromColumnsAcceptsValidCsr) {
+  auto db = TransactionDatabase::FromColumns({0, 2, 2, 3}, {1, 4, 2});
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->size(), 3u);
+  EXPECT_EQ(db->item_universe(), 5u);
+  auto t0 = db->transaction(0);
+  EXPECT_EQ(std::vector<ItemId>(t0.begin(), t0.end()),
+            (std::vector<ItemId>{1, 4}));
+  EXPECT_TRUE(db->transaction(1).empty());
+}
+
+TEST(TransactionDatabaseTest, FromColumnsRejectsMalformedCsr) {
+  // Empty offsets.
+  EXPECT_EQ(TransactionDatabase::FromColumns({}, {}).status().code(),
+            StatusCode::kCorruption);
+  // First offset not zero.
+  EXPECT_EQ(TransactionDatabase::FromColumns({1, 2}, {0, 1}).status().code(),
+            StatusCode::kCorruption);
+  // Last offset disagrees with the item count.
+  EXPECT_EQ(TransactionDatabase::FromColumns({0, 3}, {1, 2}).status().code(),
+            StatusCode::kCorruption);
+  // Decreasing offsets.
+  EXPECT_EQ(
+      TransactionDatabase::FromColumns({0, 2, 1, 3}, {1, 2, 3})
+          .status()
+          .code(),
+      StatusCode::kCorruption);
+  // Duplicate item within a transaction.
+  EXPECT_EQ(
+      TransactionDatabase::FromColumns({0, 2}, {4, 4}).status().code(),
+      StatusCode::kCorruption);
+  // Unsorted transaction.
+  EXPECT_EQ(
+      TransactionDatabase::FromColumns({0, 2}, {5, 2}).status().code(),
+      StatusCode::kCorruption);
+}
+
+TEST(TransactionDatabaseTest, FromColumnsRoundTripsRawArrays) {
+  TransactionDatabase db;
+  db.Add(std::vector<ItemId>{3, 1});
+  db.Add(std::vector<ItemId>{7});
+  auto rebuilt = TransactionDatabase::FromColumns(
+      {db.offsets().begin(), db.offsets().end()},
+      {db.items().begin(), db.items().end()});
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->ToBasketText(), db.ToBasketText());
+  EXPECT_EQ(rebuilt->item_universe(), db.item_universe());
+}
+
+TEST(TransactionDatabaseTest, BinaryWriteLoadRoundTrip) {
+  TransactionDatabase db;
+  db.Add(std::vector<ItemId>{3, 1});
+  db.Add(std::vector<ItemId>{});
+  db.Add(std::vector<ItemId>{7, 2, 5});
+  const std::string path = testing::TempDir() + "/txn_rt.dmtb";
+  ASSERT_TRUE(io::WriteTransactionDatabase(db, path).ok());
+  auto loaded = io::LoadTransactionDatabase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->ToBasketText(), db.ToBasketText());
+  EXPECT_EQ(loaded->item_universe(), db.item_universe());
+  EXPECT_EQ(loaded->total_items(), db.total_items());
 }
 
 TEST(SequenceTest, TotalItemsSumsElements) {

@@ -1,0 +1,291 @@
+// Round-trip battery for the binary container loaders (io/serialize.h):
+// every artifact type is generated from seeded synthetic data, written,
+// mapped, and loaded back bit-identically; mining a loaded database
+// reproduces the in-memory miner's output exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "assoc/apriori.h"
+#include "assoc/fp_growth.h"
+#include "assoc/rules.h"
+#include "cluster/kmeans.h"
+#include "core/check.h"
+#include "gen/agrawal.h"
+#include "gen/mixture.h"
+#include "gen/quest.h"
+#include "io/serialize.h"
+#include "tree/builder.h"
+
+namespace dmt::io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/dmt_io_roundtrip_" + name;
+}
+
+core::TransactionDatabase QuestWorkload(uint64_t seed) {
+  gen::QuestParams params;
+  params.num_transactions = 2000;
+  params.avg_transaction_size = 8;
+  params.avg_pattern_size = 3;
+  params.num_items = 200;
+  params.num_patterns = 100;
+  auto db = gen::GenerateQuestTransactions(params, seed);
+  DMT_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+core::Dataset AgrawalWorkload(uint64_t seed) {
+  gen::AgrawalParams params;
+  params.function = 2;
+  params.num_records = 500;
+  auto dataset = gen::GenerateAgrawal(params, seed);
+  DMT_CHECK(dataset.ok());
+  return std::move(dataset).value();
+}
+
+void ExpectSameDatabase(const core::TransactionDatabase& a,
+                        const core::TransactionDatabase& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.total_items(), b.total_items());
+  EXPECT_EQ(a.item_universe(), b.item_universe());
+  ASSERT_TRUE(std::equal(a.offsets().begin(), a.offsets().end(),
+                         b.offsets().begin(), b.offsets().end()));
+  EXPECT_TRUE(std::equal(a.items().begin(), a.items().end(),
+                         b.items().begin(), b.items().end()));
+}
+
+TEST(TransactionRoundtripTest, LoadedDatabaseIsBitIdentical) {
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    const auto db = QuestWorkload(seed);
+    const std::string path =
+        TempPath("txn_" + std::to_string(seed) + ".dmtb");
+    ASSERT_TRUE(WriteTransactionDatabase(db, path).ok());
+    auto loaded = LoadTransactionDatabase(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectSameDatabase(db, *loaded);
+  }
+}
+
+TEST(TransactionRoundtripTest, MappedViewMatchesAndOwnsCopy) {
+  const auto db = QuestWorkload(11);
+  const std::string path = TempPath("txn_mapped.dmtb");
+  ASSERT_TRUE(WriteTransactionDatabase(db, path).ok());
+  auto view = MappedTransactionDatabase::Map(path);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  ASSERT_EQ(view->size(), db.size());
+  EXPECT_EQ(view->item_universe(), db.item_universe());
+  EXPECT_EQ(view->total_items(), db.total_items());
+  EXPECT_GT(view->bytes_mapped(), 0u);
+  for (size_t t = 0; t < db.size(); ++t) {
+    const auto expected = db.transaction(t);
+    const auto actual = view->transaction(t);
+    ASSERT_TRUE(std::equal(expected.begin(), expected.end(), actual.begin(),
+                           actual.end()))
+        << "transaction " << t << " diverged";
+  }
+  ExpectSameDatabase(db, view->ToOwned());
+}
+
+TEST(TransactionRoundtripTest, EmptyDatabaseRoundtrips) {
+  core::TransactionDatabase empty;
+  const std::string path = TempPath("txn_empty.dmtb");
+  ASSERT_TRUE(WriteTransactionDatabase(empty, path).ok());
+  auto loaded = LoadTransactionDatabase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->empty());
+  auto view = MappedTransactionDatabase::Map(path);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_TRUE(view->empty());
+}
+
+TEST(TransactionRoundtripTest, MiningLoadedDatabaseMatchesInMemory) {
+  const auto db = QuestWorkload(21);
+  const std::string path = TempPath("txn_mine.dmtb");
+  ASSERT_TRUE(WriteTransactionDatabase(db, path).ok());
+  auto loaded = LoadTransactionDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+
+  assoc::MiningParams params;
+  params.min_support = 0.01;
+  auto baseline = assoc::MineApriori(db, params);
+  auto reloaded = assoc::MineApriori(*loaded, params);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_FALSE(baseline->itemsets.empty());
+  EXPECT_EQ(baseline->itemsets, reloaded->itemsets);
+  ASSERT_EQ(baseline->passes.size(), reloaded->passes.size());
+  for (size_t p = 0; p < baseline->passes.size(); ++p) {
+    EXPECT_EQ(baseline->passes[p].candidates, reloaded->passes[p].candidates);
+    EXPECT_EQ(baseline->passes[p].frequent, reloaded->passes[p].frequent);
+  }
+  EXPECT_EQ(baseline->conditional_trees_built,
+            reloaded->conditional_trees_built);
+  EXPECT_EQ(baseline->fp_nodes_allocated, reloaded->fp_nodes_allocated);
+  EXPECT_EQ(baseline->tidset_intersections, reloaded->tidset_intersections);
+}
+
+TEST(DatasetRoundtripTest, LoadedDatasetIsBitIdentical) {
+  for (uint64_t seed : {3u, 4u}) {
+    const auto dataset = AgrawalWorkload(seed);
+    const std::string path =
+        TempPath("dataset_" + std::to_string(seed) + ".dmtb");
+    ASSERT_TRUE(WriteDataset(dataset, path).ok());
+    auto loaded = LoadDataset(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_EQ(loaded->num_rows(), dataset.num_rows());
+    ASSERT_EQ(loaded->num_attributes(), dataset.num_attributes());
+    ASSERT_EQ(loaded->num_classes(), dataset.num_classes());
+    EXPECT_EQ(loaded->class_names(), dataset.class_names());
+    for (size_t a = 0; a < dataset.num_attributes(); ++a) {
+      const auto& expected = dataset.attribute(a);
+      const auto& actual = loaded->attribute(a);
+      EXPECT_EQ(actual.name, expected.name);
+      ASSERT_EQ(actual.type, expected.type);
+      EXPECT_EQ(actual.categories, expected.categories);
+      if (expected.type == core::AttributeType::kNumeric) {
+        const auto want = dataset.NumericColumn(a);
+        const auto got = loaded->NumericColumn(a);
+        // Bit-identical doubles, not approximately-equal ones.
+        ASSERT_TRUE(std::equal(want.begin(), want.end(), got.begin(),
+                               got.end(),
+                               [](double x, double y) {
+                                 return std::memcmp(&x, &y, sizeof(x)) == 0;
+                               }))
+            << "numeric column " << a << " diverged";
+      } else {
+        const auto want = dataset.CategoricalColumn(a);
+        const auto got = loaded->CategoricalColumn(a);
+        ASSERT_TRUE(std::equal(want.begin(), want.end(), got.begin(),
+                               got.end()));
+      }
+    }
+    const auto want_labels = dataset.labels();
+    const auto got_labels = loaded->labels();
+    EXPECT_TRUE(std::equal(want_labels.begin(), want_labels.end(),
+                           got_labels.begin(), got_labels.end()));
+  }
+}
+
+TEST(MiningResultRoundtripTest, LoadedResultIsIdentical) {
+  const auto db = QuestWorkload(31);
+  assoc::MiningParams params;
+  params.min_support = 0.0075;
+  auto result = assoc::MineFpGrowth(db, params);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->itemsets.empty());
+
+  const std::string path = TempPath("mining.dmtb");
+  ASSERT_TRUE(WriteMiningResult(*result, path).ok());
+  auto loaded = LoadMiningResult(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->itemsets, result->itemsets);
+  ASSERT_EQ(loaded->passes.size(), result->passes.size());
+  for (size_t p = 0; p < result->passes.size(); ++p) {
+    EXPECT_EQ(loaded->passes[p].pass, result->passes[p].pass);
+    EXPECT_EQ(loaded->passes[p].candidates, result->passes[p].candidates);
+    EXPECT_EQ(loaded->passes[p].frequent, result->passes[p].frequent);
+  }
+  EXPECT_EQ(loaded->conditional_trees_built, result->conditional_trees_built);
+  EXPECT_EQ(loaded->fp_nodes_allocated, result->fp_nodes_allocated);
+  EXPECT_EQ(loaded->tidset_intersections, result->tidset_intersections);
+  EXPECT_EQ(loaded->partitions_mined, result->partitions_mined);
+  EXPECT_EQ(loaded->bytes_mapped, result->bytes_mapped);
+}
+
+TEST(RuleSetRoundtripTest, LoadedRulesAreIdentical) {
+  const auto db = QuestWorkload(41);
+  assoc::MiningParams params;
+  params.min_support = 0.01;
+  auto mined = assoc::MineApriori(db, params);
+  ASSERT_TRUE(mined.ok());
+  assoc::RuleParams rule_params;
+  rule_params.min_confidence = 0.5;
+  auto rules = assoc::GenerateRules(*mined, db.size(), rule_params);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_FALSE(rules->empty());
+
+  const std::string path = TempPath("rules.dmtb");
+  ASSERT_TRUE(WriteRuleSet(*rules, path).ok());
+  auto loaded = LoadRuleSet(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), rules->size());
+  for (size_t r = 0; r < rules->size(); ++r) {
+    const auto& want = (*rules)[r];
+    const auto& got = (*loaded)[r];
+    EXPECT_EQ(got.antecedent, want.antecedent);
+    EXPECT_EQ(got.consequent, want.consequent);
+    EXPECT_EQ(got.support_count, want.support_count);
+    EXPECT_EQ(std::memcmp(&got.support, &want.support, sizeof(double)), 0);
+    EXPECT_EQ(
+        std::memcmp(&got.confidence, &want.confidence, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&got.lift, &want.lift, sizeof(double)), 0);
+    EXPECT_EQ(
+        std::memcmp(&got.conviction, &want.conviction, sizeof(double)), 0);
+  }
+}
+
+TEST(DecisionTreeRoundtripTest, LoadedTreePredictsIdentically) {
+  const auto dataset = AgrawalWorkload(5);
+  auto built = tree::BuildC45(dataset);
+  ASSERT_TRUE(built.ok());
+  ASSERT_GT(built->num_nodes(), 1u);
+
+  const std::string path = TempPath("tree.dmtb");
+  ASSERT_TRUE(WriteDecisionTree(*built, path).ok());
+  auto loaded = LoadDecisionTree(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_nodes(), built->num_nodes());
+  for (size_t n = 0; n < built->num_nodes(); ++n) {
+    const auto& want = built->node(n);
+    const auto& got = loaded->node(n);
+    EXPECT_EQ(got.is_leaf, want.is_leaf);
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_EQ(got.majority_class, want.majority_class);
+    EXPECT_EQ(got.attribute, want.attribute);
+    EXPECT_EQ(got.category, want.category);
+    EXPECT_EQ(std::memcmp(&got.threshold, &want.threshold, sizeof(double)),
+              0);
+    EXPECT_EQ(got.class_counts, want.class_counts);
+    EXPECT_EQ(got.children, want.children);
+  }
+  EXPECT_EQ(loaded->ToText(), built->ToText());
+  EXPECT_EQ(loaded->PredictAll(dataset), built->PredictAll(dataset));
+}
+
+TEST(KMeansRoundtripTest, LoadedModelIsBitIdentical) {
+  gen::GaussianMixtureParams mixture;
+  mixture.num_clusters = 4;
+  mixture.points_per_cluster = 100;
+  mixture.dim = 3;
+  auto points = gen::GenerateGaussianMixture(mixture, /*seed=*/13);
+  ASSERT_TRUE(points.ok());
+  cluster::KMeansOptions options;
+  options.k = 4;
+  options.seed = 13;
+  auto model = cluster::KMeans(points->points, options);
+  ASSERT_TRUE(model.ok());
+
+  const std::string path = TempPath("kmeans.dmtb");
+  ASSERT_TRUE(WriteKMeansModel(*model, path).ok());
+  auto loaded = LoadKMeansModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->assignments, model->assignments);
+  EXPECT_EQ(loaded->iterations, model->iterations);
+  EXPECT_EQ(loaded->distance_computations, model->distance_computations);
+  EXPECT_EQ(std::memcmp(&loaded->sse, &model->sse, sizeof(double)), 0);
+  ASSERT_EQ(loaded->centers.size(), model->centers.size());
+  ASSERT_EQ(loaded->centers.dim(), model->centers.dim());
+  const auto& want = model->centers.data();
+  const auto& got = loaded->centers.data();
+  EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                        want.size() * sizeof(double)),
+            0);
+}
+
+}  // namespace
+}  // namespace dmt::io

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Full pre-merge check: tier-1 build + tests, then a ThreadSanitizer build
 # that runs the thread-pool unit tests and the serial-vs-parallel
-# differential tests for every parallelized miner, then a bench smoke
-# stage that runs the cluster, tree, and association benches at a tiny
-# configuration and checks the emitted --json records parse (including
-# the threads / work-counter columns), and finally a DMT_TRACE smoke
-# that runs one bench per algorithm family and validates the emitted
-# Chrome trace_event JSON.
+# differential tests for every parallelized miner (plus the out-of-core
+# differential and container-corruption tests), then an AddressSanitizer
+# build that re-runs the io corruption battery, then a bench smoke
+# stage that runs the cluster, tree, association, and io benches at a
+# tiny configuration and checks the emitted --json records parse
+# (including the threads / work-counter / partition columns), and
+# finally a DMT_TRACE smoke that runs one bench per algorithm family
+# and validates the emitted Chrome trace_event JSON.
 #
 # Usage: tools/check.sh [jobs]
 set -euo pipefail
@@ -29,9 +31,11 @@ TSAN_TARGETS=(
   core_thread_pool_test
   obs_metrics_test
   assoc_parallel_diff_test
+  assoc_out_of_core_diff_test
   cluster_parallel_diff_test
   seq_parallel_diff_test
   tree_parallel_diff_test
+  io_corruption_test
 )
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target "${TSAN_TARGETS[@]}"
 
@@ -40,9 +44,26 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$ROOT/build-tsan/tests/core/core_thread_pool_test"
 "$ROOT/build-tsan/tests/obs/obs_metrics_test"
 "$ROOT/build-tsan/tests/assoc/assoc_parallel_diff_test"
+"$ROOT/build-tsan/tests/assoc/assoc_out_of_core_diff_test"
 "$ROOT/build-tsan/tests/cluster/cluster_parallel_diff_test"
 "$ROOT/build-tsan/tests/seq/seq_parallel_diff_test"
 "$ROOT/build-tsan/tests/tree/tree_parallel_diff_test"
+"$ROOT/build-tsan/tests/io/io_corruption_test"
+
+echo
+echo "== tier 2b: AddressSanitizer build (DMT_SANITIZE=address) =="
+cmake -B "$ROOT/build-asan" -S "$ROOT" \
+  -DDMT_SANITIZE=address \
+  -DDMT_BUILD_BENCHMARKS=OFF \
+  -DDMT_BUILD_EXAMPLES=OFF
+ASAN_TARGETS=(
+  io_corruption_test
+  io_roundtrip_test
+)
+cmake --build "$ROOT/build-asan" -j "$JOBS" --target "${ASAN_TARGETS[@]}"
+export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
+"$ROOT/build-asan/tests/io/io_corruption_test"
+"$ROOT/build-asan/tests/io/io_roundtrip_test"
 
 echo
 echo "== tier 3: bench smoke (tiny configs, --json must parse) =="
@@ -109,6 +130,17 @@ json_check "$SMOKE_DIR/assoc_minsup.json" threads cond_trees fp_nodes
   --benchmark_filter='BM_Eclat/5/0' \
   --json "$SMOKE_DIR/assoc_scaleup_t.json" >/dev/null
 json_check "$SMOKE_DIR/assoc_scaleup_t.json" threads intersections
+# io bench: binary load + mmap on the smallest workload, asserting the
+# bytes column; the out-of-core scale-up row must emit the partition
+# and bytes_mapped counters.
+"$BENCH_DIR/bench_io" --no-table \
+  --benchmark_filter='/5000$' \
+  --json "$SMOKE_DIR/io.json" >/dev/null
+json_check "$SMOKE_DIR/io.json" bytes
+"$BENCH_DIR/bench_assoc_scaleup_d" --no-table \
+  --benchmark_filter='BM_AprioriOutOfCore/5000' \
+  --json "$SMOKE_DIR/assoc_ooc.json" >/dev/null
+json_check "$SMOKE_DIR/assoc_ooc.json" partitions bytes_mapped transactions
 
 echo
 echo "== tier 3b: DMT_TRACE smoke (one bench per family, trace must parse) =="

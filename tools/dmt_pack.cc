@@ -1,0 +1,133 @@
+// Command-line front end for the binary container (io/container.h):
+//
+//   dmt_pack pack <basket.txt> <out.dmtb>      text -> container
+//   dmt_pack unpack <in.dmtb> <basket.txt>     container -> text
+//   dmt_pack partition <in> <prefix> <K>       split into K partitions
+//                                              (<in> is .dmtb or basket text)
+//   dmt_pack info <file.dmtb>                  header + section table
+//
+// Every malformed input surfaces as a printed Status, exit code 1.
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/mmap_file.h"
+#include "core/status.h"
+#include "core/transaction.h"
+#include "io/container.h"
+#include "io/partition.h"
+#include "io/serialize.h"
+
+namespace {
+
+using dmt::core::Result;
+using dmt::core::Status;
+using dmt::core::TransactionDatabase;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "dmt_pack: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dmt_pack pack <basket.txt> <out.dmtb>\n"
+               "       dmt_pack unpack <in.dmtb> <basket.txt>\n"
+               "       dmt_pack partition <in> <prefix> <K>\n"
+               "       dmt_pack info <file.dmtb>\n");
+  return 2;
+}
+
+/// Loads a database from either format: container files are recognized by
+/// their magic, anything else parses as basket text.
+Result<TransactionDatabase> LoadAnyDatabase(const std::string& path) {
+  DMT_ASSIGN_OR_RETURN(dmt::core::MappedFile probe,
+                       dmt::core::MappedFile::Open(path));
+  const bool is_container =
+      probe.size() >= sizeof(dmt::io::kMagic) &&
+      std::memcmp(probe.data(), dmt::io::kMagic, sizeof(dmt::io::kMagic)) ==
+          0;
+  if (is_container) return dmt::io::LoadTransactionDatabase(path);
+  DMT_ASSIGN_OR_RETURN(std::string text, dmt::core::ReadFileString(path));
+  return TransactionDatabase::FromBasketText(text);
+}
+
+int Pack(const std::string& in, const std::string& out) {
+  auto db = LoadAnyDatabase(in);
+  if (!db.ok()) return Fail(db.status());
+  Status written = dmt::io::WriteTransactionDatabase(*db, out);
+  if (!written.ok()) return Fail(written);
+  std::printf("packed %zu transactions (%zu items) into %s\n", db->size(),
+              db->total_items(), out.c_str());
+  return 0;
+}
+
+int Unpack(const std::string& in, const std::string& out) {
+  auto db = dmt::io::LoadTransactionDatabase(in);
+  if (!db.ok()) return Fail(db.status());
+  const std::string text = db->ToBasketText();
+  Status written = dmt::core::WriteFileBytes(
+      out, std::as_bytes(std::span(text.data(), text.size())));
+  if (!written.ok()) return Fail(written);
+  std::printf("unpacked %zu transactions into %s\n", db->size(), out.c_str());
+  return 0;
+}
+
+int Partition(const std::string& in, const std::string& prefix,
+              const std::string& count) {
+  size_t num_partitions = 0;
+  try {
+    num_partitions = std::stoul(count);
+  } catch (...) {
+    return Fail(Status::InvalidArgument("partition count '" + count +
+                                        "' is not a number"));
+  }
+  auto db = LoadAnyDatabase(in);
+  if (!db.ok()) return Fail(db.status());
+  auto paths = dmt::io::WritePartitions(*db, prefix, num_partitions);
+  if (!paths.ok()) return Fail(paths.status());
+  for (const std::string& path : *paths) std::printf("%s\n", path.c_str());
+  return 0;
+}
+
+int Info(const std::string& path) {
+  auto file = dmt::core::MappedFile::Open(path);
+  if (!file.ok()) return Fail(file.status());
+  if (file->size() < sizeof(dmt::io::FileHeader)) {
+    return Fail(Status::Corruption(path + ": smaller than a header"));
+  }
+  dmt::io::FileHeader header;
+  std::memcpy(&header, file->data(), sizeof(header));
+  const auto type = static_cast<dmt::io::ArtifactType>(header.artifact_type);
+  // Validate the envelope with the reader so `info` reports corruption
+  // exactly as a loader would.
+  auto reader = dmt::io::ContainerReader::Map(path, type);
+  if (!reader.ok()) return Fail(reader.status());
+  std::printf("%s: %s v%u, %zu section(s), %llu bytes\n", path.c_str(),
+              std::string(dmt::io::ArtifactTypeName(type)).c_str(),
+              header.format_version, reader->num_sections(),
+              static_cast<unsigned long long>(header.file_size));
+  for (const dmt::io::SectionEntry& entry : reader->entries()) {
+    std::printf("  section %u: offset %llu, length %llu, crc32 %08x\n",
+                entry.id, static_cast<unsigned long long>(entry.offset),
+                static_cast<unsigned long long>(entry.length), entry.crc32);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() == 3 && args[0] == "pack") return Pack(args[1], args[2]);
+  if (args.size() == 3 && args[0] == "unpack") {
+    return Unpack(args[1], args[2]);
+  }
+  if (args.size() == 4 && args[0] == "partition") {
+    return Partition(args[1], args[2], args[3]);
+  }
+  if (args.size() == 2 && args[0] == "info") return Info(args[1]);
+  return Usage();
+}
