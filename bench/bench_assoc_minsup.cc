@@ -94,6 +94,19 @@ void BM_Eclat(benchmark::State& state) {
   });
 }
 
+/// Dense-bitset tidsets: the representation the SIMD bitset kernels
+/// accelerate (the default sorted-vector row is unaffected by dispatch
+/// level). Compare against BM_Eclat at the same args for the
+/// representation trade-off, and across DMT_KERNEL_LEVEL for the
+/// kernel speedup (EXT-9).
+void BM_EclatBitset(benchmark::State& state) {
+  RunCase(state, [](const auto& db, const auto& params) {
+    dmt::assoc::EclatOptions options;
+    options.representation = dmt::assoc::EclatOptions::TidsetRepr::kBitsets;
+    return dmt::assoc::MineEclat(db, params, options);
+  });
+}
+
 void AllCases(benchmark::internal::Benchmark* bench) {
   for (int64_t workload = 0; workload < 3; ++workload) {
     for (int64_t minsup : kMinsupBp) {
@@ -129,6 +142,7 @@ BENCHMARK(BM_Apriori)->Apply(AllCases)->Apply(ThreadCases);
 BENCHMARK(BM_AprioriTid)->Apply(AllCases)->Apply(ThreadCases);
 BENCHMARK(BM_FpGrowth)->Apply(AllCases)->Apply(PatternGrowthThreadCases);
 BENCHMARK(BM_Eclat)->Apply(AllCases)->Apply(PatternGrowthThreadCases);
+BENCHMARK(BM_EclatBitset)->Apply(AllCases)->Apply(PatternGrowthThreadCases);
 
 }  // namespace
 

@@ -1,0 +1,221 @@
+// Microbenchmarks for the runtime-dispatched kernels: every compiled-in
+// level runs the same workload (level is the first benchmark arg), so
+// one binary reports the scalar baseline next to the AVX2/AVX-512 rows
+// and the speedup is read straight off the table.
+//
+// Expected shape: the fused and+popcount kernels scale with vector
+// width on Eclat-sized bitsets (the 1M-bit row is the D100K tidset
+// case); the batched distance kernel beats the pairwise loop once dim
+// is past the vector width; pairwise squared-euclidean rows are flat
+// across levels by design (sequential accumulation is the bit-exactness
+// contract, the batched form is where the win lives).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "bench_main.h"
+#include "core/kernels/kernels.h"
+
+namespace {
+
+using dmt::core::kernels::AlignedVector;
+using dmt::core::kernels::KernelLevel;
+using dmt::core::kernels::KernelLevelName;
+using dmt::core::kernels::KernelOps;
+using dmt::core::kernels::MaxSupportedLevel;
+using dmt::core::kernels::OpsForLevel;
+using dmt::core::kernels::SoaBlock;
+
+constexpr int64_t kBitsetBits[] = {1 << 10, 1 << 14, 1 << 17, 1 << 20};
+constexpr int64_t kDistanceDims[] = {2, 8, 32, 128, 256};
+constexpr size_t kBatchCandidates = 1024;
+
+const AlignedVector<uint64_t>& Words(size_t n, uint64_t seed) {
+  static std::map<std::pair<size_t, uint64_t>, AlignedVector<uint64_t>>
+      cache;
+  auto it = cache.find({n, seed});
+  if (it == cache.end()) {
+    std::mt19937_64 rng(seed);
+    AlignedVector<uint64_t> words(n);
+    for (auto& w : words) w = rng();
+    it = cache.emplace(std::make_pair(n, seed), std::move(words)).first;
+  }
+  return it->second;
+}
+
+const AlignedVector<double>& Doubles(size_t n, uint64_t seed) {
+  static std::map<std::pair<size_t, uint64_t>, AlignedVector<double>> cache;
+  auto it = cache.find({n, seed});
+  if (it == cache.end()) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-10.0, 10.0);
+    AlignedVector<double> values(n);
+    for (auto& v : values) v = dist(rng);
+    it = cache.emplace(std::make_pair(n, seed), std::move(values)).first;
+  }
+  return it->second;
+}
+
+const KernelOps& LevelOps(benchmark::State& state) {
+  const auto level = static_cast<KernelLevel>(state.range(0));
+  const KernelOps* ops = OpsForLevel(level);
+  state.SetLabel(KernelLevelName(level));
+  return *ops;
+}
+
+/// Registers {level} x {size} rows for every compiled-in level the host
+/// supports, so the scalar baseline always appears next to the vector
+/// rows in one run.
+void LevelAndSizeArgs(benchmark::internal::Benchmark* b,
+                      const int64_t* sizes, size_t num_sizes) {
+  b->ArgNames({"level", "n"});
+  for (int level = 0; level <= static_cast<int>(MaxSupportedLevel());
+       ++level) {
+    if (OpsForLevel(static_cast<KernelLevel>(level)) == nullptr) continue;
+    for (size_t s = 0; s < num_sizes; ++s) b->Args({level, sizes[s]});
+  }
+}
+
+void BitsetArgs(benchmark::internal::Benchmark* b) {
+  LevelAndSizeArgs(b, kBitsetBits, std::size(kBitsetBits));
+}
+
+void DistanceArgs(benchmark::internal::Benchmark* b) {
+  LevelAndSizeArgs(b, kDistanceDims, std::size(kDistanceDims));
+}
+
+// -- bitset kernels ----------------------------------------------------
+
+void BM_BitsetIntersectionCount(benchmark::State& state) {
+  const KernelOps& ops = LevelOps(state);
+  const size_t words = static_cast<size_t>(state.range(1)) / 64;
+  const auto& a = Words(words, 1);
+  const auto& b = Words(words, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops.intersection_count(a.data(), b.data(), words));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(words) * 8);
+}
+BENCHMARK(BM_BitsetIntersectionCount)->Apply(BitsetArgs);
+
+void BM_BitsetIntersectInto(benchmark::State& state) {
+  const KernelOps& ops = LevelOps(state);
+  const size_t words = static_cast<size_t>(state.range(1)) / 64;
+  const auto& a = Words(words, 3);
+  const auto& b = Words(words, 4);
+  AlignedVector<uint64_t> out(words);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops.intersect_into(out.data(), a.data(), b.data(), words));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 3 *
+                          static_cast<int64_t>(words) * 8);
+}
+BENCHMARK(BM_BitsetIntersectInto)->Apply(BitsetArgs);
+
+void BM_BitsetToIndices(benchmark::State& state) {
+  const KernelOps& ops = LevelOps(state);
+  const size_t words = static_cast<size_t>(state.range(1)) / 64;
+  const auto& a = Words(words, 5);
+  std::vector<uint32_t> out(words * 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.to_indices(a.data(), words, out.data()));
+  }
+}
+BENCHMARK(BM_BitsetToIndices)->Apply(BitsetArgs);
+
+void BM_MaskIsSubset(benchmark::State& state) {
+  const KernelOps& ops = LevelOps(state);
+  const size_t words = static_cast<size_t>(state.range(1)) / 64;
+  const auto& super = Words(words, 6);
+  // Genuine subset: worst case, the scan cannot early-exit.
+  AlignedVector<uint64_t> sub(super);
+  for (auto& w : sub) w &= 0x5555555555555555ULL;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops.mask_is_subset(sub.data(), super.data(), words));
+  }
+}
+BENCHMARK(BM_MaskIsSubset)->Apply(BitsetArgs);
+
+// -- distance kernels --------------------------------------------------
+
+void BM_PairwiseSquaredEuclidean(benchmark::State& state) {
+  const KernelOps& ops = LevelOps(state);
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const auto& a = Doubles(dim, 7);
+  const auto& b = Doubles(dim, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.squared_euclidean(a.data(), b.data(), dim));
+  }
+}
+BENCHMARK(BM_PairwiseSquaredEuclidean)->Apply(DistanceArgs);
+
+void BM_PairwiseChebyshev(benchmark::State& state) {
+  const KernelOps& ops = LevelOps(state);
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const auto& a = Doubles(dim, 9);
+  const auto& b = Doubles(dim, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.chebyshev(a.data(), b.data(), dim));
+  }
+}
+BENCHMARK(BM_PairwiseChebyshev)->Apply(DistanceArgs);
+
+/// The k-means assignment inner loop shape: one query point against
+/// kBatchCandidates centers, through the batched kernel.
+void BM_DistanceToManyBatched(benchmark::State& state) {
+  const KernelOps& ops = LevelOps(state);
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const auto& point = Doubles(dim, 11);
+  const auto& rows = Doubles(kBatchCandidates * dim, 12);
+  SoaBlock soa;
+  soa.Assign(rows.data(), kBatchCandidates, dim);
+  std::vector<double> out(kBatchCandidates);
+  for (auto _ : state) {
+    ops.squared_euclidean_to_many(point.data(), soa.data(), kBatchCandidates,
+                                  kBatchCandidates, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["candidates"] = static_cast<double>(kBatchCandidates);
+}
+BENCHMARK(BM_DistanceToManyBatched)->Apply(DistanceArgs);
+
+/// Same workload through the pairwise kernel per candidate — what the
+/// assignment loop did before the batched kernel existed.
+void BM_DistanceToManyPairwise(benchmark::State& state) {
+  const KernelOps& ops = LevelOps(state);
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const auto& point = Doubles(dim, 11);
+  const auto& rows = Doubles(kBatchCandidates * dim, 12);
+  std::vector<double> out(kBatchCandidates);
+  for (auto _ : state) {
+    for (size_t c = 0; c < kBatchCandidates; ++c) {
+      out[c] =
+          ops.squared_euclidean(point.data(), rows.data() + c * dim, dim);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["candidates"] = static_cast<double>(kBatchCandidates);
+}
+BENCHMARK(BM_DistanceToManyPairwise)->Apply(DistanceArgs);
+
+void PrintDispatchTable() {
+  std::printf("kernel dispatch: max_supported=%s active=%s\n",
+              KernelLevelName(MaxSupportedLevel()),
+              KernelLevelName(dmt::core::kernels::ActiveLevel()));
+  std::printf("%-28s%-10s\n", "bench arg", "meaning");
+  std::printf("%-28s%-10s\n", "level", "0=scalar 1=avx2 2=avx512");
+  std::printf("%-28s%-10s\n", "n", "bits (bitset) or dim (distance)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dmt::bench::BenchMain("kernels", argc, argv, PrintDispatchTable);
+}

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/check.h"
+#include "core/kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -84,8 +85,13 @@ inline void WriteJsonRecord(const std::string& path,
                             const std::vector<JsonRun>& runs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   DMT_CHECK(f != nullptr);
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"runs\": [",
-               JsonEscape(bench_name).c_str());
+  // The pinned kernel dispatch level makes records from different hosts
+  // (or DMT_KERNEL_LEVEL overrides) comparable: a perf delta with a
+  // level delta is dispatch, not regression.
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"kernel_level\": \"%s\",\n"
+               "  \"runs\": [",
+               JsonEscape(bench_name).c_str(),
+               core::kernels::KernelLevelName(core::kernels::ActiveLevel()));
   for (size_t i = 0; i < runs.size(); ++i) {
     const JsonRun& run = runs[i];
     std::fprintf(f, "%s\n    {\"name\": \"%s\", \"real_time\": %.17g, "

@@ -5,6 +5,7 @@
 
 #include "core/check.h"
 #include "core/distance.h"
+#include "core/kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -23,20 +24,41 @@ Status KnnOptions::Validate() const {
 
 namespace {
 
-/// Brute-force k-nearest as (squared distance, index), ascending.
+/// Brute-force k-nearest as (squared distance, index), ascending. When a
+/// dimension-major staging of `points` is supplied, distances come from
+/// the batched SIMD kernel in blocks; the heap still consumes them in
+/// ascending index order, so the result is bit-identical to the pairwise
+/// scan (the kernel's per-candidate arithmetic is the scalar sequence).
 std::vector<std::pair<double, uint32_t>> BruteKNearest(
-    const PointSet& points, std::span<const double> query, size_t k) {
+    const PointSet& points, std::span<const double> query, size_t k,
+    const core::kernels::SoaBlock* soa = nullptr) {
   std::vector<std::pair<double, uint32_t>> heap;
   heap.reserve(k + 1);
-  for (uint32_t i = 0; i < points.size(); ++i) {
-    double d = core::SquaredEuclideanDistance(query, points.point(i));
-    if (heap.size() < k) {
-      heap.emplace_back(d, i);
-      std::push_heap(heap.begin(), heap.end());
-    } else if (d < heap.front().first) {
-      std::pop_heap(heap.begin(), heap.end());
-      heap.back() = {d, i};
-      std::push_heap(heap.begin(), heap.end());
+  constexpr size_t kBlock = 256;
+  double dist[kBlock];
+  const size_t n = points.size();
+  for (size_t block = 0; block < n; block += kBlock) {
+    const size_t len = std::min(kBlock, n - block);
+    if (soa != nullptr) {
+      core::kernels::Ops().squared_euclidean_to_many(
+          query.data(), soa->data() + block, n, len, points.dim(), dist);
+    } else {
+      for (size_t j = 0; j < len; ++j) {
+        dist[j] =
+            core::SquaredEuclideanDistance(query, points.point(block + j));
+      }
+    }
+    for (size_t j = 0; j < len; ++j) {
+      const uint32_t i = static_cast<uint32_t>(block + j);
+      const double d = dist[j];
+      if (heap.size() < k) {
+        heap.emplace_back(d, i);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (d < heap.front().first) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = {d, i};
+        std::push_heap(heap.begin(), heap.end());
+      }
     }
   }
   std::sort_heap(heap.begin(), heap.end());
@@ -90,6 +112,11 @@ Status KnnClassifier::Fit(const Dataset& train) {
     index_ = std::make_unique<KdTree>(train_points_);
   } else {
     index_.reset();
+    // Brute mode scans the whole training set per query: stage it
+    // dimension-major once (after standardization) for the batched
+    // distance kernel.
+    train_soa_.Assign(train_points_.data().data(), train_points_.size(),
+                      train_points_.dim());
   }
   fitted_ = true;
   return Status::OK();
@@ -137,7 +164,8 @@ Result<std::vector<uint32_t>> KnnClassifier::PredictAll(
     std::vector<std::pair<double, uint32_t>> neighbours =
         index_ != nullptr
             ? index_->KNearest(buffer, options_.k)
-            : BruteKNearest(train_points_, buffer, options_.k);
+            : BruteKNearest(train_points_, buffer, options_.k,
+                            &train_soa_);
     predictions.push_back(Vote(neighbours));
   }
   return predictions;

@@ -7,6 +7,7 @@
 
 #include "classify/classifier.h"
 #include "core/kd_tree.h"
+#include "core/kernels/kernels.h"
 #include "core/point_set.h"
 
 namespace dmt::classify {
@@ -49,6 +50,9 @@ class KnnClassifier : public Classifier {
   std::vector<double> feature_means_;
   std::vector<double> feature_scales_;
   std::unique_ptr<core::KdTree> index_;
+  /// Brute-force mode only: training points staged dimension-major for
+  /// the batched distance kernel (built once per Fit).
+  core::kernels::SoaBlock train_soa_;
 };
 
 /// Point-level kNN vote shared with benchmarks: labels the query by

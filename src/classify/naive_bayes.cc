@@ -1,8 +1,10 @@
 #include "classify/naive_bayes.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
+#include "core/bitset.h"
 #include "core/check.h"
 #include "core/string_util.h"
 #include "obs/metrics.h"
@@ -139,6 +141,30 @@ Result<std::vector<double>> NaiveBayesClassifier::LogScores(
   return scores;
 }
 
+bool NaiveBayesClassifier::ValidForFastPath(const Dataset& test) const {
+  if (!fitted_ || test.num_attributes() != num_attributes_) return false;
+  if (test.num_rows() == 0) return false;
+  for (size_t a = 0; a < num_attributes_; ++a) {
+    if (test.attribute(a).type != attribute_types_[a]) return false;
+    if (attribute_types_[a] == AttributeType::kNumeric) continue;
+    // Categorical column: every observed code must exist in the training
+    // dictionary. One bitmask-subset kernel call per column replaces the
+    // per-row per-value range check in LogScores.
+    const size_t train_cats = categorical_log_likelihood_[a][0].size();
+    const size_t test_cats = test.attribute(a).num_categories();
+    const size_t span = std::max(train_cats, test_cats);
+    core::DynamicBitset observed(span);
+    core::DynamicBitset valid(span);
+    for (size_t v = 0; v < train_cats; ++v) valid.Set(v);
+    auto column = test.CategoricalColumn(a);
+    for (size_t row = 0; row < test.num_rows(); ++row) {
+      observed.Set(column[row]);
+    }
+    if (!observed.IsSubsetOf(valid)) return false;
+  }
+  return true;
+}
+
 Result<std::vector<uint32_t>> NaiveBayesClassifier::PredictAll(
     const Dataset& test) const {
   obs::Counter predictions_counter("classify/naive_bayes/predictions");
@@ -147,8 +173,44 @@ Result<std::vector<uint32_t>> NaiveBayesClassifier::PredictAll(
   predictions_counter.Add(test.num_rows());
   std::vector<uint32_t> predictions;
   predictions.reserve(test.num_rows());
+  if (!ValidForFastPath(test)) {
+    // Something would fail validation (or the test set is empty): run the
+    // per-row checked path so the error row/attribute/order is exactly
+    // what LogScores reports.
+    for (size_t row = 0; row < test.num_rows(); ++row) {
+      DMT_ASSIGN_OR_RETURN(std::vector<double> scores,
+                           LogScores(test, row));
+      uint32_t best = 0;
+      for (uint32_t c = 1; c < scores.size(); ++c) {
+        if (scores[c] > scores[best]) best = c;
+      }
+      predictions.push_back(best);
+    }
+    return predictions;
+  }
+  // Fast path: schema and dictionaries pre-validated above, so score rows
+  // with no per-value checks and a reused buffer. The accumulation order
+  // matches LogScores term for term, so predictions are bit-identical.
+  constexpr double kLogTwoPi = 1.8378770664093453;  // log(2*pi)
+  std::vector<double> scores;
   for (size_t row = 0; row < test.num_rows(); ++row) {
-    DMT_ASSIGN_OR_RETURN(std::vector<double> scores, LogScores(test, row));
+    scores = log_priors_;
+    for (size_t a = 0; a < num_attributes_; ++a) {
+      if (attribute_types_[a] == AttributeType::kNumeric) {
+        const double value = test.Numeric(row, a);
+        for (uint32_t c = 0; c < num_classes_; ++c) {
+          const NumericStats& stats = numeric_stats_[a][c];
+          const double diff = value - stats.mean;
+          scores[c] += -0.5 * (kLogTwoPi + std::log(stats.variance) +
+                               diff * diff / stats.variance);
+        }
+      } else {
+        const uint32_t value = test.Categorical(row, a);
+        for (uint32_t c = 0; c < num_classes_; ++c) {
+          scores[c] += categorical_log_likelihood_[a][c][value];
+        }
+      }
+    }
     uint32_t best = 0;
     for (uint32_t c = 1; c < scores.size(); ++c) {
       if (scores[c] > scores[best]) best = c;

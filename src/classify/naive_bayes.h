@@ -38,6 +38,12 @@ class NaiveBayesClassifier : public Classifier {
     double variance = 1.0;
   };
 
+  /// True when every row of `test` would pass LogScores validation:
+  /// schema matches and, per categorical column, the observed codes are
+  /// a bitmask subset of the training dictionary. Lets PredictAll score
+  /// without per-row checks.
+  bool ValidForFastPath(const core::Dataset& test) const;
+
   NaiveBayesOptions options_;
   bool fitted_ = false;
   size_t num_attributes_ = 0;

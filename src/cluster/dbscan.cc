@@ -8,6 +8,7 @@
 
 #include "core/distance.h"
 #include "core/kd_tree.h"
+#include "core/kernels/kernels.h"
 #include "core/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -28,13 +29,27 @@ Status DbscanOptions::Validate() const {
 
 namespace {
 
-std::vector<uint32_t> BruteRegionQuery(const PointSet& points, size_t center,
-                                       double eps_sq) {
+/// Block size of the batched brute-force scan: big enough to amortize
+/// kernel dispatch, small enough for the distance scratch to sit in L1.
+constexpr size_t kRegionQueryBlock = 256;
+
+/// Brute-force region query over the staged SoA point block: distances
+/// to every point in blocks of kRegionQueryBlock through the batched
+/// SIMD kernel, filtered in ascending index order (so the neighbour
+/// list matches the pairwise scalar scan element for element).
+std::vector<uint32_t> BruteRegionQuery(const PointSet& points,
+                                       const core::kernels::SoaBlock& soa,
+                                       size_t center, double eps_sq) {
   std::vector<uint32_t> out;
   auto q = points.point(center);
-  for (uint32_t i = 0; i < points.size(); ++i) {
-    if (core::SquaredEuclideanDistance(q, points.point(i)) <= eps_sq) {
-      out.push_back(i);
+  const size_t n = points.size();
+  double dist[kRegionQueryBlock];
+  for (size_t block = 0; block < n; block += kRegionQueryBlock) {
+    const size_t len = std::min(kRegionQueryBlock, n - block);
+    core::kernels::Ops().squared_euclidean_to_many(
+        q.data(), soa.data() + block, n, len, points.dim(), dist);
+    for (size_t j = 0; j < len; ++j) {
+      if (dist[j] <= eps_sq) out.push_back(static_cast<uint32_t>(block + j));
     }
   }
   return out;
@@ -56,15 +71,21 @@ Result<DbscanResult> Dbscan(const PointSet& points,
   run_span.AttachCounter(neighbors_counter);
 
   std::unique_ptr<core::KdTree> index;
+  core::kernels::SoaBlock soa;
   if (options.neighbors == DbscanOptions::Neighbors::kKdTree) {
     obs::Span index_span("cluster/dbscan/index_build");
     index = std::make_unique<core::KdTree>(points);
+  } else {
+    // Brute mode scans every point per query: stage the whole set
+    // dimension-major once so the batched distance kernel does the
+    // scanning.
+    soa.Assign(points.data().data(), points.size(), points.dim());
   }
   const double eps_sq = options.eps * options.eps;
   auto query_point = [&](size_t center) {
     return index != nullptr
                ? index->RadiusSearch(points.point(center), options.eps)
-               : BruteRegionQuery(points, center, eps_sq);
+               : BruteRegionQuery(points, soa, center, eps_sq);
   };
 
   // Parallel mode: batch all neighbourhood queries up front. Each query

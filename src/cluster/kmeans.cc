@@ -6,6 +6,7 @@
 
 #include "core/check.h"
 #include "core/distance.h"
+#include "core/kernels/kernels.h"
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "obs/metrics.h"
@@ -117,6 +118,7 @@ class AssignmentEngine {
         options_(options),
         ctx_(ctx),
         n_(points.size()),
+        dim_(points.dim()),
         k_(options.k),
         dist_sq_(points.size(), 0.0),
         comps_counter_("cluster/kmeans/distance_computations"),
@@ -136,6 +138,13 @@ class AssignmentEngine {
   /// Writes the nearest center of every point into `assignments` and its
   /// exact squared distance into dist_sq().
   void Assign(const PointSet& centers, std::vector<uint32_t>* assignments) {
+    // Stage the centers dimension-major for the batched distance kernel
+    // (every engine except steady-state Elkan scans whole center blocks;
+    // Elkan's per-center pruned probes stay pairwise). The transpose is
+    // O(k * dim) against an O(n) assignment pass.
+    if (options_.assignment != Assignment::kElkan || !initialized_) {
+      centers_soa_.Assign(centers.data().data(), k_, dim_);
+    }
     if (options_.assignment == Assignment::kLloyd) {
       AssignLloyd(centers, assignments);
       return;
@@ -213,17 +222,26 @@ class AssignmentEngine {
   const obs::Counter& comps_counter() const { return comps_counter_; }
 
  private:
-  void AssignLloyd(const PointSet& centers,
+  /// All k distances of one point via the batched SIMD kernel, into the
+  /// caller's scratch. Bit-identical to the pairwise scalar loop (one
+  /// candidate per vector lane, scalar instruction order within a lane),
+  /// so every downstream comparison takes the branches Lloyd would.
+  void DistancesToCenters(std::span<const double> p, double* dist) const {
+    core::kernels::Ops().squared_euclidean_to_many(
+        p.data(), centers_soa_.data(), k_, k_, dim_, dist);
+  }
+
+  void AssignLloyd(const PointSet& /*centers*/,
                    std::vector<uint32_t>* assignments) {
     ctx_.ForEachChunk(n_, [&](size_t, size_t begin, size_t end) {
+      std::vector<double> dist(k_);
       for (size_t i = begin; i < end; ++i) {
+        DistancesToCenters(points_.point(i), dist.data());
         double best_d = kInf;
         uint32_t best_c = 0;
-        auto p = points_.point(i);
         for (uint32_t c = 0; c < k_; ++c) {
-          double d = core::SquaredEuclideanDistance(p, centers.point(c));
-          if (d < best_d) {
-            best_d = d;
+          if (dist[c] < best_d) {
+            best_d = dist[c];
             best_c = c;
           }
         }
@@ -237,18 +255,19 @@ class AssignmentEngine {
   /// First pruned-engine pass: a full Lloyd scan that also captures the
   /// second-closest distance (Hamerly's initial lower bound) or every
   /// center's distance (Elkan's initial per-center bounds).
-  void InitScan(const PointSet& centers,
+  void InitScan(const PointSet& /*centers*/,
                 std::vector<uint32_t>* assignments) {
     const bool elkan = options_.assignment == Assignment::kElkan;
     ctx_.ForEachChunk(n_, [&](size_t chunk, size_t begin, size_t end) {
       uint64_t comps = 0;
+      std::vector<double> dist(k_);
       for (size_t i = begin; i < end; ++i) {
-        auto p = points_.point(i);
+        DistancesToCenters(points_.point(i), dist.data());
+        comps += k_;
         double best_d2 = kInf, second_d2 = kInf;
         uint32_t best = 0;
         for (uint32_t c = 0; c < k_; ++c) {
-          double d2 = core::SquaredEuclideanDistance(p, centers.point(c));
-          ++comps;
+          double d2 = dist[c];
           if (elkan) lower_per_center_[i * k_ + c] = std::sqrt(d2);
           if (d2 < best_d2) {
             second_d2 = best_d2;
@@ -270,6 +289,7 @@ class AssignmentEngine {
                      std::vector<uint32_t>* assignments) {
     ctx_.ForEachChunk(n_, [&](size_t chunk, size_t begin, size_t end) {
       uint64_t comps = 0;
+      std::vector<double> dist(k_);
       for (size_t i = begin; i < end; ++i) {
         auto p = points_.point(i);
         uint32_t a = (*assignments)[i];
@@ -287,13 +307,15 @@ class AssignmentEngine {
         if (d * kBoundSlack < std::max(lower_[i], half_nearest_[a])) {
           continue;
         }
-        // Bound failed: full Lloyd-identical rescan, which also yields
-        // the exact second-closest distance to re-tighten the bound.
+        // Bound failed: full Lloyd-identical rescan via the batched
+        // kernel, which also yields the exact second-closest distance to
+        // re-tighten the bound.
+        DistancesToCenters(p, dist.data());
+        comps += k_;
         double best_d2 = kInf, second_d2 = kInf;
         uint32_t best = 0;
         for (uint32_t c = 0; c < k_; ++c) {
-          double dd2 = core::SquaredEuclideanDistance(p, centers.point(c));
-          ++comps;
+          double dd2 = dist[c];
           if (dd2 < best_d2) {
             second_d2 = best_d2;
             best_d2 = dd2;
@@ -379,8 +401,12 @@ class AssignmentEngine {
   const KMeansOptions& options_;
   const core::ParallelContext& ctx_;
   const size_t n_;
+  const size_t dim_;
   const uint32_t k_;
   bool initialized_ = false;
+  /// Centers staged dimension-major for the batched distance kernel,
+  /// refreshed by Assign() whenever a whole-block scan may run.
+  core::kernels::SoaBlock centers_soa_;
   std::vector<double> dist_sq_;
   /// Hamerly: per-point lower bound on the distance to every non-assigned
   /// center.

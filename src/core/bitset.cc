@@ -1,8 +1,7 @@
 #include "core/bitset.h"
 
-#include <bit>
-
 #include "core/check.h"
+#include "core/kernels/kernels.h"
 
 namespace dmt::core {
 
@@ -11,12 +10,18 @@ DynamicBitset::DynamicBitset(size_t num_bits)
 
 void DynamicBitset::Set(size_t bit) {
   DMT_DCHECK(bit < num_bits_);
-  words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  uint64_t& word = words_[bit >> 6];
+  const uint64_t mask = uint64_t{1} << (bit & 63);
+  count_ += (word & mask) == 0;
+  word |= mask;
 }
 
 void DynamicBitset::Clear(size_t bit) {
   DMT_DCHECK(bit < num_bits_);
-  words_[bit >> 6] &= ~(uint64_t{1} << (bit & 63));
+  uint64_t& word = words_[bit >> 6];
+  const uint64_t mask = uint64_t{1} << (bit & 63);
+  count_ -= (word & mask) != 0;
+  word &= ~mask;
 }
 
 bool DynamicBitset::Test(size_t bit) const {
@@ -24,46 +29,44 @@ bool DynamicBitset::Test(size_t bit) const {
   return (words_[bit >> 6] >> (bit & 63)) & 1;
 }
 
-size_t DynamicBitset::Count() const {
-  size_t total = 0;
-  for (uint64_t word : words_) total += std::popcount(word);
-  return total;
-}
-
 void DynamicBitset::IntersectWith(const DynamicBitset& other) {
   DMT_CHECK_EQ(num_bits_, other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  count_ = kernels::Ops().intersect_inplace(words_.data(),
+                                            other.words_.data(),
+                                            words_.size());
 }
 
 size_t DynamicBitset::IntersectionCount(const DynamicBitset& other) const {
   DMT_CHECK_EQ(num_bits_, other.num_bits_);
-  size_t total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total += std::popcount(words_[i] & other.words_[i]);
-  }
-  return total;
+  return kernels::Ops().intersection_count(words_.data(),
+                                           other.words_.data(),
+                                           words_.size());
 }
 
 DynamicBitset DynamicBitset::Intersect(const DynamicBitset& other) const {
   DMT_CHECK_EQ(num_bits_, other.num_bits_);
   DynamicBitset out(num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    out.words_[i] = words_[i] & other.words_[i];
-  }
+  out.count_ = kernels::Ops().intersect_into(
+      out.words_.data(), words_.data(), other.words_.data(), words_.size());
   return out;
 }
 
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  DMT_CHECK_EQ(num_bits_, other.num_bits_);
+  return kernels::Ops().mask_is_subset(words_.data(), other.words_.data(),
+                                       words_.size());
+}
+
 std::vector<uint32_t> DynamicBitset::ToIndices() const {
-  std::vector<uint32_t> indices;
-  indices.reserve(Count());
-  for (size_t w = 0; w < words_.size(); ++w) {
-    uint64_t word = words_[w];
-    while (word != 0) {
-      int bit = std::countr_zero(word);
-      indices.push_back(static_cast<uint32_t>(w * 64 + bit));
-      word &= word - 1;
-    }
-  }
+  // Exact-size allocation from the running count, then one extraction
+  // sweep through raw storage — no popcount pre-pass, no push_back
+  // growth checks.
+  std::vector<uint32_t> indices(count_);
+  const size_t written =
+      kernels::Ops().to_indices(words_.data(), words_.size(),
+                                indices.data());
+  DMT_DCHECK(written == count_);
+  (void)written;
   return indices;
 }
 

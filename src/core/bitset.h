@@ -1,5 +1,8 @@
 // Dynamically sized bitset with fast intersection counting, used for
-// vertical (tidset) itemset mining.
+// vertical (tidset) itemset mining. All whole-array operations route
+// through the runtime-dispatched SIMD kernel layer (core/kernels); the
+// word storage is 64-byte aligned so vector loads never split a cache
+// line.
 #ifndef DMT_CORE_BITSET_H_
 #define DMT_CORE_BITSET_H_
 
@@ -7,9 +10,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/kernels/aligned.h"
+
 namespace dmt::core {
 
-/// Fixed-size-after-construction bitset over 64-bit words.
+/// Fixed-size-after-construction bitset over 64-bit words. Maintains a
+/// running population count (updated by Set/Clear in O(1) and by the
+/// fused intersection kernels for free), so Count() is O(1) and
+/// ToIndices() sizes its output without a popcount sweep.
 class DynamicBitset {
  public:
   DynamicBitset() = default;
@@ -23,8 +31,8 @@ class DynamicBitset {
   void Clear(size_t bit);
   bool Test(size_t bit) const;
 
-  /// Number of set bits.
-  size_t Count() const;
+  /// Number of set bits (O(1): the count is maintained, not recomputed).
+  size_t Count() const { return count_; }
 
   /// this &= other. Sizes must match.
   void IntersectWith(const DynamicBitset& other);
@@ -35,14 +43,20 @@ class DynamicBitset {
   /// Returns this & other.
   DynamicBitset Intersect(const DynamicBitset& other) const;
 
-  /// Indices of all set bits, ascending.
+  /// True when every set bit of this is also set in other. Sizes must
+  /// match.
+  bool IsSubsetOf(const DynamicBitset& other) const;
+
+  /// Indices of all set bits, ascending. Single sweep: the output is
+  /// sized from the running count, not a separate popcount pass.
   std::vector<uint32_t> ToIndices() const;
 
   bool operator==(const DynamicBitset& other) const = default;
 
  private:
   size_t num_bits_ = 0;
-  std::vector<uint64_t> words_;
+  size_t count_ = 0;
+  kernels::AlignedVector<uint64_t> words_;
 };
 
 }  // namespace dmt::core

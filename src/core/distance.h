@@ -1,4 +1,9 @@
-// Distance functions over dense double vectors.
+// Distance functions over dense double vectors. These sequential forms
+// are the bit-exactness reference; the hot many-candidates paths
+// (k-means assignment, brute kNN/DBSCAN scans) stage candidates
+// dimension-major and call the batched kernel in
+// core/kernels/kernels.h, which reproduces these sums bit for bit with
+// one candidate per vector lane.
 #ifndef DMT_CORE_DISTANCE_H_
 #define DMT_CORE_DISTANCE_H_
 

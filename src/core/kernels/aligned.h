@@ -1,0 +1,51 @@
+// Aligned storage support for the kernel layer: vector-width loads must
+// never split a cache line, so containers feeding the SIMD kernels align
+// their backing arrays to 64 bytes (one cache line, one AVX-512 vector).
+#ifndef DMT_CORE_KERNELS_ALIGNED_H_
+#define DMT_CORE_KERNELS_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace dmt::core::kernels {
+
+/// Minimal C++17 aligned allocator. `Alignment` must be a power of two
+/// and at least alignof(T).
+template <typename T, size_t Alignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must not weaken the type's natural alignment");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, size_t) {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  bool operator==(const AlignedAllocator&) const { return true; }
+};
+
+/// One cache line: the alignment every kernel-facing array uses.
+inline constexpr size_t kKernelAlignment = 64;
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, kKernelAlignment>>;
+
+}  // namespace dmt::core::kernels
+
+#endif  // DMT_CORE_KERNELS_ALIGNED_H_

@@ -1,0 +1,126 @@
+// Runtime dispatch: picks the best compiled-in kernel table the host CPU
+// supports, once, at the first Ops() call. DMT_KERNEL_LEVEL=scalar|avx2|
+// avx512 clamps the choice (downward only — requesting a level the host
+// or build lacks falls back with a warning, so differential CI scripts
+// can force levels without probing the hardware first).
+#include "core/kernels/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/log.h"
+
+namespace dmt::core::kernels {
+
+namespace scalar_impl {
+const KernelOps& Table();
+}
+#if defined(DMT_KERNELS_HAVE_AVX2)
+namespace avx2_impl {
+const KernelOps& Table();
+}
+#endif
+#if defined(DMT_KERNELS_HAVE_AVX512)
+namespace avx512_impl {
+const KernelOps& Table();
+}
+#endif
+
+const char* KernelLevelName(KernelLevel level) {
+  switch (level) {
+    case KernelLevel::kScalar: return "scalar";
+    case KernelLevel::kAvx2: return "avx2";
+    case KernelLevel::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseKernelLevel(const char* name, KernelLevel* out) {
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = KernelLevel::kScalar;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *out = KernelLevel::kAvx2;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    *out = KernelLevel::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+KernelLevel MaxSupportedLevel() {
+#if defined(DMT_KERNELS_HAVE_AVX512)
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("avx512vpopcntdq")) {
+    return KernelLevel::kAvx512;
+  }
+#endif
+#if defined(DMT_KERNELS_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("popcnt")) {
+    return KernelLevel::kAvx2;
+  }
+#endif
+  return KernelLevel::kScalar;
+}
+
+const KernelOps* OpsForLevel(KernelLevel level) {
+  if (static_cast<int>(level) > static_cast<int>(MaxSupportedLevel())) {
+    return nullptr;
+  }
+  switch (level) {
+    case KernelLevel::kScalar:
+      return &scalar_impl::Table();
+    case KernelLevel::kAvx2:
+#if defined(DMT_KERNELS_HAVE_AVX2)
+      return &avx2_impl::Table();
+#else
+      return nullptr;
+#endif
+    case KernelLevel::kAvx512:
+#if defined(DMT_KERNELS_HAVE_AVX512)
+      return &avx512_impl::Table();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+namespace {
+
+KernelLevel ResolveLevel() {
+  const KernelLevel best = MaxSupportedLevel();
+  const char* env = std::getenv("DMT_KERNEL_LEVEL");
+  if (env == nullptr || *env == '\0') return best;
+  KernelLevel requested;
+  if (!ParseKernelLevel(env, &requested)) {
+    obs::Log(obs::LogSeverity::kWarning,
+             "unrecognized DMT_KERNEL_LEVEL '%s' "
+             "(want scalar|avx2|avx512); using %s",
+             env, KernelLevelName(best));
+    return best;
+  }
+  if (static_cast<int>(requested) > static_cast<int>(best)) {
+    obs::Log(obs::LogSeverity::kWarning,
+             "DMT_KERNEL_LEVEL=%s is not supported by this build/host; "
+             "using %s",
+             env, KernelLevelName(best));
+    return best;
+  }
+  return requested;
+}
+
+}  // namespace
+
+const KernelOps& Ops() {
+  // Magic static: resolved exactly once, thread-safe, pinned for the
+  // process lifetime so every subsystem sees one level.
+  static const KernelOps& ops = *OpsForLevel(ResolveLevel());
+  return ops;
+}
+
+KernelLevel ActiveLevel() { return Ops().level; }
+
+}  // namespace dmt::core::kernels

@@ -1,0 +1,199 @@
+// AVX2 kernel table. Compiled with -mavx2 -mpopcnt -mbmi -mbmi2
+// -ffp-contract=off; only built on x86-64 when the compiler supports
+// those flags, and only selected when CPUID reports avx2+popcnt.
+//
+// Bit kernels use the PSHUFB nibble-lookup popcount (Muła's algorithm):
+// per-byte counts via two 16-entry table shuffles, horizontally summed
+// into 64-bit lanes with PSADBW. Word tails fall back to hardware
+// POPCNT. Everything is integer arithmetic, so results are exact.
+//
+// Float kernels: chebyshev is a max-reduction (exact at any order);
+// the batched distance kernel maps one candidate per lane so each lane
+// replays the scalar sequence (sub, mul, add — no FMA). The pairwise
+// sum-reduction kernels reuse the sequential scalar bodies unchanged:
+// vectorizing them would reorder the adds and break the contract.
+#include "core/kernels/kernels.h"
+
+#include <immintrin.h>
+
+#define DMT_KERNEL_IMPL_NAMESPACE avx2_impl
+#include "core/kernels/kernels_common.h"
+
+namespace dmt::core::kernels::avx2_impl {
+
+namespace {
+
+/// Per-byte popcount of a 256-bit vector.
+inline __m256i PopcountBytes(__m256i v) {
+  const __m256i lookup = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i lo = _mm256_and_si256(v, low_mask);
+  __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                         _mm256_shuffle_epi8(lookup, hi));
+}
+
+/// Sums the four 64-bit lanes of an accumulator.
+inline size_t HorizontalSum(__m256i acc) {
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+inline __m256i LoadWords(const uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+}  // namespace
+
+size_t PopcountAvx2(const uint64_t* words, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  const __m256i zero = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, _mm256_sad_epu8(PopcountBytes(LoadWords(words + i)), zero));
+  }
+  size_t total = HorizontalSum(acc);
+  for (; i < n; ++i) total += std::popcount(words[i]);
+  return total;
+}
+
+size_t IntersectionCountAvx2(const uint64_t* a, const uint64_t* b,
+                             size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  const __m256i zero = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i word = _mm256_and_si256(LoadWords(a + i), LoadWords(b + i));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(PopcountBytes(word), zero));
+  }
+  size_t total = HorizontalSum(acc);
+  for (; i < n; ++i) total += std::popcount(a[i] & b[i]);
+  return total;
+}
+
+size_t IntersectInplaceAvx2(uint64_t* a, const uint64_t* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  const __m256i zero = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i word = _mm256_and_si256(LoadWords(a + i), LoadWords(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i), word);
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(PopcountBytes(word), zero));
+  }
+  size_t total = HorizontalSum(acc);
+  for (; i < n; ++i) {
+    a[i] &= b[i];
+    total += std::popcount(a[i]);
+  }
+  return total;
+}
+
+size_t IntersectIntoAvx2(uint64_t* out, const uint64_t* a,
+                         const uint64_t* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  const __m256i zero = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i word = _mm256_and_si256(LoadWords(a + i), LoadWords(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), word);
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(PopcountBytes(word), zero));
+  }
+  size_t total = HorizontalSum(acc);
+  for (; i < n; ++i) {
+    out[i] = a[i] & b[i];
+    total += std::popcount(out[i]);
+  }
+  return total;
+}
+
+bool MaskIsSubsetAvx2(const uint64_t* sub, const uint64_t* super,
+                      size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // ~super & sub: any surviving bit is in sub but not super.
+    __m256i stray =
+        _mm256_andnot_si256(LoadWords(super + i), LoadWords(sub + i));
+    if (!_mm256_testz_si256(stray, stray)) return false;
+  }
+  for (; i < n; ++i) {
+    if ((sub[i] & ~super[i]) != 0) return false;
+  }
+  return true;
+}
+
+double ChebyshevAvx2(const double* a, const double* b, size_t n) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d worst4 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d diff =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    worst4 = _mm256_max_pd(worst4, _mm256_andnot_pd(sign_mask, diff));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, worst4);
+  double worst = lanes[0];
+  for (int lane = 1; lane < 4; ++lane) {
+    if (lanes[lane] > worst) worst = lanes[lane];
+  }
+  for (; i < n; ++i) {
+    double diff = std::fabs(a[i] - b[i]);
+    if (diff > worst) worst = diff;
+  }
+  return worst;
+}
+
+void SquaredEuclideanToManyAvx2(const double* point, const double* soa,
+                                size_t stride, size_t count, size_t dim,
+                                double* out) {
+  size_t c = 0;
+  for (; c + 4 <= count; c += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      __m256d diff = _mm256_sub_pd(_mm256_set1_pd(point[d]),
+                                   _mm256_loadu_pd(soa + d * stride + c));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+    }
+    _mm256_storeu_pd(out + c, acc);
+  }
+  if (c < count) {
+    // Masked tail: maskload reads (and maskstore writes) only the live
+    // lanes, so the active lanes still replay the exact scalar op
+    // sequence and small counts stay off the scalar path.
+    alignas(32) int64_t lanes[4] = {0, 0, 0, 0};
+    for (size_t lane = 0; lane < count - c; ++lane) lanes[lane] = -1;
+    const __m256i tail =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      __m256d diff =
+          _mm256_sub_pd(_mm256_set1_pd(point[d]),
+                        _mm256_maskload_pd(soa + d * stride + c, tail));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+    }
+    _mm256_maskstore_pd(out + c, tail, acc);
+  }
+}
+
+const KernelOps& Table() {
+  static const KernelOps ops = {
+      KernelLevel::kAvx2,
+      &PopcountAvx2,
+      &IntersectionCountAvx2,
+      &IntersectInplaceAvx2,
+      &IntersectIntoAvx2,
+      &ToIndicesWords,
+      &MaskIsSubsetAvx2,
+      &SquaredEuclideanSeq,
+      &ManhattanSeq,
+      &ChebyshevAvx2,
+      &SquaredEuclideanToManyAvx2,
+  };
+  return ops;
+}
+
+}  // namespace dmt::core::kernels::avx2_impl

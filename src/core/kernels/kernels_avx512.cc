@@ -1,0 +1,157 @@
+// AVX-512 kernel table. Compiled with -mavx512f -mavx512bw -mavx512vl
+// -mavx512vpopcntdq -ffp-contract=off; selected only when CPUID reports
+// all four features (VPOPCNTDQ is the one that matters: native per-lane
+// 64-bit popcount, Ice Lake and later).
+#include "core/kernels/kernels.h"
+
+#include <immintrin.h>
+
+#define DMT_KERNEL_IMPL_NAMESPACE avx512_impl
+#include "core/kernels/kernels_common.h"
+
+namespace dmt::core::kernels::avx512_impl {
+
+namespace {
+
+inline __m512i LoadWords(const uint64_t* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+}  // namespace
+
+size_t PopcountAvx512(const uint64_t* words, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(LoadWords(words + i)));
+  }
+  size_t total = static_cast<size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) total += std::popcount(words[i]);
+  return total;
+}
+
+size_t IntersectionCountAvx512(const uint64_t* a, const uint64_t* b,
+                               size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i word = _mm512_and_si512(LoadWords(a + i), LoadWords(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(word));
+  }
+  size_t total = static_cast<size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) total += std::popcount(a[i] & b[i]);
+  return total;
+}
+
+size_t IntersectInplaceAvx512(uint64_t* a, const uint64_t* b, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i word = _mm512_and_si512(LoadWords(a + i), LoadWords(b + i));
+    _mm512_storeu_si512(reinterpret_cast<void*>(a + i), word);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(word));
+  }
+  size_t total = static_cast<size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    a[i] &= b[i];
+    total += std::popcount(a[i]);
+  }
+  return total;
+}
+
+size_t IntersectIntoAvx512(uint64_t* out, const uint64_t* a,
+                           const uint64_t* b, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i word = _mm512_and_si512(LoadWords(a + i), LoadWords(b + i));
+    _mm512_storeu_si512(reinterpret_cast<void*>(out + i), word);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(word));
+  }
+  size_t total = static_cast<size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    out[i] = a[i] & b[i];
+    total += std::popcount(out[i]);
+  }
+  return total;
+}
+
+bool MaskIsSubsetAvx512(const uint64_t* sub, const uint64_t* super,
+                        size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // ~super & sub: any surviving bit is in sub but not super.
+    __m512i stray =
+        _mm512_andnot_si512(LoadWords(super + i), LoadWords(sub + i));
+    if (_mm512_test_epi64_mask(stray, stray) != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if ((sub[i] & ~super[i]) != 0) return false;
+  }
+  return true;
+}
+
+double ChebyshevAvx512(const double* a, const double* b, size_t n) {
+  __m512d worst8 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512d diff =
+        _mm512_sub_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i));
+    worst8 = _mm512_max_pd(worst8, _mm512_abs_pd(diff));
+  }
+  double worst = _mm512_reduce_max_pd(worst8);
+  for (; i < n; ++i) {
+    double diff = std::fabs(a[i] - b[i]);
+    if (diff > worst) worst = diff;
+  }
+  return worst;
+}
+
+void SquaredEuclideanToManyAvx512(const double* point, const double* soa,
+                                  size_t stride, size_t count, size_t dim,
+                                  double* out) {
+  size_t c = 0;
+  for (; c + 8 <= count; c += 8) {
+    __m512d acc = _mm512_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      __m512d diff = _mm512_sub_pd(_mm512_set1_pd(point[d]),
+                                   _mm512_loadu_pd(soa + d * stride + c));
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(diff, diff));
+    }
+    _mm512_storeu_pd(out + c, acc);
+  }
+  if (c < count) {
+    // Masked tail: inactive lanes load as zero and are never stored, so
+    // the active lanes still replay the exact scalar op sequence. Keeps
+    // small-count calls (k-means with k % 8 != 0) off the scalar path.
+    const __mmask8 tail =
+        static_cast<__mmask8>((1u << (count - c)) - 1u);
+    __m512d acc = _mm512_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      __m512d diff =
+          _mm512_sub_pd(_mm512_set1_pd(point[d]),
+                        _mm512_maskz_loadu_pd(tail, soa + d * stride + c));
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(diff, diff));
+    }
+    _mm512_mask_storeu_pd(out + c, tail, acc);
+  }
+}
+
+const KernelOps& Table() {
+  static const KernelOps ops = {
+      KernelLevel::kAvx512,
+      &PopcountAvx512,
+      &IntersectionCountAvx512,
+      &IntersectInplaceAvx512,
+      &IntersectIntoAvx512,
+      &ToIndicesWords,
+      &MaskIsSubsetAvx512,
+      &SquaredEuclideanSeq,
+      &ManhattanSeq,
+      &ChebyshevAvx512,
+      &SquaredEuclideanToManyAvx512,
+  };
+  return ops;
+}
+
+}  // namespace dmt::core::kernels::avx512_impl

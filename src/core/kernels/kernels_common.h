@@ -1,0 +1,119 @@
+// Scalar kernel bodies shared by every dispatch level. Each arch
+// translation unit defines DMT_KERNEL_IMPL_NAMESPACE before including
+// this header, so the bodies are instantiated once per TU under that
+// TU's arch flags with internal-namespace symbols — distinct copies per
+// level, no ODR aliasing between differently-compiled instantiations.
+//
+// The sum-reduction kernels (SquaredEuclidean, Manhattan) accumulate in
+// strict ascending index order: that order IS the determinism contract,
+// and vector levels reuse these exact bodies for the pairwise forms.
+// Kernel TUs compile with -ffp-contract=off so no level fuses the
+// multiply-add into an FMA the scalar baseline would not perform.
+#ifndef DMT_KERNEL_IMPL_NAMESPACE
+#error "define DMT_KERNEL_IMPL_NAMESPACE before including kernels_common.h"
+#endif
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace dmt::core::kernels {
+namespace DMT_KERNEL_IMPL_NAMESPACE {
+
+inline size_t PopcountWords(const uint64_t* words, size_t n) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += std::popcount(words[i]);
+  return total;
+}
+
+inline size_t IntersectionCountWords(const uint64_t* a, const uint64_t* b,
+                                     size_t n) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += std::popcount(a[i] & b[i]);
+  return total;
+}
+
+inline size_t IntersectInplaceWords(uint64_t* a, const uint64_t* b,
+                                    size_t n) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    a[i] &= b[i];
+    total += std::popcount(a[i]);
+  }
+  return total;
+}
+
+inline size_t IntersectIntoWords(uint64_t* out, const uint64_t* a,
+                                 const uint64_t* b, size_t n) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] & b[i];
+    total += std::popcount(out[i]);
+  }
+  return total;
+}
+
+inline size_t ToIndicesWords(const uint64_t* words, size_t n,
+                             uint32_t* out) {
+  size_t count = 0;
+  for (size_t w = 0; w < n; ++w) {
+    uint64_t word = words[w];
+    while (word != 0) {
+      out[count++] =
+          static_cast<uint32_t>(w * 64 + std::countr_zero(word));
+      word &= word - 1;
+    }
+  }
+  return count;
+}
+
+inline bool MaskIsSubsetWords(const uint64_t* sub, const uint64_t* super,
+                              size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if ((sub[i] & ~super[i]) != 0) return false;
+  }
+  return true;
+}
+
+inline double SquaredEuclideanSeq(const double* a, const double* b,
+                                  size_t n) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double diff = a[i] - b[i];
+    total += diff * diff;
+  }
+  return total;
+}
+
+inline double ManhattanSeq(const double* a, const double* b, size_t n) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += std::fabs(a[i] - b[i]);
+  return total;
+}
+
+inline double ChebyshevSeq(const double* a, const double* b, size_t n) {
+  double worst = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double diff = std::fabs(a[i] - b[i]);
+    if (diff > worst) worst = diff;
+  }
+  return worst;
+}
+
+inline void SquaredEuclideanToManySeq(const double* point,
+                                      const double* soa, size_t stride,
+                                      size_t count, size_t dim,
+                                      double* out) {
+  for (size_t c = 0; c < count; ++c) {
+    double total = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      double diff = point[d] - soa[d * stride + c];
+      total += diff * diff;
+    }
+    out[c] = total;
+  }
+}
+
+}  // namespace DMT_KERNEL_IMPL_NAMESPACE
+}  // namespace dmt::core::kernels

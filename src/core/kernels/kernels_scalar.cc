@@ -1,0 +1,28 @@
+// Scalar kernel table: the permanent differential baseline every other
+// dispatch level must match bit-for-bit. Compiled with the project's
+// base flags only (no -m arch extensions), so it runs on any host.
+#include "core/kernels/kernels.h"
+
+#define DMT_KERNEL_IMPL_NAMESPACE scalar_impl
+#include "core/kernels/kernels_common.h"
+
+namespace dmt::core::kernels::scalar_impl {
+
+const KernelOps& Table() {
+  static const KernelOps ops = {
+      KernelLevel::kScalar,
+      &PopcountWords,
+      &IntersectionCountWords,
+      &IntersectInplaceWords,
+      &IntersectIntoWords,
+      &ToIndicesWords,
+      &MaskIsSubsetWords,
+      &SquaredEuclideanSeq,
+      &ManhattanSeq,
+      &ChebyshevSeq,
+      &SquaredEuclideanToManySeq,
+  };
+  return ops;
+}
+
+}  // namespace dmt::core::kernels::scalar_impl

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "core/kernels/kernels.h"
 
 namespace dmt::core {
 
@@ -31,6 +32,16 @@ bool Sequence::Contains(const Sequence& other) const {
     if (!matched) return false;
   }
   return true;
+}
+
+uint64_t Sequence::ItemSignature() const {
+  uint64_t signature = 0;
+  for (const auto& element : elements) {
+    for (ItemId item : element) {
+      signature |= kernels::SignatureOfItem(item);
+    }
+  }
+  return signature;
 }
 
 void SequenceDatabase::Add(const Sequence& sequence) {

@@ -27,6 +27,12 @@ struct Sequence {
   /// `other` is a subset of a distinct element of this sequence, in order.
   bool Contains(const Sequence& other) const;
 
+  /// 64-bit Bloom signature of the item multiset: the OR of
+  /// kernels::SignatureOfItem over every item. If `a.Contains(b)` then
+  /// SignatureSubset(b.ItemSignature(), a.ItemSignature()) — so a failed
+  /// signature test refutes containment without walking the elements.
+  uint64_t ItemSignature() const;
+
   bool operator==(const Sequence& other) const = default;
 };
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "core/check.h"
+#include "core/kernels/kernels.h"
 #include "core/parallel.h"
 #include "core/string_util.h"
 #include "obs/metrics.h"
@@ -289,6 +290,14 @@ Result<SeqMiningResult> MineGsp(const SequenceDatabase& db,
   passes_counter.Increment();
   result.patterns = layer;
 
+  // Per-customer item signatures, computed once: a candidate whose
+  // signature is not a bitmask subset of the customer's cannot be
+  // contained, so the counting loop skips the greedy element walk.
+  std::vector<uint64_t> customer_sigs(db.size());
+  for (size_t c = 0; c < db.size(); ++c) {
+    customer_sigs[c] = db.sequence(c).ItemSignature();
+  }
+
   for (size_t k = 2; !layer.empty(); ++k) {
     if (params.max_pattern_items != 0 && k > params.max_pattern_items) break;
     obs::Span pass_span("seq/gsp/pass");
@@ -323,6 +332,10 @@ Result<SeqMiningResult> MineGsp(const SequenceDatabase& db,
       if (k == 2) {
         CountPass2(db, candidates, counts, ctx);
       } else {
+        std::vector<uint64_t> cand_sigs(candidates.size());
+        for (size_t cand = 0; cand < candidates.size(); ++cand) {
+          cand_sigs[cand] = candidates[cand].ItemSignature();
+        }
         core::CountPartitioned(
             ctx, db.size(), counts,
             [&](size_t chunk_begin, size_t chunk_end,
@@ -330,8 +343,13 @@ Result<SeqMiningResult> MineGsp(const SequenceDatabase& db,
               for (size_t c = chunk_begin; c < chunk_end; ++c) {
                 const Sequence& customer = db.sequence(c);
                 if (customer.TotalItems() < k) continue;
+                const uint64_t customer_sig = customer_sigs[c];
                 for (size_t cand = 0; cand < candidates.size(); ++cand) {
-                  if (customer.Contains(candidates[cand])) ++local[cand];
+                  if (core::kernels::SignatureSubset(cand_sigs[cand],
+                                                     customer_sig) &&
+                      customer.Contains(candidates[cand])) {
+                    ++local[cand];
+                  }
                 }
               }
             });
@@ -357,14 +375,21 @@ Result<SeqMiningResult> MineGsp(const SequenceDatabase& db,
 
 std::vector<SequencePattern> FilterMaximalSequences(
     const std::vector<SequencePattern>& patterns) {
+  std::vector<uint64_t> sigs(patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    sigs[i] = patterns[i].sequence.ItemSignature();
+  }
   std::vector<SequencePattern> kept;
-  for (const auto& candidate : patterns) {
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const auto& candidate = patterns[i];
     bool maximal = true;
-    for (const auto& other : patterns) {
+    for (size_t j = 0; j < patterns.size(); ++j) {
+      const auto& other = patterns[j];
       if (other.sequence.TotalItems() <= candidate.sequence.TotalItems()) {
         continue;
       }
-      if (other.sequence.Contains(candidate.sequence)) {
+      if (core::kernels::SignatureSubset(sigs[i], sigs[j]) &&
+          other.sequence.Contains(candidate.sequence)) {
         maximal = false;
         break;
       }

@@ -1,0 +1,392 @@
+// Differential tests for the runtime-dispatched SIMD kernels: every
+// compiled-in level must match the scalar table bit for bit, across
+// lengths that exercise empty inputs, single elements, vector-width
+// boundaries (+/-1 on both the AVX2 and AVX-512 strides) and every
+// scalar-tail length. Float comparisons are byte comparisons — the
+// contract is bit-identity, not tolerance.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "core/bitset.h"
+#include "core/kernels/kernels.h"
+
+namespace dmt::core::kernels {
+namespace {
+
+// Word counts around the AVX2 (4 words/vector) and AVX-512 (8
+// words/vector) strides, plus every tail length 0..8 and a couple of
+// larger blocks.
+const size_t kWordCounts[] = {0,  1,  2,  3,  4,  5,  6,  7,  8,  9,
+                              15, 16, 17, 23, 24, 25, 31, 32, 33, 100};
+
+// Dimensions around the 4- and 8-double vector widths with every tail
+// 1..7, plus the benchmark sizes.
+const size_t kDims[] = {0,  1,  2,  3,  4,  5,  6,  7,  8,  9,  11, 15,
+                        16, 17, 23, 24, 25, 31, 32, 33, 64, 100, 256};
+
+std::vector<uint64_t> RandomWords(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint64_t> words(n);
+  for (auto& w : words) w = rng();
+  return words;
+}
+
+std::vector<double> RandomDoubles(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-10.0, 10.0);
+  std::vector<double> values(n);
+  for (auto& v : values) v = dist(rng);
+  return values;
+}
+
+std::vector<const KernelOps*> SupportedLevels() {
+  std::vector<const KernelOps*> levels;
+  for (KernelLevel level :
+       {KernelLevel::kScalar, KernelLevel::kAvx2, KernelLevel::kAvx512}) {
+    if (const KernelOps* ops = OpsForLevel(level)) levels.push_back(ops);
+  }
+  return levels;
+}
+
+bool BitIdentical(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(KernelDispatchTest, ScalarTableAlwaysPresent) {
+  const KernelOps* scalar = OpsForLevel(KernelLevel::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  EXPECT_EQ(scalar->level, KernelLevel::kScalar);
+}
+
+TEST(KernelDispatchTest, ActiveLevelIsSupported) {
+  EXPECT_LE(static_cast<int>(ActiveLevel()),
+            static_cast<int>(MaxSupportedLevel()));
+  EXPECT_EQ(Ops().level, ActiveLevel());
+}
+
+TEST(KernelDispatchTest, LevelNamesRoundTrip) {
+  for (KernelLevel level :
+       {KernelLevel::kScalar, KernelLevel::kAvx2, KernelLevel::kAvx512}) {
+    KernelLevel parsed;
+    ASSERT_TRUE(ParseKernelLevel(KernelLevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  KernelLevel parsed;
+  EXPECT_FALSE(ParseKernelLevel("neon", &parsed));
+  EXPECT_FALSE(ParseKernelLevel("", &parsed));
+}
+
+TEST(KernelBitsetTest, PopcountMatchesScalarAtEveryLevel) {
+  const KernelOps* scalar = OpsForLevel(KernelLevel::kScalar);
+  for (size_t n : kWordCounts) {
+    const auto words = RandomWords(n, /*seed=*/n * 7919 + 1);
+    const size_t expected = scalar->popcount(words.data(), n);
+    for (const KernelOps* ops : SupportedLevels()) {
+      EXPECT_EQ(ops->popcount(words.data(), n), expected)
+          << KernelLevelName(ops->level) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelBitsetTest, IntersectionCountMatchesScalarAtEveryLevel) {
+  const KernelOps* scalar = OpsForLevel(KernelLevel::kScalar);
+  for (size_t n : kWordCounts) {
+    const auto a = RandomWords(n, n * 31 + 1);
+    const auto b = RandomWords(n, n * 31 + 2);
+    const size_t expected = scalar->intersection_count(a.data(), b.data(), n);
+    for (const KernelOps* ops : SupportedLevels()) {
+      EXPECT_EQ(ops->intersection_count(a.data(), b.data(), n), expected)
+          << KernelLevelName(ops->level) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelBitsetTest, IntersectInplaceMatchesScalarAtEveryLevel) {
+  const KernelOps* scalar = OpsForLevel(KernelLevel::kScalar);
+  for (size_t n : kWordCounts) {
+    const auto a = RandomWords(n, n * 131 + 1);
+    const auto b = RandomWords(n, n * 131 + 2);
+    auto expected_words = a;
+    const size_t expected_count =
+        scalar->intersect_inplace(expected_words.data(), b.data(), n);
+    for (const KernelOps* ops : SupportedLevels()) {
+      auto words = a;
+      const size_t count = ops->intersect_inplace(words.data(), b.data(), n);
+      EXPECT_EQ(count, expected_count)
+          << KernelLevelName(ops->level) << " n=" << n;
+      EXPECT_EQ(words, expected_words)
+          << KernelLevelName(ops->level) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelBitsetTest, IntersectIntoMatchesScalarAtEveryLevel) {
+  const KernelOps* scalar = OpsForLevel(KernelLevel::kScalar);
+  for (size_t n : kWordCounts) {
+    const auto a = RandomWords(n, n * 271 + 1);
+    const auto b = RandomWords(n, n * 271 + 2);
+    std::vector<uint64_t> expected_out(n, ~uint64_t{0});
+    const size_t expected_count =
+        scalar->intersect_into(expected_out.data(), a.data(), b.data(), n);
+    for (const KernelOps* ops : SupportedLevels()) {
+      std::vector<uint64_t> out(n, ~uint64_t{0});
+      const size_t count =
+          ops->intersect_into(out.data(), a.data(), b.data(), n);
+      EXPECT_EQ(count, expected_count)
+          << KernelLevelName(ops->level) << " n=" << n;
+      EXPECT_EQ(out, expected_out)
+          << KernelLevelName(ops->level) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelBitsetTest, ToIndicesMatchesScalarAtEveryLevel) {
+  const KernelOps* scalar = OpsForLevel(KernelLevel::kScalar);
+  for (size_t n : kWordCounts) {
+    const auto words = RandomWords(n, n * 523 + 1);
+    std::vector<uint32_t> expected(n * 64 + 1, 0xFFFFFFFF);
+    const size_t expected_written =
+        scalar->to_indices(words.data(), n, expected.data());
+    for (const KernelOps* ops : SupportedLevels()) {
+      std::vector<uint32_t> out(n * 64 + 1, 0xFFFFFFFF);
+      const size_t written = ops->to_indices(words.data(), n, out.data());
+      EXPECT_EQ(written, expected_written)
+          << KernelLevelName(ops->level) << " n=" << n;
+      EXPECT_EQ(out, expected)
+          << KernelLevelName(ops->level) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelContainmentTest, MaskIsSubsetMatchesScalarAtEveryLevel) {
+  const KernelOps* scalar = OpsForLevel(KernelLevel::kScalar);
+  for (size_t n : kWordCounts) {
+    const auto super = RandomWords(n, n * 809 + 1);
+    // True-subset case, random (almost surely not subset) case, and an
+    // off-by-one-bit case that only differs in the final word.
+    std::vector<std::vector<uint64_t>> subs;
+    auto strict = super;
+    for (auto& w : strict) w &= 0x5555555555555555ULL;
+    subs.push_back(strict);
+    subs.push_back(RandomWords(n, n * 809 + 2));
+    if (n > 0) {
+      auto last_bit = strict;
+      last_bit[n - 1] |= ~super[n - 1] & (~super[n - 1] ^ (~super[n - 1] - 1));
+      subs.push_back(last_bit);
+    }
+    for (const auto& sub : subs) {
+      const bool expected =
+          scalar->mask_is_subset(sub.data(), super.data(), n);
+      for (const KernelOps* ops : SupportedLevels()) {
+        EXPECT_EQ(ops->mask_is_subset(sub.data(), super.data(), n), expected)
+            << KernelLevelName(ops->level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(KernelDistanceTest, PairwiseKernelsMatchScalarBitForBit) {
+  const KernelOps* scalar = OpsForLevel(KernelLevel::kScalar);
+  for (size_t dim : kDims) {
+    const auto a = RandomDoubles(dim, dim * 17 + 1);
+    const auto b = RandomDoubles(dim, dim * 17 + 2);
+    const double se = scalar->squared_euclidean(a.data(), b.data(), dim);
+    const double mh = scalar->manhattan(a.data(), b.data(), dim);
+    const double ch = scalar->chebyshev(a.data(), b.data(), dim);
+    for (const KernelOps* ops : SupportedLevels()) {
+      EXPECT_TRUE(BitIdentical(
+          ops->squared_euclidean(a.data(), b.data(), dim), se))
+          << KernelLevelName(ops->level) << " dim=" << dim;
+      EXPECT_TRUE(BitIdentical(ops->manhattan(a.data(), b.data(), dim), mh))
+          << KernelLevelName(ops->level) << " dim=" << dim;
+      EXPECT_TRUE(BitIdentical(ops->chebyshev(a.data(), b.data(), dim), ch))
+          << KernelLevelName(ops->level) << " dim=" << dim;
+    }
+  }
+}
+
+TEST(KernelDistanceTest, BatchedMatchesPairwiseScalarBitForBit) {
+  const KernelOps* scalar = OpsForLevel(KernelLevel::kScalar);
+  const size_t counts[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 100, 257};
+  const size_t dims[] = {1, 2, 3, 8, 16, 33};
+  for (size_t count : counts) {
+    for (size_t dim : dims) {
+      const auto point = RandomDoubles(dim, count * 101 + dim);
+      const auto rows = RandomDoubles(count * dim, count * 103 + dim);
+      SoaBlock soa;
+      soa.Assign(rows.data(), count, dim);
+      // Reference: the scalar pairwise kernel per candidate.
+      std::vector<double> expected(count);
+      for (size_t c = 0; c < count; ++c) {
+        expected[c] = scalar->squared_euclidean(point.data(),
+                                                rows.data() + c * dim, dim);
+      }
+      for (const KernelOps* ops : SupportedLevels()) {
+        std::vector<double> out(count, -1.0);
+        ops->squared_euclidean_to_many(point.data(), soa.data(), count,
+                                       count, dim, out.data());
+        for (size_t c = 0; c < count; ++c) {
+          EXPECT_TRUE(BitIdentical(out[c], expected[c]))
+              << KernelLevelName(ops->level) << " count=" << count
+              << " dim=" << dim << " c=" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDistanceTest, BatchedHonorsStrideWiderThanCount) {
+  // A sub-block of a wider SoA matrix: stride stays the full width while
+  // count covers only the block.
+  const size_t full = 13;
+  const size_t dim = 5;
+  const auto rows = RandomDoubles(full * dim, 42);
+  const auto point = RandomDoubles(dim, 43);
+  SoaBlock soa;
+  soa.Assign(rows.data(), full, dim);
+  const KernelOps* scalar = OpsForLevel(KernelLevel::kScalar);
+  for (size_t offset : {size_t{0}, size_t{4}, size_t{9}}) {
+    const size_t count = full - offset;
+    std::vector<double> expected(count);
+    for (size_t c = 0; c < count; ++c) {
+      expected[c] = scalar->squared_euclidean(
+          point.data(), rows.data() + (offset + c) * dim, dim);
+    }
+    for (const KernelOps* ops : SupportedLevels()) {
+      std::vector<double> out(count, -1.0);
+      ops->squared_euclidean_to_many(point.data(), soa.data() + offset,
+                                     full, count, dim, out.data());
+      for (size_t c = 0; c < count; ++c) {
+        EXPECT_TRUE(BitIdentical(out[c], expected[c]))
+            << KernelLevelName(ops->level) << " offset=" << offset
+            << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(KernelAlignmentTest, AlignedVectorAndSoaBlockAre64ByteAligned) {
+  AlignedVector<uint64_t> words(100, 0);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(words.data()) % kKernelAlignment,
+            0u);
+  SoaBlock soa;
+  const auto rows = RandomDoubles(12, 7);
+  soa.Assign(rows.data(), 4, 3);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(soa.data()) % kKernelAlignment, 0u);
+  ASSERT_EQ(soa.count(), 4u);
+  ASSERT_EQ(soa.dim(), 3u);
+  // Dimension-major layout: coordinate d of candidate c at d * count + c.
+  for (size_t c = 0; c < 4; ++c) {
+    for (size_t d = 0; d < 3; ++d) {
+      EXPECT_EQ(soa.data()[d * 4 + c], rows[c * 3 + d]);
+    }
+  }
+}
+
+TEST(KernelSignatureTest, SubsetOfItemsImpliesSignatureSubset) {
+  const uint32_t items[] = {0, 1, 5, 63, 64, 100, 1000};
+  uint64_t all = 0;
+  for (uint32_t item : items) all |= SignatureOfItem(item);
+  for (uint32_t item : items) {
+    EXPECT_TRUE(SignatureSubset(SignatureOfItem(item), all));
+  }
+  // Items 1 and 65 collide mod 64; 2 does not collide with {0, 1}.
+  EXPECT_TRUE(SignatureSubset(SignatureOfItem(65), SignatureOfItem(1)));
+  EXPECT_FALSE(SignatureSubset(SignatureOfItem(2),
+                               SignatureOfItem(0) | SignatureOfItem(1)));
+  EXPECT_TRUE(SignatureSubset(0, 0));
+}
+
+// DynamicBitset sweeps bit sizes (not word counts) so the masked tail
+// word and the running count are both exercised.
+TEST(BitsetKernelRegressionTest, CountIsMaintainedNotRecomputed) {
+  for (size_t bits : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                      size_t{65}, size_t{127}, size_t{128}, size_t{129},
+                      size_t{1000}}) {
+    DynamicBitset bs(bits);
+    std::mt19937_64 rng(bits + 11);
+    size_t reference = 0;
+    std::vector<bool> model(bits, false);
+    for (size_t step = 0; step < 2 * bits + 1; ++step) {
+      if (bits == 0) break;
+      const size_t bit = rng() % bits;
+      if (rng() % 3 == 0) {
+        if (model[bit]) --reference;
+        model[bit] = false;
+        bs.Clear(bit);
+        bs.Clear(bit);  // double-clear must not drift the count
+      } else {
+        if (!model[bit]) ++reference;
+        model[bit] = true;
+        bs.Set(bit);
+        bs.Set(bit);  // double-set must not drift the count
+      }
+      ASSERT_EQ(bs.Count(), reference);
+    }
+  }
+}
+
+TEST(BitsetKernelRegressionTest, ToIndicesIsSingleSweepAndExact) {
+  for (size_t bits : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                      size_t{65}, size_t{129}, size_t{1000}}) {
+    DynamicBitset bs(bits);
+    std::vector<uint32_t> expected;
+    std::mt19937_64 rng(bits + 29);
+    for (size_t bit = 0; bit < bits; ++bit) {
+      if (rng() % 2 == 0) bs.Set(bit);
+    }
+    for (size_t bit = 0; bit < bits; ++bit) {
+      if (bs.Test(bit)) expected.push_back(static_cast<uint32_t>(bit));
+    }
+    const auto indices = bs.ToIndices();
+    EXPECT_EQ(indices, expected) << "bits=" << bits;
+    EXPECT_EQ(indices.size(), bs.Count());
+  }
+}
+
+TEST(BitsetKernelRegressionTest, IntersectionsUpdateTheCachedCount) {
+  for (size_t bits : {size_t{65}, size_t{129}, size_t{1000}}) {
+    DynamicBitset a(bits);
+    DynamicBitset b(bits);
+    std::mt19937_64 rng(bits + 37);
+    for (size_t bit = 0; bit < bits; ++bit) {
+      if (rng() % 2 == 0) a.Set(bit);
+      if (rng() % 2 == 0) b.Set(bit);
+    }
+    size_t expected = 0;
+    for (size_t bit = 0; bit < bits; ++bit) {
+      if (a.Test(bit) && b.Test(bit)) ++expected;
+    }
+    EXPECT_EQ(a.IntersectionCount(b), expected);
+    DynamicBitset materialized = a.Intersect(b);
+    EXPECT_EQ(materialized.Count(), expected);
+    EXPECT_EQ(materialized.ToIndices().size(), expected);
+    EXPECT_TRUE(materialized.IsSubsetOf(a));
+    EXPECT_TRUE(materialized.IsSubsetOf(b));
+    a.IntersectWith(b);
+    EXPECT_EQ(a.Count(), expected);
+    EXPECT_EQ(a, materialized);
+  }
+}
+
+TEST(BitsetKernelRegressionTest, IsSubsetOfMatchesDefinition) {
+  const size_t bits = 200;
+  DynamicBitset sub(bits);
+  DynamicBitset super(bits);
+  for (size_t bit = 0; bit < bits; bit += 3) super.Set(bit);
+  for (size_t bit = 0; bit < bits; bit += 6) sub.Set(bit);
+  EXPECT_TRUE(sub.IsSubsetOf(super));
+  EXPECT_FALSE(super.IsSubsetOf(sub));
+  sub.Set(199);  // 199 % 3 != 0, so it is outside super
+  EXPECT_FALSE(sub.IsSubsetOf(super));
+  DynamicBitset empty(bits);
+  EXPECT_TRUE(empty.IsSubsetOf(super));
+  EXPECT_TRUE(empty.IsSubsetOf(empty));
+}
+
+}  // namespace
+}  // namespace dmt::core::kernels

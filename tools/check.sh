@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Full pre-merge check: tier-1 build + tests, then a ThreadSanitizer build
+# Full pre-merge check: tier-1 build + tests (plus a DMT_KERNEL_LEVEL=
+# scalar rerun of the kernel-sensitive differential batteries), then a
+# ThreadSanitizer build
 # that runs the thread-pool unit tests and the serial-vs-parallel
 # differential tests for every parallelized miner (plus the out-of-core
 # differential and container-corruption tests), then an AddressSanitizer
@@ -22,6 +24,24 @@ cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure
 
 echo
+echo "== tier 1b: kernel-sensitive tests forced to the scalar table =="
+# The SIMD kernels promise bit-identical results at every dispatch
+# level; rerunning the differential batteries with DMT_KERNEL_LEVEL
+# pinned to scalar proves the promise covers the integrated call sites
+# (Eclat tidsets, k-means assignment, DBSCAN region queries), not just
+# the kernel unit tests.
+KERNEL_SENSITIVE_TESTS=(
+  tests/core/core_kernels_test
+  tests/assoc/assoc_parallel_diff_test
+  tests/assoc/assoc_out_of_core_diff_test
+  tests/cluster/cluster_parallel_diff_test
+)
+for t in "${KERNEL_SENSITIVE_TESTS[@]}"; do
+  echo "  DMT_KERNEL_LEVEL=scalar $t"
+  DMT_KERNEL_LEVEL=scalar "$ROOT/build/$t" >/dev/null
+done
+
+echo
 echo "== tier 2: ThreadSanitizer build (DMT_SANITIZE=thread) =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DDMT_SANITIZE=thread \
@@ -29,6 +49,7 @@ cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DDMT_BUILD_EXAMPLES=OFF
 TSAN_TARGETS=(
   core_thread_pool_test
+  core_kernels_test
   obs_metrics_test
   assoc_parallel_diff_test
   assoc_out_of_core_diff_test
@@ -42,6 +63,7 @@ cmake --build "$ROOT/build-tsan" -j "$JOBS" --target "${TSAN_TARGETS[@]}"
 # halt_on_error so a single race fails the script immediately.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$ROOT/build-tsan/tests/core/core_thread_pool_test"
+"$ROOT/build-tsan/tests/core/core_kernels_test"
 "$ROOT/build-tsan/tests/obs/obs_metrics_test"
 "$ROOT/build-tsan/tests/assoc/assoc_parallel_diff_test"
 "$ROOT/build-tsan/tests/assoc/assoc_out_of_core_diff_test"
@@ -59,11 +81,15 @@ cmake -B "$ROOT/build-asan" -S "$ROOT" \
 ASAN_TARGETS=(
   io_corruption_test
   io_roundtrip_test
+  core_kernels_test
 )
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target "${ASAN_TARGETS[@]}"
 export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
 "$ROOT/build-asan/tests/io/io_corruption_test"
 "$ROOT/build-asan/tests/io/io_roundtrip_test"
+# The kernels test sweeps every level's tails and alignments, which is
+# exactly where a vector over-read would hide.
+"$ROOT/build-asan/tests/core/core_kernels_test"
 
 echo
 echo "== tier 3: bench smoke (tiny configs, --json must parse) =="
@@ -81,6 +107,8 @@ import json, sys
 with open(sys.argv[1]) as f:
     record = json.load(f)
 assert record["bench"], "missing bench name"
+assert record["kernel_level"] in ("scalar", "avx2", "avx512"), \
+    "missing/bad kernel_level"
 assert record["runs"], "empty runs array"
 for run in record["runs"]:
     assert "real_time" in run and "counters" in run, "malformed run"
@@ -141,6 +169,17 @@ json_check "$SMOKE_DIR/io.json" bytes
   --benchmark_filter='BM_AprioriOutOfCore/5000' \
   --json "$SMOKE_DIR/assoc_ooc.json" >/dev/null
 json_check "$SMOKE_DIR/assoc_ooc.json" partitions bytes_mapped transactions
+# Kernel microbench: the smallest bitset row at every compiled-in level,
+# plus a forced-scalar run to prove the override reaches the record.
+"$BENCH_DIR/bench_kernels" --no-table \
+  --benchmark_filter='BM_BitsetIntersectionCount/level:[0-9]+/n:1024$' \
+  --json "$SMOKE_DIR/kernels.json" >/dev/null
+json_check "$SMOKE_DIR/kernels.json"
+DMT_KERNEL_LEVEL=scalar "$BENCH_DIR/bench_kernels" --no-table \
+  --benchmark_filter='BM_BitsetIntersectionCount/level:0/n:1024$' \
+  --json "$SMOKE_DIR/kernels_scalar.json" >/dev/null
+json_check "$SMOKE_DIR/kernels_scalar.json"
+grep -q '"kernel_level": "scalar"' "$SMOKE_DIR/kernels_scalar.json"
 
 echo
 echo "== tier 3b: DMT_TRACE smoke (one bench per family, trace must parse) =="
