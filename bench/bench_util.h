@@ -6,9 +6,12 @@
 #ifndef DMT_BENCH_BENCH_UTIL_H_
 #define DMT_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/check.h"
 #include "core/dataset.h"
@@ -39,6 +42,53 @@ class ScopedTraceCollection {
 
  private:
   bool was_enabled_;
+};
+
+/// Latency/percentile accumulator shared by the benches (bench_serving's
+/// p50/p99 columns and anything else that reports tail latency). Uses
+/// the nearest-rank definition — rank = ceil(p/100 * n), 1-based into
+/// the ascending sort — so every percentile is an actual recorded sample
+/// and the result is a pure function of the multiset of samples:
+/// recording order and Merge() order cannot change any percentile
+/// (asserted by tests/core/bench_util_test.cc, not assumed).
+class LatencyRecorder {
+ public:
+  void Record(double value) { samples_.push_back(value); }
+
+  /// Folds another recorder's samples into this one.
+  void Merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  /// Nearest-rank percentile, p in [0, 100]. Requires count() > 0.
+  double Percentile(double p) const {
+    DMT_CHECK(!samples_.empty());
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+    size_t index = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+    if (index >= sorted.size()) index = sorted.size() - 1;
+    return sorted[index];
+  }
+
+  /// Arithmetic mean in recording order. Requires count() > 0.
+  double Mean() const {
+    DMT_CHECK(!samples_.empty());
+    double sum = 0.0;
+    for (double v : samples_) sum += v;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Max() const {
+    DMT_CHECK(!samples_.empty());
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+ private:
+  std::vector<double> samples_;
 };
 
 /// Cached Quest transaction workload (keyed by T, I, D).

@@ -1,0 +1,66 @@
+// Daemon front-ends over a Server: frame transport on raw fds, a stream
+// loop (stdin/pipe mode), an AF_UNIX socket listener with one reader
+// thread per connection, and the text script/query format used by
+// tools/dmtd.cc and the check.sh smoke tier.
+//
+// Robustness stance: a malformed request *body* produces an error
+// response and the daemon keeps serving — the frame boundary is intact.
+// A malformed frame *header* (bad magic or an oversized declared length)
+// means the byte stream itself can no longer be framed; the daemon sends
+// one final error response and closes that stream only, never the
+// process (tests/serve/protocol_test.cc holds decode to the first half;
+// the stream loops implement the second).
+#ifndef DMT_SERVE_DAEMON_H_
+#define DMT_SERVE_DAEMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace dmt::serve {
+
+/// Reads one length-prefixed frame with the given magic from `fd`.
+/// Returns an empty vector on clean EOF (no bytes read), IOError on a
+/// read failure or mid-frame EOF, Corruption on a bad header.
+core::Result<std::vector<std::byte>> ReadFrame(int fd, uint32_t magic);
+
+/// Writes the whole buffer, retrying short writes.
+core::Status WriteAll(int fd, std::span<const std::byte> bytes);
+
+/// Serves frames from `in_fd`, writing responses to `out_fd`, until EOF.
+/// Requests flow through a BatchQueue, so responses may be written out
+/// of request order (match by id). On a framing error, writes one error
+/// response and returns its status; on EOF returns OK.
+core::Status ServeStream(Server* server, int in_fd, int out_fd);
+
+/// Binds an AF_UNIX socket at `path` (unlinking any stale file first)
+/// and serves connections, each on its own reader thread, all feeding
+/// one shared BatchQueue. Returns after `max_connections` connections
+/// have been accepted and fully served (0 = serve forever).
+core::Status ServeSocket(Server* server, const std::string& path,
+                         size_t max_connections);
+
+/// Parses one text query line into a request (the script/client format):
+///   classify tree|knn|nb <v1> <v2> ...
+///   cluster <v1> <v2> ...
+///   rules <top_k> <item1> <item2> ...
+///   stats
+/// Blank lines and lines starting with '#' yield NotFound ("skip").
+core::Result<Request> ParseScriptLine(const std::string& line,
+                                      uint64_t id);
+
+/// One-line text rendering of a response, stable for smoke-test greps:
+///   id=<id> error <message>
+///   id=<id> labels <l...>
+///   id=<id> clusters <c>(dist=<d>) ...
+///   id=<id> rules <n> [<rule>:<conf>:<lift>=>{items}] ...
+///   id=<id> stats <json>
+std::string FormatResponse(const Response& response);
+
+}  // namespace dmt::serve
+
+#endif  // DMT_SERVE_DAEMON_H_

@@ -1,0 +1,116 @@
+// Sharded LRU cache for hot recommendation queries: canonicalized basket
+// bytes -> the basket's RuleHit list. Sharding bounds lock contention
+// (each key hashes to one shard with its own mutex and LRU list); the
+// capacity is split evenly across shards, so a shard evicts independently
+// once its slice fills.
+//
+// Correctness stance: a hit must be indistinguishable from a recompute.
+// The server asserts this when `verify_cache_hits` is set — every hit is
+// recomputed and the encoded bytes compared — rather than assuming it
+// (see tests/serve/serving_diff_test.cc for the cross-config version).
+#ifndef DMT_SERVE_LRU_CACHE_H_
+#define DMT_SERVE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+#include "serve/protocol.h"
+
+namespace dmt::serve {
+
+/// LRU map from canonical basket bytes to rule hits, sharded by key hash.
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across
+  /// `num_shards` (each shard holds at least one entry). Requires
+  /// capacity >= 1 — a capacity of zero means "no cache", which the
+  /// server expresses by not constructing one.
+  ShardedLruCache(size_t capacity, size_t num_shards)
+      : shards_(num_shards > 0 ? num_shards : 1) {
+    DMT_CHECK_GT(capacity, 0u);
+    per_shard_capacity_ = capacity / shards_.size();
+    if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Returns the cached hits and refreshes the entry's recency, or
+  /// nullopt on a miss. Does not bump any counters — the server owns
+  /// hit/miss accounting so the totals stay deterministic (lookups happen
+  /// in request order on the orchestrating thread in the sync path).
+  std::optional<std::vector<RuleHit>> Get(const std::string& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return std::nullopt;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) an entry, evicting the shard's least recently
+  /// used entry when its slice is full. Returns the number of evictions
+  /// (0 or 1) so the caller can account for them.
+  size_t Put(const std::string& key, std::vector<RuleHit> hits) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(hits);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return 0;
+    }
+    size_t evicted = 0;
+    if (shard.lru.size() >= per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      evicted = 1;
+    }
+    shard.lru.emplace_front(key, std::move(hits));
+    shard.index.emplace(key, shard.lru.begin());
+    return evicted;
+  }
+
+  /// Total entries across all shards (takes every shard lock; test/stats
+  /// use, not a hot path).
+  size_t Size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.lru.size();
+    }
+    return total;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t per_shard_capacity() const { return per_shard_capacity_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used. Entries are (key, hits).
+    std::list<std::pair<std::string, std::vector<RuleHit>>> lru;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, std::vector<RuleHit>>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  size_t per_shard_capacity_ = 0;
+};
+
+}  // namespace dmt::serve
+
+#endif  // DMT_SERVE_LRU_CACHE_H_

@@ -1,0 +1,135 @@
+// Wire protocol of the dmtd model-serving daemon: length-prefixed binary
+// frames over a byte stream (unix socket, pipe, or an in-memory span).
+//
+// Frame layout (little-endian, like the io container):
+//
+//   ┌──────────────────────────────────────────────┐
+//   │ u32 magic  ("DMTQ" requests, "DMTR" replies) │
+//   │ u32 body length (<= kMaxFrameBody)           │
+//   ├──────────────────────────────────────────────┤
+//   │ body: u64 request id, u8 type, payload       │
+//   └──────────────────────────────────────────────┘
+//
+// Every request carries a client-chosen id that the response echoes, so
+// pipelined requests on one connection can complete out of order. All
+// query types are batch-shaped (`count` records/baskets per request);
+// count == 1 is the point query. Decoding reuses io::ByteReader, so a
+// truncated or lying body yields a descriptive core::Status::Corruption —
+// the server turns that into an error *response*, never a crash or a dead
+// daemon (tests/serve/protocol_test.cc walks every truncation length).
+#ifndef DMT_SERVE_PROTOCOL_H_
+#define DMT_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dmt::serve {
+
+/// First four frame bytes: "DMTQ" for requests, "DMTR" for responses.
+inline constexpr uint32_t kRequestMagic = 0x51544D44u;   // 'D','M','T','Q'
+inline constexpr uint32_t kResponseMagic = 0x52544D44u;  // 'D','M','T','R'
+
+/// Frame header: magic + body length.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Body-size cap; a declared length above this is rejected before any
+/// allocation, so a corrupt length cannot balloon memory.
+inline constexpr uint32_t kMaxFrameBody = 1u << 24;  // 16 MiB
+
+/// Caps on decoded quantities (defense against lying counts that pass the
+/// byte-level bounds checks).
+inline constexpr uint32_t kMaxRecordsPerRequest = 1u << 16;
+inline constexpr uint32_t kMaxRecordDim = 1u << 12;
+inline constexpr uint32_t kMaxBasketItems = 1u << 20;
+inline constexpr uint32_t kMaxTopK = 1u << 12;
+
+enum class RequestType : uint8_t {
+  /// Classify `count` records of `dim` features with one model.
+  kClassify = 1,
+  /// Assign `count` points of `dim` coordinates to their nearest k-means
+  /// center.
+  kAssignCluster = 2,
+  /// Top-k association-rule recommendations for `count` baskets.
+  kRecommend = 3,
+  /// Serving counters as a JSON object (health/monitoring hook).
+  kStats = 4,
+};
+
+enum class ClassifyModel : uint8_t {
+  kTree = 0,
+  kKnn = 1,
+  kNaiveBayes = 2,
+};
+
+/// Decoded request. `values` is row-major count x dim for kClassify /
+/// kAssignCluster; `baskets` holds raw (possibly unsorted) item lists for
+/// kRecommend — the server canonicalizes.
+struct Request {
+  uint64_t id = 0;
+  RequestType type = RequestType::kStats;
+  ClassifyModel model = ClassifyModel::kTree;  // kClassify only
+  uint32_t count = 0;
+  uint32_t dim = 0;
+  std::vector<double> values;
+  uint32_t top_k = 0;  // kRecommend only
+  std::vector<std::vector<uint32_t>> baskets;
+};
+
+/// One recommended rule for one basket.
+struct RuleHit {
+  uint32_t rule_index = 0;
+  double confidence = 0.0;
+  double lift = 0.0;
+  std::vector<uint32_t> consequent;
+
+  bool operator==(const RuleHit&) const = default;
+};
+
+/// Decoded response. `status` is 0 for success, otherwise the numeric
+/// core::StatusCode of the failure with `error` holding the message.
+struct Response {
+  uint64_t id = 0;
+  uint8_t status = 0;
+  std::string error;
+  RequestType type = RequestType::kStats;
+  std::vector<uint32_t> labels;                         // kClassify
+  std::vector<uint32_t> clusters;                       // kAssignCluster
+  std::vector<double> cluster_dist_sq;                  // kAssignCluster
+  std::vector<std::vector<RuleHit>> recommendations;    // kRecommend
+  std::string stats_json;                               // kStats
+};
+
+/// Serializes a request/response into a complete frame (header + body).
+std::vector<std::byte> EncodeRequestFrame(const Request& request);
+std::vector<std::byte> EncodeResponseFrame(const Response& response);
+
+/// Parses a complete frame. Returns Corruption with a descriptive message
+/// on any malformed byte: short header, wrong magic, header/body length
+/// mismatch, unknown type, out-of-cap counts, truncated payload, or
+/// trailing garbage.
+core::Result<Request> DecodeRequestFrame(std::span<const std::byte> frame);
+core::Result<Response> DecodeResponseFrame(
+    std::span<const std::byte> frame);
+
+/// Validates a frame header and returns the declared body length.
+/// `expected_magic` is kRequestMagic or kResponseMagic.
+core::Result<uint32_t> CheckFrameHeader(std::span<const std::byte> header,
+                                        uint32_t expected_magic);
+
+/// Builds the error response for a failed request. `id` is 0 when the
+/// failure happened before the id could be parsed.
+Response MakeErrorResponse(uint64_t id, const core::Status& status);
+
+/// Encodes one basket's rule-hit list — the unit the serving LRU cache
+/// stores, so a cache hit splices bit-identical bytes into the response.
+void EncodeRuleHits(const std::vector<RuleHit>& hits,
+                    std::vector<std::byte>* out);
+
+}  // namespace dmt::serve
+
+#endif  // DMT_SERVE_PROTOCOL_H_

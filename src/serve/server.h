@@ -1,0 +1,189 @@
+// Request evaluation engine of the serving daemon: decodes frames,
+// validates them against the loaded ModelBundle, evaluates micro-batches,
+// and encodes responses. The perf idea is that a batch is the unit of
+// staging — all classify records in a batch become one Dataset per model
+// (one PredictAll call), every nearest-center query runs through the
+// batched squared_euclidean_to_many kernel against the centers SoA staged
+// at load, and all baskets in a batch share one DynamicBitset for the
+// rule-containment scans.
+//
+// Determinism contract (served by tests/serve/serving_diff_test.cc): for
+// a fixed frame sequence, HandleFrames() produces bit-identical response
+// bytes and identical serve/* counter totals at every batch_size and
+// num_threads, with the single exception of the batch-shape counters
+// (serve/batches, serve/batch_bucket_*), which intentionally describe
+// the batching itself. The argument:
+//  - each response depends only on its own request and the immutable
+//    bundle; batches partition requests in arrival order, so grouping
+//    cannot change any per-request result;
+//  - work counters (records/points/baskets/rules) are tallied per batch
+//    and folded in batch order on the orchestrating thread;
+//  - cache lookups all happen sequentially in request order on the
+//    orchestrating thread *before* any batch is evaluated, and misses
+//    are inserted in request order *after* every batch completed — so
+//    hit/miss/insertion/eviction totals cannot depend on batch shape or
+//    worker scheduling. (The async BatchQueue path trades this for
+//    latency: it looks up at drain time, so its cache counters are
+//    timing-dependent; its responses are still bit-identical.)
+#ifndef DMT_SERVE_SERVER_H_
+#define DMT_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/bitset.h"
+#include "core/status.h"
+#include "core/thread_pool.h"
+#include "obs/metrics.h"
+#include "serve/lru_cache.h"
+#include "serve/model_bundle.h"
+#include "serve/protocol.h"
+
+namespace dmt::serve {
+
+/// Serving knobs.
+struct ServeOptions {
+  /// Upper bound on requests evaluated as one pool task.
+  uint32_t batch_size = 32;
+  /// Async path only: a partial batch is flushed after this long.
+  uint32_t batch_timeout_us = 200;
+  /// Worker threads for batch evaluation; 0 or 1 = evaluate on the
+  /// calling thread (the library-wide convention).
+  size_t num_threads = 0;
+  /// Total rule-cache entries; 0 disables the cache.
+  size_t cache_capacity = 0;
+  size_t cache_shards = 8;
+  /// Debug mode: recompute every cache hit and abort on any mismatch —
+  /// the "asserted, not assumed" half of the cache contract.
+  bool verify_cache_hits = false;
+
+  core::Status Validate() const;
+};
+
+/// One decoded request staged for batch evaluation. Public only for the
+/// BatchQueue, which drives the same prepare/evaluate/insert phases on
+/// its own schedule.
+struct PreparedRequest {
+  Request request;
+  /// Set when decode/validation failed; `encoded` already holds the
+  /// error frame and the request skips evaluation.
+  bool failed = false;
+  /// The final response frame (filled at prepare time on failure,
+  /// otherwise by EvaluateBatch).
+  std::vector<std::byte> encoded;
+  /// Kept after evaluation so cache insertion can reuse computed hits.
+  Response response;
+
+  // kRecommend staging: canonicalized (sorted, duplicate-free) baskets,
+  // their cache keys, and any cached hits found at lookup time.
+  std::vector<std::vector<uint32_t>> canonical_baskets;
+  std::vector<std::string> cache_keys;
+  std::vector<std::optional<std::vector<RuleHit>>> cached_hits;
+};
+
+class Server {
+ public:
+  /// `bundle` must outlive the server (shared ownership). Aborts on
+  /// invalid options (programming error; daemons validate flags first).
+  Server(std::shared_ptr<const ModelBundle> bundle, ServeOptions options);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Convenience single-frame path: HandleFrames on a batch of one.
+  std::vector<std::byte> HandleFrame(std::span<const std::byte> frame);
+
+  /// Deterministic micro-batched path: partitions `frames` into batches
+  /// of at most batch_size in order, evaluates batches (concurrently
+  /// when num_threads >= 2), and returns one response frame per input
+  /// frame, in input order. Malformed frames yield error responses in
+  /// their slot; this function never fails.
+  std::vector<std::vector<std::byte>> HandleFrames(
+      const std::vector<std::vector<std::byte>>& frames);
+
+  // -- phase API (used by HandleFrames and the async BatchQueue) -------
+
+  /// Decode + validate one frame; bumps serve/requests (and serve/errors
+  /// on failure). Call sequentially in arrival order.
+  PreparedRequest Prepare(std::span<const std::byte> frame);
+
+  /// Cache lookups for a prepared kRecommend request, in basket order;
+  /// bumps lookup/hit/miss counters. Call sequentially in arrival order.
+  void LookupCache(PreparedRequest* prepared);
+
+  /// Evaluates one batch (at most batch_size non-failed requests):
+  /// fills each request's response + encoded frame. Thread-safe against
+  /// other EvaluateBatch calls; bumps no global counters — work tallies
+  /// are returned for ordered folding.
+  struct BatchTally {
+    uint64_t records_classified = 0;
+    uint64_t points_assigned = 0;
+    uint64_t baskets_scored = 0;
+    uint64_t rules_scanned = 0;
+  };
+  BatchTally EvaluateBatch(std::span<PreparedRequest*> batch) const;
+
+  /// Folds a batch's tally into the registry counters. Call in batch
+  /// order from one thread for deterministic interleaving-free totals
+  /// (atomic adds make any order race-free and total-preserving).
+  void FoldTally(const BatchTally& tally);
+
+  /// Inserts the request's computed (missed) baskets into the cache in
+  /// basket order; bumps insertion/eviction counters.
+  void InsertCacheMisses(const PreparedRequest& prepared);
+
+  /// Bumps the batch-shape counters for one batch of `size` requests.
+  void CountBatch(size_t size);
+
+  /// Current serving stats as a JSON object (bundle inventory, options,
+  /// serve/* counter totals, cache size).
+  std::string StatsJson() const;
+
+  const ServeOptions& options() const { return options_; }
+  const ModelBundle& bundle() const { return *bundle_; }
+  /// nullptr when evaluation is serial.
+  core::ThreadPool* pool() { return pool_.get(); }
+  bool cache_enabled() const { return cache_ != nullptr; }
+
+ private:
+  core::Status ValidateRequest(const Request& request) const;
+  void EvaluateClassifyGroup(std::span<PreparedRequest*> group,
+                             BatchTally* tally) const;
+  void EvaluateCluster(PreparedRequest* prepared, BatchTally* tally) const;
+  void EvaluateRecommendGroup(std::span<PreparedRequest*> group,
+                              BatchTally* tally) const;
+  std::vector<RuleHit> ScoreBasket(const std::vector<uint32_t>& basket,
+                                   uint64_t basket_signature,
+                                   const core::DynamicBitset& bits,
+                                   uint32_t top_k,
+                                   uint64_t* rules_scanned) const;
+
+  std::shared_ptr<const ModelBundle> bundle_;
+  ServeOptions options_;
+  std::unique_ptr<core::ThreadPool> pool_;
+  std::unique_ptr<ShardedLruCache> cache_;
+
+  obs::Counter requests_;
+  obs::Counter errors_;
+  obs::Counter records_classified_;
+  obs::Counter points_assigned_;
+  obs::Counter baskets_scored_;
+  obs::Counter rules_scanned_;
+  obs::Counter batches_;
+  obs::Counter cache_lookups_;
+  obs::Counter cache_hits_;
+  obs::Counter cache_misses_;
+  obs::Counter cache_insertions_;
+  obs::Counter cache_evictions_;
+  /// Power-of-two batch-size histogram: bucket_counters_[i] counts
+  /// batches with 2^(i-1) < size <= 2^i.
+  std::vector<obs::Counter> bucket_counters_;
+};
+
+}  // namespace dmt::serve
+
+#endif  // DMT_SERVE_SERVER_H_

@@ -1,0 +1,133 @@
+// Shared fixture pieces for the serving tests: a small fully-populated
+// in-process ModelBundle (tree + train + kmeans + rules, no disk I/O) and
+// request builders that produce schema-valid frames against it.
+#ifndef DMT_TESTS_SERVE_TEST_BUNDLE_H_
+#define DMT_TESTS_SERVE_TEST_BUNDLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "assoc/apriori.h"
+#include "assoc/rules.h"
+#include "cluster/kmeans.h"
+#include "core/check.h"
+#include "core/dataset.h"
+#include "gen/agrawal.h"
+#include "gen/mixture.h"
+#include "gen/quest.h"
+#include "serve/model_bundle.h"
+#include "serve/protocol.h"
+#include "tree/builder.h"
+
+namespace dmt::serve::testutil {
+
+/// Small deterministic bundle with every artifact present: an Agrawal
+/// train set + CART tree, k-means centers over a 2-D BIRCH grid, and
+/// Apriori rules over a small Quest database.
+inline std::shared_ptr<const ModelBundle> MakeTestBundle() {
+  gen::AgrawalParams agrawal;
+  agrawal.function = 2;
+  agrawal.num_records = 200;
+  auto train = gen::GenerateAgrawal(agrawal, /*seed=*/1993);
+  DMT_CHECK(train.ok());
+  auto tree = tree::BuildCart(train.value(), {});
+  DMT_CHECK(tree.ok());
+
+  auto grid = gen::GenerateBirchGrid(/*num_clusters=*/4,
+                                     /*points_per_cluster=*/30,
+                                     /*spacing=*/10.0, /*stddev=*/0.8,
+                                     /*seed=*/1996);
+  DMT_CHECK(grid.ok());
+  cluster::KMeansOptions kopts;
+  kopts.k = 4;
+  kopts.seed = 7;
+  auto kmeans = cluster::KMeans(grid.value().points, kopts);
+  DMT_CHECK(kmeans.ok());
+
+  gen::QuestParams quest;
+  quest.num_transactions = 300;
+  quest.num_items = 60;
+  quest.num_patterns = 20;
+  quest.avg_transaction_size = 6.0;
+  quest.avg_pattern_size = 3.0;
+  auto db = gen::GenerateQuestTransactions(quest, /*seed=*/1996);
+  DMT_CHECK(db.ok());
+  assoc::MiningParams mining;
+  mining.min_support = 0.05;
+  auto mined = assoc::MineApriori(db.value(), mining);
+  DMT_CHECK(mined.ok());
+  assoc::RuleParams rule_params;
+  rule_params.min_confidence = 0.4;
+  auto rules = assoc::GenerateRules(mined.value(), db.value().size(),
+                                    rule_params);
+  DMT_CHECK(rules.ok());
+  DMT_CHECK(!rules.value().empty());
+
+  auto bundle = ModelBundle::FromParts(
+      std::move(tree).value(), std::move(train).value(),
+      std::move(kmeans).value(), std::move(rules).value());
+  DMT_CHECK(bundle.ok());
+  return bundle.value();
+}
+
+/// One schema-valid feature vector: the given training row's values
+/// (categorical codes as doubles), so it passes every validation check.
+inline std::vector<double> RecordFrom(const core::Dataset& train,
+                                      size_t row) {
+  std::vector<double> values;
+  for (size_t a = 0; a < train.num_attributes(); ++a) {
+    if (train.attribute(a).type == core::AttributeType::kNumeric) {
+      values.push_back(train.Numeric(row, a));
+    } else {
+      values.push_back(static_cast<double>(train.Categorical(row, a)));
+    }
+  }
+  return values;
+}
+
+inline Request MakeClassifyRequest(uint64_t id, ClassifyModel model,
+                                   const core::Dataset& train,
+                                   std::vector<size_t> rows) {
+  Request request;
+  request.id = id;
+  request.type = RequestType::kClassify;
+  request.model = model;
+  request.count = static_cast<uint32_t>(rows.size());
+  request.dim = static_cast<uint32_t>(train.num_attributes());
+  for (size_t row : rows) {
+    std::vector<double> values = RecordFrom(train, row);
+    request.values.insert(request.values.end(), values.begin(),
+                          values.end());
+  }
+  return request;
+}
+
+inline Request MakeClusterRequest(uint64_t id,
+                                  std::vector<double> points_row_major,
+                                  uint32_t dim) {
+  Request request;
+  request.id = id;
+  request.type = RequestType::kAssignCluster;
+  request.dim = dim;
+  request.count =
+      static_cast<uint32_t>(points_row_major.size() / dim);
+  request.values = std::move(points_row_major);
+  return request;
+}
+
+inline Request MakeRecommendRequest(
+    uint64_t id, uint32_t top_k,
+    std::vector<std::vector<uint32_t>> baskets) {
+  Request request;
+  request.id = id;
+  request.type = RequestType::kRecommend;
+  request.top_k = top_k;
+  request.count = static_cast<uint32_t>(baskets.size());
+  request.baskets = std::move(baskets);
+  return request;
+}
+
+}  // namespace dmt::serve::testutil
+
+#endif  // DMT_TESTS_SERVE_TEST_BUNDLE_H_

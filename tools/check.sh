@@ -57,6 +57,8 @@ TSAN_TARGETS=(
   seq_parallel_diff_test
   tree_parallel_diff_test
   io_corruption_test
+  serve_protocol_test
+  serving_diff_test
 )
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target "${TSAN_TARGETS[@]}"
 
@@ -71,6 +73,11 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$ROOT/build-tsan/tests/seq/seq_parallel_diff_test"
 "$ROOT/build-tsan/tests/tree/tree_parallel_diff_test"
 "$ROOT/build-tsan/tests/io/io_corruption_test"
+# The serving layer's concurrency surface: BatchQueue drain/flush, the
+# sharded cache, pool-dispatched batch evaluation, and the socketpair
+# stream tests all run under TSan here.
+"$ROOT/build-tsan/tests/serve/serve_protocol_test"
+"$ROOT/build-tsan/tests/serve/serving_diff_test"
 
 echo
 echo "== tier 2b: AddressSanitizer build (DMT_SANITIZE=address) =="
@@ -82,6 +89,7 @@ ASAN_TARGETS=(
   io_corruption_test
   io_roundtrip_test
   core_kernels_test
+  serve_protocol_test
 )
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target "${ASAN_TARGETS[@]}"
 export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
@@ -90,6 +98,9 @@ export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
 # The kernels test sweeps every level's tails and alignments, which is
 # exactly where a vector over-read would hide.
 "$ROOT/build-asan/tests/core/core_kernels_test"
+# The protocol corruption battery decodes every truncation/byte-flip of
+# every frame shape — the canonical place for an out-of-bounds read.
+"$ROOT/build-asan/tests/serve/serve_protocol_test"
 
 echo
 echo "== tier 3: bench smoke (tiny configs, --json must parse) =="
@@ -225,6 +236,65 @@ trace_check "$SMOKE_DIR/trace_seq.json" seq/
 DMT_TRACE="$SMOKE_DIR/trace_classify.json" "$BENCH_DIR/bench_knn_sweep" \
   --no-table --benchmark_filter='BM_KnnKdTree/2000' >/dev/null
 trace_check "$SMOKE_DIR/trace_classify.json" classify/
+
+echo
+echo "== tier 4: serving smoke (dmtd end-to-end + bench_serving --json) =="
+DMTD="$ROOT/build/tools/dmtd"
+DEMO_DIR="$SMOKE_DIR/dmtd_demo"
+# Build the demo artifact set (tree + train + kmeans + rules containers),
+# then drive the loaded daemon through the script path: one query per
+# type plus a stats probe, checking the responses line up.
+"$DMTD" --make-demo "$DEMO_DIR" >/dev/null
+for artifact in tree.dmt train.dmt kmeans.dmt rules.dmt; do
+  test -s "$DEMO_DIR/$artifact"
+done
+cat > "$SMOKE_DIR/queries.txt" <<'EOF'
+# serving smoke queries
+classify tree 60000 0 30 1 2 0 135000 10 200000
+classify knn 60000 0 30 1 2 0 135000 10 200000
+classify nb 60000 0 30 1 2 0 135000 10 200000
+cluster 0.0 0.0
+rules 5 1 2 3 4 5
+stats
+EOF
+"$DMTD" --dir "$DEMO_DIR" --script "$SMOKE_DIR/queries.txt" \
+  --batch-size 8 --cache 64 > "$SMOKE_DIR/script_out.txt"
+grep -q '^id=1 labels ' "$SMOKE_DIR/script_out.txt"
+grep -q '^id=2 labels ' "$SMOKE_DIR/script_out.txt"
+grep -q '^id=3 labels ' "$SMOKE_DIR/script_out.txt"
+grep -q '^id=4 clusters ' "$SMOKE_DIR/script_out.txt"
+grep -q '^id=5 rules ' "$SMOKE_DIR/script_out.txt"
+grep -q '^id=6 stats ' "$SMOKE_DIR/script_out.txt"
+# The stats JSON must report the serving counters for the five queries.
+grep -q '"serve/requests":6' "$SMOKE_DIR/script_out.txt"
+echo "  script mode: 6 responses ok"
+
+# Socket mode: start the daemon for exactly one connection, replay a
+# repeated rules query through the client (lines on stdin), and require
+# the second occurrence to hit the warm cache.
+SOCKET="$SMOKE_DIR/dmtd.sock"
+"$DMTD" --dir "$DEMO_DIR" --socket "$SOCKET" --max-conns 1 \
+  --batch-size 8 --threads 2 --cache 64 >/dev/null &
+DMTD_PID=$!
+for _ in $(seq 1 100); do
+  test -S "$SOCKET" && break
+  sleep 0.05
+done
+printf 'rules 5 1 2 3 4 5\nrules 5 1 2 3 4 5\nstats\n' | \
+  "$DMTD" --client "$SOCKET" > "$SMOKE_DIR/client_out.txt"
+wait "$DMTD_PID"
+grep -q '^id=1 rules ' "$SMOKE_DIR/client_out.txt"
+grep -q '^id=2 rules ' "$SMOKE_DIR/client_out.txt"
+grep -q '"serve/cache_hits":1' "$SMOKE_DIR/client_out.txt"
+echo "  socket mode: cache-hit counter ok"
+
+# bench_serving at one tiny configuration; the EXT-10 columns must land
+# in the JSON record.
+"$BENCH_DIR/bench_serving" --no-table \
+  --benchmark_filter='BM_ServeReplay/1/8/512/real_time' \
+  --json "$SMOKE_DIR/serving.json" >/dev/null
+json_check "$SMOKE_DIR/serving.json" qps p50_us p99_us mean_batch \
+  cache_hit_rate
 
 echo
 echo "All checks passed."
