@@ -1,0 +1,159 @@
+// EXT-11 (quantitative & streaming rules): quantitative mining over the
+// numeric Agrawal dataset — discretization plus rule generation across the
+// four miners and thread counts — and sliding-window streaming mining over
+// Quest batches at ε = s/10.
+//
+// Expected shape: quantitative rule sets are identical across miners (the
+// table prints one row per miner as evidence); FP-Growth is the fastest
+// backend on the densified quantized database. The streaming window mine
+// stays cheap because only candidates near the support bar plus their
+// negative border are counted exactly; border misses stay 0 on stationary
+// batch streams.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "assoc/quantitative.h"
+#include "assoc/streaming.h"
+#include "bench_main.h"
+#include "bench_util.h"
+#include "core/check.h"
+#include "gen/quest.h"
+
+namespace {
+
+using dmt::bench::AgrawalWorkload;
+
+constexpr int kFunction = 2;
+constexpr size_t kRecords = 20000;
+
+dmt::assoc::QuantParams QuantParamsForBench() {
+  dmt::assoc::QuantParams params;
+  params.min_support = 0.1;
+  params.num_bins = 8;
+  params.min_confidence = 0.6;
+  return params;
+}
+
+dmt::core::TransactionDatabase StreamBatch(uint64_t batch) {
+  dmt::gen::QuestParams params;
+  params.num_transactions = 2000;
+  params.avg_transaction_size = 10;
+  params.avg_pattern_size = 4;
+  params.num_items = 500;
+  params.num_patterns = 500;
+  auto db = dmt::gen::GenerateQuestTransactions(params, 1996 + batch);
+  DMT_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+const dmt::assoc::StreamingMiner& LoadedStreamingMiner() {
+  static const dmt::assoc::StreamingMiner miner = [] {
+    dmt::assoc::StreamingParams params;
+    params.min_support = 0.02;
+    params.window_batches = 4;
+    auto built = dmt::assoc::StreamingMiner::Create(params);
+    DMT_CHECK(built.ok());
+    for (uint64_t b = 0; b < 6; ++b) {
+      DMT_CHECK(built->AddBatch(StreamBatch(b)).ok());
+    }
+    return std::move(built).value();
+  }();
+  return miner;
+}
+
+void PrintQuantTable() {
+  const auto& dataset = AgrawalWorkload(kFunction, kRecords);
+  std::printf("# EXT-11: quantitative rules on Agrawal F%d, %zu records\n",
+              kFunction, kRecords);
+  std::printf("# miner, interval_items, itemsets, attribute_distinct, "
+              "rules, partial_completeness\n");
+  const char* names[] = {"apriori", "apriori_tid", "fp_growth", "eclat"};
+  for (auto miner : {dmt::assoc::QuantMiner::kApriori,
+                     dmt::assoc::QuantMiner::kAprioriTid,
+                     dmt::assoc::QuantMiner::kFpGrowth,
+                     dmt::assoc::QuantMiner::kEclat}) {
+    auto rule_set =
+        dmt::assoc::MineQuantitativeRules(dataset, QuantParamsForBench(),
+                                          miner);
+    DMT_CHECK(rule_set.ok());
+    std::printf("quant,%s,%zu,%zu,%zu,%zu,%.3f\n",
+                names[static_cast<int>(miner)], rule_set->items.size(),
+                rule_set->itemsets_mined,
+                rule_set->itemsets_attribute_distinct,
+                rule_set->rules.size(), rule_set->partial_completeness);
+  }
+
+  const auto& miner = LoadedStreamingMiner();
+  dmt::assoc::StreamingWindowStats stats;
+  auto result = miner.MineWindow(&stats);
+  DMT_CHECK(result.ok());
+  std::printf("# window_transactions, summary_itemsets, candidates, "
+              "checked, border_misses, frequent\n");
+  std::printf("stream,%zu,%zu,%zu,%zu,%zu,%zu\n", stats.window_transactions,
+              stats.summary_itemsets, stats.summary_candidates,
+              stats.candidates_checked, stats.border_misses,
+              result->itemsets.size());
+  std::printf("\n");
+}
+
+void BM_QuantitativeMine(benchmark::State& state) {
+  const auto& dataset = AgrawalWorkload(kFunction, kRecords);
+  dmt::assoc::QuantParams params = QuantParamsForBench();
+  params.num_threads = static_cast<size_t>(state.range(0));
+  size_t rules = 0, interval_items = 0;
+  for (auto _ : state) {
+    auto rule_set = dmt::assoc::MineQuantitativeRules(dataset, params);
+    DMT_CHECK(rule_set.ok());
+    rules = rule_set->rules.size();
+    interval_items = rule_set->items.size();
+    benchmark::DoNotOptimize(rule_set);
+  }
+  state.counters["threads"] = static_cast<double>(params.num_threads);
+  state.counters["rules"] = static_cast<double>(rules);
+  state.counters["interval_items"] = static_cast<double>(interval_items);
+}
+
+BENCHMARK(BM_QuantitativeMine)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_StreamingAddBatch(benchmark::State& state) {
+  const dmt::core::TransactionDatabase batch = StreamBatch(99);
+  dmt::assoc::StreamingParams params;
+  params.min_support = 0.02;
+  params.window_batches = 4;
+  for (auto _ : state) {
+    auto miner = dmt::assoc::StreamingMiner::Create(params);
+    DMT_CHECK(miner.ok());
+    DMT_CHECK(miner->AddBatch(batch).ok());
+    benchmark::DoNotOptimize(miner);
+  }
+  state.counters["batch_transactions"] = static_cast<double>(batch.size());
+}
+
+BENCHMARK(BM_StreamingAddBatch)->Unit(benchmark::kMillisecond);
+
+void BM_StreamingMineWindow(benchmark::State& state) {
+  const auto& miner = LoadedStreamingMiner();
+  dmt::assoc::StreamingWindowStats stats;
+  size_t frequent = 0;
+  for (auto _ : state) {
+    auto result = miner.MineWindow(&stats);
+    DMT_CHECK(result.ok());
+    frequent = result->itemsets.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["window_transactions"] =
+      static_cast<double>(stats.window_transactions);
+  state.counters["candidates_checked"] =
+      static_cast<double>(stats.candidates_checked);
+  state.counters["border_misses"] = static_cast<double>(stats.border_misses);
+  state.counters["frequent"] = static_cast<double>(frequent);
+}
+
+BENCHMARK(BM_StreamingMineWindow)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dmt::bench::BenchMain("quantitative", argc, argv, PrintQuantTable);
+}

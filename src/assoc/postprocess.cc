@@ -1,5 +1,6 @@
 #include "assoc/postprocess.h"
 
+#include <cmath>
 #include <unordered_map>
 
 namespace dmt::assoc {
@@ -56,6 +57,31 @@ std::vector<FrequentItemset> FilterClosed(
       all, [](uint32_t subset_support, uint32_t superset_support) {
         return subset_support == superset_support;
       });
+}
+
+core::Status InterestParams::Validate() const {
+  if (std::isnan(min_lift) || std::isnan(min_conviction) ||
+      std::isnan(min_leverage)) {
+    return core::Status::InvalidArgument(
+        "interestingness thresholds must not be NaN (NaN passes every "
+        "comparison and silently disables the filter)");
+  }
+  if (min_lift < 0.0 || min_conviction < 0.0) {
+    return core::Status::InvalidArgument(
+        "min_lift and min_conviction must be >= 0");
+  }
+  return core::Status::OK();
+}
+
+core::Result<std::vector<AssociationRule>> FilterInteresting(
+    std::vector<AssociationRule> rules, const InterestParams& params) {
+  DMT_RETURN_NOT_OK(params.Validate());
+  std::erase_if(rules, [&](const AssociationRule& rule) {
+    return rule.lift + 1e-12 < params.min_lift ||
+           rule.conviction + 1e-12 < params.min_conviction ||
+           rule.leverage + 1e-12 < params.min_leverage;
+  });
+  return rules;
 }
 
 }  // namespace dmt::assoc

@@ -1,11 +1,13 @@
-// Post-filters over the full frequent-itemset collection: maximal and
-// closed itemsets.
+// Post-filters over mined collections: maximal and closed itemsets, and
+// the interestingness filter over generated rules.
 #ifndef DMT_ASSOC_POSTPROCESS_H_
 #define DMT_ASSOC_POSTPROCESS_H_
 
 #include <vector>
 
 #include "assoc/itemset.h"
+#include "assoc/rules.h"
+#include "core/status.h"
 
 namespace dmt::assoc {
 
@@ -19,6 +21,27 @@ std::vector<FrequentItemset> FilterMaximal(
 /// the complete frequent collection; output is in canonical order.
 std::vector<FrequentItemset> FilterClosed(
     const std::vector<FrequentItemset>& all);
+
+/// Interestingness thresholds applied after rule generation. All three
+/// measures are already computed on every AssociationRule; this filter
+/// keeps rules meeting every bound, with the same accept-lenient +1e-12
+/// epsilon convention as the generation-time confidence/lift bars.
+/// Validate() rejects NaN bounds (NaN would silently disable a filter).
+struct InterestParams {
+  /// Minimum lift (0 keeps everything: lift is non-negative).
+  double min_lift = 0.0;
+  /// Minimum conviction (0 keeps everything).
+  double min_conviction = 0.0;
+  /// Minimum leverage. Leverage lives in [-0.25, 0.25], so the default
+  /// of -1 keeps everything; 0 keeps positively-correlated rules only.
+  double min_leverage = -1.0;
+
+  core::Status Validate() const;
+};
+
+/// Keeps rules meeting every InterestParams bound, preserving order.
+core::Result<std::vector<AssociationRule>> FilterInteresting(
+    std::vector<AssociationRule> rules, const InterestParams& params);
 
 }  // namespace dmt::assoc
 

@@ -1,0 +1,305 @@
+#include "assoc/quantitative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "assoc/apriori.h"
+#include "assoc/eclat.h"
+#include "assoc/fp_growth.h"
+#include "assoc/postprocess.h"
+#include "core/check.h"
+#include "core/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dmt::assoc {
+
+using core::Result;
+using core::Status;
+
+Status QuantParams::Validate() const {
+  if (std::isnan(min_support) || std::isnan(max_merge_support)) {
+    return Status::InvalidArgument(
+        "quantitative thresholds must not be NaN (NaN passes every "
+        "comparison and silently disables the filter)");
+  }
+  if (!(min_support > 0.0) || min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  if (num_bins == 0) {
+    return Status::InvalidArgument("num_bins must be >= 1");
+  }
+  if (!(max_merge_support > 0.0) || max_merge_support > 1.0) {
+    return Status::InvalidArgument("max_merge_support must be in (0, 1]");
+  }
+  RuleParams rule_params;
+  rule_params.min_confidence = min_confidence;
+  rule_params.min_lift = min_lift;
+  DMT_RETURN_NOT_OK(rule_params.Validate());
+  InterestParams interest;
+  interest.min_lift = min_lift;
+  interest.min_conviction = min_conviction;
+  interest.min_leverage = min_leverage;
+  return interest.Validate();
+}
+
+namespace {
+
+std::string NumericLabel(const std::string& name, double lo, double hi) {
+  return core::StrFormat("%s in [%.6g, %.6g]", name.c_str(), lo, hi);
+}
+
+/// Discretizes one numeric column: equi-depth cut points (deduplicated so
+/// equal values always share a bin), dense renumbering of the non-empty
+/// bins, then base items plus merged adjacent runs under the support cap.
+/// Appends the new items and fills `covering[bin]` with every item id
+/// whose run contains `bin`.
+void QuantizeNumericColumn(std::span<const double> column,
+                           const std::string& name, uint32_t attribute,
+                           const QuantParams& params,
+                           std::vector<QuantItem>* items,
+                           std::vector<std::vector<core::ItemId>>* covering,
+                           std::vector<uint32_t>* row_bins,
+                           uint32_t* num_bins_out) {
+  const size_t n = column.size();
+  std::vector<double> sorted(column.begin(), column.end());
+  std::sort(sorted.begin(), sorted.end());
+  // Cut j sits at the equi-depth position j*n/B; duplicates collapse so a
+  // value can never straddle two bins (ties break by value, not rank).
+  std::vector<double> cuts;
+  for (size_t j = 1; j < params.num_bins; ++j) {
+    double cut = sorted[(j * n) / params.num_bins];
+    if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+  }
+  // Raw bin of v: values < cut[0] fall in bin 0, values in [cut[0],
+  // cut[1]) in bin 1, etc. — a cut value opens its bin. Raw bins can come
+  // out empty (duplicate-heavy columns); dense renumbering drops them.
+  auto raw_bin = [&](double v) {
+    return static_cast<size_t>(
+        std::upper_bound(cuts.begin(), cuts.end(), v) - cuts.begin());
+  };
+  const size_t num_raw = cuts.size() + 1;
+  std::vector<uint32_t> counts(num_raw, 0);
+  std::vector<double> lo(num_raw, 0.0), hi(num_raw, 0.0);
+  row_bins->resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    size_t b = raw_bin(column[r]);
+    if (counts[b] == 0) {
+      lo[b] = hi[b] = column[r];
+    } else {
+      lo[b] = std::min(lo[b], column[r]);
+      hi[b] = std::max(hi[b], column[r]);
+    }
+    ++counts[b];
+    (*row_bins)[r] = static_cast<uint32_t>(b);
+  }
+  std::vector<uint32_t> dense(num_raw, 0);
+  uint32_t num_dense = 0;
+  for (size_t b = 0; b < num_raw; ++b) {
+    if (counts[b] > 0) dense[b] = num_dense++;
+  }
+  for (size_t r = 0; r < n; ++r) (*row_bins)[r] = dense[(*row_bins)[r]];
+  std::vector<uint32_t> dense_counts(num_dense, 0);
+  std::vector<double> dense_lo(num_dense, 0.0), dense_hi(num_dense, 0.0);
+  for (size_t b = 0; b < num_raw; ++b) {
+    if (counts[b] == 0) continue;
+    dense_counts[dense[b]] = counts[b];
+    dense_lo[dense[b]] = lo[b];
+    dense_hi[dense[b]] = hi[b];
+  }
+  *num_bins_out = num_dense;
+
+  covering->assign(num_dense, {});
+  // Base intervals first (run length 1), then merged runs ordered by
+  // (first, last) — a fixed order so item ids are deterministic.
+  for (uint32_t b = 0; b < num_dense; ++b) {
+    auto id = static_cast<core::ItemId>(items->size());
+    items->push_back({attribute, false, 0, dense_lo[b], dense_hi[b], b, b,
+                      NumericLabel(name, dense_lo[b], dense_hi[b])});
+    (*covering)[b].push_back(id);
+  }
+  // Runs of two or more adjacent intervals are admitted while their
+  // combined count stays within the cap; counts only grow with run
+  // length, so the first overflow ends the inner scan.
+  const auto cap =
+      static_cast<uint64_t>(params.max_merge_support * static_cast<double>(n));
+  for (uint32_t first = 0; first + 1 < num_dense; ++first) {
+    uint64_t total = dense_counts[first];
+    for (uint32_t last = first + 1; last < num_dense; ++last) {
+      total += dense_counts[last];
+      if (total > cap) break;
+      auto id = static_cast<core::ItemId>(items->size());
+      items->push_back({attribute, false, 0, dense_lo[first],
+                        dense_hi[last], first, last,
+                        NumericLabel(name, dense_lo[first], dense_hi[last])});
+      for (uint32_t b = first; b <= last; ++b) (*covering)[b].push_back(id);
+    }
+  }
+}
+
+}  // namespace
+
+Result<QuantizedDataset> QuantizeDataset(const core::Dataset& dataset,
+                                         const QuantParams& params) {
+  DMT_RETURN_NOT_OK(params.Validate());
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument("dataset has no rows");
+  }
+  if (dataset.num_attributes() == 0) {
+    return Status::InvalidArgument("dataset has no attributes");
+  }
+  obs::Span span("assoc/quant/quantize");
+  const size_t n = dataset.num_rows();
+
+  QuantizedDataset out;
+  std::vector<std::vector<core::ItemId>> row_items(n);
+  size_t num_numeric = 0;
+  uint32_t min_bins = 0;
+  for (size_t a = 0; a < dataset.num_attributes(); ++a) {
+    const core::AttributeInfo& info = dataset.attribute(a);
+    if (info.type == core::AttributeType::kCategorical) {
+      auto base = static_cast<core::ItemId>(out.items.size());
+      for (uint32_t c = 0; c < info.num_categories(); ++c) {
+        out.items.push_back({static_cast<uint32_t>(a), true, c, 0.0, 0.0, 0,
+                             0,
+                             info.name + " = " + info.categories[c]});
+      }
+      std::span<const uint32_t> codes = dataset.CategoricalColumn(a);
+      for (size_t r = 0; r < n; ++r) {
+        row_items[r].push_back(base + codes[r]);
+      }
+      out.bins_per_attribute.push_back(0);
+      continue;
+    }
+    std::vector<std::vector<core::ItemId>> covering;
+    std::vector<uint32_t> row_bins;
+    uint32_t bins = 0;
+    QuantizeNumericColumn(dataset.NumericColumn(a), info.name,
+                          static_cast<uint32_t>(a), params, &out.items,
+                          &covering, &row_bins, &bins);
+    for (size_t r = 0; r < n; ++r) {
+      const std::vector<core::ItemId>& ids = covering[row_bins[r]];
+      row_items[r].insert(row_items[r].end(), ids.begin(), ids.end());
+    }
+    out.bins_per_attribute.push_back(bins);
+    ++num_numeric;
+    min_bins = num_numeric == 1 ? bins : std::min(min_bins, bins);
+  }
+  for (size_t r = 0; r < n; ++r) {
+    out.transactions.Add(row_items[r]);
+  }
+  // Srikant & Agrawal §4: equi-depth partitioning into N intervals per
+  // attribute guarantees partial completeness K = 1 + 2m/(N * minsup)
+  // over the m quantitative attributes.
+  out.partial_completeness =
+      num_numeric == 0
+          ? 1.0
+          : 1.0 + (2.0 * static_cast<double>(num_numeric)) /
+                      (static_cast<double>(min_bins) * params.min_support);
+  obs::Counter items_counter("assoc/quant/interval_items");
+  items_counter.Add(out.items.size());
+  span.AddArg("items", out.items.size());
+  return out;
+}
+
+std::vector<FrequentItemset> FilterAttributeDistinct(
+    const std::vector<FrequentItemset>& itemsets,
+    const std::vector<QuantItem>& items) {
+  std::vector<FrequentItemset> kept;
+  kept.reserve(itemsets.size());
+  std::vector<uint32_t> attributes;
+  for (const FrequentItemset& itemset : itemsets) {
+    attributes.clear();
+    for (core::ItemId id : itemset.items) {
+      DMT_CHECK(id < items.size());
+      attributes.push_back(items[id].attribute);
+    }
+    std::sort(attributes.begin(), attributes.end());
+    if (std::adjacent_find(attributes.begin(), attributes.end()) ==
+        attributes.end()) {
+      kept.push_back(itemset);
+    }
+  }
+  return kept;
+}
+
+Result<QuantRuleSet> MineQuantitativeRules(const core::Dataset& dataset,
+                                           const QuantParams& params,
+                                           QuantMiner miner) {
+  DMT_ASSIGN_OR_RETURN(QuantizedDataset quantized,
+                       QuantizeDataset(dataset, params));
+  obs::Span span("assoc/quant/mine");
+  MiningParams mining_params;
+  mining_params.min_support = params.min_support;
+  mining_params.max_itemset_size = params.max_itemset_size;
+  mining_params.num_threads = params.num_threads;
+  Result<MiningResult> mined = [&]() -> Result<MiningResult> {
+    switch (miner) {
+      case QuantMiner::kApriori:
+        return MineApriori(quantized.transactions, mining_params);
+      case QuantMiner::kAprioriTid:
+        return MineAprioriTid(quantized.transactions, mining_params);
+      case QuantMiner::kFpGrowth:
+        return MineFpGrowth(quantized.transactions, mining_params);
+      case QuantMiner::kEclat:
+        return MineEclat(quantized.transactions, mining_params);
+    }
+    return Status::InvalidArgument("unknown QuantMiner");
+  }();
+  DMT_RETURN_NOT_OK(mined.status());
+
+  // A base interval and a range containing it co-occur by construction,
+  // so mixed same-attribute itemsets are frequent but vacuous ("age in
+  // [20,29] => age in [20,39]"); prune them before rule generation.
+  std::vector<FrequentItemset> distinct =
+      FilterAttributeDistinct(mined->itemsets, quantized.items);
+
+  MiningResult rule_input;
+  rule_input.itemsets = distinct;
+  RuleParams rule_params;
+  rule_params.min_confidence = params.min_confidence;
+  rule_params.min_lift = params.min_lift;
+  DMT_ASSIGN_OR_RETURN(
+      std::vector<AssociationRule> rules,
+      GenerateRules(rule_input, dataset.num_rows(), rule_params));
+  InterestParams interest;
+  interest.min_conviction = params.min_conviction;
+  interest.min_leverage = params.min_leverage;
+  DMT_ASSIGN_OR_RETURN(rules,
+                       FilterInteresting(std::move(rules), interest));
+
+  QuantRuleSet out;
+  out.items = std::move(quantized.items);
+  out.rules = std::move(rules);
+  out.partial_completeness = quantized.partial_completeness;
+  out.itemsets_mined = mined->itemsets.size();
+  out.itemsets_attribute_distinct = distinct.size();
+  obs::Counter rules_counter("assoc/quant/rules");
+  rules_counter.Add(out.rules.size());
+  span.AddArg("rules", out.rules.size());
+  return out;
+}
+
+std::string FormatQuantRule(const AssociationRule& rule,
+                            const std::vector<QuantItem>& items) {
+  auto format_side = [&](const Itemset& side) {
+    std::string text;
+    for (size_t i = 0; i < side.size(); ++i) {
+      if (i > 0) text += " and ";
+      DMT_CHECK(side[i] < items.size());
+      text += items[side[i]].label;
+    }
+    return text;
+  };
+  std::string conviction = rule.conviction >= 1e12
+                               ? "inf"
+                               : core::StrFormat("%.2f", rule.conviction);
+  return core::StrFormat(
+      "%s => %s (supp=%.4f, conf=%.3f, lift=%.2f, conv=%s, lev=%.4f)",
+      format_side(rule.antecedent).c_str(),
+      format_side(rule.consequent).c_str(), rule.support, rule.confidence,
+      rule.lift, conviction.c_str(), rule.leverage);
+}
+
+}  // namespace dmt::assoc

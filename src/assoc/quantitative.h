@@ -1,0 +1,144 @@
+// Quantitative association rules (Srikant & Agrawal, SIGMOD'96) over
+// numeric Dataset columns: each numeric attribute is equi-depth
+// discretized into base intervals, adjacent intervals are additionally
+// merged into ranges (capped by a support budget) so that rules over
+// coarser value ranges are not lost to over-partitioning — the paper's
+// partial-completeness argument — and each row becomes one transaction of
+// interval/category items. The existing TransactionDatabase miners run
+// unchanged on the quantized database; itemsets mixing two intervals of
+// the same attribute (a base interval plus a range containing it) are
+// pruned before rule generation, and the generated rules pass through the
+// leverage/conviction interestingness post-filter (assoc/postprocess.h).
+#ifndef DMT_ASSOC_QUANTITATIVE_H_
+#define DMT_ASSOC_QUANTITATIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "assoc/itemset.h"
+#include "assoc/rules.h"
+#include "core/dataset.h"
+#include "core/status.h"
+#include "core/transaction.h"
+
+namespace dmt::assoc {
+
+/// One quantized item: a categorical value or a numeric interval (a run
+/// of one or more adjacent base intervals) of one Dataset attribute.
+struct QuantItem {
+  /// Dataset column this item describes.
+  uint32_t attribute = 0;
+  bool is_categorical = false;
+  /// Category code, when categorical.
+  uint32_t category = 0;
+  /// Closed value interval [lo, hi] (actual data min/max), when numeric.
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Inclusive run of base (equi-depth) intervals this item covers;
+  /// first_bin == last_bin for a base interval. Zero for categorical.
+  uint32_t first_bin = 0;
+  uint32_t last_bin = 0;
+  /// Human-readable label, e.g. "age in [23, 29]" or "married = yes".
+  std::string label;
+
+  bool operator==(const QuantItem& other) const = default;
+};
+
+/// Discretization + mining + rule thresholds. Validate() rejects NaN for
+/// every threshold (NaN passes both sides of a range check and would
+/// silently disable filtering).
+struct QuantParams {
+  /// Minimum fractional support of the mined itemsets, in (0, 1].
+  double min_support = 0.05;
+  /// Base equi-depth intervals per numeric attribute (>= 1). Fewer come
+  /// out when the column has fewer distinct cut values.
+  size_t num_bins = 8;
+  /// Merged interval runs are emitted while their combined fractional
+  /// support stays <= this cap, in (0, 1]; 1 admits every run. The cap is
+  /// the paper's max_support knob: it bounds how coarse a range may get
+  /// before it is trivially frequent and uninteresting.
+  double max_merge_support = 0.5;
+  /// Rule thresholds (see RuleParams).
+  double min_confidence = 0.5;
+  double min_lift = 0.0;
+  /// Interestingness post-filter bounds (see InterestParams).
+  double min_conviction = 0.0;
+  double min_leverage = -1.0;
+  /// Largest itemset size to mine; 0 means unlimited.
+  size_t max_itemset_size = 0;
+  /// Worker threads, forwarded to the underlying miner.
+  size_t num_threads = 0;
+
+  core::Status Validate() const;
+};
+
+/// Which frequent-itemset miner runs on the quantized database. All four
+/// produce bit-identical quantitative rules (differential-tested).
+enum class QuantMiner { kApriori, kAprioriTid, kFpGrowth, kEclat };
+
+/// A Dataset mapped onto the transaction/miner stack.
+struct QuantizedDataset {
+  /// One transaction per dataset row: the row's category items plus, for
+  /// each numeric attribute, its base interval and every emitted merged
+  /// run containing it.
+  core::TransactionDatabase transactions;
+  /// Item id -> descriptor (ids are dense, 0..items.size()-1).
+  std::vector<QuantItem> items;
+  /// Base intervals actually produced per attribute (after dropping
+  /// empty/duplicate cut bins); 0 for categorical attributes.
+  std::vector<uint32_t> bins_per_attribute;
+  /// Partial-completeness level K guaranteed by the discretization for
+  /// rules over single base-interval runs: K = 1 + 2m / (n * minsup)
+  /// with m numeric attributes and n the smallest per-attribute interval
+  /// count (Srikant & Agrawal §4; 1 when no numeric attributes). Smaller
+  /// is better: any rule on the raw values has a quantized generalization
+  /// whose support is within a factor K.
+  double partial_completeness = 1.0;
+
+  /// Descriptor of an item id, or nullptr when out of range.
+  const QuantItem* Item(core::ItemId id) const {
+    return id < items.size() ? &items[id] : nullptr;
+  }
+};
+
+/// Discretizes every attribute of `dataset` into interval/category items.
+/// Deterministic in (dataset, params); labels come from the schema.
+core::Result<QuantizedDataset> QuantizeDataset(const core::Dataset& dataset,
+                                               const QuantParams& params);
+
+/// Quantitative rules plus the metadata needed to interpret and
+/// serialize them (io::WriteQuantRuleSet round-trips this struct).
+struct QuantRuleSet {
+  /// Item id -> descriptor for every id referenced by `rules`.
+  std::vector<QuantItem> items;
+  /// Rules over quantized item ids, sorted as GenerateRules sorts.
+  std::vector<AssociationRule> rules;
+  double partial_completeness = 1.0;
+  /// Frequent itemsets mined on the quantized database.
+  size_t itemsets_mined = 0;
+  /// Itemsets surviving the same-attribute prune (rule-generation input).
+  size_t itemsets_attribute_distinct = 0;
+};
+
+/// End-to-end quantitative mining: quantize, mine with `miner`, prune
+/// itemsets containing two intervals of one attribute, generate rules,
+/// apply the interestingness post-filter.
+core::Result<QuantRuleSet> MineQuantitativeRules(
+    const core::Dataset& dataset, const QuantParams& params,
+    QuantMiner miner = QuantMiner::kFpGrowth);
+
+/// Keeps itemsets whose items all describe distinct attributes. The
+/// result stays downward-closed (subsets of attribute-distinct sets are
+/// attribute-distinct), so rule generation's support lookups stay total.
+std::vector<FrequentItemset> FilterAttributeDistinct(
+    const std::vector<FrequentItemset>& itemsets,
+    const std::vector<QuantItem>& items);
+
+/// Human-readable quantitative rule, e.g.
+/// "age in [23, 29] and married = yes => cars in [2, 3] (supp=…, …)".
+std::string FormatQuantRule(const AssociationRule& rule,
+                            const std::vector<QuantItem>& items);
+
+}  // namespace dmt::assoc
+
+#endif  // DMT_ASSOC_QUANTITATIVE_H_

@@ -1,6 +1,7 @@
 #include "assoc/rules.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "assoc/candidate_gen.h"
@@ -13,6 +14,11 @@ using core::Result;
 using core::Status;
 
 Status RuleParams::Validate() const {
+  if (std::isnan(min_confidence) || std::isnan(min_lift)) {
+    return Status::InvalidArgument(
+        "rule thresholds must not be NaN (NaN passes every comparison "
+        "and silently disables the filter)");
+  }
   if (!(min_confidence > 0.0) || min_confidence > 1.0) {
     return Status::InvalidArgument("min_confidence must be in (0, 1]");
   }
@@ -40,6 +46,43 @@ Itemset Difference(const Itemset& from, const Itemset& remove) {
   return out;
 }
 
+/// The single rule-emission path shared by the seed layer and the grown
+/// layers, so measure definitions (confidence/lift/conviction/leverage)
+/// and the accept-lenient +1e-12 epsilon convention cannot drift between
+/// the two. Returns true when the consequent passes the confidence bar
+/// (and therefore stays in the layer for apriori-style growth — the lift
+/// filter gates emission only, never pruning, because lift is not
+/// anti-monotone in the consequent).
+bool EmitRuleIfPassing(const FrequentItemset& itemset,
+                       const SupportIndex& supports,
+                       const RuleParams& params, double num_transactions,
+                       const Itemset& consequent,
+                       std::vector<AssociationRule>* rules) {
+  Itemset antecedent = Difference(itemset.items, consequent);
+  auto antecedent_it = supports.find(antecedent);
+  DMT_CHECK(antecedent_it != supports.end());
+  double confidence = static_cast<double>(itemset.support) /
+                      static_cast<double>(antecedent_it->second);
+  if (confidence + 1e-12 < params.min_confidence) return false;
+  auto consequent_it = supports.find(consequent);
+  DMT_CHECK(consequent_it != supports.end());
+  double consequent_fraction =
+      static_cast<double>(consequent_it->second) / num_transactions;
+  double lift = confidence / consequent_fraction;
+  if (lift + 1e-12 >= params.min_lift) {
+    double rule_support =
+        static_cast<double>(itemset.support) / num_transactions;
+    double antecedent_fraction =
+        static_cast<double>(antecedent_it->second) / num_transactions;
+    rules->push_back({std::move(antecedent), consequent, itemset.support,
+                      rule_support, confidence, lift,
+                      Conviction(consequent_fraction, confidence),
+                      rule_support - antecedent_fraction *
+                                         consequent_fraction});
+  }
+  return true;
+}
+
 /// ap-genrules: given the itemset and a layer of m-item consequents that
 /// already passed the confidence bar, grow (m+1)-item consequents.
 void GrowConsequents(const FrequentItemset& itemset,
@@ -52,26 +95,9 @@ void GrowConsequents(const FrequentItemset& itemset,
     CandidateGenResult gen = GenerateCandidates(consequent_layer);
     std::vector<Itemset> next_layer;
     for (auto& consequent : gen.candidates) {
-      Itemset antecedent = Difference(itemset.items, consequent);
-      auto antecedent_it = supports.find(antecedent);
-      DMT_CHECK(antecedent_it != supports.end());
-      double confidence = static_cast<double>(itemset.support) /
-                          static_cast<double>(antecedent_it->second);
-      if (confidence + 1e-12 < params.min_confidence) continue;
-      auto consequent_it = supports.find(consequent);
-      DMT_CHECK(consequent_it != supports.end());
-      double lift = confidence /
-                    (static_cast<double>(consequent_it->second) /
-                     num_transactions);
-      if (lift + 1e-12 >= params.min_lift) {
-        double consequent_fraction =
-            static_cast<double>(consequent_it->second) / num_transactions;
-        rules->push_back({std::move(antecedent), consequent,
-                          itemset.support,
-                          static_cast<double>(itemset.support) /
-                              num_transactions,
-                          confidence, lift,
-                          Conviction(consequent_fraction, confidence)});
+      if (!EmitRuleIfPassing(itemset, supports, params, num_transactions,
+                             consequent, rules)) {
+        continue;
       }
       next_layer.push_back(std::move(consequent));
     }
@@ -104,24 +130,9 @@ Result<std::vector<AssociationRule>> GenerateRules(
     std::vector<Itemset> seed_layer;
     for (core::ItemId item : itemset.items) {
       Itemset consequent{item};
-      Itemset antecedent = Difference(itemset.items, consequent);
-      auto antecedent_it = supports.find(antecedent);
-      DMT_CHECK(antecedent_it != supports.end());
-      double confidence = static_cast<double>(itemset.support) /
-                          static_cast<double>(antecedent_it->second);
-      if (confidence + 1e-12 < params.min_confidence) continue;
-      auto consequent_it = supports.find(consequent);
-      DMT_CHECK(consequent_it != supports.end());
-      double lift =
-          confidence /
-          (static_cast<double>(consequent_it->second) / n);
-      if (lift + 1e-12 >= params.min_lift) {
-        double consequent_fraction =
-            static_cast<double>(consequent_it->second) / n;
-        rules.push_back({std::move(antecedent), consequent, itemset.support,
-                         static_cast<double>(itemset.support) / n,
-                         confidence, lift,
-                         Conviction(consequent_fraction, confidence)});
+      if (!EmitRuleIfPassing(itemset, supports, params, n, consequent,
+                             &rules)) {
+        continue;
       }
       seed_layer.push_back(std::move(consequent));
     }
@@ -158,11 +169,18 @@ std::string FormatRule(const AssociationRule& rule,
     out += "}";
     return out;
   };
+  // Conviction is serialized and round-tripped through DMTBIN01
+  // containers like the other measures, so the human-readable form prints
+  // it (and leverage) too; the 1e12 cap marks an exact rule, rendered as
+  // "inf" rather than a misleading finite number.
+  std::string conviction = rule.conviction >= 1e12
+                               ? "inf"
+                               : core::StrFormat("%.2f", rule.conviction);
   return core::StrFormat(
-      "%s => %s (supp=%.4f, conf=%.3f, lift=%.2f)",
+      "%s => %s (supp=%.4f, conf=%.3f, lift=%.2f, conv=%s, lev=%.4f)",
       format_side(rule.antecedent).c_str(),
       format_side(rule.consequent).c_str(), rule.support, rule.confidence,
-      rule.lift);
+      rule.lift, conviction.c_str(), rule.leverage);
 }
 
 }  // namespace dmt::assoc

@@ -28,13 +28,19 @@ struct AssociationRule {
   /// have to be wrong if antecedent and consequent were independent.
   /// Infinity for exact (confidence = 1) rules; capped at 1e12.
   double conviction = 0.0;
+  /// supp(A ∪ C) - supp(A) * supp(C) (Piatetsky-Shapiro): the fraction of
+  /// transactions the rule covers beyond what independence predicts.
+  /// Positive means positive correlation; bounded by [-0.25, 0.25].
+  double leverage = 0.0;
 
   bool operator==(const AssociationRule& other) const {
     return antecedent == other.antecedent && consequent == other.consequent;
   }
 };
 
-/// Rule-generation thresholds.
+/// Rule-generation thresholds. Validate() rejects NaN thresholds: NaN
+/// compares false against every bound, so it would silently disable the
+/// corresponding filter instead of failing loudly.
 struct RuleParams {
   /// Minimum confidence in (0, 1].
   double min_confidence = 0.5;
@@ -52,7 +58,10 @@ core::Result<std::vector<AssociationRule>> GenerateRules(
     const MiningResult& mining, size_t num_transactions,
     const RuleParams& params);
 
-/// Human-readable "{a} => {b} (supp=…, conf=…, lift=…)".
+/// Human-readable
+/// "{a} => {b} (supp=…, conf=…, lift=…, conv=…, lev=…)".
+/// All five serialized measures are printed; a conviction at the 1e12 cap
+/// (exact rules) prints as "inf".
 std::string FormatRule(const AssociationRule& rule,
                        const core::ItemDictionary* dictionary = nullptr);
 

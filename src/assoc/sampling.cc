@@ -58,13 +58,9 @@ std::vector<Itemset> NegativeBorder(
   return border;
 }
 
-namespace {
-
-/// Exact supports of arbitrary itemsets against the full database, one
-/// hash tree per size layer, each counted across `ctx`.
-std::vector<uint32_t> CountExact(const TransactionDatabase& db,
-                                 const std::vector<Itemset>& itemsets,
-                                 const core::ParallelContext& ctx) {
+std::vector<uint32_t> CountExactSupports(const TransactionDatabase& db,
+                                         const std::vector<Itemset>& itemsets,
+                                         const core::ParallelContext& ctx) {
   std::vector<uint32_t> supports(itemsets.size(), 0);
   std::map<size_t, std::vector<uint32_t>> ids_by_size;
   for (uint32_t i = 0; i < itemsets.size(); ++i) {
@@ -92,8 +88,6 @@ std::vector<uint32_t> CountExact(const TransactionDatabase& db,
   }
   return supports;
 }
-
-}  // namespace
 
 Result<MiningResult> MineWithSampling(const TransactionDatabase& db,
                                       const MiningParams& params,
@@ -164,7 +158,7 @@ Result<MiningResult> MineWithSampling(const TransactionDatabase& db,
 
   std::vector<uint32_t> supports = [&] {
     obs::Span verify_span("assoc/sampling/verify");
-    return CountExact(db, candidates, ctx);
+    return CountExactSupports(db, candidates, ctx);
   }();
   const uint32_t min_count = AbsoluteMinSupport(db, params.min_support);
 

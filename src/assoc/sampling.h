@@ -50,9 +50,18 @@ core::Result<MiningResult> MineWithSampling(
 
 /// The negative border of a (downward-closed) frequent collection: every
 /// itemset that is not in the collection but whose proper subsets all are.
-/// `item_universe` bounds the singleton layer. Exposed for tests.
+/// `item_universe` bounds the singleton layer. Exposed for tests and for
+/// the streaming miner's window verification (assoc/streaming.h).
 std::vector<Itemset> NegativeBorder(
     const std::vector<FrequentItemset>& frequent, size_t item_universe);
+
+/// Exact supports of arbitrary itemsets against `db` in one logical scan:
+/// one hash tree per size layer, each counted across `ctx` under the
+/// deterministic chunk-merge contract. Shared by the sampling verifier
+/// and the streaming miner's negative-border verification.
+std::vector<uint32_t> CountExactSupports(const core::TransactionDatabase& db,
+                                         const std::vector<Itemset>& itemsets,
+                                         const core::ParallelContext& ctx);
 
 }  // namespace dmt::assoc
 

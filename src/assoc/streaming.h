@@ -1,0 +1,124 @@
+// Sliding-window streaming frequent-itemset mining with Lossy
+// Counting-style frequency estimation (Manku & Motwani, VLDB'02) verified
+// by the exact miners.
+//
+// Transactions arrive in batches. Each batch is mined once, on arrival,
+// at the error threshold ε (much lower than the support threshold s), and
+// only that compact per-batch summary is kept for frequency estimation;
+// the window holds the most recent `window_batches` batches. An itemset
+// absent from a batch summary missed fewer than ε·|batch| occurrences
+// there, so the summed estimate f satisfies the Lossy Counting bound
+//
+//     true_count - ε·N  <=  f  <=  true_count            (N = window size)
+//
+// and querying the summary at (s - ε)·N can never miss an itemset whose
+// true window support reaches s·N — no false negatives above the support
+// threshold, and a fortiori none above (s + ε)·N.
+//
+// MineWindow() turns the estimate into an exact answer the same way the
+// sampling miner does (assoc/sampling.h): the summary's candidates plus
+// their negative border are counted exactly against the retained window
+// in one hash-tree scan; a frequent border set falls back to a full
+// re-mine (reported in stats). Results are therefore always exactly the
+// frequent itemsets of the current window, bit-identical at every thread
+// count per the PR-1 determinism contract.
+#ifndef DMT_ASSOC_STREAMING_H_
+#define DMT_ASSOC_STREAMING_H_
+
+#include <deque>
+#include <vector>
+
+#include "assoc/itemset.h"
+#include "core/status.h"
+#include "core/transaction.h"
+
+namespace dmt::assoc {
+
+/// Streaming thresholds. Validate() rejects NaN (NaN passes every range
+/// check and would silently disable filtering).
+struct StreamingParams {
+  /// Support threshold s over the window, in (0, 1].
+  double min_support = 0.01;
+  /// Lossy Counting error bound ε, in (0, min_support); 0 selects the
+  /// conventional ε = s/10.
+  double error = 0.0;
+  /// Sliding window = the most recent `window_batches` batches (>= 1).
+  size_t window_batches = 8;
+  /// Largest itemset size to mine; 0 means unlimited.
+  size_t max_itemset_size = 0;
+  /// Worker threads for batch mining, window verification, and fallback
+  /// mining. Bit-identical results at every setting.
+  size_t num_threads = 0;
+
+  core::Status Validate() const;
+
+  /// The effective ε (resolves the 0 default).
+  double EffectiveError() const {
+    return error > 0.0 ? error : min_support * 0.1;
+  }
+};
+
+/// Diagnostics of one MineWindow() call.
+struct StreamingWindowStats {
+  /// Transactions in the current window.
+  size_t window_transactions = 0;
+  /// Distinct itemsets in the merged window summary.
+  size_t summary_itemsets = 0;
+  /// Summary candidates above the (s - ε) bar.
+  size_t summary_candidates = 0;
+  /// Candidates plus negative-border sets verified exactly.
+  size_t candidates_checked = 0;
+  /// Negative-border sets that turned out frequent (0 = the one-scan
+  /// result is provably complete).
+  size_t border_misses = 0;
+  /// True when misses forced a full window re-mine.
+  bool fell_back = false;
+};
+
+/// Sliding-window miner over an unbounded transaction feed.
+class StreamingMiner {
+ public:
+  /// Validates `params` and builds an empty miner.
+  static core::Result<StreamingMiner> Create(const StreamingParams& params);
+
+  /// Ingests one batch: mines it at ε (the only time this batch is ever
+  /// mined) and slides the window, evicting the oldest batch beyond
+  /// `window_batches`. Empty batches are ignored.
+  core::Status AddBatch(const core::TransactionDatabase& batch);
+
+  /// Exact frequent itemsets of the current window at `min_support`.
+  core::Result<MiningResult> MineWindow(
+      StreamingWindowStats* stats = nullptr) const;
+
+  /// The merged window summary in canonical order: per itemset, the
+  /// summed per-batch counts f (the Lossy Counting underestimate).
+  /// Exposed so tests can assert the error bound directly.
+  std::vector<FrequentItemset> ApproximateCounts() const;
+
+  /// Owning copy of the retained window (batch arrival order), the
+  /// database MineWindow verifies against.
+  core::TransactionDatabase WindowTransactions() const;
+
+  /// Transactions currently in the window.
+  size_t window_transactions() const;
+  /// Batches ingested over the miner's lifetime (evicted ones included).
+  size_t batches_seen() const { return batches_seen_; }
+  const StreamingParams& params() const { return params_; }
+
+ private:
+  explicit StreamingMiner(const StreamingParams& params) : params_(params) {}
+
+  struct WindowBatch {
+    core::TransactionDatabase transactions;
+    /// The batch's ε-frequent itemsets with exact batch counts.
+    std::vector<FrequentItemset> summary;
+  };
+
+  StreamingParams params_;
+  std::deque<WindowBatch> window_;
+  size_t batches_seen_ = 0;
+};
+
+}  // namespace dmt::assoc
+
+#endif  // DMT_ASSOC_STREAMING_H_

@@ -26,6 +26,8 @@ std::string_view ArtifactTypeName(ArtifactType type) {
       return "DecisionTree";
     case ArtifactType::kKMeansModel:
       return "KMeansModel";
+    case ArtifactType::kQuantRuleSet:
+      return "QuantRuleSet";
   }
   return "Unknown";
 }

@@ -58,6 +58,7 @@ enum class ArtifactType : uint32_t {
   kRuleSet = 4,
   kDecisionTree = 5,
   kKMeansModel = 6,
+  kQuantRuleSet = 7,
 };
 
 /// Stable name for error messages and `dmt_pack info`.

@@ -23,6 +23,8 @@ constexpr uint32_t kNames = 3;
 constexpr uint32_t kRules = 1;
 constexpr uint32_t kCenters = 2;
 constexpr uint32_t kAssignments = 3;
+constexpr uint32_t kQuantItems = 2;
+constexpr uint32_t kQuantRules = 3;
 constexpr uint32_t kColumnBase = 16;
 
 core::Status WriteContainer(const ContainerWriter& writer,
@@ -397,20 +399,61 @@ core::Result<assoc::MiningResult> LoadMiningResult(const std::string& path) {
 
 // ---- Rule sets ----------------------------------------------------------
 
+namespace {
+
+/// Shared rule-stream encoding for plain and quantitative rule sets: a
+/// u64 count followed by one record per rule — the two item arrays, the
+/// absolute support count, and all five measures (supp, conf, lift,
+/// conviction, leverage) as raw IEEE-754 bit patterns.
+void AppendRuleStream(const std::vector<assoc::AssociationRule>& rules,
+                      ByteWriter* stream) {
+  stream->PutU64(rules.size());
+  for (const assoc::AssociationRule& rule : rules) {
+    stream->PutArray<core::ItemId>(rule.antecedent);
+    stream->PutArray<core::ItemId>(rule.consequent);
+    stream->PutU32(rule.support_count);
+    stream->PutF64(rule.support);
+    stream->PutF64(rule.confidence);
+    stream->PutF64(rule.lift);
+    stream->PutF64(rule.conviction);
+    stream->PutF64(rule.leverage);
+  }
+}
+
+core::Result<std::vector<assoc::AssociationRule>> ReadRuleStream(
+    ByteReader* stream, const std::string& context) {
+  DMT_ASSIGN_OR_RETURN(uint64_t num_rules, stream->ReadU64());
+  // Each rule needs at least its two array headers + fixed fields.
+  if (num_rules > stream->remaining() / (2 * sizeof(uint64_t))) {
+    return core::Status::Corruption(context + ": rule count " +
+                                    std::to_string(num_rules) +
+                                    " exceeds the section");
+  }
+  std::vector<assoc::AssociationRule> rules(num_rules);
+  for (assoc::AssociationRule& rule : rules) {
+    DMT_ASSIGN_OR_RETURN(
+        rule.antecedent,
+        stream->ReadArray<core::ItemId>(stream->remaining()));
+    DMT_ASSIGN_OR_RETURN(
+        rule.consequent,
+        stream->ReadArray<core::ItemId>(stream->remaining()));
+    DMT_ASSIGN_OR_RETURN(rule.support_count, stream->ReadU32());
+    DMT_ASSIGN_OR_RETURN(rule.support, stream->ReadF64());
+    DMT_ASSIGN_OR_RETURN(rule.confidence, stream->ReadF64());
+    DMT_ASSIGN_OR_RETURN(rule.lift, stream->ReadF64());
+    DMT_ASSIGN_OR_RETURN(rule.conviction, stream->ReadF64());
+    DMT_ASSIGN_OR_RETURN(rule.leverage, stream->ReadF64());
+  }
+  return rules;
+}
+
+}  // namespace
+
 core::Status WriteRuleSet(const std::vector<assoc::AssociationRule>& rules,
                           const std::string& path) {
   ContainerWriter writer(ArtifactType::kRuleSet);
   ByteWriter stream;
-  stream.PutU64(rules.size());
-  for (const assoc::AssociationRule& rule : rules) {
-    stream.PutArray<core::ItemId>(rule.antecedent);
-    stream.PutArray<core::ItemId>(rule.consequent);
-    stream.PutU32(rule.support_count);
-    stream.PutF64(rule.support);
-    stream.PutF64(rule.confidence);
-    stream.PutF64(rule.lift);
-    stream.PutF64(rule.conviction);
-  }
+  AppendRuleStream(rules, &stream);
   writer.AddSection(kRules, stream.bytes());
   return WriteContainer(writer, path);
 }
@@ -423,30 +466,108 @@ core::Result<std::vector<assoc::AssociationRule>> LoadRuleSet(
   DMT_ASSIGN_OR_RETURN(std::span<const std::byte> payload,
                        reader.Section(kRules));
   ByteReader stream(payload, path + ": RULES");
-  DMT_ASSIGN_OR_RETURN(uint64_t num_rules, stream.ReadU64());
-  // Each rule needs at least its two array headers + fixed fields.
-  if (num_rules > stream.remaining() / (2 * sizeof(uint64_t))) {
-    return core::Status::Corruption(path + ": rule count " +
-                                    std::to_string(num_rules) +
-                                    " exceeds the RULES section");
-  }
-  std::vector<assoc::AssociationRule> rules(num_rules);
-  for (assoc::AssociationRule& rule : rules) {
-    DMT_ASSIGN_OR_RETURN(
-        rule.antecedent,
-        stream.ReadArray<core::ItemId>(stream.remaining()));
-    DMT_ASSIGN_OR_RETURN(
-        rule.consequent,
-        stream.ReadArray<core::ItemId>(stream.remaining()));
-    DMT_ASSIGN_OR_RETURN(rule.support_count, stream.ReadU32());
-    DMT_ASSIGN_OR_RETURN(rule.support, stream.ReadF64());
-    DMT_ASSIGN_OR_RETURN(rule.confidence, stream.ReadF64());
-    DMT_ASSIGN_OR_RETURN(rule.lift, stream.ReadF64());
-    DMT_ASSIGN_OR_RETURN(rule.conviction, stream.ReadF64());
-  }
+  DMT_ASSIGN_OR_RETURN(std::vector<assoc::AssociationRule> rules,
+                       ReadRuleStream(&stream, path + ": RULES"));
   DMT_RETURN_NOT_OK(stream.ExpectEnd());
-  span.AddArg("rules", num_rules);
+  span.AddArg("rules", rules.size());
   return rules;
+}
+
+// ---- Quantitative rule sets ---------------------------------------------
+
+core::Status WriteQuantRuleSet(const assoc::QuantRuleSet& rule_set,
+                               const std::string& path) {
+  ContainerWriter writer(ArtifactType::kQuantRuleSet);
+  ByteWriter meta;
+  meta.PutF64(rule_set.partial_completeness);
+  meta.PutU64(rule_set.itemsets_mined);
+  meta.PutU64(rule_set.itemsets_attribute_distinct);
+  writer.AddSection(kMeta, meta.bytes());
+
+  ByteWriter items;
+  items.PutU64(rule_set.items.size());
+  for (const assoc::QuantItem& item : rule_set.items) {
+    items.PutU32(item.attribute);
+    items.PutU8(item.is_categorical ? 1 : 0);
+    items.PutU32(item.category);
+    items.PutF64(item.lo);
+    items.PutF64(item.hi);
+    items.PutU32(item.first_bin);
+    items.PutU32(item.last_bin);
+    items.PutString(item.label);
+  }
+  writer.AddSection(kQuantItems, items.bytes());
+
+  ByteWriter rules;
+  AppendRuleStream(rule_set.rules, &rules);
+  writer.AddSection(kQuantRules, rules.bytes());
+  return WriteContainer(writer, path);
+}
+
+core::Result<assoc::QuantRuleSet> LoadQuantRuleSet(const std::string& path) {
+  obs::Span span("io/serialize/load");
+  DMT_ASSIGN_OR_RETURN(ContainerReader reader,
+                       MapContainer(path, ArtifactType::kQuantRuleSet));
+  assoc::QuantRuleSet rule_set;
+
+  DMT_ASSIGN_OR_RETURN(std::span<const std::byte> meta_payload,
+                       reader.Section(kMeta));
+  ByteReader meta(meta_payload, path + ": META");
+  DMT_ASSIGN_OR_RETURN(rule_set.partial_completeness, meta.ReadF64());
+  DMT_ASSIGN_OR_RETURN(rule_set.itemsets_mined, meta.ReadU64());
+  DMT_ASSIGN_OR_RETURN(rule_set.itemsets_attribute_distinct,
+                       meta.ReadU64());
+  DMT_RETURN_NOT_OK(meta.ExpectEnd());
+
+  DMT_ASSIGN_OR_RETURN(std::span<const std::byte> items_payload,
+                       reader.Section(kQuantItems));
+  ByteReader items(items_payload, path + ": QUANT_ITEMS");
+  DMT_ASSIGN_OR_RETURN(uint64_t num_items, items.ReadU64());
+  if (num_items > items.remaining() / sizeof(uint32_t)) {
+    return core::Status::Corruption(path + ": item count " +
+                                    std::to_string(num_items) +
+                                    " exceeds the QUANT_ITEMS section");
+  }
+  rule_set.items.resize(num_items);
+  for (assoc::QuantItem& item : rule_set.items) {
+    DMT_ASSIGN_OR_RETURN(item.attribute, items.ReadU32());
+    DMT_ASSIGN_OR_RETURN(uint8_t is_categorical, items.ReadU8());
+    item.is_categorical = is_categorical != 0;
+    DMT_ASSIGN_OR_RETURN(item.category, items.ReadU32());
+    DMT_ASSIGN_OR_RETURN(item.lo, items.ReadF64());
+    DMT_ASSIGN_OR_RETURN(item.hi, items.ReadF64());
+    DMT_ASSIGN_OR_RETURN(item.first_bin, items.ReadU32());
+    DMT_ASSIGN_OR_RETURN(item.last_bin, items.ReadU32());
+    DMT_ASSIGN_OR_RETURN(item.label, items.ReadString());
+    if (!item.is_categorical && item.first_bin > item.last_bin) {
+      return core::Status::Corruption(
+          path + ": quant item interval run decreases (" +
+          std::to_string(item.first_bin) + " > " +
+          std::to_string(item.last_bin) + ")");
+    }
+  }
+  DMT_RETURN_NOT_OK(items.ExpectEnd());
+
+  DMT_ASSIGN_OR_RETURN(std::span<const std::byte> rules_payload,
+                       reader.Section(kQuantRules));
+  ByteReader rules(rules_payload, path + ": QUANT_RULES");
+  DMT_ASSIGN_OR_RETURN(rule_set.rules,
+                       ReadRuleStream(&rules, path + ": QUANT_RULES"));
+  DMT_RETURN_NOT_OK(rules.ExpectEnd());
+  for (const assoc::AssociationRule& rule : rule_set.rules) {
+    for (const assoc::Itemset* side : {&rule.antecedent, &rule.consequent}) {
+      for (core::ItemId id : *side) {
+        if (id >= rule_set.items.size()) {
+          return core::Status::Corruption(
+              path + ": rule references item " + std::to_string(id) +
+              " beyond the " + std::to_string(rule_set.items.size()) +
+              " quant items");
+        }
+      }
+    }
+  }
+  span.AddArg("rules", rule_set.rules.size());
+  return rule_set;
 }
 
 // ---- DecisionTree -------------------------------------------------------

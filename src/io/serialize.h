@@ -5,7 +5,10 @@
 //   Dataset             — schema stream + per-column raw sections
 //   MiningResult        — frequent itemsets (CSR), supports, pass census,
 //                         work counters
-//   rule sets           — std::vector<assoc::AssociationRule>
+//   rule sets           — std::vector<assoc::AssociationRule> (all five
+//                         measures: supp/conf/lift/conviction/leverage)
+//   quant rule sets     — assoc::QuantRuleSet: rules plus the interval /
+//                         category metadata naming every quantized item
 //   DecisionTree        — node arena + captured names
 //   k-means models      — cluster::ClusteringResult (centers, assignments)
 //
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "assoc/itemset.h"
+#include "assoc/quantitative.h"
 #include "assoc/rules.h"
 #include "cluster/kmeans.h"
 #include "core/dataset.h"
@@ -93,6 +97,13 @@ core::Status WriteRuleSet(const std::vector<assoc::AssociationRule>& rules,
                           const std::string& path);
 core::Result<std::vector<assoc::AssociationRule>> LoadRuleSet(
     const std::string& path);
+
+/// Quantitative rule sets carry the item metadata (attribute, interval
+/// bounds, base-interval run, label) alongside the rules; the loader
+/// validates that every rule references an in-range item id.
+core::Status WriteQuantRuleSet(const assoc::QuantRuleSet& rule_set,
+                               const std::string& path);
+core::Result<assoc::QuantRuleSet> LoadQuantRuleSet(const std::string& path);
 
 core::Status WriteDecisionTree(const tree::DecisionTree& tree,
                                const std::string& path);

@@ -1,0 +1,166 @@
+// Differential tests for the quantitative and streaming miners under the
+// determinism contract: quantitative rule sets must be bit-identical
+// across all four frequent-itemset miners and across thread counts
+// {0, 1, 2, 7}, and the streaming window mine must equal the exact miners
+// on the same window at every thread count.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "assoc/apriori.h"
+#include "assoc/eclat.h"
+#include "assoc/fp_growth.h"
+#include "assoc/quantitative.h"
+#include "assoc/streaming.h"
+#include "core/check.h"
+#include "gen/agrawal.h"
+#include "gen/quest.h"
+
+namespace dmt::assoc {
+namespace {
+
+core::Dataset QuantWorkload() {
+  gen::AgrawalParams params;
+  params.function = 2;
+  params.num_records = 1500;
+  params.perturbation = 0.05;
+  auto dataset = gen::GenerateAgrawal(params, /*seed=*/71);
+  DMT_CHECK(dataset.ok());
+  return std::move(dataset).value();
+}
+
+core::TransactionDatabase StreamBatch(uint64_t seed) {
+  gen::QuestParams params;
+  params.num_transactions = 400;
+  params.avg_transaction_size = 8;
+  params.avg_pattern_size = 3;
+  params.num_items = 80;
+  params.num_patterns = 40;
+  auto db = gen::GenerateQuestTransactions(params, seed);
+  DMT_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+/// Bit-identity over every rule field (operator== only compares the two
+/// itemsets): doubles are compared as raw bit patterns.
+void ExpectBitIdenticalRules(const std::vector<AssociationRule>& expected,
+                             const std::vector<AssociationRule>& actual,
+                             const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t r = 0; r < expected.size(); ++r) {
+    const AssociationRule& e = expected[r];
+    const AssociationRule& a = actual[r];
+    EXPECT_EQ(e.antecedent, a.antecedent) << label << " rule " << r;
+    EXPECT_EQ(e.consequent, a.consequent) << label << " rule " << r;
+    EXPECT_EQ(e.support_count, a.support_count) << label << " rule " << r;
+    for (auto field : {&AssociationRule::support,
+                       &AssociationRule::confidence, &AssociationRule::lift,
+                       &AssociationRule::conviction,
+                       &AssociationRule::leverage}) {
+      EXPECT_EQ(std::memcmp(&(e.*field), &(a.*field), sizeof(double)), 0)
+          << label << " rule " << r << " measure bits diverged";
+    }
+  }
+}
+
+TEST(QuantDiffTest, AllMinersAndThreadCountsBitIdentical) {
+  core::Dataset dataset = QuantWorkload();
+  QuantParams params;
+  params.min_support = 0.1;
+  params.num_bins = 6;
+  params.min_confidence = 0.6;
+  auto baseline =
+      MineQuantitativeRules(dataset, params, QuantMiner::kFpGrowth);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_FALSE(baseline->rules.empty());
+  for (QuantMiner miner : {QuantMiner::kApriori, QuantMiner::kAprioriTid,
+                           QuantMiner::kFpGrowth, QuantMiner::kEclat}) {
+    for (size_t threads : {0u, 1u, 2u, 7u}) {
+      params.num_threads = threads;
+      auto result = MineQuantitativeRules(dataset, params, miner);
+      ASSERT_TRUE(result.ok());
+      std::string label = "miner=" + std::to_string(static_cast<int>(miner)) +
+                          " threads=" + std::to_string(threads);
+      EXPECT_EQ(baseline->items, result->items) << label;
+      EXPECT_EQ(baseline->itemsets_mined, result->itemsets_mined) << label;
+      EXPECT_EQ(baseline->itemsets_attribute_distinct,
+                result->itemsets_attribute_distinct)
+          << label;
+      EXPECT_EQ(std::memcmp(&baseline->partial_completeness,
+                            &result->partial_completeness, sizeof(double)),
+                0)
+          << label;
+      ExpectBitIdenticalRules(baseline->rules, result->rules, label);
+    }
+  }
+}
+
+TEST(StreamingDiffTest, WindowMineMatchesEveryExactMinerAtEveryThreadCount) {
+  StreamingParams stream_params;
+  stream_params.min_support = 0.025;
+  stream_params.window_batches = 3;
+
+  MiningResult baseline;
+  StreamingWindowStats baseline_stats;
+  for (size_t threads : {0u, 1u, 2u, 7u}) {
+    stream_params.num_threads = threads;
+    auto miner = StreamingMiner::Create(stream_params);
+    ASSERT_TRUE(miner.ok());
+    for (uint64_t b = 0; b < 5; ++b) {
+      ASSERT_TRUE(miner->AddBatch(StreamBatch(61 + b)).ok());
+    }
+    StreamingWindowStats stats;
+    auto streamed = miner->MineWindow(&stats);
+    ASSERT_TRUE(streamed.ok());
+    EXPECT_FALSE(streamed->itemsets.empty());
+    if (threads == 0) {
+      baseline = *streamed;
+      baseline_stats = stats;
+      // The window result must equal all four exact miners on the window.
+      core::TransactionDatabase window = miner->WindowTransactions();
+      MiningParams exact_params;
+      exact_params.min_support = stream_params.min_support;
+      auto apriori = MineApriori(window, exact_params);
+      auto apriori_tid = MineAprioriTid(window, exact_params);
+      auto fp = MineFpGrowth(window, exact_params);
+      auto eclat = MineEclat(window, exact_params);
+      ASSERT_TRUE(apriori.ok());
+      ASSERT_TRUE(apriori_tid.ok());
+      ASSERT_TRUE(fp.ok());
+      ASSERT_TRUE(eclat.ok());
+      EXPECT_EQ(streamed->itemsets, apriori->itemsets);
+      EXPECT_EQ(streamed->itemsets, apriori_tid->itemsets);
+      EXPECT_EQ(streamed->itemsets, fp->itemsets);
+      EXPECT_EQ(streamed->itemsets, eclat->itemsets);
+    } else {
+      EXPECT_EQ(baseline.itemsets, streamed->itemsets)
+          << "streaming itemsets diverged at num_threads=" << threads;
+      EXPECT_EQ(baseline_stats.summary_candidates, stats.summary_candidates)
+          << "candidate bar diverged at num_threads=" << threads;
+      EXPECT_EQ(baseline_stats.candidates_checked, stats.candidates_checked)
+          << "verification set diverged at num_threads=" << threads;
+      EXPECT_EQ(baseline_stats.border_misses, stats.border_misses);
+      EXPECT_EQ(baseline_stats.fell_back, stats.fell_back);
+    }
+  }
+}
+
+TEST(StreamingDiffTest, RepeatedRunsAreBitIdentical) {
+  StreamingParams params;
+  params.min_support = 0.03;
+  params.num_threads = 4;
+  auto run = [&]() {
+    auto miner = StreamingMiner::Create(params);
+    DMT_CHECK(miner.ok());
+    for (uint64_t b = 0; b < 3; ++b) {
+      DMT_CHECK(miner->AddBatch(StreamBatch(81 + b)).ok());
+    }
+    auto result = miner->MineWindow();
+    DMT_CHECK(result.ok());
+    return std::move(result->itemsets);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dmt::assoc

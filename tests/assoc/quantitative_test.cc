@@ -1,0 +1,259 @@
+#include "assoc/quantitative.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace dmt::assoc {
+namespace {
+
+using core::Dataset;
+using core::DatasetBuilder;
+using core::ItemId;
+
+/// 40 rows with a planted implication: young applicants (ages 20/25) are
+/// unmarried, old ones (70/75) are married. Four distinct age values, ten
+/// rows each, so num_bins=4 gives one exact base interval per value.
+Dataset PlantedDataset() {
+  std::vector<double> ages;
+  std::vector<uint32_t> married;
+  for (double age : {20.0, 25.0, 70.0, 75.0}) {
+    for (int i = 0; i < 10; ++i) {
+      ages.push_back(age);
+      married.push_back(age < 50.0 ? 0u : 1u);
+    }
+  }
+  auto dataset = DatasetBuilder()
+                     .AddNumericColumn("age", ages)
+                     .AddCategoricalColumn("married", married, {"no", "yes"})
+                     .SetLabels(std::vector<uint32_t>(40, 0), {"all"})
+                     .Build();
+  DMT_CHECK(dataset.ok());
+  return std::move(dataset).value();
+}
+
+QuantParams PlantedParams() {
+  QuantParams params;
+  params.min_support = 0.2;
+  params.num_bins = 4;
+  params.max_merge_support = 0.5;
+  params.min_confidence = 0.9;
+  return params;
+}
+
+TEST(QuantParamsTest, ValidatesRanges) {
+  QuantParams params;
+  EXPECT_TRUE(params.Validate().ok());
+  params.min_support = 0.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params.min_support = 1.5;
+  EXPECT_FALSE(params.Validate().ok());
+  params = QuantParams();
+  params.num_bins = 0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = QuantParams();
+  params.max_merge_support = 0.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = QuantParams();
+  params.min_confidence = 0.0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(QuantParamsTest, ValidateRejectsNaNThresholds) {
+  for (auto set : {+[](QuantParams* p) { p->min_support = kNan; },
+                   +[](QuantParams* p) { p->max_merge_support = kNan; },
+                   +[](QuantParams* p) { p->min_confidence = kNan; },
+                   +[](QuantParams* p) { p->min_lift = kNan; },
+                   +[](QuantParams* p) { p->min_conviction = kNan; },
+                   +[](QuantParams* p) { p->min_leverage = kNan; }}) {
+    QuantParams params;
+    set(&params);
+    EXPECT_FALSE(params.Validate().ok()) << "NaN threshold accepted";
+  }
+}
+
+TEST(QuantizeTest, BaseIntervalsAreEquiDepth) {
+  core::Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 800; ++i) values.push_back(rng.UniformDouble());
+  auto dataset = DatasetBuilder()
+                     .AddNumericColumn("x", values)
+                     .SetLabels(std::vector<uint32_t>(800, 0), {"all"})
+                     .Build();
+  ASSERT_TRUE(dataset.ok());
+  QuantParams params;
+  params.num_bins = 8;
+  auto quantized = QuantizeDataset(*dataset, params);
+  ASSERT_TRUE(quantized.ok());
+  ASSERT_EQ(quantized->bins_per_attribute.size(), 1u);
+  EXPECT_EQ(quantized->bins_per_attribute[0], 8u);
+  // With continuous draws every base interval holds exactly n/B rows.
+  std::vector<size_t> bin_rows(8, 0);
+  for (size_t t = 0; t < quantized->transactions.size(); ++t) {
+    for (ItemId id : quantized->transactions.transaction(t)) {
+      const QuantItem* item = quantized->Item(id);
+      ASSERT_NE(item, nullptr);
+      if (item->first_bin == item->last_bin) ++bin_rows[item->first_bin];
+    }
+  }
+  for (size_t b = 0; b < 8; ++b) EXPECT_EQ(bin_rows[b], 100u);
+}
+
+TEST(QuantizeTest, TiedValuesShareABin) {
+  // A constant column collapses to a single base interval and no runs.
+  auto dataset = DatasetBuilder()
+                     .AddNumericColumn("x", std::vector<double>(50, 3.25))
+                     .SetLabels(std::vector<uint32_t>(50, 0), {"all"})
+                     .Build();
+  ASSERT_TRUE(dataset.ok());
+  QuantParams params;
+  params.num_bins = 8;
+  auto quantized = QuantizeDataset(*dataset, params);
+  ASSERT_TRUE(quantized.ok());
+  EXPECT_EQ(quantized->bins_per_attribute[0], 1u);
+  ASSERT_EQ(quantized->items.size(), 1u);
+  EXPECT_EQ(quantized->items[0].lo, 3.25);
+  EXPECT_EQ(quantized->items[0].hi, 3.25);
+  for (size_t t = 0; t < quantized->transactions.size(); ++t) {
+    EXPECT_EQ(quantized->transactions.transaction(t).size(), 1u);
+  }
+}
+
+TEST(QuantizeTest, MergedRunsRespectSupportCap) {
+  Dataset dataset = PlantedDataset();
+  auto quantized = QuantizeDataset(dataset, PlantedParams());
+  ASSERT_TRUE(quantized.ok());
+  // Age: 4 base intervals (10 rows each) + runs of two adjacent intervals
+  // (20 rows = the 0.5 * 40 cap exactly); runs of three exceed the cap.
+  // Married: one item per category.
+  EXPECT_EQ(quantized->bins_per_attribute[0], 4u);
+  size_t base = 0, runs = 0, categorical = 0;
+  for (const QuantItem& item : quantized->items) {
+    if (item.is_categorical) {
+      ++categorical;
+      continue;
+    }
+    size_t run_length = item.last_bin - item.first_bin + 1;
+    EXPECT_LE(run_length, 2u) << item.label;
+    (run_length == 1 ? base : runs) += 1;
+  }
+  EXPECT_EQ(base, 4u);
+  EXPECT_EQ(runs, 3u);
+  EXPECT_EQ(categorical, 2u);
+  // Every row holds its base interval, every run containing it, and its
+  // category item.
+  for (size_t t = 0; t < quantized->transactions.size(); ++t) {
+    auto transaction = quantized->transactions.transaction(t);
+    size_t numeric = 0;
+    for (ItemId id : transaction) {
+      if (!quantized->Item(id)->is_categorical) ++numeric;
+    }
+    // Interior base intervals lie inside two length-2 runs, edge ones
+    // inside one.
+    EXPECT_GE(numeric, 2u);
+    EXPECT_LE(numeric, 3u);
+  }
+}
+
+TEST(QuantizeTest, PartialCompletenessFollowsPaperFormula) {
+  Dataset dataset = PlantedDataset();
+  QuantParams params = PlantedParams();
+  auto quantized = QuantizeDataset(dataset, params);
+  ASSERT_TRUE(quantized.ok());
+  // K = 1 + 2m / (N * minsup) with m = 1 numeric attribute, N = 4 bins.
+  EXPECT_NEAR(quantized->partial_completeness,
+              1.0 + 2.0 / (4.0 * params.min_support), 1e-12);
+}
+
+TEST(QuantizeTest, RejectsEmptyDataset) {
+  auto dataset = DatasetBuilder()
+                     .AddNumericColumn("x", {})
+                     .SetLabels({}, {"all"})
+                     .Build();
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_FALSE(QuantizeDataset(*dataset, QuantParams()).ok());
+}
+
+TEST(QuantitativeTest, FilterAttributeDistinctDropsSameAttributePairs) {
+  std::vector<QuantItem> items(4);
+  items[0].attribute = 0;
+  items[1].attribute = 0;
+  items[2].attribute = 1;
+  items[3].attribute = 2;
+  std::vector<FrequentItemset> itemsets = {
+      {{0}, 10}, {{0, 1}, 8}, {{0, 2}, 7}, {{1, 2, 3}, 5}, {{0, 1, 2}, 4}};
+  std::vector<FrequentItemset> kept = FilterAttributeDistinct(itemsets, items);
+  std::vector<FrequentItemset> expected = {
+      {{0}, 10}, {{0, 2}, 7}, {{1, 2, 3}, 5}};
+  EXPECT_EQ(kept, expected);
+}
+
+TEST(QuantitativeTest, RecoversPlantedQuantitativeRule) {
+  Dataset dataset = PlantedDataset();
+  auto rule_set = MineQuantitativeRules(dataset, PlantedParams());
+  ASSERT_TRUE(rule_set.ok());
+  ASSERT_FALSE(rule_set->rules.empty());
+  EXPECT_GT(rule_set->itemsets_mined, rule_set->itemsets_attribute_distinct);
+  // The merged run [20, 25] implies married = no with confidence 1.
+  bool found = false;
+  for (const AssociationRule& rule : rule_set->rules) {
+    if (rule.antecedent.size() != 1 || rule.consequent.size() != 1) continue;
+    const QuantItem* antecedent = nullptr;
+    const QuantItem* consequent = nullptr;
+    ASSERT_LT(rule.antecedent[0], rule_set->items.size());
+    ASSERT_LT(rule.consequent[0], rule_set->items.size());
+    antecedent = &rule_set->items[rule.antecedent[0]];
+    consequent = &rule_set->items[rule.consequent[0]];
+    if (!antecedent->is_categorical && antecedent->lo == 20.0 &&
+        antecedent->hi == 25.0 && consequent->is_categorical &&
+        consequent->category == 0) {
+      found = true;
+      EXPECT_EQ(rule.support_count, 20u);
+      EXPECT_EQ(rule.confidence, 1.0);
+      EXPECT_EQ(rule.lift, 2.0);
+      EXPECT_GE(rule.conviction, 1e11);
+      EXPECT_NEAR(rule.leverage, 0.5 - 0.5 * 0.5, 1e-12);
+      EXPECT_EQ(FormatQuantRule(rule, rule_set->items),
+                "age in [20, 25] => married = no (supp=0.5000, conf=1.000, "
+                "lift=2.00, conv=inf, lev=0.2500)");
+    }
+  }
+  EXPECT_TRUE(found) << "planted rule age in [20,25] => married=no missing";
+  // No rule may relate two intervals of the same attribute.
+  for (const AssociationRule& rule : rule_set->rules) {
+    std::vector<uint32_t> attributes;
+    for (const Itemset* side : {&rule.antecedent, &rule.consequent}) {
+      for (ItemId id : *side) {
+        attributes.push_back(rule_set->items[id].attribute);
+      }
+    }
+    std::sort(attributes.begin(), attributes.end());
+    EXPECT_EQ(std::adjacent_find(attributes.begin(), attributes.end()),
+              attributes.end())
+        << FormatQuantRule(rule, rule_set->items);
+  }
+}
+
+TEST(QuantitativeTest, InterestingnessFilterPrunesByLeverage) {
+  Dataset dataset = PlantedDataset();
+  QuantParams params = PlantedParams();
+  params.min_confidence = 0.5;
+  auto all = MineQuantitativeRules(dataset, params);
+  ASSERT_TRUE(all.ok());
+  params.min_leverage = 0.2;
+  auto filtered = MineQuantitativeRules(dataset, params);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_LT(filtered->rules.size(), all->rules.size());
+  for (const AssociationRule& rule : filtered->rules) {
+    EXPECT_GE(rule.leverage, 0.2 - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dmt::assoc

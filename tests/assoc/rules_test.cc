@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "assoc/apriori.h"
 #include "core/rng.h"
 
@@ -180,6 +182,84 @@ TEST(RulesTest, ValidatesParameters) {
   EXPECT_FALSE(GenerateRules(mining, 0, params).ok());
 }
 
+TEST(RulesTest, ValidateRejectsNaNThresholds) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  MiningResult mining;
+  RuleParams params;
+  params.min_confidence = nan;
+  EXPECT_FALSE(GenerateRules(mining, 10, params).ok());
+  params.min_confidence = 0.5;
+  params.min_lift = nan;
+  EXPECT_FALSE(GenerateRules(mining, 10, params).ok());
+}
+
+TEST(RulesTest, RuleExactlyAtConfidenceAndLiftThresholdIncluded) {
+  // conf({1} => {2}) = 3/4 exactly; supp({2}) = 3/4, so lift = 1 exactly.
+  // Both land on the threshold and must pass the accept-lenient epsilon
+  // deterministically (the comparisons at rules.cc use `+ 1e-12 <`).
+  TransactionDatabase db;
+  for (int i = 0; i < 3; ++i) db.Add(std::vector<ItemId>{1, 2});
+  db.Add(std::vector<ItemId>{1});
+  MiningResult mining = MineAll(db, 0.25);
+  RuleParams params;
+  params.min_confidence = 0.75;
+  params.min_lift = 1.0;
+  auto rules = GenerateRules(mining, db.size(), params);
+  ASSERT_TRUE(rules.ok());
+  bool found = false;
+  for (const auto& rule : *rules) {
+    if (rule.antecedent == Itemset{1} && rule.consequent == Itemset{2}) {
+      found = true;
+      EXPECT_EQ(rule.confidence, 0.75);
+      EXPECT_EQ(rule.lift, 1.0);
+    }
+  }
+  EXPECT_TRUE(found) << "rule exactly at both thresholds was dropped";
+  // Nudging either threshold past the rule's exact value excludes it.
+  params.min_confidence = 0.75 + 1e-9;
+  auto stricter = GenerateRules(mining, db.size(), params);
+  ASSERT_TRUE(stricter.ok());
+  for (const auto& rule : *stricter) {
+    EXPECT_FALSE(rule.antecedent == Itemset{1} &&
+                 rule.consequent == Itemset{2});
+  }
+  params.min_confidence = 0.75;
+  params.min_lift = 1.0 + 1e-9;
+  auto lift_strict = GenerateRules(mining, db.size(), params);
+  ASSERT_TRUE(lift_strict.ok());
+  for (const auto& rule : *lift_strict) {
+    EXPECT_FALSE(rule.antecedent == Itemset{1} &&
+                 rule.consequent == Itemset{2});
+  }
+}
+
+TEST(RulesTest, LeverageComputedCorrectly) {
+  TransactionDatabase db = PlantedDatabase();
+  MiningResult mining = MineAll(db, 0.05);
+  RuleParams params;
+  params.min_confidence = 0.1;
+  auto rules = GenerateRules(mining, db.size(), params);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_FALSE(rules->empty());
+  for (const auto& rule : *rules) {
+    uint32_t antecedent_support = 0, consequent_support = 0;
+    for (size_t t = 0; t < db.size(); ++t) {
+      if (IsSubsetOf(rule.antecedent, db.transaction(t))) {
+        ++antecedent_support;
+      }
+      if (IsSubsetOf(rule.consequent, db.transaction(t))) {
+        ++consequent_support;
+      }
+    }
+    double n = static_cast<double>(db.size());
+    double expected = rule.support - (antecedent_support / n) *
+                                         (consequent_support / n);
+    EXPECT_NEAR(rule.leverage, expected, 1e-12) << FormatRule(rule);
+    EXPECT_GE(rule.leverage, -0.25 - 1e-12);
+    EXPECT_LE(rule.leverage, 0.25 + 1e-12);
+  }
+}
+
 
 TEST(RulesTest, ConvictionComputedCorrectly) {
   TransactionDatabase db = PlantedDatabase();
@@ -231,13 +311,31 @@ TEST(RulesTest, FormatRuleReadable) {
   rule.support = 0.25;
   rule.confidence = 0.8;
   rule.lift = 1.6;
+  rule.conviction = 2.5;
+  rule.leverage = 0.0938;
   EXPECT_EQ(FormatRule(rule),
-            "{0} => {1} (supp=0.2500, conf=0.800, lift=1.60)");
+            "{0} => {1} (supp=0.2500, conf=0.800, lift=1.60, conv=2.50, "
+            "lev=0.0938)");
   core::ItemDictionary dict;
   dict.GetOrAdd("beer");
   dict.GetOrAdd("chips");
   EXPECT_EQ(FormatRule(rule, &dict),
-            "{beer} => {chips} (supp=0.2500, conf=0.800, lift=1.60)");
+            "{beer} => {chips} (supp=0.2500, conf=0.800, lift=1.60, "
+            "conv=2.50, lev=0.0938)");
+}
+
+TEST(RulesTest, FormatRulePrintsCappedConvictionAsInf) {
+  AssociationRule rule;
+  rule.antecedent = {0};
+  rule.consequent = {1};
+  rule.support = 0.5;
+  rule.confidence = 1.0;
+  rule.lift = 2.0;
+  rule.conviction = 1e12;  // the cap FormatRule renders as "inf"
+  rule.leverage = 0.25;
+  EXPECT_EQ(FormatRule(rule),
+            "{0} => {1} (supp=0.5000, conf=1.000, lift=2.00, conv=inf, "
+            "lev=0.2500)");
 }
 
 }  // namespace

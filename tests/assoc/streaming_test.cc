@@ -1,0 +1,219 @@
+#include "assoc/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "assoc/fp_growth.h"
+#include "assoc/itemset.h"
+#include "core/check.h"
+#include "gen/quest.h"
+
+namespace dmt::assoc {
+namespace {
+
+using core::ItemId;
+using core::TransactionDatabase;
+
+TransactionDatabase QuestBatch(uint64_t seed, size_t transactions = 300) {
+  gen::QuestParams params;
+  params.num_transactions = transactions;
+  params.avg_transaction_size = 8;
+  params.avg_pattern_size = 3;
+  params.num_items = 60;
+  params.num_patterns = 30;
+  auto db = gen::GenerateQuestTransactions(params, seed);
+  DMT_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+uint32_t TrueCount(const TransactionDatabase& db, const Itemset& items) {
+  uint32_t count = 0;
+  for (size_t t = 0; t < db.size(); ++t) {
+    if (IsSubsetOf(items, db.transaction(t))) ++count;
+  }
+  return count;
+}
+
+TEST(StreamingParamsTest, ValidatesRanges) {
+  StreamingParams params;
+  EXPECT_TRUE(params.Validate().ok());
+  params.min_support = 0.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = StreamingParams();
+  params.error = params.min_support;  // ε must stay strictly below s
+  EXPECT_FALSE(params.Validate().ok());
+  params = StreamingParams();
+  params.error = -0.001;
+  EXPECT_FALSE(params.Validate().ok());
+  params = StreamingParams();
+  params.window_batches = 0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(StreamingParamsTest, ValidateRejectsNaNThresholds) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  StreamingParams params;
+  params.min_support = nan;
+  EXPECT_FALSE(params.Validate().ok());
+  params = StreamingParams();
+  params.error = nan;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(StreamingParamsTest, ZeroErrorSelectsTenthOfSupport) {
+  StreamingParams params;
+  params.min_support = 0.05;
+  EXPECT_NEAR(params.EffectiveError(), 0.005, 1e-15);
+  params.error = 0.01;
+  EXPECT_EQ(params.EffectiveError(), 0.01);
+}
+
+TEST(StreamingMinerTest, WindowSlidesAndEvictsOldestBatch) {
+  StreamingParams params;
+  params.min_support = 0.05;
+  params.window_batches = 3;
+  auto miner = StreamingMiner::Create(params);
+  ASSERT_TRUE(miner.ok());
+  for (uint64_t b = 0; b < 5; ++b) {
+    ASSERT_TRUE(miner->AddBatch(QuestBatch(100 + b, 200 + 10 * b)).ok());
+  }
+  EXPECT_EQ(miner->batches_seen(), 5u);
+  // Window = batches 2, 3, 4 of sizes 220, 230, 240.
+  EXPECT_EQ(miner->window_transactions(), 220u + 230u + 240u);
+  EXPECT_EQ(miner->WindowTransactions().size(), 220u + 230u + 240u);
+}
+
+TEST(StreamingMinerTest, EmptyBatchesAreIgnored) {
+  auto miner = StreamingMiner::Create(StreamingParams());
+  ASSERT_TRUE(miner.ok());
+  ASSERT_TRUE(miner->AddBatch(TransactionDatabase()).ok());
+  EXPECT_EQ(miner->batches_seen(), 0u);
+  EXPECT_EQ(miner->window_transactions(), 0u);
+}
+
+TEST(StreamingMinerTest, EmptyWindowMinesToNothing) {
+  auto miner = StreamingMiner::Create(StreamingParams());
+  ASSERT_TRUE(miner.ok());
+  StreamingWindowStats stats;
+  auto result = miner->MineWindow(&stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->itemsets.empty());
+  EXPECT_EQ(stats.window_transactions, 0u);
+}
+
+TEST(StreamingMinerTest, MineWindowMatchesExactMinerOnWindow) {
+  StreamingParams params;
+  params.min_support = 0.03;
+  params.window_batches = 4;
+  auto miner = StreamingMiner::Create(params);
+  ASSERT_TRUE(miner.ok());
+  for (uint64_t b = 0; b < 6; ++b) {
+    ASSERT_TRUE(miner->AddBatch(QuestBatch(7 + b)).ok());
+  }
+  StreamingWindowStats stats;
+  auto streamed = miner->MineWindow(&stats);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_FALSE(streamed->itemsets.empty());
+  EXPECT_EQ(stats.window_transactions, miner->window_transactions());
+  EXPECT_GE(stats.candidates_checked, stats.summary_candidates);
+
+  MiningParams exact_params;
+  exact_params.min_support = params.min_support;
+  auto exact = MineFpGrowth(miner->WindowTransactions(), exact_params);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(streamed->itemsets, exact->itemsets);
+}
+
+TEST(StreamingMinerTest, LossyCountingErrorBoundHolds) {
+  StreamingParams params;
+  params.min_support = 0.03;
+  params.window_batches = 4;
+  auto miner = StreamingMiner::Create(params);
+  ASSERT_TRUE(miner.ok());
+  for (uint64_t b = 0; b < 4; ++b) {
+    ASSERT_TRUE(miner->AddBatch(QuestBatch(21 + b)).ok());
+  }
+  const TransactionDatabase window = miner->WindowTransactions();
+  const double n = static_cast<double>(window.size());
+  const double epsilon = params.EffectiveError();
+  std::vector<FrequentItemset> approx = miner->ApproximateCounts();
+  ASSERT_FALSE(approx.empty());
+  for (const FrequentItemset& itemset : approx) {
+    uint32_t true_count = TrueCount(window, itemset.items);
+    // f never overestimates and misses at most ε occurrences per window
+    // transaction: true - ε·N <= f <= true.
+    EXPECT_LE(itemset.support, true_count) << FormatItemset(itemset);
+    EXPECT_GE(static_cast<double>(itemset.support),
+              static_cast<double>(true_count) - epsilon * n - 1e-9)
+        << FormatItemset(itemset);
+  }
+  // No false negatives: everything truly frequent at s (a fortiori at
+  // s + ε) appears in the verified output.
+  auto streamed = miner->MineWindow();
+  ASSERT_TRUE(streamed.ok());
+  MiningParams exact_params;
+  exact_params.min_support = params.min_support;
+  auto exact = MineFpGrowth(window, exact_params);
+  ASSERT_TRUE(exact.ok());
+  for (const FrequentItemset& itemset : exact->itemsets) {
+    EXPECT_NE(std::find(streamed->itemsets.begin(), streamed->itemsets.end(),
+                        itemset),
+              streamed->itemsets.end())
+        << "missing truly frequent " << FormatItemset(itemset);
+  }
+}
+
+TEST(StreamingMinerTest, MaxItemsetSizeCapsWindowResults) {
+  StreamingParams params;
+  params.min_support = 0.03;
+  params.max_itemset_size = 2;
+  auto miner = StreamingMiner::Create(params);
+  ASSERT_TRUE(miner.ok());
+  for (uint64_t b = 0; b < 3; ++b) {
+    ASSERT_TRUE(miner->AddBatch(QuestBatch(31 + b)).ok());
+  }
+  auto streamed = miner->MineWindow();
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_FALSE(streamed->itemsets.empty());
+  for (const FrequentItemset& itemset : streamed->itemsets) {
+    EXPECT_LE(itemset.items.size(), 2u);
+  }
+  MiningParams exact_params;
+  exact_params.min_support = params.min_support;
+  exact_params.max_itemset_size = 2;
+  auto exact = MineFpGrowth(miner->WindowTransactions(), exact_params);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(streamed->itemsets, exact->itemsets);
+}
+
+TEST(StreamingMinerTest, ResultsIdenticalAfterEviction) {
+  // Mining after the window slid past old batches must equal an exact
+  // mine of only the retained suffix — evicted batches leave no residue.
+  StreamingParams params;
+  params.min_support = 0.04;
+  params.window_batches = 2;
+  auto miner = StreamingMiner::Create(params);
+  ASSERT_TRUE(miner.ok());
+  for (uint64_t b = 0; b < 5; ++b) {
+    ASSERT_TRUE(miner->AddBatch(QuestBatch(41 + b)).ok());
+  }
+  TransactionDatabase retained;
+  for (uint64_t b = 3; b < 5; ++b) {
+    TransactionDatabase batch = QuestBatch(41 + b);
+    for (size_t t = 0; t < batch.size(); ++t) {
+      retained.Add(batch.transaction(t));
+    }
+  }
+  auto streamed = miner->MineWindow();
+  ASSERT_TRUE(streamed.ok());
+  MiningParams exact_params;
+  exact_params.min_support = params.min_support;
+  auto exact = MineFpGrowth(retained, exact_params);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(streamed->itemsets, exact->itemsets);
+}
+
+}  // namespace
+}  // namespace dmt::assoc

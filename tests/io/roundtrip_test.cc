@@ -11,6 +11,7 @@
 
 #include "assoc/apriori.h"
 #include "assoc/fp_growth.h"
+#include "assoc/quantitative.h"
 #include "assoc/rules.h"
 #include "cluster/kmeans.h"
 #include "core/check.h"
@@ -226,7 +227,64 @@ TEST(RuleSetRoundtripTest, LoadedRulesAreIdentical) {
     EXPECT_EQ(std::memcmp(&got.lift, &want.lift, sizeof(double)), 0);
     EXPECT_EQ(
         std::memcmp(&got.conviction, &want.conviction, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&got.leverage, &want.leverage, sizeof(double)), 0);
   }
+}
+
+TEST(QuantRuleSetRoundtripTest, LoadedRuleSetIsIdentical) {
+  const auto dataset = AgrawalWorkload(19);
+  assoc::QuantParams params;
+  params.min_support = 0.1;
+  params.num_bins = 6;
+  params.min_confidence = 0.6;
+  auto rule_set = assoc::MineQuantitativeRules(dataset, params);
+  ASSERT_TRUE(rule_set.ok());
+  ASSERT_FALSE(rule_set->rules.empty());
+  ASSERT_FALSE(rule_set->items.empty());
+
+  const std::string path = TempPath("quant_rules.dmtb");
+  ASSERT_TRUE(WriteQuantRuleSet(*rule_set, path).ok());
+  auto loaded = LoadQuantRuleSet(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->items, rule_set->items);
+  EXPECT_EQ(std::memcmp(&loaded->partial_completeness,
+                        &rule_set->partial_completeness, sizeof(double)),
+            0);
+  EXPECT_EQ(loaded->itemsets_mined, rule_set->itemsets_mined);
+  EXPECT_EQ(loaded->itemsets_attribute_distinct,
+            rule_set->itemsets_attribute_distinct);
+  ASSERT_EQ(loaded->rules.size(), rule_set->rules.size());
+  for (size_t r = 0; r < rule_set->rules.size(); ++r) {
+    const auto& want = rule_set->rules[r];
+    const auto& got = loaded->rules[r];
+    EXPECT_EQ(got.antecedent, want.antecedent);
+    EXPECT_EQ(got.consequent, want.consequent);
+    EXPECT_EQ(got.support_count, want.support_count);
+    EXPECT_EQ(std::memcmp(&got.leverage, &want.leverage, sizeof(double)), 0);
+    // The loaded rules format identically — labels and measures survive.
+    EXPECT_EQ(assoc::FormatQuantRule(got, loaded->items),
+              assoc::FormatQuantRule(want, rule_set->items));
+  }
+}
+
+TEST(QuantRuleSetRoundtripTest, RejectsOutOfRangeItemIds) {
+  assoc::QuantRuleSet rule_set;
+  assoc::QuantItem item;
+  item.attribute = 0;
+  item.lo = 1.0;
+  item.hi = 2.0;
+  item.label = "x in [1, 2]";
+  rule_set.items.push_back(item);
+  assoc::AssociationRule rule;
+  rule.antecedent = {0};
+  rule.consequent = {7};  // only one item exists
+  rule_set.rules.push_back(rule);
+  const std::string path = TempPath("quant_rules_bad.dmtb");
+  ASSERT_TRUE(WriteQuantRuleSet(rule_set, path).ok());
+  auto loaded = LoadQuantRuleSet(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kCorruption)
+      << loaded.status().ToString();
 }
 
 TEST(DecisionTreeRoundtripTest, LoadedTreePredictsIdentically) {

@@ -34,6 +34,7 @@ KERNEL_SENSITIVE_TESTS=(
   tests/core/core_kernels_test
   tests/assoc/assoc_parallel_diff_test
   tests/assoc/assoc_out_of_core_diff_test
+  tests/assoc/assoc_quant_stream_diff_test
   tests/cluster/cluster_parallel_diff_test
 )
 for t in "${KERNEL_SENSITIVE_TESTS[@]}"; do
@@ -53,6 +54,7 @@ TSAN_TARGETS=(
   obs_metrics_test
   assoc_parallel_diff_test
   assoc_out_of_core_diff_test
+  assoc_quant_stream_diff_test
   cluster_parallel_diff_test
   seq_parallel_diff_test
   tree_parallel_diff_test
@@ -69,6 +71,7 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$ROOT/build-tsan/tests/obs/obs_metrics_test"
 "$ROOT/build-tsan/tests/assoc/assoc_parallel_diff_test"
 "$ROOT/build-tsan/tests/assoc/assoc_out_of_core_diff_test"
+"$ROOT/build-tsan/tests/assoc/assoc_quant_stream_diff_test"
 "$ROOT/build-tsan/tests/cluster/cluster_parallel_diff_test"
 "$ROOT/build-tsan/tests/seq/seq_parallel_diff_test"
 "$ROOT/build-tsan/tests/tree/tree_parallel_diff_test"
@@ -180,6 +183,17 @@ json_check "$SMOKE_DIR/io.json" bytes
   --benchmark_filter='BM_AprioriOutOfCore/5000' \
   --json "$SMOKE_DIR/assoc_ooc.json" >/dev/null
 json_check "$SMOKE_DIR/assoc_ooc.json" partitions bytes_mapped transactions
+# Quantitative + streaming bench: the serial quantitative row must emit
+# the rule/interval columns, the window row its verification counters.
+"$BENCH_DIR/bench_quantitative" --no-table \
+  --benchmark_filter='BM_QuantitativeMine/1' \
+  --json "$SMOKE_DIR/quantitative.json" >/dev/null
+json_check "$SMOKE_DIR/quantitative.json" threads rules interval_items
+"$BENCH_DIR/bench_quantitative" --no-table \
+  --benchmark_filter='BM_StreamingMineWindow' \
+  --json "$SMOKE_DIR/streaming.json" >/dev/null
+json_check "$SMOKE_DIR/streaming.json" window_transactions \
+  candidates_checked border_misses
 # Kernel microbench: the smallest bitset row at every compiled-in level,
 # plus a forced-scalar run to prove the override reaches the record.
 "$BENCH_DIR/bench_kernels" --no-table \
