@@ -12,7 +12,6 @@
 
 #include <chrono>
 #include <cstddef>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -29,7 +28,6 @@
 
 namespace {
 
-using dmt::bench::LatencyRecorder;
 using dmt::serve::BatchQueue;
 using dmt::serve::ModelBundle;
 using dmt::serve::Request;
@@ -112,11 +110,13 @@ uint64_t ServeCounter(const char* name) {
   return dmt::obs::Registry::Global().CounterValue(name);
 }
 
-// Args: clients, batch_size, cache_capacity.
+// Args: clients, batch_size, cache_capacity, telemetry (the EXT-12
+// on/off overhead pair shares the clients=8/batch=8/cache=512 cell).
 void BM_ServeReplay(benchmark::State& state) {
   const size_t clients = static_cast<size_t>(state.range(0));
   const uint32_t batch_size = static_cast<uint32_t>(state.range(1));
   const size_t cache_capacity = static_cast<size_t>(state.range(2));
+  const bool telemetry = state.range(3) != 0;
   const auto& traffic = ReplayTraffic();
 
   dmt::obs::Registry::Global().Reset();
@@ -125,10 +125,12 @@ void BM_ServeReplay(benchmark::State& state) {
   options.batch_timeout_us = 100;
   options.num_threads = 4;
   options.cache_capacity = cache_capacity;
+  options.latency_telemetry = telemetry;
   Server server(ServingBundle(), options);
 
-  LatencyRecorder latency;
-  std::mutex latency_mutex;
+  // Client-observed latency (submit -> response callback), recorded into
+  // a registry histogram — atomic buckets, so no mutex in the callback.
+  dmt::obs::Histogram latency("bench/serve/client_us");
   size_t total_requests = 0;
 
   for (auto _ : state) {
@@ -145,8 +147,7 @@ void BM_ServeReplay(benchmark::State& state) {
                 std::chrono::duration<double, std::micro>(
                     std::chrono::steady_clock::now() - start)
                     .count();
-            std::lock_guard<std::mutex> lock(latency_mutex);
-            latency.Record(us);
+            latency.Record(us <= 0.0 ? 0 : static_cast<uint64_t>(us));
           });
         }
       });
@@ -159,8 +160,11 @@ void BM_ServeReplay(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(total_requests));
   state.counters["qps"] = benchmark::Counter(
       static_cast<double>(total_requests), benchmark::Counter::kIsRate);
-  state.counters["p50_us"] = latency.Percentile(50.0);
-  state.counters["p99_us"] = latency.Percentile(99.0);
+  const dmt::obs::HistogramData latency_data = latency.Data();
+  state.counters["p50_us"] =
+      static_cast<double>(latency_data.Percentile(50.0));
+  state.counters["p99_us"] =
+      static_cast<double>(latency_data.Percentile(99.0));
   const uint64_t requests = ServeCounter("serve/requests");
   const uint64_t batches = ServeCounter("serve/batches");
   state.counters["mean_batch"] =
@@ -181,10 +185,17 @@ void Configs(benchmark::internal::Benchmark* bench) {
   for (int64_t clients : {1, 8, 64}) {
     for (int64_t batch : {1, 8, 64}) {
       for (int64_t cache : {0, 512}) {
-        bench->Args({clients, batch, cache});
+        bench->Args({clients, batch, cache, 1});
       }
     }
   }
+  // EXT-12: telemetry-off twins of the clients=8/batch=8 cells; each
+  // pair bounds the histogram+span recording overhead. cache=0 is the
+  // representative hot path (every request scans rules); cache=512 is
+  // the worst case for relative overhead (cache hits make the request
+  // itself nearly free).
+  bench->Args({8, 8, 0, 0});
+  bench->Args({8, 8, 512, 0});
   bench->Unit(benchmark::kMillisecond)->UseRealTime();
 }
 

@@ -44,52 +44,12 @@ class ScopedTraceCollection {
   bool was_enabled_;
 };
 
-/// Latency/percentile accumulator shared by the benches (bench_serving's
-/// p50/p99 columns and anything else that reports tail latency). Uses
-/// the nearest-rank definition — rank = ceil(p/100 * n), 1-based into
-/// the ascending sort — so every percentile is an actual recorded sample
-/// and the result is a pure function of the multiset of samples:
-/// recording order and Merge() order cannot change any percentile
-/// (asserted by tests/core/bench_util_test.cc, not assumed).
-class LatencyRecorder {
- public:
-  void Record(double value) { samples_.push_back(value); }
-
-  /// Folds another recorder's samples into this one.
-  void Merge(const LatencyRecorder& other) {
-    samples_.insert(samples_.end(), other.samples_.begin(),
-                    other.samples_.end());
-  }
-
-  size_t count() const { return samples_.size(); }
-
-  /// Nearest-rank percentile, p in [0, 100]. Requires count() > 0.
-  double Percentile(double p) const {
-    DMT_CHECK(!samples_.empty());
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
-    size_t index = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
-    if (index >= sorted.size()) index = sorted.size() - 1;
-    return sorted[index];
-  }
-
-  /// Arithmetic mean in recording order. Requires count() > 0.
-  double Mean() const {
-    DMT_CHECK(!samples_.empty());
-    double sum = 0.0;
-    for (double v : samples_) sum += v;
-    return sum / static_cast<double>(samples_.size());
-  }
-
-  double Max() const {
-    DMT_CHECK(!samples_.empty());
-    return *std::max_element(samples_.begin(), samples_.end());
-  }
-
- private:
-  std::vector<double> samples_;
-};
+// Latency percentiles for benches come from obs::Histogram (metrics.h):
+// record microsecond samples into a named histogram and read p50/p99
+// through HistogramData::Percentile — the same nearest-rank readout the
+// serving telemetry exposes, unit-tested once in
+// tests/obs/histogram_test.cc. (This replaced the bench-private
+// LatencyRecorder: one implementation, shared with production.)
 
 /// Cached Quest transaction workload (keyed by T, I, D).
 inline const core::TransactionDatabase& QuestWorkload(double t, double i,

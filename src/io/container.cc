@@ -5,6 +5,9 @@
 #include <cstring>
 
 #include "core/crc32.h"
+#include "core/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dmt::io {
 
@@ -91,6 +94,7 @@ core::Status ContainerWriter::WriteToFile(const std::string& path) const {
 
 core::Result<ContainerReader> ContainerReader::Map(const std::string& path,
                                                    ArtifactType expected) {
+  obs::Span span("io/container/map");
   DMT_ASSIGN_OR_RETURN(core::MappedFile file, core::MappedFile::Open(path));
   DMT_ASSIGN_OR_RETURN(ContainerReader reader,
                        FromBytes(file.bytes(), expected, path));
@@ -99,12 +103,16 @@ core::Result<ContainerReader> ContainerReader::Map(const std::string& path,
   // the (now moved) MappedFile, and spans into it stay valid because the
   // mapping address moves with the object.
   reader.bytes_ = reader.file_.bytes();
+  span.AddArg("bytes", reader.bytes_.size());
+  span.AddArg("sections", reader.entries().size());
+  obs::Counter("io/bytes_mapped").Add(reader.bytes_.size());
   return reader;
 }
 
 core::Result<ContainerReader> ContainerReader::FromBytes(
     std::span<const std::byte> bytes, ArtifactType expected,
     std::string name) {
+  core::WallTimer validate_timer;
   if (bytes.size() < sizeof(FileHeader)) {
     return core::Status::Corruption(
         name + ": truncated — " + std::to_string(bytes.size()) +
@@ -203,6 +211,13 @@ core::Result<ContainerReader> ContainerReader::FromBytes(
         std::to_string(header.artifact_type) + "), loader expected " +
         std::string(ArtifactTypeName(expected)));
   }
+
+  // Validation telemetry: the section count is deterministic (counter);
+  // the CRC wall time is not, so it lives in a histogram, outside the
+  // deterministic counter contract.
+  obs::Counter("io/sections_validated").Add(entries.size());
+  obs::Histogram("io/crc_us")
+      .Record(static_cast<uint64_t>(validate_timer.ElapsedSeconds() * 1e6));
 
   ContainerReader reader;
   reader.bytes_ = bytes;

@@ -38,10 +38,9 @@ core::Status WriteContainer(const ContainerWriter& writer,
 
 core::Result<ContainerReader> MapContainer(const std::string& path,
                                            ArtifactType type) {
-  DMT_ASSIGN_OR_RETURN(ContainerReader reader,
-                       ContainerReader::Map(path, type));
-  obs::Counter("io/bytes_mapped").Add(reader.bytes_mapped());
-  return reader;
+  // ContainerReader::Map owns the "io/container/map" span and the
+  // io/bytes_mapped counter, so direct Map callers (dmt_pack) count too.
+  return ContainerReader::Map(path, type);
 }
 
 }  // namespace
@@ -94,7 +93,7 @@ core::Status CheckTransactionSections(const ContainerReader& reader,
 
 core::Result<core::TransactionDatabase> LoadTransactionDatabase(
     const std::string& path) {
-  obs::Span span("io/serialize/load");
+  obs::Span span("io/serialize/load/transactions");
   DMT_ASSIGN_OR_RETURN(
       ContainerReader reader,
       MapContainer(path, ArtifactType::kTransactionDatabase));
@@ -121,7 +120,7 @@ core::Result<core::TransactionDatabase> LoadTransactionDatabase(
 
 core::Result<MappedTransactionDatabase> MappedTransactionDatabase::Map(
     const std::string& path) {
-  obs::Span span("io/serialize/load");
+  obs::Span span("io/serialize/load/transactions_mmap");
   MappedTransactionDatabase view;
   DMT_ASSIGN_OR_RETURN(
       view.reader_,
@@ -215,7 +214,7 @@ core::Status WriteDataset(const core::Dataset& dataset,
 }
 
 core::Result<core::Dataset> LoadDataset(const std::string& path) {
-  obs::Span span("io/serialize/load");
+  obs::Span span("io/serialize/load/dataset");
   DMT_ASSIGN_OR_RETURN(ContainerReader reader,
                        MapContainer(path, ArtifactType::kDataset));
   DMT_ASSIGN_OR_RETURN(std::span<const std::byte> schema_bytes,
@@ -330,7 +329,7 @@ core::Status WriteMiningResult(const assoc::MiningResult& result,
 }
 
 core::Result<assoc::MiningResult> LoadMiningResult(const std::string& path) {
-  obs::Span span("io/serialize/load");
+  obs::Span span("io/serialize/load/mining_result");
   DMT_ASSIGN_OR_RETURN(ContainerReader reader,
                        MapContainer(path, ArtifactType::kMiningResult));
   DMT_ASSIGN_OR_RETURN(std::span<const std::byte> meta_bytes,
@@ -460,7 +459,7 @@ core::Status WriteRuleSet(const std::vector<assoc::AssociationRule>& rules,
 
 core::Result<std::vector<assoc::AssociationRule>> LoadRuleSet(
     const std::string& path) {
-  obs::Span span("io/serialize/load");
+  obs::Span span("io/serialize/load/rule_set");
   DMT_ASSIGN_OR_RETURN(ContainerReader reader,
                        MapContainer(path, ArtifactType::kRuleSet));
   DMT_ASSIGN_OR_RETURN(std::span<const std::byte> payload,
@@ -505,7 +504,7 @@ core::Status WriteQuantRuleSet(const assoc::QuantRuleSet& rule_set,
 }
 
 core::Result<assoc::QuantRuleSet> LoadQuantRuleSet(const std::string& path) {
-  obs::Span span("io/serialize/load");
+  obs::Span span("io/serialize/load/quant_rule_set");
   DMT_ASSIGN_OR_RETURN(ContainerReader reader,
                        MapContainer(path, ArtifactType::kQuantRuleSet));
   assoc::QuantRuleSet rule_set;
@@ -615,7 +614,7 @@ core::Status WriteDecisionTree(const tree::DecisionTree& tree,
 }
 
 core::Result<tree::DecisionTree> LoadDecisionTree(const std::string& path) {
-  obs::Span span("io/serialize/load");
+  obs::Span span("io/serialize/load/tree");
   DMT_ASSIGN_OR_RETURN(ContainerReader reader,
                        MapContainer(path, ArtifactType::kDecisionTree));
   DMT_ASSIGN_OR_RETURN(std::span<const std::byte> meta_bytes,
@@ -729,7 +728,7 @@ core::Status WriteKMeansModel(const cluster::ClusteringResult& model,
 
 core::Result<cluster::ClusteringResult> LoadKMeansModel(
     const std::string& path) {
-  obs::Span span("io/serialize/load");
+  obs::Span span("io/serialize/load/kmeans");
   DMT_ASSIGN_OR_RETURN(ContainerReader reader,
                        MapContainer(path, ArtifactType::kKMeansModel));
   DMT_ASSIGN_OR_RETURN(std::span<const std::byte> meta_bytes,

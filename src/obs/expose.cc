@@ -1,0 +1,137 @@
+#include "obs/expose.h"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dmt::obs {
+
+namespace {
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+// Upper-bound label for bucket `index`: the bound in decimal, or "+Inf"
+// for the overflow bucket. Shared by both renderings so the JSON bucket
+// keys and the Prometheus `le` labels agree.
+std::string BoundLabel(size_t index) {
+  if (index >= histogram_buckets::kNumBuckets - 1) return "+Inf";
+  std::string label;
+  AppendUint(&label, histogram_buckets::BucketUpperBound(index));
+  return label;
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "dmt_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  return out;
+}
+
+std::string RenderPrometheusText() {
+  Registry& registry = Registry::Global();
+  std::string out;
+  for (const auto& [name, value] : registry.CounterSnapshot()) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " ";
+    AppendUint(&out, value);
+    out += "\n";
+  }
+  for (const auto& [name, value] : registry.GaugeSnapshot()) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " ";
+    AppendDouble(&out, value);
+    out += "\n";
+  }
+  for (const HistogramData& hist : registry.HistogramSnapshot()) {
+    const std::string prom = PrometheusName(hist.name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      bool overflow = i + 1 == hist.buckets.size();
+      if (hist.buckets[i] == 0 && !overflow) continue;  // elide empties
+      cumulative += hist.buckets[i];
+      out += prom + "_bucket{le=\"" + BoundLabel(i) + "\"} ";
+      AppendUint(&out, overflow ? hist.count : cumulative);
+      out += "\n";
+    }
+    out += prom + "_sum ";
+    AppendUint(&out, hist.sum);
+    out += "\n" + prom + "_count ";
+    AppendUint(&out, hist.count);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderJsonSnapshot() {
+  Registry& registry = Registry::Global();
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : registry.CounterSnapshot()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": ";
+    AppendUint(&out, value);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : registry.GaugeSnapshot()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": ";
+    AppendDouble(&out, value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const HistogramData& hist : registry.HistogramSnapshot()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + hist.name + "\": {\"count\": ";
+    AppendUint(&out, hist.count);
+    out += ", \"sum\": ";
+    AppendUint(&out, hist.sum);
+    out += ", \"mean\": ";
+    AppendDouble(&out, hist.Mean());
+    out += ", \"p50\": ";
+    AppendUint(&out, hist.Percentile(50));
+    out += ", \"p90\": ";
+    AppendUint(&out, hist.Percentile(90));
+    out += ", \"p99\": ";
+    AppendUint(&out, hist.Percentile(99));
+    out += ", \"buckets\": {";
+    bool first_bucket = true;
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (hist.buckets[i] == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "\"" + BoundLabel(i) + "\": ";
+      AppendUint(&out, hist.buckets[i]);
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace dmt::obs

@@ -1,0 +1,41 @@
+// Registry exposition: renders the full metrics registry — counters,
+// gauges, histogram buckets — as Prometheus text (for scraping / the
+// dmtd --metrics-path dump) and as JSON (the bench --json "registry"
+// shape, extended with gauges and histograms). Pure readers: rendering
+// never mutates the registry.
+#ifndef DMT_OBS_EXPOSE_H_
+#define DMT_OBS_EXPOSE_H_
+
+#include <string>
+#include <string_view>
+
+namespace dmt::obs {
+
+/// Mangles a registry metric name into a valid Prometheus metric name:
+/// "serve/cache_hits" -> "dmt_serve_cache_hits". Every character outside
+/// [a-zA-Z0-9_:] becomes '_'; the "dmt_" prefix namespaces the process
+/// and keeps names from starting with a digit.
+std::string PrometheusName(std::string_view name);
+
+/// The whole registry in Prometheus text exposition format 0.0.4: one
+/// "# TYPE" comment plus sample lines per metric, metrics in registry
+/// snapshot (name-sorted) order. Histograms render cumulative
+/// `_bucket{le="..."}` series (empty buckets elided, "+Inf" always
+/// present), `_sum`, and `_count`; cumulative counts are monotone and
+/// `_count` equals the "+Inf" bucket by construction.
+std::string RenderPrometheusText();
+
+/// The whole registry as a JSON object:
+///   {"counters": {"name": n, ...},
+///    "gauges": {"name": x, ...},
+///    "histograms": {"name": {"count": n, "sum": s, "mean": m,
+///                            "p50": a, "p90": b, "p99": c,
+///                            "buckets": {"<upper-bound>": n, ...}}, ...}}
+/// The "counters" object is exactly the bench --json "registry" shape;
+/// histogram buckets are keyed by inclusive upper bound with only
+/// non-empty buckets listed ("+Inf" for the overflow bucket).
+std::string RenderJsonSnapshot();
+
+}  // namespace dmt::obs
+
+#endif  // DMT_OBS_EXPOSE_H_

@@ -103,6 +103,19 @@ void TraceSink::Record(internal::TraceEvent event) {
   events_.push_back(std::move(event));
 }
 
+void TraceSink::RecordManual(
+    const char* name, double ts_us, double dur_us,
+    std::vector<std::pair<std::string, uint64_t>> args) {
+  if (!enabled()) return;
+  internal::TraceEvent event;
+  event.name = name;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = ThreadId();
+  event.args = std::move(args);
+  Record(std::move(event));
+}
+
 uint32_t TraceSink::ThreadId() {
   static std::atomic<uint32_t> next{1};
   thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);

@@ -113,6 +113,14 @@ class TraceSink {
 
   void Record(internal::TraceEvent event);
 
+  /// Records an externally timed span — serving's per-request telemetry,
+  /// where the request lifetime crosses threads and queues so a
+  /// stack-scoped Span cannot bracket it. `ts_us` is microseconds since
+  /// the sink's epoch (EpochSeconds() · 1e6), `dur_us` the measured
+  /// duration. No-op while collection is disabled.
+  void RecordManual(const char* name, double ts_us, double dur_us,
+                    std::vector<std::pair<std::string, uint64_t>> args);
+
   /// Stable small integer for the calling thread (trace "tid").
   uint32_t ThreadId();
 

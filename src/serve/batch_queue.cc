@@ -30,10 +30,12 @@ BatchQueue::~BatchQueue() {
 
 void BatchQueue::Submit(std::vector<std::byte> frame,
                         ResponseCallback callback) {
+  const double submit_ts = server_->TelemetryNowUs();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     DMT_CHECK(!stopping_);
-    queue_.push_back(Item{std::move(frame), std::move(callback)});
+    queue_.push_back(
+        Item{std::move(frame), std::move(callback), submit_ts});
   }
   work_available_.notify_one();
 }
@@ -96,10 +98,16 @@ void BatchQueue::RunBatch(std::vector<Item> items) {
   callbacks->reserve(items.size());
   for (Item& item : items) {
     batch->push_back(server_->Prepare(item.frame));
+    server_->RecordQueueWait(&batch->back(), item.submit_ts_us);
     callbacks->push_back(std::move(item.callback));
   }
   for (PreparedRequest& p : *batch) server_->LookupCache(&p);
-  server_->CountBatch(batch->size());
+  {
+    std::vector<PreparedRequest*> pointers;
+    pointers.reserve(batch->size());
+    for (PreparedRequest& p : *batch) pointers.push_back(&p);
+    server_->CountBatch(std::span<PreparedRequest*>(pointers));
+  }
 
   auto evaluate = [this, batch, callbacks] {
     std::vector<PreparedRequest*> pointers;
@@ -109,6 +117,7 @@ void BatchQueue::RunBatch(std::vector<Item> items) {
         server_->EvaluateBatch(std::span<PreparedRequest*>(pointers)));
     for (const PreparedRequest& p : *batch) server_->InsertCacheMisses(p);
     for (size_t i = 0; i < batch->size(); ++i) {
+      server_->RecordRequestDone(&(*batch)[i]);
       (*callbacks)[i](std::move((*batch)[i].encoded));
     }
     {

@@ -58,6 +58,9 @@ class BatchQueue {
   struct Item {
     std::vector<std::byte> frame;
     ResponseCallback callback;
+    /// Telemetry stamp taken at Submit(); 0 when telemetry is off. The
+    /// drain credits submit -> prepare to the queue-wait histogram.
+    double submit_ts_us = 0.0;
   };
 
   void DrainLoop();

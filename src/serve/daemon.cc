@@ -5,14 +5,18 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <utility>
 
+#include "core/mmap_file.h"
 #include "core/string_util.h"
+#include "obs/expose.h"
 #include "obs/log.h"
 #include "serve/batch_queue.h"
 
@@ -20,6 +24,47 @@ namespace dmt::serve {
 
 using core::Result;
 using core::Status;
+
+MetricsDumper::MetricsDumper(std::string path, uint32_t interval_ms)
+    : path_(std::move(path)),
+      interval_ms_(interval_ms > 0 ? interval_ms : 1) {
+  DumpOnce();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MetricsDumper::~MetricsDumper() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  DumpOnce();
+}
+
+void MetricsDumper::DumpOnce() {
+  const std::string text = obs::RenderPrometheusText();
+  Status written = core::WriteFileBytes(
+      path_,
+      std::as_bytes(std::span<const char>(text.data(), text.size())));
+  if (!written.ok()) {
+    obs::Log(obs::LogSeverity::kWarning, "metrics dump to %s failed: %s",
+             path_.c_str(), written.ToString().c_str());
+  }
+}
+
+void MetricsDumper::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stop_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                          [this] { return stopping_; })) {
+      return;  // final dump happens after join, from the destructor
+    }
+    lock.unlock();
+    DumpOnce();
+    lock.lock();
+  }
+}
 
 namespace {
 

@@ -13,8 +13,11 @@
 #ifndef DMT_SERVE_DAEMON_H_
 #define DMT_SERVE_DAEMON_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/status.h"
@@ -22,6 +25,37 @@
 #include "serve/server.h"
 
 namespace dmt::serve {
+
+/// Periodic registry export for scrapers: renders the full metrics
+/// registry (counters, gauges, histograms) in Prometheus text format to
+/// `path` once at start, every `interval_ms` thereafter, and one final
+/// time at destruction — so even a short script run leaves a complete
+/// dump behind. Writes go through core::WriteFileBytes (same-directory
+/// temp + rename), so scrapers never read a torn file. Used by
+/// `dmtd --metrics-path`.
+class MetricsDumper {
+ public:
+  MetricsDumper(std::string path, uint32_t interval_ms);
+  /// Stops the timer thread and writes the final dump.
+  ~MetricsDumper();
+
+  MetricsDumper(const MetricsDumper&) = delete;
+  MetricsDumper& operator=(const MetricsDumper&) = delete;
+
+  /// Renders and writes one dump now. Logs (and keeps running) on write
+  /// failure — metrics export must never take the daemon down.
+  void DumpOnce();
+
+ private:
+  void Loop();
+
+  std::string path_;
+  uint32_t interval_ms_;
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
 
 /// Reads one length-prefixed frame with the given magic from `fd`.
 /// Returns an empty vector on clean EOF (no bytes read), IOError on a

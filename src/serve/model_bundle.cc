@@ -5,6 +5,7 @@
 
 #include "core/string_util.h"
 #include "io/serialize.h"
+#include "obs/trace.h"
 
 namespace dmt::serve {
 
@@ -13,6 +14,7 @@ using core::Status;
 
 Result<std::shared_ptr<const ModelBundle>> ModelBundle::Load(
     const ModelPaths& paths) {
+  obs::Span span("serve/bundle/load");
   auto bundle = std::shared_ptr<ModelBundle>(new ModelBundle());
   if (!paths.tree.empty()) {
     DMT_ASSIGN_OR_RETURN(bundle->tree_, io::LoadDecisionTree(paths.tree));
@@ -27,6 +29,12 @@ Result<std::shared_ptr<const ModelBundle>> ModelBundle::Load(
     DMT_ASSIGN_OR_RETURN(bundle->rules_, io::LoadRuleSet(paths.rules));
   }
   DMT_RETURN_NOT_OK(bundle->FinishInit());
+  span.AddArg("tree", bundle->tree_.has_value() ? 1 : 0);
+  span.AddArg("train_rows",
+              bundle->train_.has_value() ? bundle->train_->num_rows() : 0);
+  span.AddArg("kmeans", bundle->kmeans_.has_value() ? 1 : 0);
+  span.AddArg("rules",
+              bundle->rules_.has_value() ? bundle->rules_->size() : 0);
   return std::shared_ptr<const ModelBundle>(std::move(bundle));
 }
 

@@ -7,6 +7,8 @@
 
 #include "core/check.h"
 #include "core/string_util.h"
+#include "obs/expose.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 
 namespace dmt::serve {
@@ -26,8 +28,34 @@ Status ServeOptions::Validate() const {
     return Status::InvalidArgument(
         "verify_cache_hits requires a cache (cache_capacity > 0)");
   }
+  if (slow_query_us > 0 && !latency_telemetry) {
+    return Status::InvalidArgument(
+        "slow_query_us requires latency_telemetry");
+  }
   return Status::OK();
 }
+
+namespace {
+
+/// Telemetry timebase: microseconds since the trace epoch, shared with
+/// obs::Span so per-request spans align with phase spans.
+double NowUs() { return obs::TraceSink::Global().EpochSeconds() * 1e6; }
+
+uint64_t ToMicros(double us) {
+  return us <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(us));
+}
+
+const char* TypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kClassify: return "classify";
+    case RequestType::kAssignCluster: return "cluster";
+    case RequestType::kRecommend: return "recommend";
+    case RequestType::kStats: return "stats";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 Server::Server(std::shared_ptr<const ModelBundle> bundle,
                ServeOptions options)
@@ -60,6 +88,16 @@ Server::Server(std::shared_ptr<const ModelBundle> bundle,
     bucket_counters_.emplace_back(
         core::StrFormat("serve/batch_bucket_%u", 1u << i));
   }
+  hist_basket_items_ = obs::Histogram("serve/hist/basket_items");
+  hist_rules_scanned_ = obs::Histogram("serve/hist/rules_scanned");
+  lat_total_ = obs::Histogram("serve/latency/total_us");
+  lat_prepare_ = obs::Histogram("serve/latency/prepare_us");
+  lat_queue_ = obs::Histogram("serve/latency/queue_us");
+  lat_eval_ = obs::Histogram("serve/latency/eval_us");
+  lat_classify_ = obs::Histogram("serve/latency/classify_us");
+  lat_cluster_ = obs::Histogram("serve/latency/cluster_us");
+  lat_recommend_ = obs::Histogram("serve/latency/recommend_us");
+  lat_stats_ = obs::Histogram("serve/latency/stats_us");
 }
 
 Status Server::ValidateRequest(const Request& request) const {
@@ -146,6 +184,16 @@ Status Server::ValidateRequest(const Request& request) const {
 }
 
 PreparedRequest Server::Prepare(std::span<const std::byte> frame) {
+  if (!options_.latency_telemetry) return PrepareImpl(frame);
+  const double t0 = NowUs();
+  PreparedRequest prepared = PrepareImpl(frame);
+  prepared.start_ts_us = t0;
+  prepared.prepare_us = NowUs() - t0;
+  lat_prepare_.Record(ToMicros(prepared.prepare_us));
+  return prepared;
+}
+
+PreparedRequest Server::PrepareImpl(std::span<const std::byte> frame) {
   requests_.Increment();
   PreparedRequest prepared;
   Result<Request> decoded = DecodeRequestFrame(frame);
@@ -172,6 +220,10 @@ PreparedRequest Server::Prepare(std::span<const std::byte> frame) {
       std::sort(canonical.begin(), canonical.end());
       canonical.erase(std::unique(canonical.begin(), canonical.end()),
                       canonical.end());
+      // Work-shape histogram: a pure function of the request stream, so
+      // part of the deterministic counter contract (recorded with
+      // telemetry on or off).
+      hist_basket_items_.Record(canonical.size());
       prepared.canonical_baskets.push_back(std::move(canonical));
     }
     prepared.cached_hits.assign(prepared.canonical_baskets.size(),
@@ -377,9 +429,12 @@ void Server::EvaluateRecommendGroup(std::span<PreparedRequest*> group,
         bits.Set(item);
         signature |= core::kernels::SignatureOfItem(item);
       }
+      const uint64_t scanned_before = tally->rules_scanned;
       std::vector<RuleHit> hits = ScoreBasket(
           basket, signature, bits, p->request.top_k, &tally->rules_scanned);
       ++tally->baskets_scored;
+      tally->basket_rule_scans.push_back(
+          static_cast<uint32_t>(tally->rules_scanned - scanned_before));
       for (uint32_t item : basket) bits.Clear(item);
       if (have_cached) {
         // The cache contract, asserted: a hit must be bit-identical to
@@ -398,6 +453,7 @@ Server::BatchTally Server::EvaluateBatch(
     std::span<PreparedRequest*> batch) const {
   obs::Span span("serve/batch");
   span.AddArg("requests", batch.size());
+  const double eval_start = options_.latency_telemetry ? NowUs() : 0.0;
   BatchTally tally;
 
   std::vector<PreparedRequest*> by_model[3];
@@ -434,6 +490,10 @@ Server::BatchTally Server::EvaluateBatch(
     if (p->failed) continue;
     p->encoded = EncodeResponseFrame(p->response);
   }
+  if (options_.latency_telemetry) {
+    tally.eval_us = NowUs() - eval_start;
+    for (PreparedRequest* p : batch) p->eval_us = tally.eval_us;
+  }
   return tally;
 }
 
@@ -442,6 +502,15 @@ void Server::FoldTally(const BatchTally& tally) {
   points_assigned_.Add(tally.points_assigned);
   baskets_scored_.Add(tally.baskets_scored);
   rules_scanned_.Add(tally.rules_scanned);
+  // Per-basket scan counts fold here, in batch order on the folding
+  // thread, keeping histograms under the same single-writer discipline
+  // as the counters.
+  for (uint32_t scans : tally.basket_rule_scans) {
+    hist_rules_scanned_.Record(scans);
+  }
+  if (options_.latency_telemetry) {
+    lat_eval_.Record(ToMicros(tally.eval_us));
+  }
 }
 
 void Server::InsertCacheMisses(const PreparedRequest& prepared) {
@@ -457,7 +526,8 @@ void Server::InsertCacheMisses(const PreparedRequest& prepared) {
   }
 }
 
-void Server::CountBatch(size_t size) {
+void Server::CountBatch(std::span<PreparedRequest*> batch) {
+  const size_t size = batch.size();
   batches_.Increment();
   size_t bucket = 0;
   while ((size_t{1} << bucket) < size &&
@@ -465,6 +535,76 @@ void Server::CountBatch(size_t size) {
     ++bucket;
   }
   bucket_counters_[bucket].Increment();
+  if (options_.latency_telemetry) {
+    const uint64_t id =
+        next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+    for (PreparedRequest* p : batch) {
+      p->batch_id = id;
+      p->batch_requests = static_cast<uint32_t>(size);
+    }
+  }
+}
+
+double Server::TelemetryNowUs() const {
+  return options_.latency_telemetry ? NowUs() : 0.0;
+}
+
+void Server::RecordQueueWait(PreparedRequest* prepared,
+                             double submit_ts_us) {
+  if (!options_.latency_telemetry) return;
+  prepared->queue_us = prepared->start_ts_us - submit_ts_us;
+  prepared->start_ts_us = submit_ts_us;
+  lat_queue_.Record(ToMicros(prepared->queue_us));
+}
+
+void Server::RecordRequestDone(PreparedRequest* prepared) {
+  if (!options_.latency_telemetry) return;
+  const double total = NowUs() - prepared->start_ts_us;
+  const uint64_t total_us = ToMicros(total);
+  lat_total_.Record(total_us);
+  const RequestType type = prepared->request.type;
+  switch (type) {
+    case RequestType::kClassify: lat_classify_.Record(total_us); break;
+    case RequestType::kAssignCluster: lat_cluster_.Record(total_us); break;
+    case RequestType::kRecommend: lat_recommend_.Record(total_us); break;
+    case RequestType::kStats: lat_stats_.Record(total_us); break;
+  }
+  uint64_t cache_hits = 0;
+  for (const auto& hit : prepared->cached_hits) {
+    if (hit.has_value()) ++cache_hits;
+  }
+  obs::TraceSink& sink = obs::TraceSink::Global();
+  if (sink.enabled()) {
+    std::vector<std::pair<std::string, uint64_t>> args;
+    args.emplace_back("request_id", prepared->request.id);
+    args.emplace_back("batch_id", prepared->batch_id);
+    args.emplace_back("batch_requests", prepared->batch_requests);
+    args.emplace_back("queue_us", ToMicros(prepared->queue_us));
+    args.emplace_back("prepare_us", ToMicros(prepared->prepare_us));
+    args.emplace_back("eval_us", ToMicros(prepared->eval_us));
+    if (type == RequestType::kRecommend) {
+      args.emplace_back("cache_hits", cache_hits);
+      args.emplace_back("cache_misses",
+                        prepared->cached_hits.size() - cache_hits);
+    }
+    if (prepared->failed) args.emplace_back("error", 1);
+    sink.RecordManual("serve/request", prepared->start_ts_us, total,
+                      std::move(args));
+  }
+  if (options_.slow_query_us > 0 && total_us >= options_.slow_query_us) {
+    obs::Log(obs::LogSeverity::kWarning,
+             "slow query: id=%llu type=%s batch=%llu/%u queue=%lluus "
+             "prepare=%lluus eval=%lluus total=%lluus",
+             static_cast<unsigned long long>(prepared->request.id),
+             TypeName(type),
+             static_cast<unsigned long long>(prepared->batch_id),
+             prepared->batch_requests,
+             static_cast<unsigned long long>(ToMicros(prepared->queue_us)),
+             static_cast<unsigned long long>(
+                 ToMicros(prepared->prepare_us)),
+             static_cast<unsigned long long>(ToMicros(prepared->eval_us)),
+             static_cast<unsigned long long>(total_us));
+  }
 }
 
 std::vector<std::byte> Server::HandleFrame(
@@ -496,7 +636,7 @@ std::vector<std::vector<std::byte>> Server::HandleFrames(
     }
     batches.back().push_back(&p);
   }
-  for (const auto& batch : batches) CountBatch(batch.size());
+  for (auto& batch : batches) CountBatch(std::span(batch));
 
   if (pool_ != nullptr && batches.size() > 1) {
     std::vector<std::future<BatchTally>> futures;
@@ -516,6 +656,7 @@ std::vector<std::vector<std::byte>> Server::HandleFrames(
   // Misses enter the cache only now, in request order, after every batch
   // completed — batch shape cannot affect what later lookups see.
   for (const PreparedRequest& p : prepared) InsertCacheMisses(p);
+  for (PreparedRequest& p : prepared) RecordRequestDone(&p);
 
   std::vector<std::vector<std::byte>> responses;
   responses.reserve(prepared.size());
@@ -545,7 +686,9 @@ std::string Server::StatsJson() const {
     json += core::StrFormat("\"%s\":%llu", name.c_str(),
                             static_cast<unsigned long long>(value));
   }
-  json += "}}";
+  json += "},\"registry\":";
+  json += obs::RenderJsonSnapshot();
+  json += "}";
   return json;
 }
 

@@ -60,6 +60,17 @@ struct ServeOptions {
   /// Debug mode: recompute every cache hit and abort on any mismatch —
   /// the "asserted, not assumed" half of the cache contract.
   bool verify_cache_hits = false;
+  /// Per-request latency telemetry: stage/total latency histograms,
+  /// per-request trace spans (under DMT_TRACE), and the slow-query log.
+  /// Responses are bit-identical with it on or off; off removes every
+  /// clock read from the hot path (the EXT-12 overhead bound measures
+  /// on vs off). Deterministic work-shape histograms (serve/hist/*) are
+  /// part of the counter contract and record regardless.
+  bool latency_telemetry = true;
+  /// Emit a structured obs::Log warning for any request whose total
+  /// latency reaches this many microseconds; 0 disables. Requires
+  /// latency_telemetry.
+  uint64_t slow_query_us = 0;
 
   core::Status Validate() const;
 };
@@ -83,6 +94,16 @@ struct PreparedRequest {
   std::vector<std::vector<uint32_t>> canonical_baskets;
   std::vector<std::string> cache_keys;
   std::vector<std::optional<std::vector<RuleHit>>> cached_hits;
+
+  // Latency-telemetry stamps (zero and unused when the option is off).
+  // All times are microseconds since the trace epoch, so the per-request
+  // span lands on the same timebase as every obs::Span.
+  double start_ts_us = 0.0;  ///< Submit (async) or Prepare (sync) time.
+  double prepare_us = 0.0;   ///< Decode + validate + canonicalize.
+  double queue_us = 0.0;     ///< Async path: submit -> drain wait.
+  double eval_us = 0.0;      ///< Owning batch's evaluation time.
+  uint64_t batch_id = 0;     ///< Process-wide batch sequence number.
+  uint32_t batch_requests = 0;  ///< Size of the owning batch.
 };
 
 class Server {
@@ -118,26 +139,49 @@ class Server {
   /// Evaluates one batch (at most batch_size non-failed requests):
   /// fills each request's response + encoded frame. Thread-safe against
   /// other EvaluateBatch calls; bumps no global counters — work tallies
-  /// are returned for ordered folding.
+  /// (including per-basket scan counts for the deterministic histograms
+  /// and the batch's evaluation time) are returned for ordered folding.
   struct BatchTally {
     uint64_t records_classified = 0;
     uint64_t points_assigned = 0;
     uint64_t baskets_scored = 0;
     uint64_t rules_scanned = 0;
+    /// Rules scanned per scored basket, in basket order — folded into
+    /// the serve/hist/rules_scanned histogram.
+    std::vector<uint32_t> basket_rule_scans;
+    /// Batch evaluation wall time (latency telemetry only; 0 otherwise).
+    double eval_us = 0.0;
   };
   BatchTally EvaluateBatch(std::span<PreparedRequest*> batch) const;
 
-  /// Folds a batch's tally into the registry counters. Call in batch
-  /// order from one thread for deterministic interleaving-free totals
-  /// (atomic adds make any order race-free and total-preserving).
+  /// Folds a batch's tally into the registry counters and histograms.
+  /// Call in batch order from one thread for deterministic
+  /// interleaving-free totals (atomic adds make any order race-free and
+  /// total-preserving).
   void FoldTally(const BatchTally& tally);
 
   /// Inserts the request's computed (missed) baskets into the cache in
   /// basket order; bumps insertion/eviction counters.
   void InsertCacheMisses(const PreparedRequest& prepared);
 
-  /// Bumps the batch-shape counters for one batch of `size` requests.
-  void CountBatch(size_t size);
+  /// Bumps the batch-shape counters for one batch and stamps the batch
+  /// id / size onto its requests for the per-request telemetry.
+  void CountBatch(std::span<PreparedRequest*> batch);
+
+  /// Telemetry clock: microseconds since the trace epoch, or 0 when
+  /// latency telemetry is off (so callers may stamp unconditionally).
+  double TelemetryNowUs() const;
+
+  /// Async path: credits the submit -> drain wait to the queue-wait
+  /// histogram and extends the request's lifetime stamp back to
+  /// `submit_ts_us` so total latency includes the queue.
+  void RecordQueueWait(PreparedRequest* prepared, double submit_ts_us);
+
+  /// Finalizes one request's telemetry once its response frame is ready:
+  /// total + per-type latency histograms, the per-request trace span
+  /// (request id, batch id, cache hit/miss as args), and the slow-query
+  /// log. No-op when latency telemetry is off.
+  void RecordRequestDone(PreparedRequest* prepared);
 
   /// Current serving stats as a JSON object (bundle inventory, options,
   /// serve/* counter totals, cache size).
@@ -151,6 +195,7 @@ class Server {
 
  private:
   core::Status ValidateRequest(const Request& request) const;
+  PreparedRequest PrepareImpl(std::span<const std::byte> frame);
   void EvaluateClassifyGroup(std::span<PreparedRequest*> group,
                              BatchTally* tally) const;
   void EvaluateCluster(PreparedRequest* prepared, BatchTally* tally) const;
@@ -182,6 +227,26 @@ class Server {
   /// Power-of-two batch-size histogram: bucket_counters_[i] counts
   /// batches with 2^(i-1) < size <= 2^i.
   std::vector<obs::Counter> bucket_counters_;
+
+  // Deterministic work-shape histograms (part of the counter contract:
+  // bit-identical at every batch size × thread count × telemetry
+  // setting).
+  obs::Histogram hist_basket_items_;
+  obs::Histogram hist_rules_scanned_;
+  // Latency histograms (latency_telemetry only; wall-time valued, so
+  // only their _count is deterministic).
+  obs::Histogram lat_total_;
+  obs::Histogram lat_prepare_;
+  obs::Histogram lat_queue_;
+  obs::Histogram lat_eval_;
+  obs::Histogram lat_classify_;
+  obs::Histogram lat_cluster_;
+  obs::Histogram lat_recommend_;
+  obs::Histogram lat_stats_;
+
+  /// Process-wide batch sequence for trace/span correlation; never
+  /// reset (ids only need to be unique, not dense).
+  std::atomic<uint64_t> next_batch_id_{1};
 };
 
 }  // namespace dmt::serve

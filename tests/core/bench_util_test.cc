@@ -73,74 +73,5 @@ TEST(BenchUtilTest, DistinctKeysGetDistinctEntries) {
   EXPECT_EQ(b.size(), 301u);
 }
 
-TEST(LatencyRecorderTest, NearestRankPercentilesOnKnownSamples) {
-  LatencyRecorder recorder;
-  for (double v : {5.0, 1.0, 4.0, 2.0, 3.0}) recorder.Record(v);
-  ASSERT_EQ(recorder.count(), 5u);
-  // Nearest rank over {1,2,3,4,5}: rank = ceil(p/100 * 5).
-  EXPECT_EQ(recorder.Percentile(0.0), 1.0);
-  EXPECT_EQ(recorder.Percentile(10.0), 1.0);
-  EXPECT_EQ(recorder.Percentile(20.0), 1.0);
-  EXPECT_EQ(recorder.Percentile(50.0), 3.0);
-  EXPECT_EQ(recorder.Percentile(90.0), 5.0);
-  EXPECT_EQ(recorder.Percentile(99.0), 5.0);
-  EXPECT_EQ(recorder.Percentile(100.0), 5.0);
-  EXPECT_EQ(recorder.Mean(), 3.0);
-  EXPECT_EQ(recorder.Max(), 5.0);
-}
-
-TEST(LatencyRecorderTest, PercentileIsAlwaysARecordedSample) {
-  LatencyRecorder recorder;
-  for (int i = 0; i < 100; ++i) {
-    recorder.Record(static_cast<double>((i * 37) % 100));
-  }
-  for (double p : {0.0, 1.0, 12.5, 50.0, 90.0, 99.0, 99.9, 100.0}) {
-    double value = recorder.Percentile(p);
-    EXPECT_GE(value, 0.0);
-    EXPECT_LE(value, 99.0);
-    EXPECT_EQ(value, std::floor(value))
-        << "p" << p << " interpolated between samples";
-  }
-}
-
-TEST(LatencyRecorderTest, DeterministicUnderRecordingAndMergeOrder) {
-  // The same multiset recorded in three different orders / shardings
-  // must produce identical percentiles — the property that makes the
-  // per-client-thread recorders in bench_serving mergeable.
-  std::vector<double> samples;
-  for (int i = 0; i < 257; ++i) {
-    samples.push_back(static_cast<double>((i * 131) % 257));
-  }
-
-  LatencyRecorder forward;
-  for (double v : samples) forward.Record(v);
-
-  LatencyRecorder backward;
-  for (size_t i = samples.size(); i > 0; --i) {
-    backward.Record(samples[i - 1]);
-  }
-
-  LatencyRecorder merged;  // three shards, merged out of order
-  LatencyRecorder shard_a;
-  LatencyRecorder shard_b;
-  LatencyRecorder shard_c;
-  for (size_t i = 0; i < samples.size(); ++i) {
-    (i % 3 == 0 ? shard_a : i % 3 == 1 ? shard_b : shard_c)
-        .Record(samples[i]);
-  }
-  merged.Merge(shard_c);
-  merged.Merge(shard_a);
-  merged.Merge(shard_b);
-
-  ASSERT_EQ(forward.count(), backward.count());
-  ASSERT_EQ(forward.count(), merged.count());
-  for (double p = 0.0; p <= 100.0; p += 0.5) {
-    ASSERT_EQ(forward.Percentile(p), backward.Percentile(p)) << "p" << p;
-    ASSERT_EQ(forward.Percentile(p), merged.Percentile(p)) << "p" << p;
-  }
-  EXPECT_EQ(forward.Mean(), merged.Mean());
-  EXPECT_EQ(forward.Max(), merged.Max());
-}
-
 }  // namespace
 }  // namespace dmt::bench

@@ -1,0 +1,137 @@
+// Coverage for the registry exposition module (obs/expose.h): Prometheus
+// name mangling, the text format invariants (cumulative buckets monotone,
+// `_count` == "+Inf" bucket, `_sum` exact), and the JSON snapshot shape.
+// The registry is process-global, so every assertion greps for this
+// test's own metric names instead of assuming an otherwise-empty
+// registry.
+#include "obs/expose.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dmt::obs {
+namespace {
+
+/// Lines of `text` starting with `prefix`.
+std::vector<std::string> LinesWithPrefix(const std::string& text,
+                                         const std::string& prefix) {
+  std::vector<std::string> out;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.rfind(prefix, 0) == 0) out.push_back(line);
+  }
+  return out;
+}
+
+TEST(PrometheusNameTest, ManglesSlashesAndPrefixes) {
+  EXPECT_EQ(PrometheusName("serve/cache_hits"), "dmt_serve_cache_hits");
+  EXPECT_EQ(PrometheusName("serve/latency/total_us"),
+            "dmt_serve_latency_total_us");
+  EXPECT_EQ(PrometheusName("weird-name.with spaces"),
+            "dmt_weird_name_with_spaces");
+  EXPECT_EQ(PrometheusName("ok_colon:kept"), "dmt_ok_colon:kept");
+}
+
+TEST(RenderPrometheusTextTest, CountersAndGauges) {
+  Counter c("test/expose/requests");
+  c.Add(41);
+  c.Increment();
+  Gauge g("test/expose/load");
+  g.Set(0.5);
+
+  const std::string text = RenderPrometheusText();
+  EXPECT_NE(text.find("# TYPE dmt_test_expose_requests counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\ndmt_test_expose_requests 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dmt_test_expose_load gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\ndmt_test_expose_load 0.5\n"), std::string::npos);
+}
+
+TEST(RenderPrometheusTextTest, HistogramSeriesAreConsistent) {
+  Histogram h("test/expose/hist_us");
+  // Samples spanning exact buckets, a log bucket, and the overflow
+  // bucket.
+  for (uint64_t v : {0, 3, 3, 16, 100}) h.Record(v);
+  h.Record(UINT64_MAX);
+
+  const std::string text = RenderPrometheusText();
+  EXPECT_NE(text.find("# TYPE dmt_test_expose_hist_us histogram\n"),
+            std::string::npos);
+
+  const auto buckets =
+      LinesWithPrefix(text, "dmt_test_expose_hist_us_bucket{le=\"");
+  ASSERT_FALSE(buckets.empty());
+  // Cumulative counts are monotone non-decreasing in emitted order.
+  uint64_t previous = 0;
+  for (const std::string& line : buckets) {
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const uint64_t cumulative = std::stoull(line.substr(space + 1));
+    EXPECT_GE(cumulative, previous) << line;
+    previous = cumulative;
+  }
+  // The final series is "+Inf" and equals _count.
+  EXPECT_NE(buckets.back().find("{le=\"+Inf\"}"), std::string::npos);
+  EXPECT_EQ(previous, 6u);
+  EXPECT_NE(text.find("\ndmt_test_expose_hist_us_count 6\n"),
+            std::string::npos);
+  // Exact per-bucket shape: value 0 -> 1 sample, value 3 -> 2 more.
+  EXPECT_NE(text.find("dmt_test_expose_hist_us_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dmt_test_expose_hist_us_bucket{le=\"3\"} 3\n"),
+            std::string::npos);
+  // Empty buckets between samples are elided: no le="1" series.
+  EXPECT_EQ(text.find("dmt_test_expose_hist_us_bucket{le=\"1\"}"),
+            std::string::npos);
+}
+
+TEST(RenderJsonSnapshotTest, ContainsAllThreeSections) {
+  Counter c("test/expose/json_counter");
+  c.Add(7);
+  Gauge g("test/expose/json_gauge");
+  g.Set(2.5);
+  Histogram h("test/expose/json_hist");
+  for (uint64_t v : {1, 2, 3, 4, 5}) h.Record(v);
+
+  const std::string json = RenderJsonSnapshot();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/expose/json_counter\": 7"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"test/expose/json_gauge\": 2.5"),
+            std::string::npos);
+  // Histogram object: derived stats plus non-empty buckets keyed by
+  // inclusive upper bound.
+  const size_t hist = json.find("\"test/expose/json_hist\": {");
+  ASSERT_NE(hist, std::string::npos);
+  const std::string object = json.substr(hist, json.find('}', hist) - hist);
+  EXPECT_NE(object.find("\"count\": 5"), std::string::npos);
+  EXPECT_NE(object.find("\"sum\": 15"), std::string::npos);
+  EXPECT_NE(object.find("\"mean\": 3"), std::string::npos);
+  EXPECT_NE(object.find("\"p50\": 3"), std::string::npos);
+  EXPECT_NE(object.find("\"p99\": 5"), std::string::npos);
+}
+
+TEST(RenderJsonSnapshotTest, OverflowBucketKeyedAsInf) {
+  Histogram h("test/expose/json_inf");
+  h.Record(UINT64_MAX);
+  const std::string json = RenderJsonSnapshot();
+  const size_t hist = json.find("\"test/expose/json_inf\": {");
+  ASSERT_NE(hist, std::string::npos);
+  EXPECT_NE(json.find("\"+Inf\": 1", hist), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmt::obs

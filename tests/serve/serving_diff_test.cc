@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -99,6 +100,17 @@ struct RunResult {
   Frames responses;  // wave 1 then wave 2, in request order
   /// serve/* counter totals, minus the batch-shape counters.
   std::vector<std::pair<std::string, uint64_t>> counters;
+  /// Work-shape histograms (serve/hist/*) as (name, count, sum, buckets):
+  /// fully deterministic, so the whole tuple must be bit-identical.
+  std::vector<std::tuple<std::string, uint64_t, uint64_t,
+                         std::vector<uint64_t>>>
+      work_histograms;
+  /// Wall-time histograms (serve/latency/*) as (name, count): the sample
+  /// values vary run to run, but how many samples land is deterministic.
+  /// eval_us is kept separate — it samples once per evaluated batch, so
+  /// its count is a batch-shape quantity (like serve/batches).
+  std::vector<std::pair<std::string, uint64_t>> latency_counts;
+  uint64_t eval_batches = 0;
   uint64_t Counter(const std::string& name) const {
     for (const auto& [key, value] : counters) {
       if (key == name) return value;
@@ -110,13 +122,15 @@ struct RunResult {
 RunResult RunConfig(std::shared_ptr<const ModelBundle> bundle,
                     const Workload& load, uint32_t batch_size,
                     size_t num_threads, size_t cache_capacity,
-                    bool verify_cache_hits = false) {
+                    bool verify_cache_hits = false,
+                    bool latency_telemetry = true) {
   obs::Registry::Global().Reset();
   ServeOptions options;
   options.batch_size = batch_size;
   options.num_threads = num_threads;
   options.cache_capacity = cache_capacity;
   options.verify_cache_hits = verify_cache_hits;
+  options.latency_telemetry = latency_telemetry;
   Server server(std::move(bundle), options);
 
   RunResult result;
@@ -132,6 +146,17 @@ RunResult RunConfig(std::shared_ptr<const ModelBundle> bundle,
     if (name == "serve/batches") continue;
     if (name.rfind("serve/batch_bucket_", 0) == 0) continue;
     result.counters.emplace_back(name, value);
+  }
+  for (const obs::HistogramData& hist :
+       obs::Registry::Global().HistogramSnapshot()) {
+    if (hist.name.rfind("serve/hist/", 0) == 0) {
+      result.work_histograms.emplace_back(hist.name, hist.count, hist.sum,
+                                          hist.buckets);
+    } else if (hist.name == "serve/latency/eval_us") {
+      result.eval_batches = hist.count;
+    } else if (hist.name.rfind("serve/latency/", 0) == 0) {
+      result.latency_counts.emplace_back(hist.name, hist.count);
+    }
   }
   return result;
 }
@@ -178,6 +203,82 @@ TEST(ServingDiffTest, BitIdenticalAcrossBatchSizeThreadsAndCache) {
       }
     }
   }
+}
+
+TEST(ServingDiffTest, HistogramsBitIdenticalAcrossThreadsAndBatches) {
+  auto bundle = testutil::MakeTestBundle();
+  Workload load = MakeWorkload(*bundle);
+
+  const RunResult baseline_off =
+      RunConfig(bundle, load, /*batch_size=*/1, /*threads=*/0, /*cache=*/0);
+  const RunResult baseline_on =
+      RunConfig(bundle, load, /*batch_size=*/1, /*threads=*/0,
+                /*cache=*/64);
+
+  // The workload actually exercises both work-shape histograms.
+  ASSERT_EQ(baseline_off.work_histograms.size(), 2u);
+  EXPECT_EQ(std::get<0>(baseline_off.work_histograms[0]),
+            "serve/hist/basket_items");
+  EXPECT_EQ(std::get<0>(baseline_off.work_histograms[1]),
+            "serve/hist/rules_scanned");
+  EXPECT_GT(std::get<1>(baseline_off.work_histograms[0]), 0u);
+  EXPECT_GT(std::get<1>(baseline_off.work_histograms[1]), 0u);
+
+  for (uint32_t batch_size : {1u, 8u, 64u}) {
+    uint64_t eval_batches_at_this_size = 0;
+    for (size_t threads : {size_t{0}, size_t{1}, size_t{2}, size_t{7}}) {
+      for (size_t cache : {size_t{0}, size_t{64}}) {
+        SCOPED_TRACE(ConfigName(batch_size, threads, cache));
+        RunResult run = RunConfig(bundle, load, batch_size, threads, cache);
+        const RunResult& baseline =
+            cache == 0 ? baseline_off : baseline_on;
+        // Work-shape histograms: full bucket arrays and sums match the
+        // serial batch_size=1 run bit for bit.
+        EXPECT_EQ(run.work_histograms, baseline.work_histograms);
+        // Latency histograms: values are wall time, but sample counts
+        // are a pure function of the workload.
+        EXPECT_EQ(run.latency_counts, baseline.latency_counts);
+        // eval_us samples once per batch, so its count varies with
+        // batch_size — but never with thread count or cache setting.
+        if (eval_batches_at_this_size == 0) {
+          eval_batches_at_this_size = run.eval_batches;
+          EXPECT_GT(run.eval_batches, 0u);
+        } else {
+          EXPECT_EQ(run.eval_batches, eval_batches_at_this_size);
+        }
+      }
+    }
+  }
+}
+
+TEST(ServingDiffTest, TelemetryOffIsByteAndWorkIdentical) {
+  auto bundle = testutil::MakeTestBundle();
+  Workload load = MakeWorkload(*bundle);
+
+  const RunResult on =
+      RunConfig(bundle, load, /*batch_size=*/8, /*threads=*/2, /*cache=*/64);
+  const RunResult off =
+      RunConfig(bundle, load, /*batch_size=*/8, /*threads=*/2, /*cache=*/64,
+                /*verify_cache_hits=*/false, /*latency_telemetry=*/false);
+
+  // Telemetry must never change a response byte or a work counter.
+  ASSERT_EQ(off.responses.size(), on.responses.size());
+  for (size_t i = 0; i < off.responses.size(); ++i) {
+    EXPECT_EQ(off.responses[i], on.responses[i])
+        << "telemetry on/off response divergence at request " << i;
+  }
+  EXPECT_EQ(off.counters, on.counters);
+  // Work-shape histograms record regardless of the telemetry switch.
+  EXPECT_EQ(off.work_histograms, on.work_histograms);
+  // Latency histograms: populated with telemetry on, silent when off.
+  uint64_t on_samples = 0;
+  uint64_t off_samples = 0;
+  for (const auto& [name, count] : on.latency_counts) on_samples += count;
+  for (const auto& [name, count] : off.latency_counts) {
+    off_samples += count;
+  }
+  EXPECT_GT(on_samples, 0u);
+  EXPECT_EQ(off_samples, 0u);
 }
 
 TEST(ServingDiffTest, CacheCountersObeyTheirInvariants) {

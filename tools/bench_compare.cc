@@ -1,0 +1,377 @@
+// Bench regression gate: diffs a bench --json record against a
+// checked-in baseline.
+//
+//   bench_compare <baseline.json> <current.json> [--tolerance <pct>]
+//
+// Runs are matched by benchmark name. Counters split into two classes:
+//
+//   - deterministic work counters (cond_trees, intersections,
+//     split_scan_rows, ...): exact match required — any difference is an
+//     algorithm change that must be acknowledged by regenerating the
+//     baseline, and exits 1;
+//   - advisory wall-time quantities (real_time, *_us / *_ms counters,
+//     qps, *rate*, mean_batch, *_per_s): machine-dependent, so
+//     deviations beyond --tolerance (default 50%) only print warnings.
+//
+// The JSON "registry" section accumulates across every benchmark
+// iteration (iteration counts are timing-dependent), and "spans" carry
+// wall time — both are skipped. A kernel_level difference is reported as
+// advisory context (a perf delta with a level delta is dispatch, not
+// regression).
+//
+// The parser below covers exactly the subset WriteJsonRecord emits
+// (objects, arrays, strings, numbers, keywords); a malformed record
+// exits 2.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/mmap_file.h"
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Vector of pairs, not a map: preserves document order for reporting.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u':
+            // The bench writer only escapes control characters; decode
+            // to '?' — names never legitimately contain them.
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;
+            out->push_back('?');
+            break;
+          default: out->push_back(esc);
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipSpace();
+      if (Consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!ParseString(&key) || !Consume(':')) return false;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->object.emplace_back(std::move(key), std::move(value));
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipSpace();
+      if (Consume(']')) return true;
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    // Number.
+    char* end = nullptr;
+    out->number = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    pos_ = static_cast<size_t>(end - text_.c_str());
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Comparison.
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// True for counters holding wall-clock-derived quantities, which vary
+/// machine to machine and only warn.
+bool IsAdvisoryCounter(const std::string& name) {
+  if (EndsWith(name, "_us") || EndsWith(name, "_ms") ||
+      EndsWith(name, "_s") || EndsWith(name, "_per_s") ||
+      EndsWith(name, "per_second")) {
+    return true;
+  }
+  if (name == "qps" || name == "mean_batch") return true;
+  return name.find("rate") != std::string::npos;
+}
+
+struct Gate {
+  double tolerance_pct = 50.0;
+  int failures = 0;
+  int warnings = 0;
+  int exact_ok = 0;
+
+  void Deterministic(const std::string& run, const std::string& counter,
+                     double baseline, double current) {
+    if (baseline == current) {
+      ++exact_ok;
+      return;
+    }
+    ++failures;
+    std::fprintf(stderr,
+                 "FAIL  %s: deterministic counter '%s' changed: baseline "
+                 "%.17g, current %.17g\n",
+                 run.c_str(), counter.c_str(), baseline, current);
+  }
+
+  void Advisory(const std::string& run, const std::string& counter,
+                double baseline, double current) {
+    if (baseline == current) return;
+    const double reference = std::fabs(baseline);
+    const double delta_pct =
+        reference > 0.0
+            ? 100.0 * std::fabs(current - baseline) / reference
+            : 100.0;
+    if (delta_pct <= tolerance_pct) return;
+    ++warnings;
+    std::fprintf(stderr,
+                 "warn  %s: %s drifted %.1f%% (baseline %.17g, current "
+                 "%.17g) — advisory, not gating\n",
+                 run.c_str(), counter.c_str(), delta_pct, baseline,
+                 current);
+  }
+};
+
+/// name -> (real_time, counters) for every run in a record.
+struct RunData {
+  double real_time = 0.0;
+  std::map<std::string, double> counters;
+};
+
+bool ExtractRuns(const JsonValue& record,
+                 std::map<std::string, RunData>* out) {
+  const JsonValue* runs = record.Find("runs");
+  if (runs == nullptr || runs->kind != JsonValue::Kind::kArray) {
+    return false;
+  }
+  for (const JsonValue& run : runs->array) {
+    const JsonValue* name = run.Find("name");
+    const JsonValue* real_time = run.Find("real_time");
+    const JsonValue* counters = run.Find("counters");
+    if (name == nullptr || real_time == nullptr || counters == nullptr) {
+      return false;
+    }
+    RunData data;
+    data.real_time = real_time->number;
+    for (const auto& [key, value] : counters->object) {
+      data.counters[key] = value.number;
+    }
+    (*out)[name->string] = std::move(data);
+  }
+  return true;
+}
+
+int Compare(const JsonValue& baseline, const JsonValue& current,
+            double tolerance_pct) {
+  Gate gate;
+  gate.tolerance_pct = tolerance_pct;
+
+  const JsonValue* base_level = baseline.Find("kernel_level");
+  const JsonValue* cur_level = current.Find("kernel_level");
+  if (base_level != nullptr && cur_level != nullptr &&
+      base_level->string != cur_level->string) {
+    std::fprintf(stderr,
+                 "note  kernel_level differs (baseline %s, current %s): "
+                 "wall-time drift is expected\n",
+                 base_level->string.c_str(), cur_level->string.c_str());
+  }
+
+  std::map<std::string, RunData> base_runs;
+  std::map<std::string, RunData> cur_runs;
+  if (!ExtractRuns(baseline, &base_runs) ||
+      !ExtractRuns(current, &cur_runs)) {
+    std::fprintf(stderr, "bench_compare: malformed runs section\n");
+    return 2;
+  }
+
+  for (const auto& [name, base] : base_runs) {
+    auto it = cur_runs.find(name);
+    if (it == cur_runs.end()) {
+      ++gate.failures;
+      std::fprintf(stderr, "FAIL  baseline run '%s' missing from current "
+                   "record\n",
+                   name.c_str());
+      continue;
+    }
+    const RunData& cur = it->second;
+    gate.Advisory(name, "real_time", base.real_time, cur.real_time);
+    for (const auto& [counter, base_value] : base.counters) {
+      auto cit = cur.counters.find(counter);
+      if (cit == cur.counters.end()) {
+        ++gate.failures;
+        std::fprintf(stderr,
+                     "FAIL  %s: baseline counter '%s' missing from "
+                     "current record\n",
+                     name.c_str(), counter.c_str());
+        continue;
+      }
+      if (IsAdvisoryCounter(counter)) {
+        gate.Advisory(name, counter, base_value, cit->second);
+      } else {
+        gate.Deterministic(name, counter, base_value, cit->second);
+      }
+    }
+    for (const auto& [counter, value] : cur.counters) {
+      if (base.counters.find(counter) == base.counters.end()) {
+        ++gate.warnings;
+        std::fprintf(stderr,
+                     "warn  %s: counter '%s' is new (not in baseline — "
+                     "regenerate to gate it)\n",
+                     name.c_str(), counter.c_str());
+      }
+    }
+  }
+  for (const auto& [name, cur] : cur_runs) {
+    if (base_runs.find(name) == base_runs.end()) {
+      ++gate.warnings;
+      std::fprintf(stderr,
+                   "warn  run '%s' is new (not in baseline)\n",
+                   name.c_str());
+    }
+  }
+
+  std::printf("bench_compare: %zu baseline run(s), %d deterministic "
+              "counter(s) exact, %d warning(s), %d failure(s)\n",
+              base_runs.size(), gate.exact_ok, gate.warnings,
+              gate.failures);
+  return gate.failures == 0 ? 0 : 1;
+}
+
+int LoadRecord(const std::string& path, JsonValue* out) {
+  auto text = dmt::core::ReadFileString(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "bench_compare: %s\n",
+                 text.status().ToString().c_str());
+    return 2;
+  }
+  JsonParser parser(*text);
+  if (!parser.Parse(out)) {
+    std::fprintf(stderr, "bench_compare: %s: JSON parse error\n",
+                 path.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double tolerance_pct = 50.0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance_pct = std::strtod(argv[++i], nullptr);
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <current.json> "
+                 "[--tolerance <pct>]\n");
+    return 2;
+  }
+  JsonValue baseline;
+  JsonValue current;
+  if (int rc = LoadRecord(paths[0], &baseline); rc != 0) return rc;
+  if (int rc = LoadRecord(paths[1], &current); rc != 0) return rc;
+  return Compare(baseline, current, tolerance_pct);
+}

@@ -8,9 +8,13 @@
 # build that re-runs the io corruption battery, then a bench smoke
 # stage that runs the cluster, tree, association, and io benches at a
 # tiny configuration and checks the emitted --json records parse
-# (including the threads / work-counter / partition columns), and
-# finally a DMT_TRACE smoke that runs one bench per algorithm family
-# and validates the emitted Chrome trace_event JSON.
+# (including the threads / work-counter / partition columns), a
+# DMT_TRACE smoke that runs one bench per algorithm family and validates
+# the emitted Chrome trace_event JSON, a bench_compare regression gate
+# diffing the smoke records against the checked-in bench/baselines
+# (deterministic work counters must match exactly), and a serving smoke
+# that drives dmtd end to end — including the --metrics-path Prometheus
+# dump and the --slow-query-us structured log.
 #
 # Usage: tools/check.sh [jobs]
 set -euo pipefail
@@ -52,6 +56,8 @@ TSAN_TARGETS=(
   core_thread_pool_test
   core_kernels_test
   obs_metrics_test
+  obs_histogram_test
+  obs_expose_test
   assoc_parallel_diff_test
   assoc_out_of_core_diff_test
   assoc_quant_stream_diff_test
@@ -69,6 +75,10 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$ROOT/build-tsan/tests/core/core_thread_pool_test"
 "$ROOT/build-tsan/tests/core/core_kernels_test"
 "$ROOT/build-tsan/tests/obs/obs_metrics_test"
+# Concurrent Histogram::Record on shared slots plus rendering racing
+# recorders — the histogram metric's whole concurrency surface.
+"$ROOT/build-tsan/tests/obs/obs_histogram_test"
+"$ROOT/build-tsan/tests/obs/obs_expose_test"
 "$ROOT/build-tsan/tests/assoc/assoc_parallel_diff_test"
 "$ROOT/build-tsan/tests/assoc/assoc_out_of_core_diff_test"
 "$ROOT/build-tsan/tests/assoc/assoc_quant_stream_diff_test"
@@ -93,6 +103,8 @@ ASAN_TARGETS=(
   io_roundtrip_test
   core_kernels_test
   serve_protocol_test
+  obs_histogram_test
+  obs_expose_test
 )
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target "${ASAN_TARGETS[@]}"
 export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
@@ -104,6 +116,10 @@ export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
 # The protocol corruption battery decodes every truncation/byte-flip of
 # every frame shape — the canonical place for an out-of-bounds read.
 "$ROOT/build-asan/tests/serve/serve_protocol_test"
+# The exposition renderer walks fixed-size bucket arrays with manual
+# indexing — run it (and the bucket-boundary sweep) under ASan.
+"$ROOT/build-asan/tests/obs/obs_histogram_test"
+"$ROOT/build-asan/tests/obs/obs_expose_test"
 
 echo
 echo "== tier 3: bench smoke (tiny configs, --json must parse) =="
@@ -252,6 +268,24 @@ DMT_TRACE="$SMOKE_DIR/trace_classify.json" "$BENCH_DIR/bench_knn_sweep" \
 trace_check "$SMOKE_DIR/trace_classify.json" classify/
 
 echo
+echo "== tier 3c: bench regression gate (bench_compare vs baselines) =="
+# The smoke records above were produced with exactly the configurations
+# the checked-in baselines pin, so the gate diffs them directly: any
+# deterministic work-counter change (itemsets, fp_nodes, intersections,
+# split_scan_rows, ...) fails the script; wall-time drift only warns.
+# Regenerate bench/baselines/*.json with the same filters when a change
+# legitimately moves a counter.
+BENCH_COMPARE="$ROOT/build/tools/bench_compare"
+"$BENCH_COMPARE" "$ROOT/bench/baselines/assoc_minsup.json" \
+  "$SMOKE_DIR/assoc_minsup.json"
+"$BENCH_COMPARE" "$ROOT/bench/baselines/tree_scaleup.json" \
+  "$SMOKE_DIR/tree_scaleup.json"
+"$BENCH_COMPARE" "$ROOT/bench/baselines/quantitative.json" \
+  "$SMOKE_DIR/quantitative.json"
+"$BENCH_COMPARE" "$ROOT/bench/baselines/assoc_scaleup_t.json" \
+  "$SMOKE_DIR/assoc_scaleup_t.json"
+
+echo
 echo "== tier 4: serving smoke (dmtd end-to-end + bench_serving --json) =="
 DMTD="$ROOT/build/tools/dmtd"
 DEMO_DIR="$SMOKE_DIR/dmtd_demo"
@@ -303,12 +337,78 @@ grep -q '"serve/cache_hits":1' "$SMOKE_DIR/client_out.txt"
 echo "  socket mode: cache-hit counter ok"
 
 # bench_serving at one tiny configuration; the EXT-10 columns must land
-# in the JSON record.
+# in the JSON record. (The fourth benchmark arg is the EXT-12 telemetry
+# toggle.)
 "$BENCH_DIR/bench_serving" --no-table \
-  --benchmark_filter='BM_ServeReplay/1/8/512/real_time' \
+  --benchmark_filter='BM_ServeReplay/1/8/512/1/real_time' \
   --json "$SMOKE_DIR/serving.json" >/dev/null
 json_check "$SMOKE_DIR/serving.json" qps p50_us p99_us mean_batch \
   cache_hit_rate
+
+echo
+echo "== tier 4b: dmtd metrics exposition (--metrics-path + slow-query log) =="
+# Replay the same script with the Prometheus dump and a 1µs slow-query
+# threshold: the batch spans all six requests, so the recommend query
+# must trip the log, and the final metrics dump must be a consistent
+# Prometheus rendering (cumulative histogram buckets monotone, _count ==
+# +Inf bucket, per-request latency series populated).
+"$DMTD" --dir "$DEMO_DIR" --script "$SMOKE_DIR/queries.txt" \
+  --batch-size 8 --cache 64 \
+  --metrics-path "$SMOKE_DIR/metrics.prom" --metrics-interval-ms 200 \
+  --slow-query-us 1 > "$SMOKE_DIR/metrics_out.txt" 2> "$SMOKE_DIR/metrics_err.txt"
+grep -q 'slow query: id=5 type=recommend' "$SMOKE_DIR/metrics_err.txt"
+test "$(grep -c 'slow query: ' "$SMOKE_DIR/metrics_err.txt")" -ge 1
+metrics_check() {
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$1" <<'PY'
+import re, sys
+text = open(sys.argv[1]).read()
+hists = {}   # name -> list of (le, cumulative)
+sums = {}
+counts = {}
+types = {}
+for line in text.splitlines():
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split()
+        types[name] = kind
+        continue
+    m = re.match(r'^([A-Za-z0-9_:]+)_bucket\{le="([^"]+)"\} (\d+)$', line)
+    if m:
+        hists.setdefault(m.group(1), []).append(
+            (m.group(2), int(m.group(3))))
+        continue
+    m = re.match(r'^([A-Za-z0-9_:]+)_sum (\d+)$', line)
+    if m:
+        sums[m.group(1)] = int(m.group(2))
+        continue
+    m = re.match(r'^([A-Za-z0-9_:]+)_count (\d+)$', line)
+    if m:
+        counts[m.group(1)] = int(m.group(2))
+        continue
+    assert re.match(r'^[A-Za-z0-9_:]+ -?[0-9.e+-]+$', line), \
+        f"unparseable line {line!r}"
+assert hists, "no histogram series in dump"
+for name, buckets in hists.items():
+    assert types.get(name) == "histogram", f"{name}: missing TYPE"
+    cumulative = [c for _, c in buckets]
+    assert cumulative == sorted(cumulative), f"{name}: non-monotone"
+    assert buckets[-1][0] == "+Inf", f"{name}: missing +Inf"
+    assert buckets[-1][1] == counts[name], f"{name}: _count != +Inf"
+    assert name in sums, f"{name}: missing _sum"
+# The per-request serving telemetry must be present and populated.
+assert counts.get("dmt_serve_latency_total_us", 0) == 6, \
+    "serve latency histogram missing the 6 scripted requests"
+assert counts.get("dmt_serve_hist_basket_items", 0) > 0
+print(f"  {sys.argv[1]}: {len(hists)} histogram(s) consistent, "
+      f"{len(types)} metric(s) ok")
+PY
+  else
+    grep -q '_bucket{le="+Inf"}' "$1"
+    echo "  $1: keys present (python3 unavailable, skipped full parse)"
+  fi
+}
+metrics_check "$SMOKE_DIR/metrics.prom"
+echo "  metrics exposition: slow-query log + Prometheus dump ok"
 
 echo
 echo "All checks passed."

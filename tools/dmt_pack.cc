@@ -19,6 +19,7 @@
 #include "io/container.h"
 #include "io/partition.h"
 #include "io/serialize.h"
+#include "obs/expose.h"
 
 namespace {
 
@@ -114,6 +115,9 @@ int Info(const std::string& path) {
                 entry.id, static_cast<unsigned long long>(entry.offset),
                 static_cast<unsigned long long>(entry.length), entry.crc32);
   }
+  // The io-layer telemetry for this operation (bytes mapped, sections
+  // validated, CRC time), in the bench --json registry shape.
+  std::printf("registry %s\n", dmt::obs::RenderJsonSnapshot().c_str());
   return 0;
 }
 

@@ -16,6 +16,10 @@
 // Serving flags: --batch-size N, --batch-timeout-us N, --threads N,
 // --cache N (entries; 0 = off), --cache-shards N, --verify-cache,
 // --max-conns N (socket mode; 0 = forever).
+// Telemetry flags: --metrics-path <file> (periodic Prometheus-text dump
+// of the full registry), --metrics-interval-ms N (default 1000),
+// --slow-query-us N (log a structured warning for slower requests),
+// --no-telemetry (drop per-request latency recording entirely).
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
@@ -25,6 +29,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -63,7 +68,9 @@ int Usage() {
       "       dmtd --client <socket path>   (query lines on stdin)\n"
       "model flags: --tree/--train/--kmeans/--rules <container>\n"
       "serving flags: --batch-size N --batch-timeout-us N --threads N\n"
-      "               --cache N --cache-shards N --verify-cache\n");
+      "               --cache N --cache-shards N --verify-cache\n"
+      "telemetry flags: --metrics-path <file> --metrics-interval-ms N\n"
+      "                 --slow-query-us N --no-telemetry\n");
   return 2;
 }
 
@@ -230,6 +237,8 @@ int main(int argc, char** argv) {
   dmt::serve::ModelPaths paths;
   dmt::serve::ServeOptions options;
   std::string make_demo, script, socket_path, client_path, dir;
+  std::string metrics_path;
+  uint32_t metrics_interval_ms = 1000;
   bool use_stdin = false;
   size_t max_connections = 0;
 
@@ -271,6 +280,14 @@ int main(int argc, char** argv) {
       options.verify_cache_hits = true;
     } else if (arg == "--max-conns" && need_value(i)) {
       max_connections = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--metrics-path" && need_value(i)) {
+      metrics_path = argv[++i];
+    } else if (arg == "--metrics-interval-ms" && need_value(i)) {
+      metrics_interval_ms = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--slow-query-us" && need_value(i)) {
+      options.slow_query_us = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--no-telemetry") {
+      options.latency_telemetry = false;
     } else {
       return Usage();
     }
@@ -305,6 +322,15 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "dmtd: loaded %s\n",
                bundle.value()->Describe().c_str());
   dmt::serve::Server server(bundle.value(), options);
+
+  // Constructed after the server (so the first dump already has the
+  // serve/* metrics registered) and destroyed after serving returns (the
+  // final dump covers the whole run).
+  std::unique_ptr<dmt::serve::MetricsDumper> dumper;
+  if (!metrics_path.empty()) {
+    dumper = std::make_unique<dmt::serve::MetricsDumper>(
+        metrics_path, metrics_interval_ms);
+  }
 
   if (!script.empty()) return RunScript(&server, script);
   if (use_stdin) {
